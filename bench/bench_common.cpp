@@ -1,0 +1,218 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.hpp"
+#include "exp/parallel.hpp"
+
+namespace rats::bench {
+
+namespace {
+
+[[noreturn]] void usage(const char* prog, int code) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --full              paper corpus (3 random / 25 kernel samples)\n"
+      "  --samples-random N  samples per random-DAG combination (default 1)\n"
+      "  --samples-kernel N  samples per FFT size / Strassen (default 5)\n"
+      "  --seed S            corpus master seed (default 42)\n"
+      "  --csv               also emit CSV after each table\n"
+      "  --threads N         worker threads (default: hardware)\n",
+      prog);
+  std::exit(code);
+}
+
+long parse_long(const char* prog, int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage(prog, 2);
+  char* end = nullptr;
+  long v = std::strtol(argv[++i], &end, 10);
+  if (end == nullptr || *end != '\0') usage(prog, 2);
+  return v;
+}
+
+}  // namespace
+
+BenchConfig parse_args(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--full") == 0) {
+      cfg.full = true;
+    } else if (std::strcmp(a, "--samples-random") == 0) {
+      cfg.samples_random = static_cast<int>(parse_long(argv[0], argc, argv, i));
+    } else if (std::strcmp(a, "--samples-kernel") == 0) {
+      cfg.samples_kernel = static_cast<int>(parse_long(argv[0], argc, argv, i));
+    } else if (std::strcmp(a, "--seed") == 0) {
+      cfg.seed = static_cast<std::uint64_t>(parse_long(argv[0], argc, argv, i));
+    } else if (std::strcmp(a, "--csv") == 0) {
+      cfg.csv = true;
+    } else if (std::strcmp(a, "--threads") == 0) {
+      cfg.threads = static_cast<unsigned>(parse_long(argv[0], argc, argv, i));
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a);
+      usage(argv[0], 2);
+    }
+  }
+  return cfg;
+}
+
+CorpusOptions corpus_options(const BenchConfig& cfg) {
+  CorpusOptions opt;
+  opt.seed = cfg.seed;
+  if (cfg.full) {
+    opt.random_samples = 3;
+    opt.kernel_samples = 25;
+  } else {
+    opt.random_samples = cfg.samples_random;
+    opt.kernel_samples = cfg.samples_kernel;
+  }
+  return opt;
+}
+
+std::vector<CorpusEntry> make_corpus(const BenchConfig& cfg) {
+  auto corpus = build_corpus(corpus_options(cfg));
+  std::printf("corpus: %zu configurations (%s)\n", corpus.size(),
+              cfg.full ? "paper scale" : "reduced scale; use --full for 557");
+  return corpus;
+}
+
+std::vector<CorpusEntry> make_family(DagFamily family, const BenchConfig& cfg) {
+  auto corpus = build_family(family, corpus_options(cfg));
+  std::printf("corpus: %zu %s configurations (%s)\n", corpus.size(),
+              to_string(family).c_str(),
+              cfg.full ? "paper scale" : "reduced scale; use --full");
+  return corpus;
+}
+
+std::vector<CorpusEntry> cap_per_family(std::vector<CorpusEntry> corpus,
+                                        const BenchConfig& cfg, int n) {
+  if (n <= 0 || cfg.full) return corpus;
+  std::vector<CorpusEntry> capped;
+  for (DagFamily family : {DagFamily::Layered, DagFamily::Irregular,
+                           DagFamily::FFT, DagFamily::Strassen}) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+      if (corpus[i].family == family) idx.push_back(i);
+    if (idx.empty()) continue;
+    // Stride subsample keeps the spread over the parameter grid.
+    const std::size_t keep = std::min<std::size_t>(idx.size(),
+                                                   static_cast<std::size_t>(n));
+    for (std::size_t k = 0; k < keep; ++k)
+      capped.push_back(corpus[idx[k * idx.size() / keep]]);
+  }
+  if (capped.size() < corpus.size())
+    std::printf("  (capped to %zu entries; --full runs all %zu)\n",
+                capped.size(), corpus.size());
+  return capped;
+}
+
+std::vector<AlgoSpec> naive_algos() {
+  SchedulerOptions hcpa;
+  hcpa.kind = SchedulerKind::Hcpa;
+
+  SchedulerOptions delta;
+  delta.kind = SchedulerKind::RatsDelta;
+  delta.rats.mindelta = -0.5;
+  delta.rats.maxdelta = 0.5;
+
+  SchedulerOptions timecost;
+  timecost.kind = SchedulerKind::RatsTimeCost;
+  timecost.rats.minrho = 0.5;
+  timecost.rats.packing = true;
+
+  return {{"HCPA", hcpa}, {"delta", delta}, {"time-cost", timecost}};
+}
+
+RatsParams paper_tuned_params(DagFamily family, const std::string& cluster) {
+  // Table IV: (mindelta, maxdelta, minrho) per application type and
+  // cluster.  Row order: chti, grillon, grelon.
+  struct Cell {
+    double mindelta, maxdelta, minrho;
+  };
+  auto pick = [&](Cell chti, Cell grillon, Cell grelon) {
+    if (cluster == "chti") return chti;
+    if (cluster == "grelon") return grelon;
+    return grillon;  // default to the paper's most-shown cluster
+  };
+  Cell c{};
+  switch (family) {
+    case DagFamily::FFT:
+      c = pick({-.5, 1, .2}, {-.5, 1, .2}, {-.25, .75, .4});
+      break;
+    case DagFamily::Strassen:
+      c = pick({-.25, .5, .5}, {0, 1, .4}, {-.25, 1, .5});
+      break;
+    case DagFamily::Layered:
+      c = pick({-.5, 1, .2}, {-.25, 1, .2}, {-.5, 1, .2});
+      break;
+    case DagFamily::Irregular:
+      c = pick({-.75, 1, .5}, {-.75, 1, .5}, {-.75, 1, .4});
+      break;
+  }
+  RatsParams p;
+  p.mindelta = c.mindelta;
+  p.maxdelta = c.maxdelta;
+  p.minrho = c.minrho;
+  p.packing = true;
+  return p;
+}
+
+std::vector<AlgoSpec> tuned_algos(DagFamily family, const std::string& cluster) {
+  auto algos = naive_algos();
+  RatsParams tuned = paper_tuned_params(family, cluster);
+  algos[1].options.rats = tuned;
+  algos[2].options.rats = tuned;
+  return algos;
+}
+
+ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
+                                    const Cluster& cluster) {
+  ExperimentData merged;
+  merged.cluster_name = cluster.name();
+  merged.algo_names = {"HCPA", "delta", "time-cost"};
+  merged.families.resize(corpus.size());
+  merged.entry_names.resize(corpus.size());
+  merged.outcome.resize(corpus.size());
+
+  for (DagFamily family : {DagFamily::Layered, DagFamily::Irregular,
+                           DagFamily::FFT, DagFamily::Strassen}) {
+    std::vector<CorpusEntry> sub;
+    std::vector<std::size_t> where;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      if (corpus[i].family == family) {
+        sub.push_back(corpus[i]);
+        where.push_back(i);
+      }
+    }
+    if (sub.empty()) continue;
+    auto data = run_experiment(sub, cluster, tuned_algos(family, cluster.name()));
+    for (std::size_t j = 0; j < where.size(); ++j) {
+      merged.families[where[j]] = data.families[j];
+      merged.entry_names[where[j]] = data.entry_names[j];
+      merged.outcome[where[j]] = data.outcome[j];
+    }
+  }
+  return merged;
+}
+
+void heading(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(title.size(), '=').c_str());
+}
+
+void print_sorted_curve(const std::string& label,
+                        const std::vector<double>& series) {
+  auto curve = sorted_curve(series, 21);
+  std::printf("  %s (sorted, percentiles of the corpus):\n    ", label.c_str());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    std::printf("%s%s", fmt(curve[i], 2).c_str(),
+                i + 1 == curve.size() ? "\n" : " ");
+  }
+}
+
+}  // namespace rats::bench

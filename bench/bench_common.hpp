@@ -1,0 +1,85 @@
+// Shared support for the table/figure reproduction binaries.
+//
+// Every bench accepts the same command line:
+//   --full              use the paper's full 557-configuration corpus
+//   --samples-random N  samples per random-DAG parameter combination
+//   --samples-kernel N  samples per FFT size / Strassen
+//   --seed S            corpus master seed
+//   --csv               also emit machine-readable CSV after each table
+//   --threads N         worker threads (0 = hardware concurrency)
+//
+// Without --full the corpus is scaled down (1 random sample, 5 kernel
+// samples) so the whole bench suite runs in minutes; relative results
+// (who wins, by what factor) are stable across corpus sizes because
+// every entry is an independent scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daggen/corpus.hpp"
+#include "exp/experiment.hpp"
+#include "platform/grid5000.hpp"
+#include "sched/scheduler.hpp"
+
+namespace rats::bench {
+
+struct BenchConfig {
+  bool full = false;
+  int samples_random = 1;
+  int samples_kernel = 5;
+  std::uint64_t seed = 42;
+  bool csv = false;
+  unsigned threads = 0;
+};
+
+/// Parses the common flags; prints usage and exits on --help or errors.
+BenchConfig parse_args(int argc, char** argv);
+
+/// Corpus options implied by the config (full restores the paper's
+/// 3/25 sampling).
+CorpusOptions corpus_options(const BenchConfig& cfg);
+
+/// Builds the corpus (all families) for the config and announces its
+/// size on stdout.
+std::vector<CorpusEntry> make_corpus(const BenchConfig& cfg);
+
+/// Builds one family's sub-corpus for the config.
+std::vector<CorpusEntry> make_family(DagFamily family, const BenchConfig& cfg);
+
+/// Keeps at most `n` entries of each family (deterministic stride
+/// subsample, preserving parameter diversity).  No-op when n == 0 or
+/// cfg.full was given — heavy benches use this to stay tractable on
+/// small machines while --full restores the complete corpus.
+std::vector<CorpusEntry> cap_per_family(std::vector<CorpusEntry> corpus,
+                                        const BenchConfig& cfg, int n);
+
+/// The three algorithm specs of the paper's main comparison with naive
+/// RATS parameters (Figures 2-3): HCPA, delta(0.5), time-cost(0.5).
+std::vector<AlgoSpec> naive_algos();
+
+/// The paper's tuned RATS parameters (Table IV) for one application
+/// family on one cluster (cluster matched by name).
+RatsParams paper_tuned_params(DagFamily family, const std::string& cluster);
+
+/// Algorithm specs with Table IV tuned parameters for `family` on
+/// `cluster`: HCPA, tuned delta, tuned time-cost.
+std::vector<AlgoSpec> tuned_algos(DagFamily family, const std::string& cluster);
+
+/// Runs HCPA / tuned delta / tuned time-cost on `corpus` grouped by
+/// family (each family uses its Table IV parameters for `cluster`) and
+/// returns the merged outcomes in corpus order.  Algorithm order:
+/// {HCPA, delta, time-cost}.
+ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
+                                    const Cluster& cluster);
+
+/// Prints a heading followed by an underline.
+void heading(const std::string& title);
+
+/// Renders a 21-point sorted percentile curve as an ASCII sparkline
+/// table row set ("x%  ratio").
+void print_sorted_curve(const std::string& label,
+                        const std::vector<double>& series);
+
+}  // namespace rats::bench

@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks of the simulation substrate: the
+// Max-Min fair-share solver, block-redistribution planning, the fluid
+// network flow simulation, DAG generation, and one end-to-end
+// schedule+simulate scenario per algorithm.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "daggen/kernels.hpp"
+#include "daggen/random_dag.hpp"
+#include "net/fluid_network.hpp"
+#include "net/maxmin.hpp"
+#include "platform/grid5000.hpp"
+#include "redist/block_redistribution.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace rats;
+
+// Max-Min solver: `flows` random flows over a 64-node flat cluster's
+// NIC links (two links per flow).
+void BM_MaxMinSolver(benchmark::State& state) {
+  const int nodes = 64;
+  const auto flows_count = static_cast<std::size_t>(state.range(0));
+  std::vector<Rate> capacity(static_cast<std::size_t>(2 * nodes), 125e6);
+  Rng rng(7);
+  std::vector<FlowDemand> flows(flows_count);
+  for (auto& f : flows) {
+    auto src = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 1));
+    auto dst = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 1));
+    if (dst == src) dst = (dst + 1) % nodes;
+    f.links = {2 * src, 2 * dst + 1};
+  }
+  for (auto _ : state) {
+    auto rates = maxmin_fair_rates(capacity, flows);
+    benchmark::DoNotOptimize(rates);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows_count));
+}
+BENCHMARK(BM_MaxMinSolver)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Planning one block redistribution between disjoint p- and q-sets.
+void BM_RedistributionPlan(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int q = p + p / 2 + 1;
+  std::vector<NodeId> senders, receivers;
+  for (int i = 0; i < p; ++i) senders.push_back(i);
+  for (int i = 0; i < q; ++i) receivers.push_back(p + i);
+  for (auto _ : state) {
+    auto r = Redistribution::plan(1e9, senders, receivers);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RedistributionPlan)->Arg(4)->Arg(16)->Arg(64);
+
+// Fluid network: `n` concurrent point-to-point flows on grillon.
+void BM_FluidNetwork(benchmark::State& state) {
+  Cluster cluster = grid5000::grillon();
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    FluidNetwork net(cluster);
+    for (int i = 0; i < n; ++i) {
+      NodeId src = static_cast<NodeId>(i % cluster.num_nodes());
+      NodeId dst = static_cast<NodeId>((i + 7) % cluster.num_nodes());
+      if (dst == src) dst = (dst + 1) % cluster.num_nodes();
+      net.open_flow(src, dst, 1e8);
+    }
+    while (auto t = net.next_event_time()) net.advance_to(*t);
+    benchmark::DoNotOptimize(net.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FluidNetwork)->Arg(8)->Arg(32)->Arg(128);
+
+// DAG generation throughput.
+void BM_GenerateIrregularDag(benchmark::State& state) {
+  RandomDagParams params;
+  params.num_tasks = static_cast<int>(state.range(0));
+  params.width = 0.5;
+  params.density = 0.8;
+  params.regularity = 0.2;
+  params.jump = 2;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto g = generate_irregular_dag(params, rng);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GenerateIrregularDag)->Arg(25)->Arg(100);
+
+// End-to-end: schedule + simulate one FFT k=8 DAG on grillon.
+void BM_ScheduleAndSimulate(benchmark::State& state) {
+  Cluster cluster = grid5000::grillon();
+  Rng rng(3);
+  TaskGraph g = generate_fft_dag(8, rng);
+  SchedulerOptions options;
+  options.kind = static_cast<SchedulerKind>(state.range(0));
+  for (auto _ : state) {
+    Schedule s = build_schedule(g, cluster, options);
+    auto r = simulate(g, s, cluster);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_ScheduleAndSimulate)
+    ->Arg(static_cast<int>(SchedulerKind::Hcpa))
+    ->Arg(static_cast<int>(SchedulerKind::RatsDelta))
+    ->Arg(static_cast<int>(SchedulerKind::RatsTimeCost));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Custom platform: define your own cluster (flat or hierarchical),
+// generate an irregular scientific workflow, and study how topology
+// changes scheduling outcomes — the cross-cabinet contention of
+// hierarchical networks is exactly where redistribution awareness
+// pays off.
+//
+//   $ ./custom_platform [tasks] [seed]
+//
+// Demonstrates: Cluster::flat / Cluster::hierarchical, random DAG
+// generation with explicit parameters, and per-schedule network-byte
+// accounting.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "daggen/random_dag.hpp"
+#include "platform/cluster.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rats;
+  const int tasks = argc > 1 ? std::atoi(argv[1]) : 50;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  // Two 64-node platforms with identical compute power but different
+  // interconnects: one flat switch vs 4 cabinets of 16 nodes behind
+  // shared uplinks.
+  const Cluster flat = Cluster::flat("flat64", 64, 3.0 * Giga,
+                                     100e-6, kGigabitPerSecond);
+  const Cluster hier = Cluster::hierarchical(
+      "hier64", /*cabinets=*/4, /*nodes_per_cabinet=*/16, 3.0 * Giga,
+      100e-6, kGigabitPerSecond, /*uplink latency=*/100e-6,
+      /*uplink bandwidth=*/kGigabitPerSecond);
+
+  // An irregular workflow with level-skipping dependencies.
+  RandomDagParams params;
+  params.num_tasks = tasks;
+  params.width = 0.5;
+  params.density = 0.8;
+  params.regularity = 0.2;
+  params.jump = 2;
+  Rng rng(seed);
+  const TaskGraph app = generate_irregular_dag(params, rng);
+  std::printf("workflow: %d tasks, %d edges (irregular, jump=2)\n\n",
+              app.num_tasks(), app.num_edges());
+
+  for (const Cluster* cluster : {&flat, &hier}) {
+    std::printf("--- %s (%d nodes, %s) ---\n", cluster->name().c_str(),
+                cluster->num_nodes(),
+                cluster->hierarchical_topology() ? "hierarchical" : "flat");
+    double hcpa = 0;
+    for (SchedulerKind kind : {SchedulerKind::Hcpa, SchedulerKind::RatsDelta,
+                               SchedulerKind::RatsTimeCost}) {
+      SchedulerOptions options;
+      options.kind = kind;
+      const Schedule schedule = build_schedule(app, *cluster, options);
+      const SimulationResult r = simulate(app, schedule, *cluster);
+      if (kind == SchedulerKind::Hcpa) hcpa = r.makespan;
+      std::printf("  %-14s makespan %8.2f s (%.3fx HCPA)   net %8.1f MiB\n",
+                  to_string(kind).c_str(), r.makespan, r.makespan / hcpa,
+                  r.network_bytes / MiB);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Note how the hierarchical platform amplifies redistribution cost\n"
+      "(cross-cabinet flows share uplinks), widening the RATS advantage.\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Command-line scheduler: load (or generate) a workflow, schedule it
+// on a chosen platform with a chosen algorithm, simulate with network
+// contention and print a per-task timeline — optionally emitting the
+// workflow back as text or the DAG as Graphviz DOT.
+//
+//   $ ./rats_cli --dag workflow.txt --platform grillon --algo time-cost
+//   $ ./rats_cli --generate fft:8 --platform flat:64:3.0 --algo delta \
+//                --mindelta -0.5 --maxdelta 1 --dot fft.dot
+//
+// Platforms: chti | grillon | grelon | flat:<nodes>:<gflops>
+// Generators: fft:<k> | strassen | layered:<n> | irregular:<n>
+// Algorithms: cpa | mcpa | hcpa | delta | time-cost | auto-delta |
+//             auto-time-cost  (auto-* run the AutoTuner first)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "daggen/kernels.hpp"
+#include "daggen/random_dag.hpp"
+#include "exp/autotune.hpp"
+#include "io/workflow_io.hpp"
+#include "platform/grid5000.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+using namespace rats;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "usage: rats_cli [options]\n"
+      "  --dag FILE            workflow file (see src/io/workflow_io.hpp)\n"
+      "  --generate SPEC       fft:<k> | strassen | layered:<n> | irregular:<n>\n"
+      "  --platform P          chti | grillon | grelon | flat:<nodes>:<gflops>\n"
+      "  --algo A              cpa | mcpa | hcpa | delta | time-cost |\n"
+      "                        auto-delta | auto-time-cost\n"
+      "  --mindelta X --maxdelta X --minrho X --no-packing   RATS knobs\n"
+      "  --seed S              generator seed (default 42)\n"
+      "  --no-contention       simulate without link contention\n"
+      "  --dot FILE            write the DAG as Graphviz DOT\n"
+      "  --save FILE           write the workflow back as text\n");
+  std::exit(code);
+}
+
+DagFamily family_of(const std::string& spec) {
+  if (spec.rfind("fft", 0) == 0) return DagFamily::FFT;
+  if (spec.rfind("strassen", 0) == 0) return DagFamily::Strassen;
+  if (spec.rfind("layered", 0) == 0) return DagFamily::Layered;
+  return DagFamily::Irregular;
+}
+
+TaskGraph generate(const std::string& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const int arg = colon == std::string::npos
+                      ? 0
+                      : std::atoi(spec.c_str() + colon + 1);
+  if (kind == "fft") return generate_fft_dag(arg > 0 ? arg : 8, rng);
+  if (kind == "strassen") return generate_strassen_dag(rng);
+  RandomDagParams params;
+  params.num_tasks = arg > 0 ? arg : 50;
+  params.width = 0.5;
+  params.density = 0.8;
+  params.regularity = 0.5;
+  if (kind == "layered") return generate_layered_dag(params, rng);
+  if (kind == "irregular") {
+    params.jump = 2;
+    return generate_irregular_dag(params, rng);
+  }
+  throw Error("unknown generator '" + spec + "'");
+}
+
+Cluster platform_of(const std::string& spec) {
+  if (spec == "chti") return grid5000::chti();
+  if (spec == "grillon") return grid5000::grillon();
+  if (spec == "grelon") return grid5000::grelon();
+  if (spec.rfind("flat:", 0) == 0) {
+    int nodes = 0;
+    double gflops = 0;
+    if (std::sscanf(spec.c_str(), "flat:%d:%lf", &nodes, &gflops) == 2 &&
+        nodes > 0 && gflops > 0)
+      return Cluster::flat("flat" + std::to_string(nodes), nodes,
+                           gflops * Giga, 100e-6, kGigabitPerSecond);
+  }
+  throw Error("unknown platform '" + spec + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string dag_file, gen_spec, platform = "grillon", algo = "time-cost";
+  std::string dot_file, save_file;
+  std::uint64_t seed = 42;
+  SchedulerOptions options;
+  SimulatorOptions sim_options;
+  std::optional<double> mindelta, maxdelta, minrho;
+  bool packing = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (a == "--dag") dag_file = next();
+    else if (a == "--generate") gen_spec = next();
+    else if (a == "--platform") platform = next();
+    else if (a == "--algo") algo = next();
+    else if (a == "--mindelta") mindelta = std::atof(next());
+    else if (a == "--maxdelta") maxdelta = std::atof(next());
+    else if (a == "--minrho") minrho = std::atof(next());
+    else if (a == "--no-packing") packing = false;
+    else if (a == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (a == "--no-contention") sim_options.contention = false;
+    else if (a == "--dot") dot_file = next();
+    else if (a == "--save") save_file = next();
+    else if (a == "--help" || a == "-h") usage(0);
+    else usage(2);
+  }
+  if (dag_file.empty() == gen_spec.empty()) {
+    std::fprintf(stderr, "need exactly one of --dag or --generate\n");
+    usage(2);
+  }
+
+  const TaskGraph graph =
+      dag_file.empty() ? generate(gen_spec, seed) : load_workflow(dag_file);
+  const Cluster cluster = platform_of(platform);
+
+  if (algo == "cpa") options.kind = SchedulerKind::Cpa;
+  else if (algo == "mcpa") options.kind = SchedulerKind::Mcpa;
+  else if (algo == "hcpa") options.kind = SchedulerKind::Hcpa;
+  else if (algo == "delta") options.kind = SchedulerKind::RatsDelta;
+  else if (algo == "time-cost") options.kind = SchedulerKind::RatsTimeCost;
+  else if (algo == "auto-delta" || algo == "auto-time-cost") {
+    const SchedulerKind kind = algo == "auto-delta"
+                                   ? SchedulerKind::RatsDelta
+                                   : SchedulerKind::RatsTimeCost;
+    AutoTuner tuner;
+    const DagFamily family =
+        gen_spec.empty() ? DagFamily::Irregular : family_of(gen_spec);
+    std::printf("auto-tuning %s for %s on %s...\n", algo.c_str(),
+                to_string(family).c_str(), cluster.name().c_str());
+    options = tuner.options(kind, family, cluster);
+    const auto& t = tuner.tuned(family, cluster);
+    std::printf("  tuned: mindelta=%.2f maxdelta=%.2f minrho=%.2f\n",
+                t.mindelta, t.maxdelta, t.minrho);
+  } else {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+    usage(2);
+  }
+  if (mindelta) options.rats.mindelta = *mindelta;
+  if (maxdelta) options.rats.maxdelta = *maxdelta;
+  if (minrho) options.rats.minrho = *minrho;
+  options.rats.packing = packing;
+
+  std::printf("workflow: %d tasks, %d edges; platform %s (%d nodes)\n",
+              graph.num_tasks(), graph.num_edges(), cluster.name().c_str(),
+              cluster.num_nodes());
+
+  const Schedule schedule = build_schedule(graph, cluster, options);
+  const SimulationResult result =
+      simulate(graph, schedule, cluster, sim_options);
+
+  std::printf("\n%s: makespan %.2f s (mapper estimate %.2f s), work %.1f "
+              "proc*s, network %.1f MiB\n\n",
+              to_string(options.kind).c_str(), result.makespan,
+              schedule.estimated_makespan(), result.total_work,
+              result.network_bytes / MiB);
+  std::printf("%-20s %5s %9s %9s %9s\n", "task", "procs", "ready", "start",
+              "finish");
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const auto& tl = result.timeline[static_cast<std::size_t>(t)];
+    std::printf("%-20s %5zu %9.2f %9.2f %9.2f\n",
+                graph.task(t).name.c_str(), schedule.of(t).procs.size(),
+                tl.data_ready, tl.start, tl.finish);
+  }
+
+  if (!dot_file.empty()) {
+    std::ofstream out(dot_file);
+    out << graph.to_dot();
+    std::printf("\nwrote DOT to %s\n", dot_file.c_str());
+  }
+  if (!save_file.empty()) {
+    save_workflow(graph, save_file);
+    std::printf("wrote workflow to %s\n", save_file.c_str());
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,37 @@
+// Error handling for the RATS library.
+//
+// All precondition violations throw rats::Error (derived from
+// std::runtime_error) so that misuse of the public API is diagnosable
+// rather than undefined behaviour.  Internal invariants use the same
+// mechanism: simulation code is deterministic, so a violated invariant
+// is always a bug worth surfacing loudly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rats {
+
+/// Exception type thrown on precondition or invariant violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::string full = std::string(file) + ":" + std::to_string(line) +
+                     ": requirement failed: " + expr;
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace rats
+
+/// Check a precondition/invariant; throws rats::Error when violated.
+#define RATS_REQUIRE(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) ::rats::detail::raise(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// The simulator and schedulers are silent by default; set the level to
+// Debug to trace scheduling decisions and simulated events.  A global
+// level keeps hot paths branch-cheap (one enum compare).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rats {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the process-wide log level (default: Warn).
+LogLevel log_level() noexcept;
+
+/// Sets the process-wide log level.
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace rats
+
+#define RATS_LOG(level, expr)                                    \
+  do {                                                           \
+    if (static_cast<int>(level) >=                               \
+        static_cast<int>(::rats::log_level())) {                 \
+      std::ostringstream rats_log_stream_;                       \
+      rats_log_stream_ << expr;                                  \
+      ::rats::detail::log_emit(level, rats_log_stream_.str());   \
+    }                                                            \
+  } while (0)
+
+#define RATS_DEBUG(expr) RATS_LOG(::rats::LogLevel::Debug, expr)
+#define RATS_INFO(expr) RATS_LOG(::rats::LogLevel::Info, expr)
+#define RATS_WARN(expr) RATS_LOG(::rats::LogLevel::Warn, expr)

@@ -1,0 +1,45 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rats {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics (the "inclusive" / type-7 method).  `q` in [0, 1].
+/// The input vector is copied; prefer `percentile_inplace` in hot paths.
+double percentile(std::vector<double> xs, double q);
+
+/// As `percentile` but sorts `xs` in place (no copy).
+double percentile_inplace(std::vector<double>& xs, double q);
+
+/// Arithmetic mean of a sample; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Geometric mean; requires strictly positive samples.
+double geometric_mean(const std::vector<double>& xs);
+
+}  // namespace rats

@@ -1,0 +1,85 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rats {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RATS_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  RATS_REQUIRE(row.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_text(int indent) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const std::string margin(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << margin;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size())
+        out << std::string(width[c] - cells[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  out << margin;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(width[c], '-');
+    if (c + 1 < header_.size()) out << "  ";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out << (c ? "," : "") << escape(header_[c]);
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << (c ? "," : "") << escape(row[c]);
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace rats

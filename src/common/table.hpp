@@ -1,0 +1,43 @@
+// Text tables and CSV emission for the benchmark harness.
+//
+// Every table/figure binary prints (a) an aligned human-readable table
+// mirroring the paper's layout and (b) optionally machine-readable CSV
+// for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rats {
+
+/// A simple column-aligned table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with padded columns, a header underline and `indent` spaces
+  /// of left margin.
+  std::string to_text(int indent = 2) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote/newline
+  /// are quoted, embedded quotes doubled).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string fmt(double value, int digits = 3);
+
+/// Formats a double as a percentage string, e.g. 0.125 -> "12.5%".
+std::string fmt_percent(double fraction, int digits = 1);
+
+}  // namespace rats

@@ -1,0 +1,37 @@
+// Physical units and quantities used throughout the library.
+//
+// The paper works in bytes (data volumes), flops (task computational
+// cost), seconds (time) and flop/s (processor speed).  We keep them as
+// plain doubles with strong naming conventions rather than wrapper
+// types: the quantities are mixed in arithmetic constantly (rates,
+// areas) and the simulator is performance sensitive.
+#pragma once
+
+#include <cstdint>
+
+namespace rats {
+
+using Bytes = double;    ///< data volume in bytes
+using Flops = double;    ///< computation volume in floating point operations
+using Seconds = double;  ///< virtual (simulated) time
+using Rate = double;     ///< bytes per second
+using FlopRate = double; ///< flops per second
+
+// Binary prefixes (the paper's "m <= 121M" uses M = 2^20 elements).
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * 1024.0;
+inline constexpr double GiB = 1024.0 * 1024.0 * 1024.0;
+
+// Decimal prefixes for network/processor rates (1Gb/s links, GFlop/s).
+inline constexpr double Kilo = 1e3;
+inline constexpr double Mega = 1e6;
+inline constexpr double Giga = 1e9;
+
+/// Number of bytes in one double-precision element (the paper's datasets
+/// are m double precision elements).
+inline constexpr double kBytesPerElement = 8.0;
+
+/// Gigabit/s expressed in bytes per second (1 Gb = 1e9 bits).
+inline constexpr Rate kGigabitPerSecond = 1e9 / 8.0;
+
+}  // namespace rats

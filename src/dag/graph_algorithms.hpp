@@ -1,0 +1,57 @@
+// Graph algorithms on application DAGs: topological order, levels,
+// top/bottom levels and the critical path.
+//
+// Node and edge weights are supplied by callables so the same routines
+// serve the allocation step (weights depend on the current allocation)
+// and the mapping step (static priorities).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+
+namespace rats {
+
+/// Time cost of a task under the weighting in effect.
+using NodeCostFn = std::function<double(TaskId)>;
+/// Time cost of traversing an edge (estimated redistribution time).
+using EdgeCostFn = std::function<double(EdgeId)>;
+
+/// A topological order of all task ids (deterministic: ties broken by
+/// ascending id).  Throws if the graph is cyclic.
+std::vector<TaskId> topological_order(const TaskGraph& g);
+
+/// Structural level of every task: entries are level 0, otherwise
+/// 1 + max(level of predecessors) — the longest-path depth.
+std::vector<std::int32_t> task_levels(const TaskGraph& g);
+
+/// Tasks grouped by structural level, level 0 first.
+std::vector<std::vector<TaskId>> tasks_by_level(const TaskGraph& g);
+
+/// Bottom level of every task: node_cost(t) plus the maximum over
+/// successors s of edge_cost(t->s) + bottom_level(s).  This is each
+/// task's distance to the end of the application, the list-scheduling
+/// priority used by CPA/HCPA/RATS.
+std::vector<double> bottom_levels(const TaskGraph& g, const NodeCostFn& node_cost,
+                                  const EdgeCostFn& edge_cost);
+
+/// Top level: longest weighted path from any entry to just before t.
+std::vector<double> top_levels(const TaskGraph& g, const NodeCostFn& node_cost,
+                               const EdgeCostFn& edge_cost);
+
+/// Result of a critical path computation.
+struct CriticalPath {
+  double length{};            ///< C-infinity: weight of the heaviest path
+  std::vector<TaskId> tasks;  ///< tasks on that path, entry to exit
+};
+
+/// The critical path under the given weights; ties broken
+/// deterministically by task id.
+CriticalPath critical_path(const TaskGraph& g, const NodeCostFn& node_cost,
+                           const EdgeCostFn& edge_cost);
+
+/// Sum over all tasks of node_cost(t) (used for the average-area bound).
+double total_node_cost(const TaskGraph& g, const NodeCostFn& node_cost);
+
+}  // namespace rats

@@ -1,0 +1,141 @@
+#include "daggen/corpus.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace rats {
+
+std::string to_string(DagFamily family) {
+  switch (family) {
+    case DagFamily::Layered: return "layered";
+    case DagFamily::Irregular: return "irregular";
+    case DagFamily::FFT: return "fft";
+    case DagFamily::Strassen: return "strassen";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::array<int, 3> kSizes = {25, 50, 100};
+constexpr std::array<double, 3> kWidths = {0.2, 0.5, 0.8};
+constexpr std::array<double, 2> kDensities = {0.2, 0.8};
+constexpr std::array<double, 2> kRegularities = {0.2, 0.8};
+constexpr std::array<int, 3> kJumps = {1, 2, 4};
+constexpr std::array<int, 4> kFftPoints = {2, 4, 8, 16};
+
+// Disjoint stream bases per family so adding samples to one family
+// never changes another family's graphs.
+constexpr std::uint64_t kStreamLayered = 1u << 20;
+constexpr std::uint64_t kStreamIrregular = 2u << 20;
+constexpr std::uint64_t kStreamFft = 3u << 20;
+constexpr std::uint64_t kStreamStrassen = 4u << 20;
+
+std::string random_name(DagFamily family, const RandomDagParams& p,
+                        int sample) {
+  std::string name = to_string(family) + "/n" + std::to_string(p.num_tasks) +
+                     "/w" + fmt(p.width, 1) + "/d" + fmt(p.density, 1) + "/r" +
+                     fmt(p.regularity, 1);
+  if (family == DagFamily::Irregular) name += "/j" + std::to_string(p.jump);
+  return name + "/s" + std::to_string(sample);
+}
+
+void build_random_family(DagFamily family, const CorpusOptions& options,
+                         std::vector<CorpusEntry>& out) {
+  const Rng master(options.seed);
+  const std::uint64_t base =
+      family == DagFamily::Layered ? kStreamLayered : kStreamIrregular;
+  const auto jumps = family == DagFamily::Irregular
+                         ? std::vector<int>(kJumps.begin(), kJumps.end())
+                         : std::vector<int>{1};
+  std::uint64_t stream = 0;
+  for (int n : kSizes)
+    for (double width : kWidths)
+      for (double density : kDensities)
+        for (double regularity : kRegularities)
+          for (int jump : jumps)
+            for (int sample = 0; sample < options.random_samples; ++sample) {
+              RandomDagParams p;
+              p.num_tasks = n;
+              p.width = width;
+              p.density = density;
+              p.regularity = regularity;
+              p.jump = jump;
+              Rng rng = master.split(base + stream++);
+              CorpusEntry entry;
+              entry.family = family;
+              entry.params = p;
+              entry.sample = sample;
+              entry.name = random_name(family, p, sample);
+              entry.graph = family == DagFamily::Layered
+                                ? generate_layered_dag(p, rng)
+                                : generate_irregular_dag(p, rng);
+              out.push_back(std::move(entry));
+            }
+}
+
+void build_fft_family(const CorpusOptions& options,
+                      std::vector<CorpusEntry>& out) {
+  const Rng master(options.seed);
+  std::uint64_t stream = 0;
+  for (int k : kFftPoints)
+    for (int sample = 0; sample < options.kernel_samples; ++sample) {
+      Rng rng = master.split(kStreamFft + stream++);
+      CorpusEntry entry;
+      entry.family = DagFamily::FFT;
+      entry.fft_k = k;
+      entry.sample = sample;
+      entry.name = "fft/k" + std::to_string(k) + "/s" + std::to_string(sample);
+      entry.graph = generate_fft_dag(k, rng);
+      out.push_back(std::move(entry));
+    }
+}
+
+void build_strassen_family(const CorpusOptions& options,
+                           std::vector<CorpusEntry>& out) {
+  const Rng master(options.seed);
+  for (int sample = 0; sample < options.kernel_samples; ++sample) {
+    Rng rng = master.split(kStreamStrassen + static_cast<std::uint64_t>(sample));
+    CorpusEntry entry;
+    entry.family = DagFamily::Strassen;
+    entry.sample = sample;
+    entry.name = "strassen/s" + std::to_string(sample);
+    entry.graph = generate_strassen_dag(rng);
+    out.push_back(std::move(entry));
+  }
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> build_family(DagFamily family,
+                                      const CorpusOptions& options) {
+  std::vector<CorpusEntry> out;
+  switch (family) {
+    case DagFamily::Layered:
+    case DagFamily::Irregular:
+      build_random_family(family, options, out);
+      break;
+    case DagFamily::FFT:
+      build_fft_family(options, out);
+      break;
+    case DagFamily::Strassen:
+      build_strassen_family(options, out);
+      break;
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> build_corpus(const CorpusOptions& options) {
+  std::vector<CorpusEntry> out;
+  for (DagFamily family : {DagFamily::Layered, DagFamily::Irregular,
+                           DagFamily::FFT, DagFamily::Strassen}) {
+    auto part = build_family(family, options);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+}  // namespace rats

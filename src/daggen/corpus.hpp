@@ -1,0 +1,58 @@
+// The paper's evaluation corpus (Table III): 557 application
+// configurations.
+//
+//   layered   : {25,50,100} tasks x width {.2,.5,.8} x density {.2,.8}
+//               x regularity {.2,.8} x 3 samples            = 108
+//   irregular : layered grid x jump {1,2,4}                 = 324
+//   FFT       : k in {2,4,8,16} x 25 samples                = 100
+//   Strassen  : 25 samples                                  =  25
+//                                                     total = 557
+//
+// Every configuration derives its RNG stream from the corpus master
+// seed and its own index, so corpora are reproducible and individual
+// entries can be regenerated in isolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daggen/kernels.hpp"
+#include "daggen/random_dag.hpp"
+#include "dag/task_graph.hpp"
+
+namespace rats {
+
+/// The four application families of the evaluation.
+enum class DagFamily { Layered, Irregular, FFT, Strassen };
+
+/// Printable family name ("layered", "irregular", "fft", "strassen").
+std::string to_string(DagFamily family);
+
+/// One corpus entry: its provenance and the generated graph.
+struct CorpusEntry {
+  DagFamily family{};
+  std::string name;        ///< unique, e.g. "layered/n50/w0.5/d0.8/r0.2/s1"
+  RandomDagParams params;  ///< random families only
+  int fft_k = 0;           ///< FFT only
+  int sample = 0;
+  TaskGraph graph;
+};
+
+/// Options to build all or part of the corpus.
+struct CorpusOptions {
+  std::uint64_t seed = 42;
+  /// Samples per random-DAG parameter combination (paper: 3).
+  int random_samples = 3;
+  /// Samples per FFT size and for Strassen (paper: 25).
+  int kernel_samples = 25;
+};
+
+/// All 557 configurations of Table III (with default options).
+std::vector<CorpusEntry> build_corpus(const CorpusOptions& options = {});
+
+/// A single family, same indexing/derivation as the full corpus.
+std::vector<CorpusEntry> build_family(DagFamily family,
+                                      const CorpusOptions& options = {});
+
+}  // namespace rats

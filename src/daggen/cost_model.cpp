@@ -1,0 +1,15 @@
+#include "daggen/cost_model.hpp"
+
+namespace rats {
+
+TaskCost draw_cost(Rng& rng, const CostRanges& ranges) {
+  TaskCost c;
+  c.m = rng.uniform(ranges.m_min, ranges.m_max);
+  c.a = rng.uniform(ranges.a_min, ranges.a_max);
+  c.alpha = rng.uniform(ranges.alpha_min, ranges.alpha_max);
+  return c;
+}
+
+Bytes edge_bytes_for(double m) { return m * kBytesPerElement; }
+
+}  // namespace rats

@@ -1,0 +1,42 @@
+// Task cost generation (paper Section II-A).
+//
+// Every data-parallel task operates on m double-precision elements
+// with 4M <= m <= 121M (processors have at most 1 GiB of memory:
+// 121 * 2^20 elements * 8 bytes ~ 0.95 GiB).  Computational complexity
+// is a*m flops with a drawn in [2^6, 2^9], capturing multi-iteration
+// kernels such as stencils; the Amdahl non-parallelizable fraction
+// alpha is drawn uniformly in [0, 0.25].  Following the paper's edge
+// model literally ("the amount of data (in bytes) that task ni must
+// send ... is equal to m"), a task sends m bytes to each child.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace rats {
+
+/// Ranges for the random task parameters.
+struct CostRanges {
+  double m_min = 4.0 * 1024 * 1024;     ///< 4M elements
+  double m_max = 121.0 * 1024 * 1024;   ///< 121M elements (1 GiB of doubles)
+  double a_min = 64.0;                  ///< 2^6 operations per element
+  double a_max = 512.0;                 ///< 2^9 operations per element
+  double alpha_min = 0.0;
+  double alpha_max = 0.25;
+};
+
+/// A draw of the three task parameters.
+struct TaskCost {
+  double m{};      ///< dataset elements
+  double a{};      ///< operations per element
+  double alpha{};  ///< non-parallelizable fraction
+};
+
+/// Draws one cost tuple uniformly from the given ranges.
+TaskCost draw_cost(Rng& rng, const CostRanges& ranges = {});
+
+/// Bytes a task with dataset size `m` sends to each child (the paper's
+/// literal edge model: m bytes).
+Bytes edge_bytes_for(double m);
+
+}  // namespace rats

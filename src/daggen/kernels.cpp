@@ -1,0 +1,149 @@
+#include "daggen/kernels.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rats {
+
+namespace {
+int ilog2(int k) {
+  int log = 0;
+  while ((1 << log) < k) ++log;
+  return log;
+}
+}  // namespace
+
+int fft_task_count(int k) { return 2 * k - 1 + k * ilog2(k); }
+
+TaskGraph generate_fft_dag(int k, Rng& rng, const CostRanges& costs) {
+  RATS_REQUIRE(k >= 2 && (k & (k - 1)) == 0, "k must be a power of two >= 2");
+  const int stages = ilog2(k);
+  TaskGraph g;
+
+  // One cost draw per level keeps every path critical.
+  auto level_cost = [&] { return draw_cost(rng, costs); };
+
+  // Recursive-call tree: tree level d holds 2^d tasks.
+  std::vector<std::vector<TaskId>> tree(static_cast<std::size_t>(stages) + 1);
+  for (int d = 0; d <= stages; ++d) {
+    const TaskCost cost = level_cost();
+    for (int i = 0; i < (1 << d); ++i)
+      tree[static_cast<std::size_t>(d)].push_back(
+          g.add_task("rec" + std::to_string(d) + "." + std::to_string(i),
+                     cost.m, cost.a, cost.alpha));
+    if (d > 0) {
+      for (int i = 0; i < (1 << d); ++i) {
+        const TaskId parent = tree[static_cast<std::size_t>(d - 1)]
+                                  [static_cast<std::size_t>(i / 2)];
+        g.add_edge(parent, tree[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)],
+                   edge_bytes_for(g.task(parent).data_elems));
+      }
+    }
+  }
+
+  // Butterfly stages: stage s task i depends on stage s-1 tasks i and
+  // i XOR 2^(s-1); the k tree leaves play the role of stage 0.
+  std::vector<TaskId> prev = tree[static_cast<std::size_t>(stages)];
+  for (int s = 1; s <= stages; ++s) {
+    const TaskCost cost = level_cost();
+    std::vector<TaskId> stage;
+    stage.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+      stage.push_back(g.add_task(
+          "bfly" + std::to_string(s) + "." + std::to_string(i), cost.m,
+          cost.a, cost.alpha));
+    for (int i = 0; i < k; ++i) {
+      const TaskId a = prev[static_cast<std::size_t>(i)];
+      const TaskId b = prev[static_cast<std::size_t>(i ^ (1 << (s - 1)))];
+      g.add_edge(a, stage[static_cast<std::size_t>(i)],
+                 edge_bytes_for(g.task(a).data_elems));
+      g.add_edge(b, stage[static_cast<std::size_t>(i)],
+                 edge_bytes_for(g.task(b).data_elems));
+    }
+    prev = std::move(stage);
+  }
+
+  RATS_REQUIRE(g.num_tasks() == fft_task_count(k), "FFT task count mismatch");
+  return g;
+}
+
+int strassen_task_count() { return 25; }
+
+TaskGraph generate_strassen_dag(Rng& rng, const CostRanges& costs) {
+  TaskGraph g;
+
+  // Level 0: the ten quadrant additions S1..S10 — all entry tasks.
+  const TaskCost s_cost = draw_cost(rng, costs);
+  std::vector<TaskId> S;
+  for (int i = 1; i <= 10; ++i)
+    S.push_back(g.add_task("S" + std::to_string(i), s_cost.m, s_cost.a,
+                           s_cost.alpha));
+  auto s = [&](int i) { return S[static_cast<std::size_t>(i - 1)]; };
+
+  // Level 1: the seven recursive multiplications.
+  //   M1 = S1*S2, M2 = S3*B11, M3 = A11*S4, M4 = A22*S5, M5 = S6*B22,
+  //   M6 = S7*S8, M7 = S9*S10  (quadrants of A/B that feed an M
+  //   directly are charged to the corresponding S entry task).
+  const TaskCost m_cost = draw_cost(rng, costs);
+  std::vector<TaskId> M;
+  for (int i = 1; i <= 7; ++i)
+    M.push_back(g.add_task("M" + std::to_string(i), m_cost.m, m_cost.a,
+                           m_cost.alpha));
+  auto m = [&](int i) { return M[static_cast<std::size_t>(i - 1)]; };
+  const std::vector<std::vector<int>> m_parents = {
+      {1, 2}, {3}, {4}, {5}, {6}, {7, 8}, {9, 10}};
+  for (int i = 1; i <= 7; ++i)
+    for (int p : m_parents[static_cast<std::size_t>(i - 1)])
+      g.add_edge(s(p), m(i), edge_bytes_for(g.task(s(p)).data_elems));
+
+  // Levels 2..4: eight chained additions forming the result quadrants.
+  //   C11 = ((M1 + M4) - M5) + M7          -> 3 tasks
+  //   C12 = M3 + M5                        -> 1 task
+  //   C21 = M2 + M4                        -> 1 task
+  //   C22 = ((M1 + M3) - M2) + M6          -> 3 tasks
+  const TaskCost a2 = draw_cost(rng, costs);
+  const TaskCost a3 = draw_cost(rng, costs);
+  const TaskCost a4 = draw_cost(rng, costs);
+  auto add_task = [&](const std::string& name, const TaskCost& c) {
+    return g.add_task(name, c.m, c.a, c.alpha);
+  };
+  auto link = [&](TaskId src, TaskId dst) {
+    g.add_edge(src, dst, edge_bytes_for(g.task(src).data_elems));
+  };
+
+  const TaskId c11a = add_task("C11.add1", a2);
+  link(m(1), c11a);
+  link(m(4), c11a);
+  const TaskId c11b = add_task("C11.add2", a3);
+  link(c11a, c11b);
+  link(m(5), c11b);
+  const TaskId c11c = add_task("C11.add3", a4);
+  link(c11b, c11c);
+  link(m(7), c11c);
+
+  const TaskId c12 = add_task("C12.add1", a2);
+  link(m(3), c12);
+  link(m(5), c12);
+
+  const TaskId c21 = add_task("C21.add1", a2);
+  link(m(2), c21);
+  link(m(4), c21);
+
+  const TaskId c22a = add_task("C22.add1", a2);
+  link(m(1), c22a);
+  link(m(3), c22a);
+  const TaskId c22b = add_task("C22.add2", a3);
+  link(c22a, c22b);
+  link(m(2), c22b);
+  const TaskId c22c = add_task("C22.add3", a4);
+  link(c22b, c22c);
+  link(m(6), c22c);
+
+  RATS_REQUIRE(g.num_tasks() == strassen_task_count(),
+               "Strassen task count mismatch");
+  return g;
+}
+
+}  // namespace rats

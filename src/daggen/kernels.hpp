@@ -1,0 +1,39 @@
+// Task graphs of the two HPC kernels used in the evaluation
+// (paper Section IV-A): Fast Fourier Transformation and Strassen's
+// matrix multiplication.  Shapes are fixed by the algorithms; cost
+// parameters are drawn with the same random model as the random DAGs,
+// one draw per level so that "computation or communication tasks in a
+// given level have the same cost" and every root-to-exit path is a
+// critical path.
+#pragma once
+
+#include "common/rng.hpp"
+#include "daggen/cost_model.hpp"
+#include "dag/task_graph.hpp"
+
+namespace rats {
+
+/// FFT task graph for `k` data points (k a power of two in {2,...}).
+///
+/// Two parts: 2k - 1 recursive-call tasks forming a binary splitting
+/// tree rooted at the single entry, and k * log2(k) butterfly tasks in
+/// log2(k) stages of k tasks; stage s task i receives from stage s-1
+/// tasks i and i XOR 2^(s-1) (the tree leaves feed stage 1).  For
+/// k = 2, 4, 8, 16 this yields 5, 15, 39 and 95 tasks, as in the paper.
+TaskGraph generate_fft_dag(int k, Rng& rng, const CostRanges& costs = {});
+
+/// Number of tasks of the FFT graph for `k` points: 2k-1 + k*log2(k).
+int fft_task_count(int k);
+
+/// Strassen matrix multiplication task graph: 25 tasks.
+///
+/// 10 entry addition tasks S1..S10 (the quadrant combinations), 7
+/// multiplication tasks M1..M7, and 8 chained addition tasks producing
+/// the four result quadrants (C11 and C22 need three additions each,
+/// C12 and C21 one each).
+TaskGraph generate_strassen_dag(Rng& rng, const CostRanges& costs = {});
+
+/// Number of tasks of the Strassen graph (always 25).
+int strassen_task_count();
+
+}  // namespace rats

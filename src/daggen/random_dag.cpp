@@ -1,0 +1,146 @@
+#include "daggen/random_dag.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rats {
+
+namespace {
+
+void check_params(const RandomDagParams& p) {
+  RATS_REQUIRE(p.num_tasks >= 1, "need at least one task");
+  RATS_REQUIRE(p.width > 0.0 && p.width <= 1.0, "width in (0,1]");
+  RATS_REQUIRE(p.density > 0.0 && p.density <= 1.0, "density in (0,1]");
+  RATS_REQUIRE(p.regularity > 0.0 && p.regularity <= 1.0,
+               "regularity in (0,1]");
+  RATS_REQUIRE(p.jump >= 1, "jump >= 1");
+}
+
+/// Splits `num_tasks` into level sizes according to width/regularity.
+std::vector<int> draw_level_sizes(const RandomDagParams& p, Rng& rng) {
+  const double perfect = std::clamp(
+      std::pow(static_cast<double>(p.num_tasks), p.width), 1.0,
+      static_cast<double>(p.num_tasks));
+  std::vector<int> sizes;
+  int assigned = 0;
+  while (assigned < p.num_tasks) {
+    const double jitter = rng.uniform(p.regularity, 2.0 - p.regularity);
+    int size = static_cast<int>(std::lround(perfect * jitter));
+    size = std::clamp(size, 1, p.num_tasks - assigned);
+    sizes.push_back(size);
+    assigned += size;
+  }
+  return sizes;
+}
+
+/// Chooses `k` distinct values in [0, n) uniformly (partial
+/// Fisher-Yates over an index vector; n is small).
+std::vector<int> sample_without_replacement(int n, int k, Rng& rng) {
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(i, n - 1));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+/// Connects consecutive levels with density-controlled random edges and
+/// patches childless producers.  `task_of[l][i]` maps level positions
+/// to task ids; `bytes_of(t)` gives the producer's transfer volume.
+template <typename BytesOf>
+void connect_levels(TaskGraph& g, const std::vector<std::vector<TaskId>>& task_of,
+                    double density, Rng& rng, const BytesOf& bytes_of) {
+  for (std::size_t l = 0; l + 1 < task_of.size(); ++l) {
+    const auto& producers = task_of[l];
+    const auto& consumers = task_of[l + 1];
+    const int np = static_cast<int>(producers.size());
+    std::vector<char> has_child(producers.size(), 0);
+
+    for (TaskId consumer : consumers) {
+      const int parents = std::clamp(
+          1 + static_cast<int>(std::lround(density * rng.uniform() * (np - 1))),
+          1, np);
+      for (int idx : sample_without_replacement(np, parents, rng)) {
+        const TaskId producer = producers[static_cast<std::size_t>(idx)];
+        g.add_edge(producer, consumer, bytes_of(producer));
+        has_child[static_cast<std::size_t>(idx)] = 1;
+      }
+    }
+    // No task may dead-end before the last level: give childless
+    // producers one random consumer.
+    for (std::size_t i = 0; i < producers.size(); ++i) {
+      if (has_child[i]) continue;
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(consumers.size()) - 1));
+      g.add_edge(producers[i], consumers[j], bytes_of(producers[i]));
+    }
+  }
+}
+
+}  // namespace
+
+TaskGraph generate_layered_dag(const RandomDagParams& params, Rng& rng) {
+  check_params(params);
+  const auto sizes = draw_level_sizes(params, rng);
+
+  TaskGraph g;
+  std::vector<std::vector<TaskId>> task_of(sizes.size());
+  std::vector<double> level_m(sizes.size());
+  for (std::size_t l = 0; l < sizes.size(); ++l) {
+    // One cost draw per level: all tasks of the level are identical, so
+    // all transfers between two given levels share one volume.
+    const TaskCost cost = draw_cost(rng, params.costs);
+    level_m[l] = cost.m;
+    for (int i = 0; i < sizes[l]; ++i) {
+      task_of[l].push_back(g.add_task(
+          "L" + std::to_string(l) + "." + std::to_string(i), cost.m, cost.a,
+          cost.alpha));
+    }
+  }
+  connect_levels(g, task_of, params.density, rng, [&](TaskId t) {
+    return edge_bytes_for(g.task(t).data_elems);
+  });
+  return g;
+}
+
+TaskGraph generate_irregular_dag(const RandomDagParams& params, Rng& rng) {
+  check_params(params);
+  const auto sizes = draw_level_sizes(params, rng);
+
+  TaskGraph g;
+  std::vector<std::vector<TaskId>> task_of(sizes.size());
+  for (std::size_t l = 0; l < sizes.size(); ++l) {
+    for (int i = 0; i < sizes[l]; ++i) {
+      // Per-task cost draw: levels mix cheap and expensive tasks.
+      const TaskCost cost = draw_cost(rng, params.costs);
+      task_of[l].push_back(g.add_task(
+          "I" + std::to_string(l) + "." + std::to_string(i), cost.m, cost.a,
+          cost.alpha));
+    }
+  }
+  auto bytes_of = [&](TaskId t) { return edge_bytes_for(g.task(t).data_elems); };
+  connect_levels(g, task_of, params.density, rng, bytes_of);
+
+  // Jump edges from level l to level l + jump (jump = 1 is a no-op:
+  // those edges already exist structurally).
+  if (params.jump > 1) {
+    for (std::size_t l = 0; l + static_cast<std::size_t>(params.jump) <
+                            task_of.size(); ++l) {
+      const auto& producers = task_of[l];
+      const auto& consumers = task_of[l + static_cast<std::size_t>(params.jump)];
+      for (TaskId consumer : consumers) {
+        if (!rng.bernoulli(params.density / 2.0)) continue;
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(producers.size()) - 1));
+        g.add_edge(producers[i], consumer, bytes_of(producers[i]));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace rats

@@ -1,0 +1,45 @@
+// Random layered and irregular DAG generators (paper Section IV-A and
+// Table III), following the semantics of the authors' public DAG
+// generation program:
+//
+//  * width in (0,1]: maximum parallelism.  The "perfect" number of
+//    tasks per level is N^width — a small value yields chain-like
+//    graphs, a large value fork-join graphs.
+//  * regularity in (0,1]: uniformity of level sizes.  Each level's size
+//    is the perfect size scaled by a factor drawn uniformly in
+//    [regularity, 2 - regularity].
+//  * density in (0,1]: how many edges connect consecutive levels.  Each
+//    task draws 1 + round(density * U(0,1) * (size of previous level - 1))
+//    distinct parents; parent-less producers are patched with one child
+//    so no task is dead-ended mid-graph.
+//  * jump (irregular only): extra edges from level l to level l + jump
+//    for jump in {1,2,4}; jump = 1 adds no level-skipping edges.
+//
+// Layered DAGs give all tasks of a level identical cost parameters (so
+// all transfers between two levels cost the same); irregular DAGs draw
+// costs per task, capturing heterogeneous scientific workflows.
+#pragma once
+
+#include "common/rng.hpp"
+#include "daggen/cost_model.hpp"
+#include "dag/task_graph.hpp"
+
+namespace rats {
+
+/// Shape parameters of a random DAG.
+struct RandomDagParams {
+  int num_tasks = 25;        ///< 25, 50 or 100 in the paper
+  double width = 0.5;        ///< 0.2, 0.5, 0.8
+  double density = 0.2;      ///< 0.2, 0.8
+  double regularity = 0.2;   ///< 0.2, 0.8
+  int jump = 1;              ///< 1, 2, 4 (irregular DAGs only)
+  CostRanges costs{};
+};
+
+/// Generates a layered random DAG: per-level uniform task costs.
+TaskGraph generate_layered_dag(const RandomDagParams& params, Rng& rng);
+
+/// Generates an irregular random DAG: per-task costs and jump edges.
+TaskGraph generate_irregular_dag(const RandomDagParams& params, Rng& rng);
+
+}  // namespace rats

@@ -1,0 +1,38 @@
+#include "exp/autotune.hpp"
+
+#include "common/error.hpp"
+
+namespace rats {
+
+AutoTuner::AutoTuner(int calibration_samples, std::uint64_t seed)
+    : calibration_samples_(calibration_samples), seed_(seed) {
+  RATS_REQUIRE(calibration_samples >= 1,
+               "need at least one calibration sample");
+}
+
+const TunedParams& AutoTuner::tuned(DagFamily family, const Cluster& cluster) {
+  const auto key = std::make_pair(cluster.name(), family);
+  const auto hit = cache_.find(key);
+  if (hit != cache_.end()) return hit->second;
+
+  CorpusOptions options;
+  options.seed = seed_;
+  options.random_samples = 1;
+  options.kernel_samples = calibration_samples_;
+  const auto corpus = build_family(family, options);
+  return cache_.emplace(key, tune(corpus, cluster)).first->second;
+}
+
+SchedulerOptions AutoTuner::options(SchedulerKind kind, DagFamily family,
+                                    const Cluster& cluster) {
+  SchedulerOptions o;
+  o.kind = kind;
+  const TunedParams& t = tuned(family, cluster);
+  o.rats.mindelta = t.mindelta;
+  o.rats.maxdelta = t.maxdelta;
+  o.rats.minrho = t.minrho;
+  o.rats.packing = true;
+  return o;
+}
+
+}  // namespace rats

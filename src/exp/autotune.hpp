@@ -1,0 +1,46 @@
+// Automatic RATS parameter tuning (the paper's future work, Section V:
+// "allow the automatic tuning of our scheduling algorithm").
+//
+// The paper tunes (mindelta, maxdelta, minrho) offline per application
+// type and cluster (Table IV).  AutoTuner packages that methodology as
+// a library facility: it sweeps the paper's parameter grids on a
+// calibration corpus for a (family, cluster) pair once, caches the
+// result, and emits ready-to-use SchedulerOptions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "daggen/corpus.hpp"
+#include "exp/tuning.hpp"
+#include "sched/scheduler.hpp"
+
+namespace rats {
+
+/// Caches tuned RATS parameters per (application family, cluster).
+class AutoTuner {
+ public:
+  /// `calibration_samples` controls the size of the per-family corpus
+  /// used for the sweeps (kernel families; random families use the
+  /// paper's per-combination sampling with 1 sample).
+  explicit AutoTuner(int calibration_samples = 5, std::uint64_t seed = 42);
+
+  /// Tuned parameters for one family on one cluster, computed on first
+  /// use and cached afterwards.
+  const TunedParams& tuned(DagFamily family, const Cluster& cluster);
+
+  /// Scheduler options for the given strategy with tuned parameters.
+  SchedulerOptions options(SchedulerKind kind, DagFamily family,
+                           const Cluster& cluster);
+
+  /// Number of (family, cluster) pairs tuned so far.
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  int calibration_samples_;
+  std::uint64_t seed_;
+  std::map<std::pair<std::string, DagFamily>, TunedParams> cache_;
+};
+
+}  // namespace rats

@@ -1,0 +1,178 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "exp/parallel.hpp"
+
+namespace rats {
+
+ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
+                              const Cluster& cluster,
+                              const std::vector<AlgoSpec>& algos) {
+  RATS_REQUIRE(!corpus.empty() && !algos.empty(),
+               "experiment needs a corpus and algorithms");
+  ExperimentData data;
+  data.cluster_name = cluster.name();
+  for (const auto& a : algos) data.algo_names.push_back(a.name);
+  data.families.reserve(corpus.size());
+  data.entry_names.reserve(corpus.size());
+  for (const auto& entry : corpus) {
+    data.families.push_back(entry.family);
+    data.entry_names.push_back(entry.name);
+  }
+  data.outcome.assign(corpus.size(),
+                      std::vector<RunOutcome>(algos.size()));
+
+  const std::size_t jobs = corpus.size() * algos.size();
+  parallel_for(jobs, [&](std::size_t j) {
+    const std::size_t e = j / algos.size();
+    const std::size_t a = j % algos.size();
+    data.outcome[e][a] =
+        run_scenario(corpus[e].graph, cluster, algos[a].options);
+  });
+  return data;
+}
+
+std::vector<double> relative_series(const ExperimentData& data,
+                                    std::size_t algo, std::size_t reference,
+                                    bool makespan) {
+  RATS_REQUIRE(algo < data.algos() && reference < data.algos(),
+               "algorithm index out of range");
+  std::vector<double> ratios;
+  ratios.reserve(data.entries());
+  for (std::size_t e = 0; e < data.entries(); ++e) {
+    const double num = makespan ? data.outcome[e][algo].makespan
+                                : data.outcome[e][algo].work;
+    const double den = makespan ? data.outcome[e][reference].makespan
+                                : data.outcome[e][reference].work;
+    RATS_REQUIRE(den > 0, "reference metric must be positive");
+    ratios.push_back(num / den);
+  }
+  return ratios;
+}
+
+RelativeSummary summarize_relative(const std::vector<double>& ratios,
+                                   double tolerance) {
+  RelativeSummary s;
+  if (ratios.empty()) return s;
+  double sum = 0;
+  int better = 0;
+  int equal = 0;
+  for (double r : ratios) {
+    sum += r;
+    if (std::abs(r - 1.0) <= tolerance) {
+      ++equal;
+    } else if (r < 1.0) {
+      ++better;
+    }
+  }
+  const auto n = static_cast<double>(ratios.size());
+  s.mean_ratio = sum / n;
+  s.fraction_better = better / n;
+  s.fraction_equal = equal / n;
+  return s;
+}
+
+namespace {
+int compare_with_tolerance(double a, double b, double tolerance) {
+  // Relative comparison: runs are "equal" when within `tolerance` of
+  // each other (identical schedules simulate to identical times; the
+  // tolerance only absorbs floating-point noise).
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  const double diff = (a - b) / scale;
+  if (diff < -tolerance) return -1;
+  if (diff > tolerance) return 1;
+  return 0;
+}
+}  // namespace
+
+PairwiseCounts pairwise_compare(const ExperimentData& data, std::size_t algo_a,
+                                std::size_t algo_b, double tolerance) {
+  PairwiseCounts c;
+  for (std::size_t e = 0; e < data.entries(); ++e) {
+    const int cmp = compare_with_tolerance(data.outcome[e][algo_a].makespan,
+                                           data.outcome[e][algo_b].makespan,
+                                           tolerance);
+    if (cmp < 0) {
+      ++c.better;  // a's makespan smaller: a better
+    } else if (cmp > 0) {
+      ++c.worse;
+    } else {
+      ++c.equal;
+    }
+  }
+  return c;
+}
+
+CombinedFractions combined_compare(const ExperimentData& data,
+                                   std::size_t algo, double tolerance) {
+  CombinedFractions f;
+  if (data.entries() == 0) return f;
+  int better = 0;
+  int equal = 0;
+  int worse = 0;
+  for (std::size_t e = 0; e < data.entries(); ++e) {
+    double best_other = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < data.algos(); ++a)
+      if (a != algo)
+        best_other = std::min(best_other, data.outcome[e][a].makespan);
+    const int cmp = compare_with_tolerance(data.outcome[e][algo].makespan,
+                                           best_other, tolerance);
+    if (cmp < 0) {
+      ++better;
+    } else if (cmp > 0) {
+      ++worse;
+    } else {
+      ++equal;
+    }
+  }
+  const auto n = static_cast<double>(data.entries());
+  f.better = better / n;
+  f.equal = equal / n;
+  f.worse = worse / n;
+  return f;
+}
+
+Degradation degradation_from_best(const ExperimentData& data,
+                                  std::size_t algo, double tolerance) {
+  Degradation d;
+  if (data.entries() == 0) return d;
+  double sum_all = 0;
+  double sum_not_best = 0;
+  for (std::size_t e = 0; e < data.entries(); ++e) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < data.algos(); ++a)
+      best = std::min(best, data.outcome[e][a].makespan);
+    const double mine = data.outcome[e][algo].makespan;
+    const double degradation = (mine - best) / best;
+    sum_all += degradation;
+    if (compare_with_tolerance(mine, best, tolerance) > 0) {
+      ++d.not_best;
+      sum_not_best += degradation;
+    }
+  }
+  d.avg_over_all = sum_all / static_cast<double>(data.entries());
+  d.avg_over_not_best = d.not_best ? sum_not_best / d.not_best : 0.0;
+  return d;
+}
+
+std::vector<double> sorted_curve(std::vector<double> series, int points) {
+  RATS_REQUIRE(points >= 2, "curve needs at least two points");
+  std::sort(series.begin(), series.end());
+  std::vector<double> curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  if (series.empty()) return curve;
+  for (int i = 0; i < points; ++i) {
+    const double pos = static_cast<double>(i) / (points - 1) *
+                       static_cast<double>(series.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, series.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    curve.push_back(series[lo] + frac * (series[hi] - series[lo]));
+  }
+  return curve;
+}
+
+}  // namespace rats

@@ -1,0 +1,93 @@
+// Corpus-scale experiment execution and the aggregations used by the
+// paper's figures and tables: relative makespan/work series (Figures
+// 2-3 and 6-7), pairwise better/equal/worse counts (Table V) and
+// degradation from best (Table VI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "daggen/corpus.hpp"
+#include "exp/runner.hpp"
+
+namespace rats {
+
+/// One named algorithm configuration to evaluate.
+struct AlgoSpec {
+  std::string name;
+  SchedulerOptions options;
+};
+
+/// Outcomes of running every corpus entry with every algorithm on one
+/// cluster: `outcome[entry][algo]`.
+struct ExperimentData {
+  std::string cluster_name;
+  std::vector<std::string> algo_names;
+  std::vector<DagFamily> families;      ///< per corpus entry
+  std::vector<std::string> entry_names; ///< per corpus entry
+  std::vector<std::vector<RunOutcome>> outcome;
+
+  std::size_t entries() const { return outcome.size(); }
+  std::size_t algos() const { return algo_names.size(); }
+};
+
+/// Runs the full cross product corpus x algos on `cluster`, in
+/// parallel over scenarios.
+ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
+                              const Cluster& cluster,
+                              const std::vector<AlgoSpec>& algos);
+
+/// Per-entry ratio metric(algo) / metric(reference algo), e.g. the
+/// "makespan relative to HCPA" of Figures 2 and 6.  `metric` selects
+/// makespan (true) or work (false).
+std::vector<double> relative_series(const ExperimentData& data,
+                                    std::size_t algo, std::size_t reference,
+                                    bool makespan);
+
+/// Summary of one relative series: its mean and the fraction of
+/// entries strictly below 1 (i.e. better than the reference).
+struct RelativeSummary {
+  double mean_ratio{};
+  double fraction_better{};
+  double fraction_equal{};
+};
+RelativeSummary summarize_relative(const std::vector<double>& ratios,
+                                   double tolerance = 1e-6);
+
+/// Pairwise comparison counts of Table V.
+struct PairwiseCounts {
+  int better = 0;
+  int equal = 0;
+  int worse = 0;
+};
+
+/// Compares makespans of `algo_a` vs `algo_b` over all entries.
+PairwiseCounts pairwise_compare(const ExperimentData& data, std::size_t algo_a,
+                                std::size_t algo_b, double tolerance = 1e-6);
+
+/// "Combined" columns of Table V: better/equal/worse of `algo` against
+/// the best of all other algorithms, as fractions of the corpus.
+struct CombinedFractions {
+  double better{};
+  double equal{};
+  double worse{};
+};
+CombinedFractions combined_compare(const ExperimentData& data,
+                                   std::size_t algo,
+                                   double tolerance = 1e-6);
+
+/// Degradation-from-best statistics of Table VI for one algorithm.
+struct Degradation {
+  double avg_over_all{};       ///< mean over every experiment
+  int not_best = 0;            ///< experiments where the algo was not best
+  double avg_over_not_best{};  ///< mean over those experiments only
+};
+Degradation degradation_from_best(const ExperimentData& data,
+                                  std::size_t algo, double tolerance = 1e-6);
+
+/// Sorted copy of a series sampled at `points` evenly spaced
+/// percentiles — the compact rendering of the paper's sorted-curve
+/// figures.
+std::vector<double> sorted_curve(std::vector<double> series, int points = 21);
+
+}  // namespace rats

@@ -1,0 +1,21 @@
+// Deterministic parallel-for over independent scenario indices.
+//
+// The experiment harness replays hundreds of (DAG, cluster, algorithm)
+// simulations; they share no mutable state, so we fan them out over
+// hardware threads.  Work is claimed through an atomic counter
+// (dynamic self-scheduling), and each index writes only its own output
+// slot, so results are bit-identical to a sequential run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace rats {
+
+/// Runs body(i) for every i in [0, count) using up to `threads`
+/// workers (0 = hardware concurrency).  Exceptions in workers are
+/// rethrown on the caller thread.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned threads = 0);
+
+}  // namespace rats

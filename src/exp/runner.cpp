@@ -1,0 +1,13 @@
+#include "exp/runner.hpp"
+
+namespace rats {
+
+RunOutcome run_scenario(const TaskGraph& graph, const Cluster& cluster,
+                        const SchedulerOptions& scheduler,
+                        const SimulatorOptions& sim) {
+  const Schedule schedule = build_schedule(graph, cluster, scheduler);
+  const SimulationResult result = simulate(graph, schedule, cluster, sim);
+  return RunOutcome{result.makespan, result.total_work};
+}
+
+}  // namespace rats

@@ -1,0 +1,24 @@
+// Single-scenario runner: schedule one application on one cluster with
+// one algorithm, simulate the schedule with network contention, and
+// report the two metrics of the paper: makespan and total work.
+#pragma once
+
+#include "platform/cluster.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace rats {
+
+/// The paper's two metrics for one (DAG, cluster, algorithm) run.
+struct RunOutcome {
+  Seconds makespan{};  ///< simulated, with contention
+  double work{};       ///< processor-time area of the schedule
+};
+
+/// Schedules `graph` on `cluster` with `scheduler` and simulates the
+/// result.
+RunOutcome run_scenario(const TaskGraph& graph, const Cluster& cluster,
+                        const SchedulerOptions& scheduler,
+                        const SimulatorOptions& sim = {});
+
+}  // namespace rats

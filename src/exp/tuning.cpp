@@ -1,0 +1,103 @@
+#include "exp/tuning.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "exp/parallel.hpp"
+
+namespace rats {
+
+std::vector<double> tuning_mindeltas() { return {0.0, -0.25, -0.5, -0.75}; }
+std::vector<double> tuning_maxdeltas() { return {0.0, 0.25, 0.5, 0.75, 1.0}; }
+std::vector<double> tuning_minrhos() { return {0.2, 0.4, 0.5, 0.6, 0.8, 1.0}; }
+
+std::vector<double> reference_makespans(const std::vector<CorpusEntry>& corpus,
+                                        const Cluster& cluster) {
+  std::vector<double> ref(corpus.size());
+  SchedulerOptions hcpa;
+  hcpa.kind = SchedulerKind::Hcpa;
+  parallel_for(corpus.size(), [&](std::size_t e) {
+    ref[e] = run_scenario(corpus[e].graph, cluster, hcpa).makespan;
+  });
+  return ref;
+}
+
+double average_relative_makespan(const std::vector<CorpusEntry>& corpus,
+                                 const Cluster& cluster,
+                                 const SchedulerOptions& options,
+                                 const std::vector<double>& reference) {
+  RATS_REQUIRE(reference.size() == corpus.size(),
+               "reference does not cover the corpus");
+  std::vector<double> ratio(corpus.size());
+  parallel_for(corpus.size(), [&](std::size_t e) {
+    const double makespan =
+        run_scenario(corpus[e].graph, cluster, options).makespan;
+    ratio[e] = makespan / reference[e];
+  });
+  double sum = 0;
+  for (double r : ratio) sum += r;
+  return sum / static_cast<double>(ratio.size());
+}
+
+DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
+                       const Cluster& cluster) {
+  DeltaSweep sweep;
+  sweep.mindeltas = tuning_mindeltas();
+  sweep.maxdeltas = tuning_maxdeltas();
+  const auto reference = reference_makespans(corpus, cluster);
+
+  sweep.best_value = std::numeric_limits<double>::infinity();
+  for (double mindelta : sweep.mindeltas) {
+    std::vector<double> row;
+    for (double maxdelta : sweep.maxdeltas) {
+      SchedulerOptions options;
+      options.kind = SchedulerKind::RatsDelta;
+      options.rats.mindelta = mindelta;
+      options.rats.maxdelta = maxdelta;
+      const double avg =
+          average_relative_makespan(corpus, cluster, options, reference);
+      row.push_back(avg);
+      if (avg < sweep.best_value) {
+        sweep.best_value = avg;
+        sweep.best_mindelta = mindelta;
+        sweep.best_maxdelta = maxdelta;
+      }
+    }
+    sweep.avg_relative.push_back(std::move(row));
+  }
+  return sweep;
+}
+
+RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
+                   const Cluster& cluster) {
+  RhoSweep sweep;
+  sweep.minrhos = tuning_minrhos();
+  const auto reference = reference_makespans(corpus, cluster);
+
+  sweep.best_value = std::numeric_limits<double>::infinity();
+  for (double minrho : sweep.minrhos) {
+    for (bool packing : {true, false}) {
+      SchedulerOptions options;
+      options.kind = SchedulerKind::RatsTimeCost;
+      options.rats.minrho = minrho;
+      options.rats.packing = packing;
+      const double avg =
+          average_relative_makespan(corpus, cluster, options, reference);
+      (packing ? sweep.with_packing : sweep.without_packing).push_back(avg);
+      if (packing && avg < sweep.best_value) {
+        sweep.best_value = avg;
+        sweep.best_minrho = minrho;
+      }
+    }
+  }
+  return sweep;
+}
+
+TunedParams tune(const std::vector<CorpusEntry>& corpus,
+                 const Cluster& cluster) {
+  const DeltaSweep ds = sweep_delta(corpus, cluster);
+  const RhoSweep rs = sweep_rho(corpus, cluster);
+  return TunedParams{ds.best_mindelta, ds.best_maxdelta, rs.best_minrho};
+}
+
+}  // namespace rats

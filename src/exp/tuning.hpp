@@ -1,0 +1,63 @@
+// Parameter tuning experiments (paper Section IV-C): sweep the RATS
+// parameters against the HCPA reference and pick, per application type
+// and cluster, the values minimizing the average relative makespan —
+// Figures 4 and 5 and Table IV.
+#pragma once
+
+#include <vector>
+
+#include "daggen/corpus.hpp"
+#include "exp/experiment.hpp"
+
+namespace rats {
+
+/// Parameter values tested in the paper.
+std::vector<double> tuning_mindeltas();  ///< {0, -0.25, -0.5, -0.75}
+std::vector<double> tuning_maxdeltas();  ///< {0, 0.25, 0.5, 0.75, 1}
+std::vector<double> tuning_minrhos();    ///< {0.2, 0.4, 0.5, 0.6, 0.8, 1}
+
+/// HCPA reference makespans for a corpus on one cluster (computed in
+/// parallel, reused across sweep points).
+std::vector<double> reference_makespans(const std::vector<CorpusEntry>& corpus,
+                                        const Cluster& cluster);
+
+/// Average makespan of `options` relative to per-entry `reference`.
+double average_relative_makespan(const std::vector<CorpusEntry>& corpus,
+                                 const Cluster& cluster,
+                                 const SchedulerOptions& options,
+                                 const std::vector<double>& reference);
+
+/// The (mindelta, maxdelta) surface of Figure 4.
+struct DeltaSweep {
+  std::vector<double> mindeltas;
+  std::vector<double> maxdeltas;
+  /// avg relative makespan, indexed [mindelta][maxdelta]
+  std::vector<std::vector<double>> avg_relative;
+  double best_mindelta{};
+  double best_maxdelta{};
+  double best_value{};
+};
+DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
+                       const Cluster& cluster);
+
+/// The minrho curves (packing on/off) of Figure 5.
+struct RhoSweep {
+  std::vector<double> minrhos;
+  std::vector<double> with_packing;     ///< avg relative makespan
+  std::vector<double> without_packing;
+  double best_minrho{};
+  double best_value{};  ///< with packing (always at least as good)
+};
+RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
+                   const Cluster& cluster);
+
+/// One Table IV cell: tuned (mindelta, maxdelta, minrho).
+struct TunedParams {
+  double mindelta{};
+  double maxdelta{};
+  double minrho{};
+};
+TunedParams tune(const std::vector<CorpusEntry>& corpus,
+                 const Cluster& cluster);
+
+}  // namespace rats

@@ -1,0 +1,137 @@
+#include "io/workflow_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rats {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw Error("workflow parse error at line " + std::to_string(line) + ": " +
+              what);
+}
+
+/// Parses "key=value" into (key, value); value must be a finite double.
+std::pair<std::string, double> parse_field(int line, const std::string& tok) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == tok.size())
+    fail(line, "expected key=value, got '" + tok + "'");
+  const std::string key = tok.substr(0, eq);
+  std::size_t used = 0;
+  double value = 0;
+  try {
+    value = std::stod(tok.substr(eq + 1), &used);
+  } catch (const std::exception&) {
+    fail(line, "bad number in '" + tok + "'");
+  }
+  if (used != tok.size() - eq - 1 || !std::isfinite(value))
+    fail(line, "bad number in '" + tok + "'");
+  return {key, value};
+}
+
+}  // namespace
+
+TaskGraph parse_workflow(std::istream& in) {
+  TaskGraph g;
+  std::map<std::string, TaskId> by_name;
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ss(raw);
+    std::string directive;
+    if (!(ss >> directive)) continue;  // blank / comment-only line
+
+    if (directive == "task") {
+      std::string name;
+      if (!(ss >> name)) fail(line, "task needs a name");
+      if (by_name.count(name)) fail(line, "duplicate task '" + name + "'");
+      double m = -1, a = -1, alpha = -1;
+      std::string tok;
+      while (ss >> tok) {
+        const auto [key, value] = parse_field(line, tok);
+        if (key == "m") {
+          m = value;
+        } else if (key == "a") {
+          a = value;
+        } else if (key == "alpha") {
+          alpha = value;
+        } else {
+          fail(line, "unknown task field '" + key + "'");
+        }
+      }
+      if (m <= 0) fail(line, "task '" + name + "' needs m > 0");
+      if (a <= 0) fail(line, "task '" + name + "' needs a > 0");
+      if (alpha < 0 || alpha > 1)
+        fail(line, "task '" + name + "' needs alpha in [0, 1]");
+      const TaskId id = g.add_task(name, m, a, alpha);
+      by_name[name] = id;
+    } else if (directive == "edge") {
+      std::string src, dst;
+      if (!(ss >> src >> dst)) fail(line, "edge needs <src> <dst>");
+      const auto s = by_name.find(src);
+      if (s == by_name.end()) fail(line, "unknown task '" + src + "'");
+      const auto d = by_name.find(dst);
+      if (d == by_name.end()) fail(line, "unknown task '" + dst + "'");
+      Bytes bytes = g.task(s->second).data_elems * kBytesPerElement;
+      std::string tok;
+      while (ss >> tok) {
+        const auto [key, value] = parse_field(line, tok);
+        if (key != "bytes") fail(line, "unknown edge field '" + key + "'");
+        if (value < 0) fail(line, "edge bytes must be >= 0");
+        bytes = value;
+      }
+      if (s->second == d->second) fail(line, "self edge on '" + src + "'");
+      g.add_edge(s->second, d->second, bytes);
+    } else {
+      fail(line, "unknown directive '" + directive + "'");
+    }
+  }
+  return g;
+}
+
+TaskGraph parse_workflow_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_workflow(in);
+}
+
+TaskGraph load_workflow(const std::string& path) {
+  std::ifstream in(path);
+  RATS_REQUIRE(in.good(), "cannot open workflow file");
+  return parse_workflow(in);
+}
+
+std::string to_workflow_text(const TaskGraph& graph) {
+  std::ostringstream out;
+  out.precision(17);  // round-trippable doubles
+  out << "# rats workflow: " << graph.num_tasks() << " tasks, "
+      << graph.num_edges() << " edges\n";
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const Task& task = graph.task(t);
+    out << "task " << task.name << " m=" << task.data_elems
+        << " a=" << task.flops / task.data_elems << " alpha=" << task.alpha
+        << "\n";
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    out << "edge " << graph.task(edge.src).name << " "
+        << graph.task(edge.dst).name << " bytes=" << edge.bytes << "\n";
+  }
+  return out.str();
+}
+
+void save_workflow(const TaskGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  RATS_REQUIRE(out.good(), "cannot open output file");
+  out << to_workflow_text(graph);
+  RATS_REQUIRE(out.good(), "failed writing workflow file");
+}
+
+}  // namespace rats

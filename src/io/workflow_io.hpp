@@ -1,0 +1,43 @@
+// Plain-text workflow interchange format, so applications can be
+// scheduled without writing C++ (used by the rats_cli example).
+//
+// Line-oriented format; '#' starts a comment, blank lines are ignored:
+//
+//   task <name> m=<elements> a=<ops-per-element> alpha=<fraction>
+//   edge <src-name> <dst-name> [bytes=<bytes>]
+//
+// Tasks must be declared before edges referencing them.  When bytes is
+// omitted, an edge carries the source task's full dataset (the paper's
+// model: m elements of 8 bytes).  Example:
+//
+//   task split  m=16e6 a=128 alpha=0.1
+//   task work0  m=16e6 a=256 alpha=0.1
+//   edge split work0
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/task_graph.hpp"
+
+namespace rats {
+
+/// Parses a workflow from text; throws rats::Error with a line number
+/// on malformed input (unknown directive, missing field, duplicate or
+/// unknown task name, non-finite/negative values).
+TaskGraph parse_workflow(std::istream& in);
+
+/// Parses a workflow from a string (convenience for tests).
+TaskGraph parse_workflow_string(const std::string& text);
+
+/// Loads a workflow file; throws rats::Error if unreadable.
+TaskGraph load_workflow(const std::string& path);
+
+/// Serializes a graph to the same format (round-trips with
+/// parse_workflow up to comment/ordering normalization).
+std::string to_workflow_text(const TaskGraph& graph);
+
+/// Writes the workflow text to a file; throws rats::Error on failure.
+void save_workflow(const TaskGraph& graph, const std::string& path);
+
+}  // namespace rats

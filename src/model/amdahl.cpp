@@ -1,0 +1,29 @@
+#include "model/amdahl.hpp"
+
+#include "common/error.hpp"
+
+namespace rats {
+
+AmdahlModel::AmdahlModel(FlopRate flop_rate) : flop_rate_(flop_rate) {
+  RATS_REQUIRE(flop_rate > 0, "processor speed must be positive");
+}
+
+Seconds AmdahlModel::sequential_time(const Task& task) const {
+  return task.flops / flop_rate_;
+}
+
+Seconds AmdahlModel::execution_time(const Task& task, int procs) const {
+  RATS_REQUIRE(procs >= 1, "a task runs on at least one processor");
+  const double p = static_cast<double>(procs);
+  return sequential_time(task) * (task.alpha + (1.0 - task.alpha) / p);
+}
+
+double AmdahlModel::work(const Task& task, int procs) const {
+  return static_cast<double>(procs) * execution_time(task, procs);
+}
+
+Seconds AmdahlModel::gain_of_one_more(const Task& task, int procs) const {
+  return execution_time(task, procs) - execution_time(task, procs + 1);
+}
+
+}  // namespace rats

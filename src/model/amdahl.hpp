@@ -1,0 +1,44 @@
+// Moldable-task performance model (paper Section II-A).
+//
+// Task execution time follows Amdahl's law: a fraction alpha of the
+// sequential time is non-parallelizable, the rest scales perfectly:
+//
+//     T(t, p) = T_seq(t) * (alpha + (1 - alpha) / p)
+//
+// with T_seq(t) = flops(t) / processor_speed.  The model is strictly
+// monotonically decreasing in p (for alpha < 1), as the paper assumes.
+// The work of a task is omega = p * T(t, p); it is non-decreasing in p,
+// which is what the time-cost strategy trades against execution time.
+#pragma once
+
+#include "common/units.hpp"
+#include "dag/task_graph.hpp"
+
+namespace rats {
+
+/// Amdahl's-law execution-time model for a homogeneous cluster whose
+/// processors each deliver `flop_rate` flops per second.
+class AmdahlModel {
+ public:
+  explicit AmdahlModel(FlopRate flop_rate);
+
+  /// Sequential execution time of `task`.
+  Seconds sequential_time(const Task& task) const;
+
+  /// Execution time of `task` on `procs` processors.  Requires procs >= 1.
+  Seconds execution_time(const Task& task, int procs) const;
+
+  /// Work (processor-time area) of `task` on `procs` processors.
+  double work(const Task& task, int procs) const;
+
+  /// Marginal benefit of adding one processor: T(t,p) - T(t,p+1).
+  /// Always >= 0 under this model.
+  Seconds gain_of_one_more(const Task& task, int procs) const;
+
+  FlopRate flop_rate() const { return flop_rate_; }
+
+ private:
+  FlopRate flop_rate_;
+};
+
+}  // namespace rats

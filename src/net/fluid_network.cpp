@@ -1,0 +1,180 @@
+#include "net/fluid_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rats {
+
+namespace {
+// Completion detection tolerance: a byte residue below this counts as
+// finished (guards against floating-point drift across many events).
+constexpr Bytes kByteEpsilon = 1e-6;
+// Relative time tolerance: a flow whose residual drain time does not
+// advance the clock by at least this fraction counts as finishing at
+// the step end.  Without it a residue of a few bytes at a high rate
+// yields events whose time increment underflows double precision at
+// large clock values, stalling the simulation in zero-length steps.
+constexpr double kRelTimeEpsilon = 1e-12;
+}  // namespace
+
+FluidNetwork::FluidNetwork(const Cluster& cluster) : cluster_(&cluster) {
+  capacity_.reserve(static_cast<std::size_t>(cluster.num_links()));
+  for (LinkId l = 0; l < cluster.num_links(); ++l)
+    capacity_.push_back(cluster.link(l).bandwidth);
+}
+
+FlowId FluidNetwork::open_flow(NodeId src, NodeId dst, Bytes bytes) {
+  RATS_REQUIRE(bytes >= 0, "flow volume must be non-negative");
+  FlowState f;
+  f.src = src;
+  f.dst = dst;
+  f.total_bytes = bytes;
+  f.remaining = bytes;
+  f.start = now_;
+  f.links = cluster_->route(src, dst);
+  total_bytes_ += bytes;
+
+  if (f.links.empty() || bytes == 0) {
+    // Loopback transfers are free (the paper's zero-cost
+    // self-communication); zero-byte flows only carry a dependence.
+    f.release = now_;
+    f.finish = f.links.empty() ? now_ : now_ + cluster_->route_latency(src, dst);
+    f.done = true;
+    flows_.push_back(std::move(f));
+    return static_cast<FlowId>(flows_.size() - 1);
+  }
+
+  const Seconds one_way = cluster_->route_latency(src, dst);
+  f.release = now_ + one_way;
+  // Empirical TCP bound: beta' = min(beta, W_max / RTT), RTT = 2 x one-way.
+  const Seconds rtt = 2.0 * one_way;
+  if (rtt > 0) f.cap = cluster_->tcp_window() / rtt;
+
+  flows_.push_back(std::move(f));
+  const auto id = static_cast<FlowId>(flows_.size() - 1);
+  active_ids_.push_back(id);
+  dirty_ = true;
+  return id;
+}
+
+void FluidNetwork::advance_to(Seconds t) {
+  RATS_REQUIRE(t >= now_ - 1e-12, "cannot move time backwards");
+  while (now_ < t) {
+    ensure_rates();
+
+    // Earliest internal event: a release-phase exit or a completion.
+    // Candidates are floored one representable increment above now_ so
+    // steps always advance the clock (see kRelTimeEpsilon).
+    const Seconds floor_time = now_ + std::max(now_, 1.0) * kRelTimeEpsilon;
+    Seconds next = std::numeric_limits<Seconds>::infinity();
+    for (const FlowId id : active_ids_) {
+      const auto& f = flows_[static_cast<std::size_t>(id)];
+      if (f.release > now_) {
+        next = std::min(next, std::max(f.release, floor_time));
+      } else if (f.rate > 0) {
+        next = std::min(next, std::max(now_ + f.remaining / f.rate, floor_time));
+      }
+    }
+    const Seconds step_end = std::min(next, t);
+    const Seconds dt = step_end - now_;
+
+    // Smallest time increment representable around the step end; any
+    // flow whose residual drain time is below it must complete now or
+    // the clock would stall on zero-length steps.
+    const Seconds min_step = std::max(step_end, 1.0) * kRelTimeEpsilon;
+    for (std::size_t k = 0; k < active_ids_.size();) {
+      auto& f = flows_[static_cast<std::size_t>(active_ids_[k])];
+      if (step_end <= f.release) {
+        ++k;
+        continue;
+      }
+      // Payload drains only after the latency phase; a flow released
+      // mid-step had rate 0 until the release boundary (steps never
+      // cross a release, so `dt` applies fully once released).
+      const Seconds effective = std::min(dt, step_end - f.release);
+      f.remaining -= f.rate * effective;
+      const bool time_exhausted =
+          f.rate > 0 && f.remaining / f.rate <= min_step;
+      if (f.remaining <= kByteEpsilon || time_exhausted) {
+        f.remaining = 0;
+        f.done = true;
+        f.finish = step_end;
+        f.rate = 0;
+        dirty_ = true;
+        active_ids_[k] = active_ids_.back();
+        active_ids_.pop_back();
+        continue;
+      }
+      ++k;
+    }
+    // Latency-phase exits change the set of rate-sharing flows too.
+    for (const FlowId id : active_ids_) {
+      const auto& f = flows_[static_cast<std::size_t>(id)];
+      if (f.release > now_ && f.release <= step_end) {
+        dirty_ = true;
+        break;
+      }
+    }
+
+    now_ = step_end;
+    if (step_end >= t) break;
+  }
+  now_ = t;
+}
+
+std::optional<Seconds> FluidNetwork::next_event_time() {
+  ensure_rates();
+  const Seconds floor_time = now_ + std::max(now_, 1.0) * kRelTimeEpsilon;
+  Seconds best = std::numeric_limits<Seconds>::infinity();
+  for (const FlowId id : active_ids_) {
+    const auto& f = flows_[static_cast<std::size_t>(id)];
+    if (f.release > now_) {
+      best = std::min(best, std::max(f.release, floor_time));
+    } else if (f.rate > 0) {
+      best = std::min(best, std::max(now_ + f.remaining / f.rate, floor_time));
+    }
+  }
+  if (!std::isfinite(best)) return std::nullopt;
+  return best;
+}
+
+Seconds FluidNetwork::flow_finish_time(FlowId id) const {
+  const FlowState& f = flow(id);
+  RATS_REQUIRE(f.done, "flow has not completed yet");
+  return f.finish;
+}
+
+const FlowState& FluidNetwork::flow(FlowId id) const {
+  RATS_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < flows_.size(),
+               "flow id out of range");
+  return flows_[static_cast<std::size_t>(id)];
+}
+
+void FluidNetwork::ensure_rates() {
+  if (!dirty_) return;
+  recompute_rates();
+  dirty_ = false;
+}
+
+void FluidNetwork::recompute_rates() {
+  // Only flows past their latency phase compete for bandwidth.
+  std::vector<FlowDemand> demands;
+  std::vector<FlowId> index;
+  demands.reserve(active_ids_.size());
+  index.reserve(active_ids_.size());
+  for (const FlowId id : active_ids_) {
+    auto& f = flows_[static_cast<std::size_t>(id)];
+    f.rate = 0;
+    if (f.release > now_) continue;
+    demands.push_back(FlowDemand{f.links, f.cap});
+    index.push_back(id);
+  }
+  if (demands.empty()) return;
+  const auto rates = maxmin_fair_rates(capacity_, demands);
+  for (std::size_t k = 0; k < rates.size(); ++k)
+    flows_[static_cast<std::size_t>(index[k])].rate = rates[k];
+}
+
+}  // namespace rats

@@ -1,0 +1,91 @@
+// Fluid (flow-level) network simulation on a Cluster.
+//
+// This is the network half of our SimGrid replacement.  Flows are
+// fluid: at any instant every in-flight flow transfers at the Max-Min
+// fair rate computed over the cluster's links.  A flow traverses a
+// latency phase (the sum of its route's link latencies) before its
+// payload starts moving, reproducing SimGrid's  T = latency + size/rate
+// behaviour while still reacting to flows that come and go.
+//
+// The class is driven by a discrete-event engine: the owner calls
+// `advance_to(t)` to move virtual time forward, adds/queries flows, and
+// uses `next_event_time()` to know when the network state next changes
+// on its own (a flow finishing its latency phase or its payload).
+//
+// Rates are recomputed lazily: opening a batch of flows (one block
+// redistribution can contribute dozens) marks the state dirty once, and
+// the Max-Min solve runs a single time when the simulation next needs
+// rates.  Completed flows leave the active set, so per-event cost
+// scales with the number of in-flight flows, not with the total number
+// ever opened.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "net/maxmin.hpp"
+#include "platform/cluster.hpp"
+
+namespace rats {
+
+using FlowId = std::int32_t;
+
+/// State of one flow inside the fluid simulation.
+struct FlowState {
+  NodeId src{};
+  NodeId dst{};
+  Bytes total_bytes{};
+  Bytes remaining{};     ///< payload bytes still to transfer
+  Seconds start{};       ///< time the flow was opened
+  Seconds release{};     ///< start + route latency: payload begins here
+  Seconds finish{};      ///< completion time (valid once done)
+  Rate rate{};           ///< current Max-Min rate (0 while latent/done)
+  bool done = false;
+  std::vector<LinkId> links;
+  Rate cap = std::numeric_limits<Rate>::infinity();
+};
+
+/// Fluid network simulation over a cluster's links.
+class FluidNetwork {
+ public:
+  explicit FluidNetwork(const Cluster& cluster);
+
+  /// Opens a flow of `bytes` from `src` to `dst` at the current time.
+  /// Loopback (src == dst) and empty flows complete immediately.
+  FlowId open_flow(NodeId src, NodeId dst, Bytes bytes);
+
+  /// Moves virtual time forward, draining payload at current rates and
+  /// completing flows on the way.  `t` must be >= now().
+  void advance_to(Seconds t);
+
+  /// Earliest future instant at which a flow completes or leaves its
+  /// latency phase; nullopt when no flow is in flight.  (Non-const:
+  /// flushes any pending lazy rate recomputation.)
+  std::optional<Seconds> next_event_time();
+
+  Seconds now() const { return now_; }
+  bool flow_done(FlowId id) const { return flow(id).done; }
+  Seconds flow_finish_time(FlowId id) const;
+  const FlowState& flow(FlowId id) const;
+  std::size_t num_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return active_ids_.size(); }
+
+  /// Sum over all completed and in-flight flows of bytes injected.
+  Bytes total_bytes_opened() const { return total_bytes_; }
+
+ private:
+  void ensure_rates();
+  void recompute_rates();
+
+  const Cluster* cluster_;
+  std::vector<Rate> capacity_;
+  std::vector<FlowState> flows_;
+  std::vector<FlowId> active_ids_;  ///< indices of not-yet-done flows
+  bool dirty_ = false;              ///< rates stale (flows added/removed)
+  Seconds now_ = 0;
+  Bytes total_bytes_ = 0;
+};
+
+}  // namespace rats

@@ -1,0 +1,93 @@
+#include "net/maxmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rats {
+
+std::vector<Rate> maxmin_fair_rates(const std::vector<Rate>& capacity,
+                                    const std::vector<FlowDemand>& flows) {
+  const std::size_t num_links = capacity.size();
+  const std::size_t num_flows = flows.size();
+  std::vector<Rate> rate(num_flows, 0.0);
+
+  // Remaining capacity and number of still-unfixed flows per link.
+  std::vector<Rate> remaining = capacity;
+  std::vector<std::int32_t> active_count(num_links, 0);
+  std::vector<char> fixed(num_flows, 0);
+
+  std::size_t unfixed = 0;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (flows[f].links.empty()) {
+      // Loopback: not constrained by any link.
+      rate[f] = flows[f].cap;
+      fixed[f] = 1;
+      continue;
+    }
+    for (auto l : flows[f].links) {
+      RATS_REQUIRE(l >= 0 && static_cast<std::size_t>(l) < num_links,
+                   "flow references unknown link");
+      RATS_REQUIRE(capacity[static_cast<std::size_t>(l)] > 0,
+                   "used link must have positive capacity");
+      ++active_count[static_cast<std::size_t>(l)];
+    }
+    ++unfixed;
+  }
+
+  // Progressive filling: repeatedly find the tightest constraint (link
+  // fair share or flow cap) and fix every flow bound by it.
+  while (unfixed > 0) {
+    // Tightest link fair share among links still carrying unfixed flows.
+    Rate share = std::numeric_limits<Rate>::infinity();
+    for (std::size_t l = 0; l < num_links; ++l)
+      if (active_count[l] > 0)
+        share = std::min(share, remaining[l] / active_count[l]);
+    RATS_REQUIRE(std::isfinite(share), "no constraining link for active flows");
+
+    // Flows capped at or below the share saturate at their own cap
+    // first; they consume less than a fair share, so fixing them can
+    // only raise the share of the remaining flows (hence the loop).
+    bool fixed_by_cap = false;
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (fixed[f] || flows[f].cap > share) continue;
+      rate[f] = flows[f].cap;
+      fixed[f] = 1;
+      --unfixed;
+      fixed_by_cap = true;
+      for (auto l : flows[f].links) {
+        remaining[static_cast<std::size_t>(l)] -= rate[f];
+        --active_count[static_cast<std::size_t>(l)];
+      }
+    }
+    if (fixed_by_cap) continue;
+
+    // Otherwise saturate the bottleneck link(s): every unfixed flow
+    // crossing a link whose fair share equals the minimum gets `share`.
+    const Rate eps = share * 1e-12;
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (fixed[f]) continue;
+      bool bottlenecked = false;
+      for (auto l : flows[f].links) {
+        const auto li = static_cast<std::size_t>(l);
+        if (remaining[li] / active_count[li] <= share + eps) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      rate[f] = share;
+      fixed[f] = 1;
+      --unfixed;
+      for (auto l : flows[f].links) {
+        const auto li = static_cast<std::size_t>(l);
+        remaining[li] = std::max(0.0, remaining[li] - share);
+        --active_count[li];
+      }
+    }
+  }
+  return rate;
+}
+
+}  // namespace rats

@@ -1,0 +1,41 @@
+// Max-Min fair bandwidth sharing (paper Sections II-B and IV-A).
+//
+// SimGrid's fluid network model assigns each flow a transfer rate such
+// that bandwidth is shared Max-Min fairly: no flow can increase its
+// rate without decreasing the rate of a flow with an equal or smaller
+// one.  We implement the classic progressive-filling algorithm,
+// extended with per-flow rate caps to model the empirical TCP-window
+// bandwidth bound beta' = min(beta, W_max / RTT).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rats {
+
+/// One flow's demand for the solver: the links it crosses and an
+/// optional cap on its own rate (infinity = uncapped).
+struct FlowDemand {
+  std::vector<std::int32_t> links;
+  Rate cap = std::numeric_limits<Rate>::infinity();
+};
+
+/// Computes Max-Min fair rates.
+///
+/// `capacity[l]` is the bandwidth of link l (bytes/s, must be > 0 when
+/// used by any flow).  Returns one rate per flow.  Flows crossing no
+/// link (loopback) receive their cap (or +infinity when uncapped) —
+/// callers treat such transfers as instantaneous.
+///
+/// Properties guaranteed (and asserted by the test suite):
+///  * feasibility: for every link, the sum of crossing rates <= capacity;
+///  * cap respect: rate[f] <= cap[f];
+///  * max-min optimality: every flow is bottlenecked, i.e. either runs
+///    at its cap or crosses a saturated link on which it has a maximal
+///    rate among the link's flows.
+std::vector<Rate> maxmin_fair_rates(const std::vector<Rate>& capacity,
+                                    const std::vector<FlowDemand>& flows);
+
+}  // namespace rats

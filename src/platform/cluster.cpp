@@ -1,0 +1,111 @@
+#include "platform/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace rats {
+
+// Link layout: ids [0, 2P) are per-node NIC links (even = up toward the
+// switch, odd = down from the switch); for hierarchical clusters, ids
+// [2P, 2P + 2C) are cabinet uplinks (even = cabinet->root, odd =
+// root->cabinet).
+
+Cluster Cluster::flat(std::string name, int num_nodes, FlopRate node_speed,
+                      Seconds link_latency, Rate link_bandwidth) {
+  RATS_REQUIRE(num_nodes > 0, "cluster needs at least one node");
+  RATS_REQUIRE(node_speed > 0, "node speed must be positive");
+  RATS_REQUIRE(link_bandwidth > 0, "link bandwidth must be positive");
+  Cluster c;
+  c.name_ = std::move(name);
+  c.num_nodes_ = num_nodes;
+  c.node_speed_ = node_speed;
+  c.links_.reserve(static_cast<std::size_t>(2 * num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    c.links_.push_back(LinkSpec{"node" + std::to_string(n) + ".up",
+                                link_latency, link_bandwidth});
+    c.links_.push_back(LinkSpec{"node" + std::to_string(n) + ".down",
+                                link_latency, link_bandwidth});
+  }
+  return c;
+}
+
+Cluster Cluster::hierarchical(std::string name, int cabinets,
+                              int nodes_per_cabinet, FlopRate node_speed,
+                              Seconds link_latency, Rate link_bandwidth,
+                              Seconds uplink_latency, Rate uplink_bandwidth) {
+  RATS_REQUIRE(cabinets > 0 && nodes_per_cabinet > 0,
+               "hierarchical cluster needs cabinets and nodes");
+  Cluster c = flat(std::move(name), cabinets * nodes_per_cabinet, node_speed,
+                   link_latency, link_bandwidth);
+  c.nodes_per_cabinet_ = nodes_per_cabinet;
+  for (int cab = 0; cab < cabinets; ++cab) {
+    c.links_.push_back(LinkSpec{"cabinet" + std::to_string(cab) + ".up",
+                                uplink_latency, uplink_bandwidth});
+    c.links_.push_back(LinkSpec{"cabinet" + std::to_string(cab) + ".down",
+                                uplink_latency, uplink_bandwidth});
+  }
+  return c;
+}
+
+int Cluster::cabinets() const {
+  return hierarchical_topology() ? num_nodes_ / nodes_per_cabinet_ : 1;
+}
+
+int Cluster::cabinet_of(NodeId node) const {
+  check_node(node);
+  return hierarchical_topology() ? node / nodes_per_cabinet_ : 0;
+}
+
+const LinkSpec& Cluster::link(LinkId id) const {
+  RATS_REQUIRE(id >= 0 && id < num_links(), "link id out of range");
+  return links_[static_cast<std::size_t>(id)];
+}
+
+LinkId Cluster::nic_up(NodeId node) const {
+  check_node(node);
+  return 2 * node;
+}
+
+LinkId Cluster::nic_down(NodeId node) const {
+  check_node(node);
+  return 2 * node + 1;
+}
+
+LinkId Cluster::cabinet_up(int cabinet) const {
+  RATS_REQUIRE(hierarchical_topology(), "flat cluster has no cabinet links");
+  RATS_REQUIRE(cabinet >= 0 && cabinet < cabinets(), "cabinet out of range");
+  return 2 * num_nodes_ + 2 * cabinet;
+}
+
+LinkId Cluster::cabinet_down(int cabinet) const {
+  return cabinet_up(cabinet) + 1;
+}
+
+std::vector<LinkId> Cluster::route(NodeId src, NodeId dst) const {
+  check_node(src);
+  check_node(dst);
+  if (src == dst) return {};
+  std::vector<LinkId> path;
+  path.push_back(nic_up(src));
+  if (hierarchical_topology()) {
+    const int cs = cabinet_of(src);
+    const int cd = cabinet_of(dst);
+    if (cs != cd) {
+      path.push_back(cabinet_up(cs));
+      path.push_back(cabinet_down(cd));
+    }
+  }
+  path.push_back(nic_down(dst));
+  return path;
+}
+
+Seconds Cluster::route_latency(NodeId src, NodeId dst) const {
+  Seconds total = 0;
+  for (LinkId id : route(src, dst)) total += link(id).latency;
+  return total;
+}
+
+void Cluster::check_node(NodeId node) const {
+  RATS_REQUIRE(node >= 0 && node < num_nodes_, "node id out of range");
+}
+
+}  // namespace rats

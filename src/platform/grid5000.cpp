@@ -1,0 +1,29 @@
+#include "platform/grid5000.hpp"
+
+namespace rats::grid5000 {
+
+namespace {
+constexpr Seconds kLatency = 100e-6;          // 100 us
+constexpr Rate kBandwidth = kGigabitPerSecond;  // 1 Gb/s in bytes/s
+}  // namespace
+
+Cluster chti() {
+  return Cluster::flat("chti", 20, 4.311 * Giga, kLatency, kBandwidth);
+}
+
+Cluster grillon() {
+  return Cluster::flat("grillon", 47, 3.379 * Giga, kLatency, kBandwidth);
+}
+
+Cluster grelon() {
+  // The paper only states that grelon's interconnect is gigabit and
+  // hierarchical; we model cabinet uplinks with the same gigabit links,
+  // which makes cross-cabinet redistributions contend on the uplinks.
+  return Cluster::hierarchical("grelon", /*cabinets=*/5,
+                               /*nodes_per_cabinet=*/24, 3.185 * Giga,
+                               kLatency, kBandwidth, kLatency, kBandwidth);
+}
+
+std::vector<Cluster> all() { return {chti(), grillon(), grelon()}; }
+
+}  // namespace rats::grid5000

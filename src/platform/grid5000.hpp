@@ -1,0 +1,29 @@
+// The three Grid'5000 clusters of the paper's evaluation (Table II).
+//
+//   cluster   #proc  GFlop/s   network
+//   chti        20    4.311    flat gigabit switch
+//   grillon     47    3.379    flat gigabit switch
+//   grelon     120    3.185    5 cabinets x 24 nodes, hierarchical
+//
+// All interconnects are switched Gigabit Ethernet: 100 us latency and
+// 1 Gb/s bandwidth per link (Section IV-A).
+#pragma once
+
+#include "platform/cluster.hpp"
+
+namespace rats::grid5000 {
+
+/// chti (Lille): 20 nodes at 4.311 GFlop/s, flat switch.
+Cluster chti();
+
+/// grillon (Nancy): 47 nodes at 3.379 GFlop/s, flat switch.
+Cluster grillon();
+
+/// grelon (Nancy): 120 nodes at 3.185 GFlop/s, 5 cabinets of 24 nodes
+/// behind per-cabinet switches connected to a root switch.
+Cluster grelon();
+
+/// The three clusters in the paper's presentation order.
+std::vector<Cluster> all();
+
+}  // namespace rats::grid5000

@@ -1,0 +1,113 @@
+#include "redist/block_redistribution.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace rats {
+
+Bytes block_overlap(Bytes total, int p, int i, int q, int j) {
+  RATS_REQUIRE(p > 0 && q > 0, "distribution needs at least one rank");
+  RATS_REQUIRE(i >= 0 && i < p && j >= 0 && j < q, "rank out of range");
+  const double lo_s = total * static_cast<double>(i) / p;
+  const double hi_s = total * static_cast<double>(i + 1) / p;
+  const double lo_r = total * static_cast<double>(j) / q;
+  const double hi_r = total * static_cast<double>(j + 1) / q;
+  return std::max(0.0, std::min(hi_s, hi_r) - std::max(lo_s, lo_r));
+}
+
+Redistribution Redistribution::plan(Bytes total_bytes,
+                                    const std::vector<NodeId>& senders,
+                                    const std::vector<NodeId>& receivers,
+                                    bool maximize_self) {
+  RATS_REQUIRE(total_bytes >= 0, "volume must be non-negative");
+  RATS_REQUIRE(!senders.empty() && !receivers.empty(),
+               "redistribution needs sender and receiver ranks");
+
+  Redistribution r;
+  r.sender_order_ = senders;
+  r.receiver_order_ = receivers;
+  r.total_ = total_bytes;
+  const int p = static_cast<int>(senders.size());
+  const int q = static_cast<int>(receivers.size());
+
+  if (maximize_self) {
+    // Permute the receiver rank -> node assignment so that nodes
+    // present on both sides get the receiver interval overlapping
+    // their sender interval the most.  Greedy matching on descending
+    // overlap; ties broken deterministically by (node, rank).
+    std::map<NodeId, int> sender_rank;  // node -> its (first) sender rank
+    for (int i = 0; i < p; ++i) sender_rank.emplace(senders[i], i);
+
+    struct Cand {
+      Bytes overlap;
+      NodeId node;
+      int rank;  // candidate receiver rank
+    };
+    std::vector<Cand> cands;
+    for (NodeId node : receivers) {
+      auto it = sender_rank.find(node);
+      if (it == sender_rank.end()) continue;
+      for (int j = 0; j < q; ++j) {
+        const Bytes ov = block_overlap(total_bytes, p, it->second, q, j);
+        if (ov > 0) cands.push_back(Cand{ov, node, j});
+      }
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.overlap != b.overlap) return a.overlap > b.overlap;
+      if (a.node != b.node) return a.node < b.node;
+      return a.rank < b.rank;
+    });
+
+    std::vector<NodeId> assignment(static_cast<std::size_t>(q), kNoNode);
+    std::map<NodeId, bool> node_used;
+    for (NodeId node : receivers) node_used[node] = false;
+    for (const Cand& c : cands) {
+      if (node_used[c.node] || assignment[static_cast<std::size_t>(c.rank)] != kNoNode)
+        continue;
+      assignment[static_cast<std::size_t>(c.rank)] = c.node;
+      node_used[c.node] = true;
+    }
+    // Fill the remaining ranks with the unassigned nodes in their
+    // original order.
+    std::size_t next = 0;
+    for (NodeId node : receivers) {
+      if (node_used[node]) continue;
+      while (assignment[next] != kNoNode) ++next;
+      assignment[next] = node;
+      node_used[node] = true;
+    }
+    r.receiver_order_ = std::move(assignment);
+  }
+
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < q; ++j) {
+      const Bytes ov = block_overlap(total_bytes, p, i, q, j);
+      if (ov <= 0) continue;
+      const NodeId src = r.sender_order_[static_cast<std::size_t>(i)];
+      const NodeId dst = r.receiver_order_[static_cast<std::size_t>(j)];
+      if (src == dst) {
+        r.self_bytes_ += ov;
+      } else {
+        r.remote_bytes_ += ov;
+        r.transfers_.push_back(Transfer{src, dst, ov});
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<std::vector<Bytes>> Redistribution::matrix() const {
+  const int p = senders();
+  const int q = receivers();
+  std::vector<std::vector<Bytes>> m(static_cast<std::size_t>(p),
+                                    std::vector<Bytes>(static_cast<std::size_t>(q), 0.0));
+  for (int i = 0; i < p; ++i)
+    for (int j = 0; j < q; ++j)
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          block_overlap(total_, p, i, q, j);
+  return m;
+}
+
+}  // namespace rats

@@ -1,0 +1,33 @@
+#include "redist/estimate.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rats {
+
+Seconds estimate_redistribution_time(const Cluster& cluster,
+                                     const Redistribution& r) {
+  if (r.transfers().empty()) return 0;
+
+  // Aggregate per-resource load: NIC up/down per node, cabinet up/down
+  // per cabinet on hierarchical clusters.
+  std::map<LinkId, Bytes> load;
+  Seconds max_latency = 0;
+  for (const Transfer& t : r.transfers()) {
+    for (LinkId l : cluster.route(t.src, t.dst)) load[l] += t.bytes;
+    max_latency = std::max(max_latency, cluster.route_latency(t.src, t.dst));
+  }
+  Seconds serial = 0;
+  for (const auto& [link, bytes] : load)
+    serial = std::max(serial, bytes / cluster.link(link).bandwidth);
+  return max_latency + serial;
+}
+
+Seconds estimate_redistribution_time(const Cluster& cluster, Bytes total_bytes,
+                                     const std::vector<NodeId>& senders,
+                                     const std::vector<NodeId>& receivers) {
+  return estimate_redistribution_time(
+      cluster, Redistribution::plan(total_bytes, senders, receivers));
+}
+
+}  // namespace rats

@@ -1,0 +1,29 @@
+// Contention-free redistribution time estimation.
+//
+// The schedulers (both the HCPA baseline mapping and the RATS
+// strategies) need a redistribution time estimate *before* tasks run.
+// Exactly as in the paper, this estimate ignores network contention
+// from unrelated transfers (Section IV-D discusses the consequences);
+// it only accounts for the bounded multi-port constraint within the
+// redistribution itself: a node cannot push (or pull) faster than its
+// NIC, so the transfer time is bounded by the most loaded endpoint.
+#pragma once
+
+#include "redist/block_redistribution.hpp"
+
+namespace rats {
+
+/// Estimated time for `r` on `cluster`, without cross-traffic:
+///   latency + max over nodes of (bytes sent / NIC up bandwidth,
+///                                bytes received / NIC down bandwidth),
+/// also accounting for shared cabinet uplinks on hierarchical
+/// clusters.  Returns 0 when nothing crosses the network.
+Seconds estimate_redistribution_time(const Cluster& cluster,
+                                     const Redistribution& r);
+
+/// Convenience overload planning the block redistribution first.
+Seconds estimate_redistribution_time(const Cluster& cluster, Bytes total_bytes,
+                                     const std::vector<NodeId>& senders,
+                                     const std::vector<NodeId>& receivers);
+
+}  // namespace rats

@@ -1,0 +1,63 @@
+// Mapping step (paper Section III): place each task, in ready order,
+// onto concrete processors.
+//
+// The baseline mapping is the classic redistribution-*accounting* list
+// scheduler used by CPA/HCPA: ready tasks are handled by decreasing
+// bottom level and each task is placed on the processor set minimizing
+// its estimated finish time (redistribution estimates included), but
+// the allocation sizes from step one are never changed.
+//
+// The two RATS modes may *adapt* the allocation while mapping, to make
+// a redistribution disappear entirely by reusing a predecessor's exact
+// processor set:
+//
+//  * Delta — purely structural: stretch to the closest predecessor
+//    allocation from above if the increase is at most maxdelta * Np(t)
+//    processors, or pack to the closest predecessor allocation from
+//    below if the decrease is at most |mindelta| * Np(t).  Ready tasks
+//    of equal priority are ordered by increasing delta(t) (least
+//    modification first).
+//
+//  * Time-cost — work-aware: stretch onto the predecessor maximizing
+//    the work ratio rho = (T(t,Np(t))*Np(t)) / (T(t,Np(pred))*Np(pred))
+//    provided rho >= minrho; pack onto a smaller predecessor only if
+//    the estimated finish time does not get worse.  Ready tasks of
+//    equal priority are ordered by decreasing gain(t), the maximal
+//    execution-time gain over the parents' allocations.
+//
+// All estimates are contention-free (Section IV-D of the paper makes
+// the same assumption and discusses its consequences).
+#pragma once
+
+#include "sched/allocation.hpp"
+#include "sim/schedule.hpp"
+
+namespace rats {
+
+/// Mapping strategy.
+enum class MappingMode { Baseline, Delta, TimeCost };
+
+/// Knobs of the redistribution-aware mapping procedures.
+struct MappingOptions {
+  MappingMode mode = MappingMode::Baseline;
+  /// Fraction of Np(t) that packing may remove; in [-1, 0].
+  double mindelta = -0.5;
+  /// Fraction of Np(t) that stretching may add; >= 0.
+  double maxdelta = 0.5;
+  /// Minimal admissible work ratio for time-cost stretching; in (0, 1].
+  double minrho = 0.5;
+  /// Enables time-cost packing (the paper's boolean parameter).
+  bool packing = true;
+  /// Enables the secondary ready-list sort (ablation knob; the paper's
+  /// RATS always sorts).
+  bool secondary_sort = true;
+};
+
+/// Maps every task of `graph` onto `cluster` given the step-one
+/// allocation.  Returns a complete schedule (placements carry the
+/// mapper's contention-free start/finish estimates).
+Schedule map_tasks(const TaskGraph& graph, const Cluster& cluster,
+                   const Allocation& allocation,
+                   const MappingOptions& options = {});
+
+}  // namespace rats

@@ -1,0 +1,53 @@
+#include "sched/scheduler.hpp"
+
+namespace rats {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::Cpa: return "CPA";
+    case SchedulerKind::Mcpa: return "MCPA";
+    case SchedulerKind::Hcpa: return "HCPA";
+    case SchedulerKind::RatsDelta: return "RATS-delta";
+    case SchedulerKind::RatsTimeCost: return "RATS-time-cost";
+  }
+  return "?";
+}
+
+Schedule build_schedule(const TaskGraph& graph, const Cluster& cluster,
+                        const SchedulerOptions& options) {
+  AllocationOptions alloc_opts;
+  MappingOptions map_opts;
+  map_opts.secondary_sort = options.secondary_sort;
+  map_opts.mindelta = options.rats.mindelta;
+  map_opts.maxdelta = options.rats.maxdelta;
+  map_opts.minrho = options.rats.minrho;
+  map_opts.packing = options.rats.packing;
+
+  switch (options.kind) {
+    case SchedulerKind::Cpa:
+      alloc_opts.kind = AllocationKind::Cpa;
+      map_opts.mode = MappingMode::Baseline;
+      break;
+    case SchedulerKind::Mcpa:
+      alloc_opts.kind = AllocationKind::Mcpa;
+      map_opts.mode = MappingMode::Baseline;
+      break;
+    case SchedulerKind::Hcpa:
+      alloc_opts.kind = AllocationKind::Hcpa;
+      map_opts.mode = MappingMode::Baseline;
+      break;
+    case SchedulerKind::RatsDelta:
+      alloc_opts.kind = AllocationKind::Hcpa;  // RATS reuses HCPA's step one
+      map_opts.mode = MappingMode::Delta;
+      break;
+    case SchedulerKind::RatsTimeCost:
+      alloc_opts.kind = AllocationKind::Hcpa;
+      map_opts.mode = MappingMode::TimeCost;
+      break;
+  }
+
+  const Allocation allocation = allocate(graph, cluster, alloc_opts);
+  return map_tasks(graph, cluster, allocation, map_opts);
+}
+
+}  // namespace rats

@@ -1,0 +1,49 @@
+// A small deterministic event queue for discrete-event simulation.
+//
+// Events are (time, sequence, payload); the sequence number makes
+// simultaneous events pop in insertion order, so simulations are fully
+// deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rats {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  void push(Seconds time, Payload payload) {
+    heap_.push(Entry{time, next_seq_++, std::move(payload)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  Seconds next_time() const { return heap_.top().time; }
+  const Payload& peek() const { return heap_.top().payload; }
+
+  Payload pop() {
+    Payload payload = std::move(const_cast<Entry&>(heap_.top()).payload);
+    heap_.pop();
+    return payload;
+  }
+
+ private:
+  struct Entry {
+    Seconds time;
+    std::uint64_t seq;
+    Payload payload;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rats

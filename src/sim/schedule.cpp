@@ -1,0 +1,47 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace rats {
+
+Seconds Schedule::estimated_makespan() const {
+  Seconds makespan = 0;
+  for (const auto& p : placements) makespan = std::max(makespan, p.est_finish);
+  return makespan;
+}
+
+double Schedule::total_work(const TaskGraph& g, const AmdahlModel& model) const {
+  RATS_REQUIRE(placements.size() == static_cast<std::size_t>(g.num_tasks()),
+               "schedule does not cover the graph");
+  double work = 0;
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    work += model.work(g.task(t), allocation(t));
+  return work;
+}
+
+void Schedule::validate(const TaskGraph& g, const Cluster& cluster) const {
+  RATS_REQUIRE(placements.size() == static_cast<std::size_t>(g.num_tasks()),
+               "schedule must place every task");
+  std::set<std::int64_t> seqs;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    const TaskPlacement& p = of(t);
+    RATS_REQUIRE(!p.procs.empty(), "task mapped onto empty processor set");
+    std::set<NodeId> distinct(p.procs.begin(), p.procs.end());
+    RATS_REQUIRE(distinct.size() == p.procs.size(),
+                 "task mapped onto duplicated processors");
+    RATS_REQUIRE(*distinct.begin() >= 0 &&
+                     *distinct.rbegin() < cluster.num_nodes(),
+                 "task mapped onto out-of-range processor");
+    RATS_REQUIRE(p.seq >= 0, "placement missing sequence number");
+    RATS_REQUIRE(seqs.insert(p.seq).second, "duplicate sequence number");
+  }
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    for (TaskId pred : g.predecessors(t))
+      RATS_REQUIRE(of(pred).seq < of(t).seq,
+                   "schedule order violates a dependence");
+}
+
+}  // namespace rats

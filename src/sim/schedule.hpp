@@ -1,0 +1,53 @@
+// Schedule representation: the output of the two-step schedulers and
+// the input of the simulator.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "dag/task_graph.hpp"
+#include "model/amdahl.hpp"
+#include "platform/cluster.hpp"
+
+namespace rats {
+
+/// Where and (estimatedly) when one task runs.
+struct TaskPlacement {
+  std::vector<NodeId> procs;  ///< ordered processor set (rank order)
+  Seconds est_start{};        ///< mapper's contention-free start estimate
+  Seconds est_finish{};       ///< mapper's contention-free finish estimate
+  std::int64_t seq = -1;      ///< mapping order; orders tasks per processor
+};
+
+/// A complete schedule: one placement per task of the graph.
+struct Schedule {
+  std::vector<TaskPlacement> placements;
+
+  const TaskPlacement& of(TaskId t) const {
+    return placements[static_cast<std::size_t>(t)];
+  }
+  TaskPlacement& of(TaskId t) {
+    return placements[static_cast<std::size_t>(t)];
+  }
+
+  /// Allocation size of task `t`.
+  int allocation(TaskId t) const {
+    return static_cast<int>(of(t).procs.size());
+  }
+
+  /// Mapper-estimated makespan (max est_finish).
+  Seconds estimated_makespan() const;
+
+  /// Total work (processor-time area) under `model`: sum over tasks of
+  /// |procs| * T(t, |procs|).  Contention does not change compute
+  /// durations, so this equals the simulated work.
+  double total_work(const TaskGraph& g, const AmdahlModel& model) const;
+
+  /// Throws rats::Error unless every task is mapped onto a non-empty
+  /// set of distinct, in-range processors, sequence numbers are unique,
+  /// and every task's seq is greater than all of its predecessors'
+  /// (so per-processor orderings cannot deadlock the simulator).
+  void validate(const TaskGraph& g, const Cluster& cluster) const;
+};
+
+}  // namespace rats

@@ -1,0 +1,171 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "redist/block_redistribution.hpp"
+#include "redist/estimate.hpp"
+#include "sim/event_queue.hpp"
+
+namespace rats {
+
+namespace {
+constexpr Seconds kTimeEpsilon = 1e-12;
+}
+
+SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
+                          const Cluster& cluster,
+                          const SimulatorOptions& options) {
+  schedule.validate(graph, cluster);
+  const AmdahlModel model(cluster.node_speed());
+  FluidNetwork net(cluster);
+
+  const int num_tasks = graph.num_tasks();
+  SimulationResult result;
+  result.timeline.resize(static_cast<std::size_t>(num_tasks));
+
+  // Per-processor task queues in schedule (seq) order.
+  std::vector<std::vector<TaskId>> queue(
+      static_cast<std::size_t>(cluster.num_nodes()));
+  for (TaskId t = 0; t < num_tasks; ++t)
+    for (NodeId p : schedule.of(t).procs)
+      queue[static_cast<std::size_t>(p)].push_back(t);
+  // Processors serve their tasks in the order the mapper planned them
+  // to start; seq breaks ties.  (Estimated starts respect precedence —
+  // a child's start is at least its parent's finish — so per-processor
+  // orders cannot contradict the DAG and deadlock.)
+  for (auto& q : queue)
+    std::sort(q.begin(), q.end(), [&](TaskId a, TaskId b) {
+      const auto& pa = schedule.of(a);
+      const auto& pb = schedule.of(b);
+      if (pa.est_start != pb.est_start) return pa.est_start < pb.est_start;
+      return pa.seq < pb.seq;
+    });
+  std::vector<std::size_t> head(queue.size(), 0);
+
+  // Task and edge progress.
+  std::vector<std::int32_t> pending_inputs(static_cast<std::size_t>(num_tasks));
+  std::vector<char> started(static_cast<std::size_t>(num_tasks), 0);
+  for (TaskId t = 0; t < num_tasks; ++t)
+    pending_inputs[static_cast<std::size_t>(t)] =
+        static_cast<std::int32_t>(graph.in_edges(t).size());
+
+  std::vector<std::int32_t> edge_pending_flows(
+      static_cast<std::size_t>(graph.num_edges()), 0);
+  std::vector<std::pair<FlowId, EdgeId>> inflight;
+
+  EventQueue<TaskId> completions;        // task finish events
+  EventQueue<EdgeId> timed_edges;        // contention-free mode only
+  Seconds now = 0;
+  int finished_count = 0;
+
+  auto at_head = [&](TaskId t) {
+    for (NodeId p : schedule.of(t).procs) {
+      const auto& q = queue[static_cast<std::size_t>(p)];
+      const std::size_t pos = head[static_cast<std::size_t>(p)];
+      if (pos >= q.size() || q[pos] != t) return false;
+    }
+    return true;
+  };
+
+  auto edge_complete = [&](EdgeId e) {
+    const TaskId dst = graph.edge(e).dst;
+    auto& pending = pending_inputs[static_cast<std::size_t>(dst)];
+    RATS_REQUIRE(pending > 0, "edge completed twice");
+    if (--pending == 0)
+      result.timeline[static_cast<std::size_t>(dst)].data_ready = now;
+  };
+
+  auto open_redistribution = [&](EdgeId e) {
+    const Edge& edge = graph.edge(e);
+    const auto plan =
+        Redistribution::plan(edge.bytes, schedule.of(edge.src).procs,
+                             schedule.of(edge.dst).procs);
+    result.network_bytes += plan.remote_bytes();
+    if (plan.transfers().empty()) {
+      edge_complete(e);  // all data stays local: zero-cost redistribution
+      return;
+    }
+    if (!options.contention) {
+      timed_edges.push(now + estimate_redistribution_time(cluster, plan), e);
+      return;
+    }
+    for (const Transfer& tr : plan.transfers()) {
+      const FlowId f = net.open_flow(tr.src, tr.dst, tr.bytes);
+      ++edge_pending_flows[static_cast<std::size_t>(e)];
+      inflight.emplace_back(f, e);
+    }
+  };
+
+  auto finish_task = [&](TaskId t) {
+    result.timeline[static_cast<std::size_t>(t)].finish = now;
+    ++finished_count;
+    for (NodeId p : schedule.of(t).procs) {
+      auto& pos = head[static_cast<std::size_t>(p)];
+      RATS_REQUIRE(queue[static_cast<std::size_t>(p)][pos] == t,
+                   "completing task was not at queue head");
+      ++pos;
+    }
+    for (EdgeId e : graph.out_edges(t)) open_redistribution(e);
+  };
+
+  while (finished_count < num_tasks) {
+    // Start every task whose data is complete and whose processors have
+    // reached it in schedule order.
+    for (TaskId t = 0; t < num_tasks; ++t) {
+      if (started[static_cast<std::size_t>(t)] ||
+          pending_inputs[static_cast<std::size_t>(t)] > 0 || !at_head(t))
+        continue;
+      started[static_cast<std::size_t>(t)] = 1;
+      auto& timing = result.timeline[static_cast<std::size_t>(t)];
+      timing.start = now;
+      const Seconds duration =
+          model.execution_time(graph.task(t), schedule.allocation(t));
+      completions.push(now + duration, t);
+    }
+
+    // Earliest next event: a task completion, a network change or a
+    // contention-free redistribution completing.
+    Seconds t_next = std::numeric_limits<Seconds>::infinity();
+    if (!completions.empty()) t_next = completions.next_time();
+    if (!timed_edges.empty())
+      t_next = std::min(t_next, timed_edges.next_time());
+    if (const auto net_next = net.next_event_time())
+      t_next = std::min(t_next, *net_next);
+    RATS_REQUIRE(std::isfinite(t_next),
+                 "simulation stalled: no runnable task, no event in flight");
+
+    net.advance_to(t_next);
+    now = t_next;
+
+    // Flow completions -> redistribution completions.
+    for (std::size_t i = 0; i < inflight.size();) {
+      const auto [flow, e] = inflight[i];
+      if (!net.flow_done(flow)) {
+        ++i;
+        continue;
+      }
+      if (--edge_pending_flows[static_cast<std::size_t>(e)] == 0)
+        edge_complete(e);
+      inflight[i] = inflight.back();
+      inflight.pop_back();
+    }
+    while (!timed_edges.empty() &&
+           timed_edges.next_time() <= now + kTimeEpsilon)
+      edge_complete(timed_edges.pop());
+
+    // Task completions due now.
+    while (!completions.empty() &&
+           completions.next_time() <= now + kTimeEpsilon)
+      finish_task(completions.pop());
+  }
+
+  for (const auto& timing : result.timeline)
+    result.makespan = std::max(result.makespan, timing.finish);
+  result.total_work = schedule.total_work(graph, model);
+  return result;
+}
+
+}  // namespace rats

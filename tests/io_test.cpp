@@ -1,0 +1,117 @@
+// Unit tests for the workflow text format (src/io).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "daggen/kernels.hpp"
+#include "io/workflow_io.hpp"
+
+namespace rats {
+namespace {
+
+constexpr const char* kDiamond = R"(
+# a diamond
+task a m=4e6 a=128 alpha=0.1
+task b m=8e6 a=64  alpha=0.0
+task c m=8e6 a=64  alpha=0.25
+task d m=4e6 a=256 alpha=0.05
+
+edge a b
+edge a c
+edge b d bytes=1000
+edge c d
+)";
+
+TEST(WorkflowIo, ParsesTasksAndEdges) {
+  const TaskGraph g = parse_workflow_string(kDiamond);
+  ASSERT_EQ(g.num_tasks(), 4);
+  ASSERT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.task(0).name, "a");
+  EXPECT_DOUBLE_EQ(g.task(0).data_elems, 4e6);
+  EXPECT_DOUBLE_EQ(g.task(0).flops, 4e6 * 128);
+  EXPECT_DOUBLE_EQ(g.task(2).alpha, 0.25);
+}
+
+TEST(WorkflowIo, DefaultEdgeBytesAreSourceDataset) {
+  const TaskGraph g = parse_workflow_string(kDiamond);
+  EXPECT_DOUBLE_EQ(g.edge(0).bytes, 4e6 * kBytesPerElement);  // a -> b
+}
+
+TEST(WorkflowIo, ExplicitEdgeBytesOverride) {
+  const TaskGraph g = parse_workflow_string(kDiamond);
+  EXPECT_DOUBLE_EQ(g.edge(2).bytes, 1000);  // b -> d
+}
+
+TEST(WorkflowIo, CommentsAndBlankLinesIgnored) {
+  const TaskGraph g = parse_workflow_string(
+      "# only a comment\n\n   \ntask x m=5e6 a=64 alpha=0 # trailing\n");
+  EXPECT_EQ(g.num_tasks(), 1);
+}
+
+TEST(WorkflowIo, RoundTripsThroughText) {
+  Rng rng(9);
+  const TaskGraph original = generate_fft_dag(4, rng);
+  const TaskGraph copy = parse_workflow_string(to_workflow_text(original));
+  ASSERT_EQ(copy.num_tasks(), original.num_tasks());
+  ASSERT_EQ(copy.num_edges(), original.num_edges());
+  for (TaskId t = 0; t < original.num_tasks(); ++t) {
+    EXPECT_EQ(copy.task(t).name, original.task(t).name);
+    EXPECT_NEAR(copy.task(t).flops, original.task(t).flops,
+                original.task(t).flops * 1e-12);
+    EXPECT_DOUBLE_EQ(copy.task(t).alpha, original.task(t).alpha);
+  }
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_EQ(copy.edge(e).src, original.edge(e).src);
+    EXPECT_EQ(copy.edge(e).dst, original.edge(e).dst);
+    EXPECT_DOUBLE_EQ(copy.edge(e).bytes, original.edge(e).bytes);
+  }
+}
+
+TEST(WorkflowIo, SaveAndLoadFile) {
+  Rng rng(10);
+  const TaskGraph g = generate_strassen_dag(rng);
+  const std::string path = ::testing::TempDir() + "/wf_roundtrip.txt";
+  save_workflow(g, path);
+  const TaskGraph loaded = load_workflow(path);
+  EXPECT_EQ(loaded.num_tasks(), g.num_tasks());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(WorkflowIoErrors, RejectsMalformedInput) {
+  EXPECT_THROW(parse_workflow_string("task"), Error);  // missing name
+  EXPECT_THROW(parse_workflow_string("task t m=1e6 a=1"), Error);  // no alpha
+  EXPECT_THROW(parse_workflow_string("task t m=0 a=1 alpha=0"), Error);
+  EXPECT_THROW(parse_workflow_string("task t m=1e6 a=1 alpha=2"), Error);
+  EXPECT_THROW(parse_workflow_string("task t m=1e6 a=1 alpha=0 x=1"), Error);
+  EXPECT_THROW(parse_workflow_string("task t m=abc a=1 alpha=0"), Error);
+  EXPECT_THROW(parse_workflow_string("frobnicate t"), Error);
+  EXPECT_THROW(
+      parse_workflow_string("task t m=1e6 a=1 alpha=0\n"
+                            "task t m=1e6 a=1 alpha=0"),
+      Error);  // duplicate
+  EXPECT_THROW(parse_workflow_string("edge a b"), Error);  // unknown tasks
+  EXPECT_THROW(
+      parse_workflow_string("task a m=1e6 a=1 alpha=0\nedge a a"),
+      Error);  // self edge
+  EXPECT_THROW(
+      parse_workflow_string(
+          "task a m=1e6 a=1 alpha=0\ntask b m=1e6 a=1 alpha=0\n"
+          "edge a b bytes=-5"),
+      Error);  // negative bytes
+  EXPECT_THROW(load_workflow("/nonexistent/path/wf.txt"), Error);
+}
+
+TEST(WorkflowIoErrors, ReportsLineNumbers) {
+  try {
+    parse_workflow_string("task a m=1e6 a=1 alpha=0\nbogus\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rats

@@ -1,0 +1,291 @@
+// Unit tests for the mapping step: baseline list scheduling and the
+// RATS delta / time-cost redistribution-aware strategies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "daggen/kernels.hpp"
+#include "platform/grid5000.hpp"
+#include "sched/mapping.hpp"
+#include "sched/scheduler.hpp"
+
+namespace rats {
+namespace {
+
+Cluster cluster8() { return Cluster::flat("map-test", 8, 1e9, 100e-6, 125e6); }
+
+/// Two-task chain with a configurable allocation pair.
+struct ChainFixture {
+  TaskGraph g;
+  ChainFixture(double alpha_parent = 0.05, double alpha_child = 0.05) {
+    const TaskId a = g.add_task(Task{"parent", 16e6, 20e9, alpha_parent});
+    const TaskId b = g.add_task(Task{"child", 16e6, 20e9, alpha_child});
+    g.add_edge(a, b, 16e6 * kBytesPerElement);
+  }
+};
+
+MappingOptions mode(MappingMode m) {
+  MappingOptions o;
+  o.mode = m;
+  return o;
+}
+
+TEST(MappingBaseline, ProducesValidSchedule) {
+  ChainFixture f;
+  const Cluster c = cluster8();
+  const Schedule s = map_tasks(f.g, c, {4, 6}, mode(MappingMode::Baseline));
+  EXPECT_NO_THROW(s.validate(f.g, c));
+  EXPECT_EQ(s.allocation(0), 4);
+  EXPECT_EQ(s.allocation(1), 6);  // baseline never changes allocations
+}
+
+TEST(MappingBaseline, StartAfterPredecessorFinish) {
+  ChainFixture f;
+  const Cluster c = cluster8();
+  const Schedule s = map_tasks(f.g, c, {4, 6}, mode(MappingMode::Baseline));
+  EXPECT_GE(s.of(1).est_start, s.of(0).est_finish);
+}
+
+TEST(MappingBaseline, IndependentTasksUseDisjointProcessors) {
+  TaskGraph g;
+  g.add_task(Task{"a", 1e6, 10e9, 0.05});
+  g.add_task(Task{"b", 1e6, 10e9, 0.05});
+  const Cluster c = cluster8();
+  const Schedule s = map_tasks(g, c, {4, 4}, mode(MappingMode::Baseline));
+  std::set<NodeId> a(s.of(0).procs.begin(), s.of(0).procs.end());
+  for (NodeId p : s.of(1).procs) EXPECT_FALSE(a.count(p));
+  // Both can then run concurrently.
+  EXPECT_DOUBLE_EQ(s.of(0).est_start, 0.0);
+  EXPECT_DOUBLE_EQ(s.of(1).est_start, 0.0);
+}
+
+TEST(MappingBaseline, DoesNotChaseParentProcessors) {
+  // The baseline mapping is redistribution-oblivious by design (the
+  // decoupling the paper sets out to fix): it takes the earliest-free
+  // processors, which on an otherwise idle cluster are the ones the
+  // parent did NOT use — so the chain pays a redistribution that the
+  // delta strategy (same allocation sizes, delta = 0) avoids for free.
+  ChainFixture f;
+  const Cluster c = cluster8();
+  const Schedule base = map_tasks(f.g, c, {4, 4}, mode(MappingMode::Baseline));
+  EXPECT_NE(base.of(0).procs, base.of(1).procs);
+  const Schedule delta = map_tasks(f.g, c, {4, 4}, mode(MappingMode::Delta));
+  EXPECT_EQ(delta.of(0).procs, delta.of(1).procs);
+}
+
+TEST(MappingRequirements, RejectsBadAllocationsAndParameters) {
+  ChainFixture f;
+  const Cluster c = cluster8();
+  EXPECT_THROW(map_tasks(f.g, c, {4}, {}), Error);        // wrong size
+  EXPECT_THROW(map_tasks(f.g, c, {0, 4}, {}), Error);     // np < 1
+  EXPECT_THROW(map_tasks(f.g, c, {4, 99}, {}), Error);    // np > P
+  MappingOptions o;
+  o.mindelta = 0.5;  // must be negative
+  EXPECT_THROW(map_tasks(f.g, c, {4, 4}, o), Error);
+  o = MappingOptions{};
+  o.minrho = 0.0;  // out of (0, 1]
+  EXPECT_THROW(map_tasks(f.g, c, {4, 4}, o), Error);
+}
+
+// --------------------------------------------------------------- delta
+
+TEST(MappingDelta, StretchesOntoParentWithinMaxdelta) {
+  ChainFixture f;
+  const Cluster c = cluster8();
+  MappingOptions o = mode(MappingMode::Delta);
+  o.maxdelta = 0.5;  // child np=4 may grow to 6
+  const Schedule s = map_tasks(f.g, c, {6, 4}, o);
+  EXPECT_EQ(s.of(1).procs, s.of(0).procs);  // adopted parent's 6 procs
+  EXPECT_EQ(s.allocation(1), 6);
+}
+
+TEST(MappingDelta, RefusesStretchBeyondMaxdelta) {
+  ChainFixture f;
+  const Cluster c = cluster8();
+  MappingOptions o = mode(MappingMode::Delta);
+  o.maxdelta = 0.25;  // child np=4 may grow only to 5, parent has 6
+  const Schedule s = map_tasks(f.g, c, {6, 4}, o);
+  EXPECT_EQ(s.allocation(1), 4);  // kept original allocation
+}
+
+TEST(MappingDelta, PacksOntoSmallerParentWithinMindelta) {
+  ChainFixture f;
+  const Cluster c = cluster8();
+  MappingOptions o = mode(MappingMode::Delta);
+  o.mindelta = -0.5;  // child np=6 may shrink to 3; parent has 4
+  const Schedule s = map_tasks(f.g, c, {4, 6}, o);
+  EXPECT_EQ(s.of(1).procs, s.of(0).procs);
+  EXPECT_EQ(s.allocation(1), 4);
+}
+
+TEST(MappingDelta, RefusesPackBeyondMindelta) {
+  ChainFixture f;
+  const Cluster c = cluster8();
+  MappingOptions o = mode(MappingMode::Delta);
+  o.mindelta = -0.25;  // child np=6 may shrink to 4.5 procs; parent has 4
+  const Schedule s = map_tasks(f.g, c, {4, 6}, o);
+  EXPECT_EQ(s.allocation(1), 6);
+}
+
+TEST(MappingDelta, ZeroDeltaAlwaysAdopted) {
+  ChainFixture f;
+  const Cluster c = cluster8();
+  MappingOptions o = mode(MappingMode::Delta);
+  o.maxdelta = 0.0;
+  o.mindelta = 0.0;
+  const Schedule s = map_tasks(f.g, c, {5, 5}, o);
+  EXPECT_EQ(s.of(1).procs, s.of(0).procs);
+}
+
+TEST(MappingDelta, PrefersSmallestModification) {
+  // Child (np=4) has parents with 5 and 8 processors: delta picks the
+  // closest (5), not the biggest.
+  TaskGraph g;
+  const TaskId a = g.add_task(Task{"p5", 8e6, 10e9, 0.05});
+  const TaskId b = g.add_task(Task{"p8", 8e6, 10e9, 0.05});
+  const TaskId child = g.add_task(Task{"child", 8e6, 10e9, 0.05});
+  g.add_edge(a, child, 64e6);
+  g.add_edge(b, child, 64e6);
+  const Cluster c = Cluster::flat("t", 16, 1e9, 100e-6, 125e6);
+  MappingOptions o = mode(MappingMode::Delta);
+  o.maxdelta = 1.0;
+  const Schedule s = map_tasks(g, c, {5, 8, 4}, o);
+  EXPECT_EQ(s.of(child).procs, s.of(a).procs);
+}
+
+TEST(MappingDelta, PacksWhenPackIsCloserThanStretch) {
+  // Parents with 2 and 8 procs, child np=4: pack distance 2 < stretch 4.
+  TaskGraph g;
+  const TaskId a = g.add_task(Task{"p2", 8e6, 10e9, 0.05});
+  const TaskId b = g.add_task(Task{"p8", 8e6, 10e9, 0.05});
+  const TaskId child = g.add_task(Task{"child", 8e6, 10e9, 0.05});
+  g.add_edge(a, child, 64e6);
+  g.add_edge(b, child, 64e6);
+  const Cluster c = Cluster::flat("t", 16, 1e9, 100e-6, 125e6);
+  MappingOptions o = mode(MappingMode::Delta);
+  o.maxdelta = 1.0;
+  o.mindelta = -0.5;
+  const Schedule s = map_tasks(g, c, {2, 8, 4}, o);
+  EXPECT_EQ(s.of(child).procs, s.of(a).procs);
+}
+
+// ----------------------------------------------------------- time-cost
+
+TEST(MappingTimeCost, StretchRequiresGoodWorkRatio) {
+  // alpha = 0: work is constant in p, rho = 1 -> stretch allowed even
+  // with minrho = 1.
+  ChainFixture f(0.0, 0.0);
+  const Cluster c = cluster8();
+  MappingOptions o = mode(MappingMode::TimeCost);
+  o.minrho = 1.0;
+  const Schedule s = map_tasks(f.g, c, {6, 4}, o);
+  EXPECT_EQ(s.of(1).procs, s.of(0).procs);
+}
+
+TEST(MappingTimeCost, StretchRejectedWhenRhoTooLow) {
+  // Highly serial child: stretching wastes processors, rho collapses.
+  ChainFixture f(0.0, 0.9);
+  const Cluster c = cluster8();
+  MappingOptions o = mode(MappingMode::TimeCost);
+  o.minrho = 0.95;
+  o.packing = false;
+  const Schedule s = map_tasks(f.g, c, {8, 2}, o);
+  EXPECT_EQ(s.allocation(1), 2);
+}
+
+TEST(MappingTimeCost, PackOnlyIfFinishNotWorse) {
+  // Parent on 2 procs, child allocated 6.  Packing the child to 2
+  // procs makes it much slower; since processors are otherwise free
+  // the packed finish is worse, so packing must be refused.
+  ChainFixture f(0.05, 0.0);
+  const Cluster c = cluster8();
+  MappingOptions o = mode(MappingMode::TimeCost);
+  o.packing = true;
+  const Schedule s = map_tasks(f.g, c, {2, 6}, o);
+  EXPECT_EQ(s.allocation(1), 6);
+}
+
+TEST(MappingTimeCost, PackingDisabledKeepsAllocation) {
+  ChainFixture f;
+  const Cluster c = cluster8();
+  MappingOptions o = mode(MappingMode::TimeCost);
+  o.packing = false;
+  const Schedule s = map_tasks(f.g, c, {4, 6}, o);
+  EXPECT_EQ(s.allocation(1), 6);
+}
+
+TEST(MappingTimeCost, ValidScheduleOnKernels) {
+  Rng rng(1);
+  const TaskGraph g = generate_strassen_dag(rng);
+  const Cluster c = grid5000::grillon();
+  for (double minrho : {0.2, 0.5, 1.0}) {
+    MappingOptions o = mode(MappingMode::TimeCost);
+    o.minrho = minrho;
+    Allocation alloc = allocate(g, c);
+    const Schedule s = map_tasks(g, c, alloc, o);
+    EXPECT_NO_THROW(s.validate(g, c));
+  }
+}
+
+// ------------------------------------------------------- end-to-end
+
+TEST(Scheduler, AllKindsProduceValidSchedules) {
+  Rng rng(2);
+  const TaskGraph g = generate_fft_dag(8, rng);
+  const Cluster c = grid5000::chti();
+  for (SchedulerKind kind :
+       {SchedulerKind::Cpa, SchedulerKind::Mcpa, SchedulerKind::Hcpa,
+        SchedulerKind::RatsDelta, SchedulerKind::RatsTimeCost}) {
+    SchedulerOptions o;
+    o.kind = kind;
+    const Schedule s = build_schedule(g, c, o);
+    EXPECT_NO_THROW(s.validate(g, c)) << to_string(kind);
+    EXPECT_GT(s.estimated_makespan(), 0.0) << to_string(kind);
+  }
+}
+
+TEST(Scheduler, NamesAreStable) {
+  EXPECT_EQ(to_string(SchedulerKind::Hcpa), "HCPA");
+  EXPECT_EQ(to_string(SchedulerKind::RatsDelta), "RATS-delta");
+  EXPECT_EQ(to_string(SchedulerKind::RatsTimeCost), "RATS-time-cost");
+  EXPECT_EQ(to_string(SchedulerKind::Cpa), "CPA");
+  EXPECT_EQ(to_string(SchedulerKind::Mcpa), "MCPA");
+}
+
+TEST(Scheduler, DeltaWithZeroBoundsMatchesAllocationSizes) {
+  // maxdelta = mindelta = 0 only allows exact-size adoption, so every
+  // task keeps its step-one allocation size.
+  Rng rng(3);
+  const TaskGraph g = generate_fft_dag(4, rng);
+  const Cluster c = grid5000::chti();
+  SchedulerOptions o;
+  o.kind = SchedulerKind::RatsDelta;
+  o.rats.maxdelta = 0.0;
+  o.rats.mindelta = 0.0;
+  const Schedule s = build_schedule(g, c, o);
+  const Allocation a = allocate(g, c);
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    EXPECT_EQ(s.allocation(t), a[static_cast<std::size_t>(t)]) << t;
+}
+
+TEST(Scheduler, EstimatesAreCausallyOrdered) {
+  Rng rng(4);
+  const TaskGraph g = generate_strassen_dag(rng);
+  const Cluster c = grid5000::grillon();
+  for (SchedulerKind kind : {SchedulerKind::Hcpa, SchedulerKind::RatsDelta,
+                             SchedulerKind::RatsTimeCost}) {
+    SchedulerOptions o;
+    o.kind = kind;
+    const Schedule s = build_schedule(g, c, o);
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      EXPECT_LE(s.of(t).est_start, s.of(t).est_finish);
+      for (TaskId pred : g.predecessors(t))
+        EXPECT_GE(s.of(t).est_start, s.of(pred).est_finish - 1e-9)
+            << to_string(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rats

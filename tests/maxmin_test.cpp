@@ -1,0 +1,180 @@
+// Unit and property tests for the Max-Min fair bandwidth-sharing solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/maxmin.hpp"
+
+namespace rats {
+namespace {
+
+FlowDemand flow(std::vector<std::int32_t> links,
+                Rate cap = std::numeric_limits<Rate>::infinity()) {
+  return FlowDemand{std::move(links), cap};
+}
+
+TEST(MaxMin, SingleFlowGetsFullCapacity) {
+  const auto rates = maxmin_fair_rates({100.0}, {flow({0})});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+}
+
+TEST(MaxMin, TwoFlowsShareEvenly) {
+  const auto rates = maxmin_fair_rates({100.0}, {flow({0}), flow({0})});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(MaxMin, MinimumAcrossLinks) {
+  // Flow crosses a 100 and a 40 link alone: bottleneck is 40.
+  const auto rates = maxmin_fair_rates({100.0, 40.0}, {flow({0, 1})});
+  EXPECT_DOUBLE_EQ(rates[0], 40.0);
+}
+
+TEST(MaxMin, ClassicParkingLot) {
+  // Long flow crosses both links; two short flows cross one each.
+  // Max-min: every flow gets 50 on each 100-capacity link.
+  const auto rates = maxmin_fair_rates(
+      {100.0, 100.0}, {flow({0, 1}), flow({0}), flow({1})});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+  EXPECT_DOUBLE_EQ(rates[2], 50.0);
+}
+
+TEST(MaxMin, UnbalancedBottleneckFreesCapacity) {
+  // Link 0 (cap 30) carries flows A,B; link 1 (cap 100) carries B,C.
+  // A,B limited to 15 by link 0; C then gets 85 on link 1.
+  const auto rates = maxmin_fair_rates(
+      {30.0, 100.0}, {flow({0}), flow({0, 1}), flow({1})});
+  EXPECT_DOUBLE_EQ(rates[0], 15.0);
+  EXPECT_DOUBLE_EQ(rates[1], 15.0);
+  EXPECT_DOUBLE_EQ(rates[2], 85.0);
+}
+
+TEST(MaxMin, FlowCapRespected) {
+  const auto rates = maxmin_fair_rates({100.0}, {flow({0}, 10.0), flow({0})});
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 90.0);  // the uncapped flow picks up the rest
+}
+
+TEST(MaxMin, CapAboveShareHasNoEffect) {
+  const auto rates =
+      maxmin_fair_rates({100.0}, {flow({0}, 80.0), flow({0}, 90.0)});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(MaxMin, LoopbackFlowGetsItsCap) {
+  const auto rates = maxmin_fair_rates({100.0}, {flow({}, 42.0)});
+  EXPECT_DOUBLE_EQ(rates[0], 42.0);
+}
+
+TEST(MaxMin, LoopbackUncappedIsInfinite) {
+  const auto rates = maxmin_fair_rates({}, {flow({})});
+  EXPECT_TRUE(std::isinf(rates[0]));
+}
+
+TEST(MaxMin, NoFlowsNoRates) {
+  EXPECT_TRUE(maxmin_fair_rates({10.0}, {}).empty());
+}
+
+TEST(MaxMin, RejectsUnknownLink) {
+  EXPECT_THROW(maxmin_fair_rates({10.0}, {flow({3})}), Error);
+}
+
+TEST(MaxMin, RejectsZeroCapacityUsedLink) {
+  EXPECT_THROW(maxmin_fair_rates({0.0}, {flow({0})}), Error);
+}
+
+TEST(MaxMin, ThreeLevelHierarchyOfBottlenecks) {
+  // Links: 0 (cap 12, flows A,B,C), 1 (cap 10, flows B), 2 (cap 2, C).
+  // C is limited to 2 by link 2; A and B then share the remaining 10
+  // of link 0 -> 5 each (B's link 1 is not binding at 5).
+  const auto rates = maxmin_fair_rates(
+      {12.0, 10.0, 2.0}, {flow({0}), flow({0, 1}), flow({0, 2})});
+  EXPECT_DOUBLE_EQ(rates[2], 2.0);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+// ---------------------------------------------------------- properties
+
+struct RandomCase {
+  int links;
+  int flows;
+  std::uint64_t seed;
+};
+
+class MaxMinProperties : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(MaxMinProperties, FeasibleCapRespectingAndMaxMinOptimal) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  std::vector<Rate> capacity;
+  for (int l = 0; l < param.links; ++l)
+    capacity.push_back(rng.uniform(10.0, 200.0));
+  std::vector<FlowDemand> flows;
+  for (int f = 0; f < param.flows; ++f) {
+    FlowDemand d;
+    const int route_len = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < route_len; ++i) {
+      const auto link =
+          static_cast<std::int32_t>(rng.uniform_int(0, param.links - 1));
+      if (std::find(d.links.begin(), d.links.end(), link) == d.links.end())
+        d.links.push_back(link);
+    }
+    if (rng.bernoulli(0.3)) d.cap = rng.uniform(5.0, 100.0);
+    flows.push_back(std::move(d));
+  }
+
+  const auto rates = maxmin_fair_rates(capacity, flows);
+  ASSERT_EQ(rates.size(), flows.size());
+
+  // Feasibility: no link oversubscribed.
+  std::vector<double> used(capacity.size(), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f)
+    for (auto l : flows[f].links) used[static_cast<std::size_t>(l)] += rates[f];
+  for (std::size_t l = 0; l < capacity.size(); ++l)
+    EXPECT_LE(used[l], capacity[l] * (1 + 1e-9));
+
+  // Cap respect and positivity.
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_LE(rates[f], flows[f].cap * (1 + 1e-9));
+    EXPECT_GT(rates[f], 0.0);
+  }
+
+  // Max-min optimality: every flow is either at its cap or crosses a
+  // saturated link where its rate is maximal among that link's flows.
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (rates[f] >= flows[f].cap * (1 - 1e-9)) continue;
+    bool bottlenecked = false;
+    for (auto l : flows[f].links) {
+      const auto li = static_cast<std::size_t>(l);
+      if (used[li] < capacity[li] * (1 - 1e-9)) continue;
+      double max_on_link = 0;
+      for (std::size_t g = 0; g < flows.size(); ++g)
+        if (std::find(flows[g].links.begin(), flows[g].links.end(), l) !=
+            flows[g].links.end())
+          max_on_link = std::max(max_on_link, rates[g]);
+      if (rates[f] >= max_on_link * (1 - 1e-9)) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << f << " is not bottlenecked";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, MaxMinProperties,
+    ::testing::Values(RandomCase{1, 2, 1}, RandomCase{2, 4, 2},
+                      RandomCase{3, 8, 3}, RandomCase{5, 16, 4},
+                      RandomCase{8, 32, 5}, RandomCase{10, 64, 6},
+                      RandomCase{4, 12, 7}, RandomCase{6, 24, 8},
+                      RandomCase{12, 48, 9}, RandomCase{16, 100, 10}));
+
+}  // namespace
+}  // namespace rats

@@ -1,0 +1,107 @@
+// Unit and property tests for the Amdahl performance model.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "model/amdahl.hpp"
+
+namespace rats {
+namespace {
+
+Task make_task(double flops, double alpha) {
+  return Task{"t", 0.0, flops, alpha};
+}
+
+TEST(AmdahlModel, SequentialTimeIsFlopsOverRate) {
+  const AmdahlModel model(2e9);
+  EXPECT_DOUBLE_EQ(model.sequential_time(make_task(4e9, 0.1)), 2.0);
+}
+
+TEST(AmdahlModel, OneProcessorEqualsSequential) {
+  const AmdahlModel model(1e9);
+  const Task t = make_task(3e9, 0.2);
+  EXPECT_DOUBLE_EQ(model.execution_time(t, 1), model.sequential_time(t));
+}
+
+TEST(AmdahlModel, FullyParallelScalesPerfectly) {
+  const AmdahlModel model(1e9);
+  const Task t = make_task(8e9, 0.0);
+  EXPECT_DOUBLE_EQ(model.execution_time(t, 8), 1.0);
+}
+
+TEST(AmdahlModel, FullySerialNeverImproves) {
+  const AmdahlModel model(1e9);
+  const Task t = make_task(5e9, 1.0);
+  EXPECT_DOUBLE_EQ(model.execution_time(t, 64), 5.0);
+}
+
+TEST(AmdahlModel, KnownMidpoint) {
+  // T = 10 * (0.25 + 0.75/4) = 10 * 0.4375
+  const AmdahlModel model(1e9);
+  const Task t = make_task(10e9, 0.25);
+  EXPECT_DOUBLE_EQ(model.execution_time(t, 4), 4.375);
+}
+
+TEST(AmdahlModel, WorkAtOneProcessorEqualsSequentialTime) {
+  const AmdahlModel model(1e9);
+  const Task t = make_task(6e9, 0.15);
+  EXPECT_DOUBLE_EQ(model.work(t, 1), model.sequential_time(t));
+}
+
+TEST(AmdahlModel, RejectsNonPositiveSpeed) {
+  EXPECT_THROW(AmdahlModel(0), Error);
+  EXPECT_THROW(AmdahlModel(-5), Error);
+}
+
+TEST(AmdahlModel, RejectsZeroProcessors) {
+  const AmdahlModel model(1e9);
+  EXPECT_THROW(model.execution_time(make_task(1e9, 0.1), 0), Error);
+}
+
+// Property sweep over (alpha, procs): the paper's model assumptions.
+class AmdahlProperties
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(AmdahlProperties, ExecutionTimeMonotonicallyDecreasing) {
+  const auto [alpha, procs] = GetParam();
+  const AmdahlModel model(3.2e9);
+  const Task t = make_task(7.3e12, alpha);
+  if (alpha < 1.0) {
+    EXPECT_GT(model.execution_time(t, procs),
+              model.execution_time(t, procs + 1));
+  } else {
+    EXPECT_DOUBLE_EQ(model.execution_time(t, procs),
+                     model.execution_time(t, procs + 1));
+  }
+}
+
+TEST_P(AmdahlProperties, WorkNonDecreasingInProcessors) {
+  const auto [alpha, procs] = GetParam();
+  const AmdahlModel model(3.2e9);
+  const Task t = make_task(7.3e12, alpha);
+  EXPECT_LE(model.work(t, procs), model.work(t, procs + 1) + 1e-9);
+}
+
+TEST_P(AmdahlProperties, GainOfOneMoreIsNonNegative) {
+  const auto [alpha, procs] = GetParam();
+  const AmdahlModel model(3.2e9);
+  const Task t = make_task(7.3e12, alpha);
+  EXPECT_GE(model.gain_of_one_more(t, procs), 0.0);
+}
+
+TEST_P(AmdahlProperties, TimeBoundedBelowBySerialFraction) {
+  const auto [alpha, procs] = GetParam();
+  const AmdahlModel model(3.2e9);
+  const Task t = make_task(7.3e12, alpha);
+  EXPECT_GE(model.execution_time(t, procs),
+            alpha * model.sequential_time(t) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaProcGrid, AmdahlProperties,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.125, 0.25, 0.5, 1.0),
+                       ::testing::Values(1, 2, 3, 7, 16, 47, 119)));
+
+}  // namespace
+}  // namespace rats

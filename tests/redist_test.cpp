@@ -1,0 +1,228 @@
+// Unit and property tests for 1-D block redistribution, including the
+// paper's Table I communication matrix.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "redist/block_redistribution.hpp"
+#include "redist/estimate.hpp"
+
+namespace rats {
+namespace {
+
+std::vector<NodeId> nodes(std::initializer_list<NodeId> ids) { return ids; }
+
+// ------------------------------------------------------------ overlap
+
+TEST(BlockOverlap, IdentityDistribution) {
+  EXPECT_DOUBLE_EQ(block_overlap(100, 4, 2, 4, 2), 25.0);
+  EXPECT_DOUBLE_EQ(block_overlap(100, 4, 2, 4, 3), 0.0);
+}
+
+TEST(BlockOverlap, RejectsBadRanks) {
+  EXPECT_THROW(block_overlap(100, 4, 4, 4, 0), Error);
+  EXPECT_THROW(block_overlap(100, 0, 0, 4, 0), Error);
+}
+
+// The exact communication matrix of Table I: 10 units of data, p = 4
+// senders, q = 5 receivers.
+TEST(Redistribution, TableOneMatrix) {
+  const auto r = Redistribution::plan(10.0, nodes({0, 1, 2, 3}),
+                                      nodes({4, 5, 6, 7, 8}));
+  const auto m = r.matrix();
+  const std::vector<std::vector<double>> expected = {
+      {2.0, 0.5, 0.0, 0.0, 0.0},
+      {0.0, 1.5, 1.0, 0.0, 0.0},
+      {0.0, 0.0, 1.0, 1.5, 0.0},
+      {0.0, 0.0, 0.0, 0.5, 2.0},
+  };
+  ASSERT_EQ(m.size(), 4u);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 5; ++j)
+      EXPECT_NEAR(m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                  expected[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)],
+                  1e-12)
+          << "entry (" << i << "," << j << ")";
+}
+
+TEST(Redistribution, DisjointSetsHaveNoSelfBytes) {
+  const auto r = Redistribution::plan(10.0, nodes({0, 1, 2, 3}),
+                                      nodes({4, 5, 6, 7, 8}));
+  EXPECT_DOUBLE_EQ(r.self_bytes(), 0.0);
+  EXPECT_NEAR(r.remote_bytes(), 10.0, 1e-12);
+  // Block overlap yields at most p + q - 1 transfers.
+  EXPECT_LE(r.transfers().size(), 8u);
+}
+
+TEST(Redistribution, SameOrderedSetIsAllSelf) {
+  const auto r =
+      Redistribution::plan(1e6, nodes({3, 1, 4}), nodes({3, 1, 4}));
+  EXPECT_TRUE(r.transfers().empty());
+  EXPECT_DOUBLE_EQ(r.remote_bytes(), 0.0);
+  EXPECT_NEAR(r.self_bytes(), 1e6, 1e-6);
+}
+
+TEST(Redistribution, SameSetDifferentOrderRecoversIdentity) {
+  // The self-communication maximization permutes receivers back into
+  // the senders' order, so no byte crosses the network.
+  const auto r =
+      Redistribution::plan(1e6, nodes({3, 1, 4}), nodes({4, 3, 1}));
+  EXPECT_TRUE(r.transfers().empty());
+  EXPECT_EQ(r.receiver_order(), nodes({3, 1, 4}));
+}
+
+TEST(Redistribution, WithoutMaximizationSamePermutedSetCommunicates) {
+  const auto r = Redistribution::plan(1e6, nodes({3, 1, 4}),
+                                      nodes({4, 3, 1}), false);
+  EXPECT_FALSE(r.transfers().empty());
+  EXPECT_GT(r.remote_bytes(), 0.0);
+}
+
+TEST(Redistribution, PartialOverlapKeepsSharedNodesLocal) {
+  // Senders {0,1}, receivers {1,2}: node 1 appears on both sides and
+  // should keep its half local.
+  const auto r = Redistribution::plan(100.0, nodes({0, 1}), nodes({1, 2}));
+  EXPECT_NEAR(r.self_bytes(), 50.0, 1e-9);
+  EXPECT_NEAR(r.remote_bytes(), 50.0, 1e-9);
+  // Receiver rank 1 (second half) is node 1.
+  EXPECT_EQ(r.receiver_order()[1], 1);
+}
+
+TEST(Redistribution, GrowingAllocationOneToTwo) {
+  const auto r = Redistribution::plan(100.0, nodes({0}), nodes({0, 1}));
+  // Node 0 keeps its first half, sends second half to node 1.
+  EXPECT_NEAR(r.self_bytes(), 50.0, 1e-9);
+  ASSERT_EQ(r.transfers().size(), 1u);
+  EXPECT_EQ(r.transfers()[0].src, 0);
+  EXPECT_EQ(r.transfers()[0].dst, 1);
+  EXPECT_NEAR(r.transfers()[0].bytes, 50.0, 1e-9);
+}
+
+TEST(Redistribution, ShrinkingAllocationTwoToOne) {
+  const auto r = Redistribution::plan(100.0, nodes({0, 1}), nodes({1}));
+  // Receiver is node 1: it keeps its half, gets node 0's half.
+  EXPECT_NEAR(r.self_bytes(), 50.0, 1e-9);
+  ASSERT_EQ(r.transfers().size(), 1u);
+  EXPECT_EQ(r.transfers()[0].src, 0);
+}
+
+TEST(Redistribution, ZeroBytesYieldsNoTransfers) {
+  const auto r = Redistribution::plan(0.0, nodes({0, 1}), nodes({2, 3}));
+  EXPECT_TRUE(r.transfers().empty());
+  EXPECT_DOUBLE_EQ(r.total_bytes(), 0.0);
+}
+
+TEST(Redistribution, RejectsEmptyRanks) {
+  EXPECT_THROW(Redistribution::plan(10.0, {}, nodes({0})), Error);
+  EXPECT_THROW(Redistribution::plan(10.0, nodes({0}), {}), Error);
+  EXPECT_THROW(Redistribution::plan(-1.0, nodes({0}), nodes({1})), Error);
+}
+
+// --------------------------------------------------------- properties
+
+class RedistConservation
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RedistConservation, BytesConservedAndMatrixConsistent) {
+  const auto [p, q] = GetParam();
+  const double total = 1e7;
+  std::vector<NodeId> senders, receivers;
+  for (int i = 0; i < p; ++i) senders.push_back(i);
+  for (int j = 0; j < q; ++j) receivers.push_back(100 + j);  // disjoint
+  const auto r = Redistribution::plan(total, senders, receivers);
+
+  // All bytes cross the network (disjoint) and are conserved.
+  EXPECT_NEAR(r.remote_bytes(), total, total * 1e-12);
+  double sum = 0;
+  for (const auto& t : r.transfers()) sum += t.bytes;
+  EXPECT_NEAR(sum, total, total * 1e-12);
+
+  // Matrix rows sum to the sender share, columns to the receiver share.
+  const auto m = r.matrix();
+  for (int i = 0; i < p; ++i) {
+    const double row = std::accumulate(m[static_cast<std::size_t>(i)].begin(),
+                                       m[static_cast<std::size_t>(i)].end(),
+                                       0.0);
+    EXPECT_NEAR(row, total / p, total * 1e-12);
+  }
+  for (int j = 0; j < q; ++j) {
+    double col = 0;
+    for (int i = 0; i < p; ++i)
+      col += m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    EXPECT_NEAR(col, total / q, total * 1e-12);
+  }
+
+  // Interval overlap structure: at most p + q - 1 non-zero transfers.
+  EXPECT_LE(r.transfers().size(), static_cast<std::size_t>(p + q - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PQGrid, RedistConservation,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 7, 16, 24),
+                       ::testing::Values(1, 2, 3, 5, 8, 13, 24)));
+
+class RedistSelfMaximization : public ::testing::TestWithParam<int> {};
+
+TEST_P(RedistSelfMaximization, SharedSubsetKeepsDataLocal) {
+  // Senders [0, n), receivers [0, n) shuffled: identity must be found.
+  const int n = GetParam();
+  std::vector<NodeId> senders, receivers;
+  for (int i = 0; i < n; ++i) senders.push_back(i);
+  for (int i = 0; i < n; ++i) receivers.push_back((i * 7 + 3) % n);
+  const auto r = Redistribution::plan(1e6, senders, receivers);
+  EXPECT_TRUE(r.transfers().empty()) << "n=" << n;
+  EXPECT_EQ(r.receiver_order(), senders);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RedistSelfMaximization,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 20, 47));
+
+// ----------------------------------------------------------- estimate
+
+TEST(Estimate, ZeroWhenNoNetworkTraffic) {
+  const Cluster c = Cluster::flat("t", 4, 1e9, 100e-6, 125e6);
+  EXPECT_DOUBLE_EQ(
+      estimate_redistribution_time(c, 1e6, nodes({0, 1}), nodes({0, 1})),
+      0.0);
+}
+
+TEST(Estimate, SingleTransferMatchesLatencyPlusSerialization) {
+  const Cluster c = Cluster::flat("t", 4, 1e9, 100e-6, 125e6);
+  // 1 -> 2 processors: 62.5 MB cross the NIC at 125 MB/s.
+  const Seconds t =
+      estimate_redistribution_time(c, 125e6, nodes({0}), nodes({0, 1}));
+  EXPECT_NEAR(t, 2e-4 + 0.5, 1e-9);
+}
+
+TEST(Estimate, BoundedByMostLoadedEndpoint) {
+  const Cluster c = Cluster::flat("t", 8, 1e9, 100e-6, 125e6);
+  // 1 sender scatters to 4 disjoint receivers: sender NIC carries all.
+  const Seconds t = estimate_redistribution_time(c, 125e6, nodes({0}),
+                                                 nodes({1, 2, 3, 4}));
+  EXPECT_NEAR(t, 2e-4 + 1.0, 1e-9);
+}
+
+TEST(Estimate, AccountsForCabinetUplinks) {
+  const Cluster c = Cluster::hierarchical("h", 2, 2, 1e9, 100e-6, 125e6,
+                                          100e-6, 125e6);
+  // Both nodes of cabinet 0 send half of 250 MB to cabinet 1: every
+  // byte crosses the shared uplink -> uplink serialization dominates.
+  const Seconds t = estimate_redistribution_time(c, 250e6, nodes({0, 1}),
+                                                 nodes({2, 3}));
+  EXPECT_NEAR(t, 4e-4 + 2.0, 1e-9);
+}
+
+TEST(Estimate, ScalesLinearlyWithVolume) {
+  const Cluster c = Cluster::flat("t", 4, 1e9, 100e-6, 125e6);
+  const Seconds t1 =
+      estimate_redistribution_time(c, 1e6, nodes({0, 1}), nodes({2, 3}));
+  const Seconds t2 =
+      estimate_redistribution_time(c, 2e6, nodes({0, 1}), nodes({2, 3}));
+  EXPECT_NEAR(t2 - 2e-4, 2.0 * (t1 - 2e-4), 1e-9);
+}
+
+}  // namespace
+}  // namespace rats
