@@ -1,8 +1,23 @@
-// google-benchmark microbenchmarks of the simulation substrate: the
-// Max-Min fair-share solver, block-redistribution planning, the fluid
-// network flow simulation, DAG generation, and one end-to-end
+// Microbenchmarks of the simulation substrate: the Max-Min fair-share
+// solver (incremental vs reference), block-redistribution planning, the
+// fluid network flow simulation, DAG generation, and one end-to-end
 // schedule+simulate scenario per algorithm.
+//
+// Two modes:
+//  * default            — google-benchmark microbenchmarks;
+//  * --grid [--out F]   — the solver scaling grid (flows x links x
+//                         events, old vs new solver), emitting JSON
+//                         under bench/results/ so speedups land in the
+//                         benchmark trajectory.  --quick shrinks the
+//                         grid for CI smoke runs.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "daggen/kernels.hpp"
@@ -18,28 +33,53 @@ namespace {
 
 using namespace rats;
 
-// Max-Min solver: `flows` random flows over a 64-node flat cluster's
-// NIC links (two links per flow).
-void BM_MaxMinSolver(benchmark::State& state) {
-  const int nodes = 64;
-  const auto flows_count = static_cast<std::size_t>(state.range(0));
-  std::vector<Rate> capacity(static_cast<std::size_t>(2 * nodes), 125e6);
-  Rng rng(7);
+// Random flow population: `flows_count` flows over `links` NIC-style
+// links, two links per flow (sender up + receiver down), 30% TCP-capped.
+std::vector<FlowDemand> make_flows(std::size_t flows_count, int links,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
   std::vector<FlowDemand> flows(flows_count);
+  const int nodes = links / 2;
   for (auto& f : flows) {
     auto src = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 1));
     auto dst = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 1));
     if (dst == src) dst = (dst + 1) % nodes;
     f.links = {2 * src, 2 * dst + 1};
+    if (rng.bernoulli(0.3)) f.cap = rng.uniform(1e6, 125e6);
   }
+  return flows;
+}
+
+// Max-Min solver: `flows` random flows over a 64-node flat cluster's
+// NIC links (two links per flow).
+void BM_MaxMinSolver(benchmark::State& state) {
+  const auto flows_count = static_cast<std::size_t>(state.range(0));
+  std::vector<Rate> capacity(128, 125e6);
+  const auto flows = make_flows(flows_count, 128, 7);
+  MaxMinSolver solver;
+  std::vector<Rate> rates;
   for (auto _ : state) {
-    auto rates = maxmin_fair_rates(capacity, flows);
+    solver.solve(capacity, flows, rates);
     benchmark::DoNotOptimize(rates);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(flows_count));
 }
 BENCHMARK(BM_MaxMinSolver)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// The seed's full-rescan solver on the same instances, for comparison.
+void BM_MaxMinSolverReference(benchmark::State& state) {
+  const auto flows_count = static_cast<std::size_t>(state.range(0));
+  std::vector<Rate> capacity(128, 125e6);
+  const auto flows = make_flows(flows_count, 128, 7);
+  for (auto _ : state) {
+    auto rates = maxmin_fair_rates_reference(capacity, flows);
+    benchmark::DoNotOptimize(rates);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows_count));
+}
+BENCHMARK(BM_MaxMinSolverReference)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 // Planning one block redistribution between disjoint p- and q-sets.
 void BM_RedistributionPlan(benchmark::State& state) {
@@ -72,7 +112,7 @@ void BM_FluidNetwork(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
-BENCHMARK(BM_FluidNetwork)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_FluidNetwork)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
 // DAG generation throughput.
 void BM_GenerateIrregularDag(benchmark::State& state) {
@@ -109,6 +149,137 @@ BENCHMARK(BM_ScheduleAndSimulate)
     ->Arg(static_cast<int>(SchedulerKind::RatsDelta))
     ->Arg(static_cast<int>(SchedulerKind::RatsTimeCost));
 
+// ------------------------------------------------------- scaling grid
+//
+// Simulates the event-driven usage pattern: `events` successive solves,
+// each after swapping one flow out of / a fresh flow into the
+// population (what a flow arrival/departure does to the fluid network).
+// The reference solver pays a full from-scratch solve per event; the
+// incremental solver reuses its scratch and heap machinery.
+
+double time_solves_ms(const std::vector<Rate>& capacity,
+                      std::vector<FlowDemand>& flows, int events,
+                      bool incremental, std::uint64_t seed) {
+  Rng rng(seed);
+  MaxMinSolver solver;
+  std::vector<Rate> rates;
+  const auto start = std::chrono::steady_clock::now();
+  for (int e = 0; e < events; ++e) {
+    if (incremental)
+      solver.solve(capacity, flows, rates);
+    else
+      rates = maxmin_fair_rates_reference(capacity, flows);
+    benchmark::DoNotOptimize(rates);
+    // One departure + one arrival between events.
+    const auto victim =
+        static_cast<std::size_t>(rng.uniform_int(0, flows.size() - 1));
+    const int nodes = static_cast<int>(capacity.size()) / 2;
+    auto src = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 1));
+    auto dst = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 1));
+    if (dst == src) dst = (dst + 1) % nodes;
+    flows[victim].links = {2 * src, 2 * dst + 1};
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+int run_grid(bool quick, const std::string& out_path) {
+  struct Cell {
+    int flows, links, events;
+  };
+  std::vector<Cell> grid;
+  const std::vector<int> flow_counts =
+      quick ? std::vector<int>{100, 1000} : std::vector<int>{100, 1000, 10000};
+  const std::vector<int> link_counts =
+      quick ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1000};
+  for (int f : flow_counts)
+    for (int l : link_counts)
+      for (int e : {1, 16}) grid.push_back({f, l, e});
+
+  std::filesystem::path path(out_path);
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    // fopen below reports the actual failure if the directory is missing.
+  }
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+
+  std::fprintf(out, "{\n  \"benchmark\": \"net_solver_scaling\",\n");
+  std::fprintf(out, "  \"unit\": \"ms per %s\",\n", "event batch");
+  std::fprintf(out, "  \"cells\": [\n");
+  bool first = true;
+  bool target_met = true;
+  for (const auto& cell : grid) {
+    // Links must be even (NIC pairs) and host at least 2 nodes.
+    const int links = cell.links % 2 ? cell.links + 1 : cell.links;
+    std::vector<Rate> capacity(static_cast<std::size_t>(links), 125e6);
+    auto flows = make_flows(static_cast<std::size_t>(cell.flows), links, 11);
+
+    auto flows_ref = flows;
+    const double ref_ms =
+        time_solves_ms(capacity, flows_ref, cell.events, false, 13);
+    auto flows_inc = flows;
+    const double inc_ms =
+        time_solves_ms(capacity, flows_inc, cell.events, true, 13);
+    const double speedup = inc_ms > 0 ? ref_ms / inc_ms : 0.0;
+
+    std::printf("flows=%-6d links=%-5d events=%-3d ref=%9.3fms inc=%9.3fms speedup=%6.1fx\n",
+                cell.flows, links, cell.events, ref_ms, inc_ms, speedup);
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out,
+                 "    {\"flows\": %d, \"links\": %d, \"events\": %d, "
+                 "\"reference_ms\": %.6f, \"incremental_ms\": %.6f, "
+                 "\"speedup\": %.3f}",
+                 cell.flows, links, cell.events, ref_ms, inc_ms, speedup);
+    if (cell.flows >= 10000 && links >= 1000 && speedup < 10.0)
+      target_met = false;
+  }
+  std::fprintf(out,
+               "\n  ],\n  \"target\": \">=10x at 10k flows / 1k links\"\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!quick && !target_met) {
+    std::fprintf(stderr, "FAIL: speedup below 10x at 10k flows / 1k links\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool grid = false;
+  bool quick = false;
+  std::string out_path = "bench/results/net_solver_scaling.json";
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--grid") == 0) {
+      grid = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--out requires a path\n");
+        return 1;
+      }
+      out_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (grid) return run_grid(quick, out_path);
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

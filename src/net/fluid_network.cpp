@@ -7,22 +7,11 @@
 
 namespace rats {
 
-namespace {
-// Completion detection tolerance: a byte residue below this counts as
-// finished (guards against floating-point drift across many events).
-constexpr Bytes kByteEpsilon = 1e-6;
-// Relative time tolerance: a flow whose residual drain time does not
-// advance the clock by at least this fraction counts as finishing at
-// the step end.  Without it a residue of a few bytes at a high rate
-// yields events whose time increment underflows double precision at
-// large clock values, stalling the simulation in zero-length steps.
-constexpr double kRelTimeEpsilon = 1e-12;
-}  // namespace
-
 FluidNetwork::FluidNetwork(const Cluster& cluster) : cluster_(&cluster) {
   capacity_.reserve(static_cast<std::size_t>(cluster.num_links()));
   for (LinkId l = 0; l < cluster.num_links(); ++l)
     capacity_.push_back(cluster.link(l).bandwidth);
+  link_users_.assign(capacity_.size(), 0);
 }
 
 FlowId FluidNetwork::open_flow(NodeId src, NodeId dst, Bytes bytes) {
@@ -33,9 +22,11 @@ FlowId FluidNetwork::open_flow(NodeId src, NodeId dst, Bytes bytes) {
   f.total_bytes = bytes;
   f.remaining = bytes;
   f.start = now_;
+  f.last_update = now_;
   f.links = cluster_->route(src, dst);
   total_bytes_ += bytes;
 
+  const auto id = static_cast<FlowId>(flows_.size());
   if (f.links.empty() || bytes == 0) {
     // Loopback transfers are free (the paper's zero-cost
     // self-communication); zero-byte flows only carry a dependence.
@@ -43,7 +34,8 @@ FlowId FluidNetwork::open_flow(NodeId src, NodeId dst, Bytes bytes) {
     f.finish = f.links.empty() ? now_ : now_ + cluster_->route_latency(src, dst);
     f.done = true;
     flows_.push_back(std::move(f));
-    return static_cast<FlowId>(flows_.size() - 1);
+    completed_.push_back(id);
+    return id;
   }
 
   const Seconds one_way = cluster_->route_latency(src, dst);
@@ -53,91 +45,108 @@ FlowId FluidNetwork::open_flow(NodeId src, NodeId dst, Bytes bytes) {
   if (rtt > 0) f.cap = cluster_->tcp_window() / rtt;
 
   flows_.push_back(std::move(f));
-  const auto id = static_cast<FlowId>(flows_.size() - 1);
+  if (active_pos_.size() < flows_.size()) active_pos_.resize(flows_.size(), -1);
+  active_pos_[static_cast<std::size_t>(id)] =
+      static_cast<std::int32_t>(active_ids_.size());
   active_ids_.push_back(id);
-  dirty_ = true;
+  events_.push(flows_.back().release, NetEvent{id, 0, true});
   return id;
+}
+
+bool FluidNetwork::event_valid(const NetEvent& e) const {
+  const FlowState& f = flows_[static_cast<std::size_t>(e.id)];
+  if (f.done) return false;
+  if (e.is_release) return !f.released;
+  return f.released && e.version == f.version;
+}
+
+void FluidNetwork::settle(FlowState& f) {
+  if (f.rate > 0 && now_ > f.last_update)
+    f.remaining = std::max(0.0, f.remaining - f.rate * (now_ - f.last_update));
+  f.last_update = now_;
+}
+
+void FluidNetwork::set_rate(FlowId id, FlowState& f, Rate r) {
+  settle(f);
+  f.rate = r;
+  ++f.version;
+  if (r > 0)
+    events_.push(std::max(now_ + f.remaining / r, now_),
+                 NetEvent{id, f.version, false});
+}
+
+void FluidNetwork::activate(FlowId id, FlowState& f) {
+  f.released = true;
+  f.last_update = now_;
+  for (LinkId l : f.links) ++link_users_[static_cast<std::size_t>(l)];
+  pending_activations_.push_back(id);
+  dirty_ = true;
+}
+
+void FluidNetwork::complete(FlowId id, FlowState& f) {
+  f.remaining = 0;
+  f.done = true;
+  f.finish = now_;
+  f.rate = 0;
+  ++f.version;
+  const auto pos = active_pos_[static_cast<std::size_t>(id)];
+  const FlowId moved = active_ids_.back();
+  active_ids_[static_cast<std::size_t>(pos)] = moved;
+  active_pos_[static_cast<std::size_t>(moved)] = pos;
+  active_ids_.pop_back();
+  active_pos_[static_cast<std::size_t>(id)] = -1;
+  for (LinkId l : f.links)
+    // Any survivor on a freed link speeds up (and may cascade), so the
+    // next ensure_rates() must run a full solve.
+    if (--link_users_[static_cast<std::size_t>(l)] > 0)
+      contended_change_ = true;
+  completed_.push_back(id);
+  dirty_ = true;
 }
 
 void FluidNetwork::advance_to(Seconds t) {
   RATS_REQUIRE(t >= now_ - 1e-12, "cannot move time backwards");
-  while (now_ < t) {
+  for (;;) {
     ensure_rates();
-
-    // Earliest internal event: a release-phase exit or a completion.
-    // Candidates are floored one representable increment above now_ so
-    // steps always advance the clock (see kRelTimeEpsilon).
-    const Seconds floor_time = now_ + std::max(now_, 1.0) * kRelTimeEpsilon;
-    Seconds next = std::numeric_limits<Seconds>::infinity();
-    for (const FlowId id : active_ids_) {
-      const auto& f = flows_[static_cast<std::size_t>(id)];
-      if (f.release > now_) {
-        next = std::min(next, std::max(f.release, floor_time));
-      } else if (f.rate > 0) {
-        next = std::min(next, std::max(now_ + f.remaining / f.rate, floor_time));
-      }
-    }
-    const Seconds step_end = std::min(next, t);
-    const Seconds dt = step_end - now_;
-
-    // Smallest time increment representable around the step end; any
-    // flow whose residual drain time is below it must complete now or
-    // the clock would stall on zero-length steps.
-    const Seconds min_step = std::max(step_end, 1.0) * kRelTimeEpsilon;
-    for (std::size_t k = 0; k < active_ids_.size();) {
-      auto& f = flows_[static_cast<std::size_t>(active_ids_[k])];
-      if (step_end <= f.release) {
-        ++k;
-        continue;
-      }
-      // Payload drains only after the latency phase; a flow released
-      // mid-step had rate 0 until the release boundary (steps never
-      // cross a release, so `dt` applies fully once released).
-      const Seconds effective = std::min(dt, step_end - f.release);
-      f.remaining -= f.rate * effective;
-      const bool time_exhausted =
-          f.rate > 0 && f.remaining / f.rate <= min_step;
-      if (f.remaining <= kByteEpsilon || time_exhausted) {
-        f.remaining = 0;
-        f.done = true;
-        f.finish = step_end;
-        f.rate = 0;
-        dirty_ = true;
-        active_ids_[k] = active_ids_.back();
-        active_ids_.pop_back();
-        continue;
-      }
-      ++k;
-    }
-    // Latency-phase exits change the set of rate-sharing flows too.
-    for (const FlowId id : active_ids_) {
-      const auto& f = flows_[static_cast<std::size_t>(id)];
-      if (f.release > now_ && f.release <= step_end) {
-        dirty_ = true;
+    // Earliest still-valid event; stale predictions are discarded here.
+    std::optional<Seconds> next;
+    while (!events_.empty()) {
+      if (event_valid(events_.peek())) {
+        next = events_.next_time();
         break;
       }
+      events_.pop();
     }
-
-    now_ = step_end;
-    if (step_end >= t) break;
+    if (!next || *next > t) break;
+    now_ = std::max(now_, *next);
+    // Process the whole batch of simultaneous events before re-solving:
+    // one redistribution completing can retire many flows at once.
+    while (!events_.empty() && events_.next_time() <= now_) {
+      const NetEvent e = events_.pop();
+      if (!event_valid(e)) continue;
+      auto& f = flows_[static_cast<std::size_t>(e.id)];
+      if (e.is_release)
+        activate(e.id, f);
+      else
+        complete(e.id, f);
+    }
   }
-  now_ = t;
+  now_ = std::max(now_, t);
 }
 
 std::optional<Seconds> FluidNetwork::next_event_time() {
   ensure_rates();
-  const Seconds floor_time = now_ + std::max(now_, 1.0) * kRelTimeEpsilon;
-  Seconds best = std::numeric_limits<Seconds>::infinity();
-  for (const FlowId id : active_ids_) {
-    const auto& f = flows_[static_cast<std::size_t>(id)];
-    if (f.release > now_) {
-      best = std::min(best, std::max(f.release, floor_time));
-    } else if (f.rate > 0) {
-      best = std::min(best, std::max(now_ + f.remaining / f.rate, floor_time));
-    }
+  while (!events_.empty()) {
+    if (event_valid(events_.peek())) return events_.next_time();
+    events_.pop();
   }
-  if (!std::isfinite(best)) return std::nullopt;
-  return best;
+  return std::nullopt;
+}
+
+const std::vector<FlowId>& FluidNetwork::drain_completed() {
+  std::swap(drained_, completed_);
+  completed_.clear();
+  return drained_;
 }
 
 Seconds FluidNetwork::flow_finish_time(FlowId id) const {
@@ -154,27 +163,65 @@ const FlowState& FluidNetwork::flow(FlowId id) const {
 
 void FluidNetwork::ensure_rates() {
   if (!dirty_) return;
-  recompute_rates();
   dirty_ = false;
+
+  // Departures whose links are now unused affect nobody.  Arrivals that
+  // share no link with another active flow take the uncontended rate
+  // directly.  Only when a touched link still carries (other) users can
+  // any existing rate change — that is the full-solve case.
+  bool full_solve = contended_change_;
+  if (!full_solve) {
+    for (const FlowId id : pending_activations_) {
+      for (const LinkId l : flows_[static_cast<std::size_t>(id)].links) {
+        if (link_users_[static_cast<std::size_t>(l)] > 1) {
+          full_solve = true;
+          break;
+        }
+      }
+      if (full_solve) break;
+    }
+  }
+
+  if (full_solve) {
+    recompute_rates();
+  } else {
+    for (const FlowId id : pending_activations_) {
+      auto& f = flows_[static_cast<std::size_t>(id)];
+      Rate r = f.cap;
+      for (const LinkId l : f.links)
+        r = std::min(r, capacity_[static_cast<std::size_t>(l)]);
+      set_rate(id, f, r);
+    }
+  }
+  pending_activations_.clear();
+  contended_change_ = false;
 }
 
 void FluidNetwork::recompute_rates() {
-  // Only flows past their latency phase compete for bandwidth.
-  std::vector<FlowDemand> demands;
-  std::vector<FlowId> index;
-  demands.reserve(active_ids_.size());
-  index.reserve(active_ids_.size());
+  // Only flows past their latency phase compete for bandwidth.  The
+  // demand/index/rate buffers persist across solves, so a steady-state
+  // re-solve performs no allocation.
+  std::size_t n = 0;
+  demand_index_.clear();
   for (const FlowId id : active_ids_) {
-    auto& f = flows_[static_cast<std::size_t>(id)];
-    f.rate = 0;
-    if (f.release > now_) continue;
-    demands.push_back(FlowDemand{f.links, f.cap});
-    index.push_back(id);
+    const auto& f = flows_[static_cast<std::size_t>(id)];
+    if (!f.released) continue;
+    if (demands_.size() <= n) demands_.emplace_back();
+    demands_[n].links.assign(f.links.begin(), f.links.end());
+    demands_[n].cap = f.cap;
+    demand_index_.push_back(id);
+    ++n;
   }
-  if (demands.empty()) return;
-  const auto rates = maxmin_fair_rates(capacity_, demands);
-  for (std::size_t k = 0; k < rates.size(); ++k)
-    flows_[static_cast<std::size_t>(index[k])].rate = rates[k];
+  demands_.resize(n);
+  if (n == 0) return;
+  solver_.solve(capacity_, demands_, rates_);
+  for (std::size_t k = 0; k < n; ++k) {
+    const FlowId id = demand_index_[k];
+    auto& f = flows_[static_cast<std::size_t>(id)];
+    // Unchanged rates keep their completion prediction; re-predicting
+    // would just churn the event heap.
+    if (rates_[k] != f.rate) set_rate(id, f, rates_[k]);
+  }
 }
 
 }  // namespace rats

@@ -12,12 +12,23 @@
 // uses `next_event_time()` to know when the network state next changes
 // on its own (a flow finishing its latency phase or its payload).
 //
-// Rates are recomputed lazily: opening a batch of flows (one block
-// redistribution can contribute dozens) marks the state dirty once, and
-// the Max-Min solve runs a single time when the simulation next needs
-// rates.  Completed flows leave the active set, so per-event cost
-// scales with the number of in-flight flows, not with the total number
-// ever opened.
+// The engine is incremental (SimGrid's "lazy update" style):
+//  * per-flow payload is tracked lazily — `remaining` is only brought
+//    up to date when the flow's rate changes or it completes, so events
+//    that do not affect a flow never touch it;
+//  * releases and completions are predicted into an event heap keyed by
+//    absolute time; a per-flow version stamp invalidates predictions
+//    when a re-solve changes the flow's rate, so `next_event_time()` is
+//    an O(log) peek rather than an O(#active) scan;
+//  * the Max-Min solve itself is skipped when the links touched since
+//    the last solve cannot change any active rate: a departing flow
+//    whose links carry no other active flow is a pure removal, and an
+//    arriving flow whose links carry no other active flow gets
+//    rate = min(cap, min link capacity) directly.  Only genuinely
+//    contended changes pay for a full solve, which reuses the
+//    `MaxMinSolver`'s persistent scratch (no steady-state allocation);
+//  * completed flows are reported through `drain_completed()` in
+//    O(#finished), so a driver never rescans its in-flight set.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +38,7 @@
 
 #include "net/maxmin.hpp"
 #include "platform/cluster.hpp"
+#include "sim/event_queue.hpp"
 
 namespace rats {
 
@@ -37,11 +49,14 @@ struct FlowState {
   NodeId src{};
   NodeId dst{};
   Bytes total_bytes{};
-  Bytes remaining{};     ///< payload bytes still to transfer
+  Bytes remaining{};     ///< payload bytes left as of `last_update`
   Seconds start{};       ///< time the flow was opened
   Seconds release{};     ///< start + route latency: payload begins here
   Seconds finish{};      ///< completion time (valid once done)
+  Seconds last_update{}; ///< instant `remaining` was last settled at
   Rate rate{};           ///< current Max-Min rate (0 while latent/done)
+  std::uint32_t version = 0;  ///< bumped on rate change; stales predictions
+  bool released = false; ///< past the latency phase, competing for rate
   bool done = false;
   std::vector<LinkId> links;
   Rate cap = std::numeric_limits<Rate>::infinity();
@@ -53,7 +68,8 @@ class FluidNetwork {
   explicit FluidNetwork(const Cluster& cluster);
 
   /// Opens a flow of `bytes` from `src` to `dst` at the current time.
-  /// Loopback (src == dst) and empty flows complete immediately.
+  /// Loopback (src == dst) and empty flows complete immediately (and
+  /// are still reported by the next `drain_completed()`).
   FlowId open_flow(NodeId src, NodeId dst, Bytes bytes);
 
   /// Moves virtual time forward, draining payload at current rates and
@@ -64,6 +80,12 @@ class FluidNetwork {
   /// latency phase; nullopt when no flow is in flight.  (Non-const:
   /// flushes any pending lazy rate recomputation.)
   std::optional<Seconds> next_event_time();
+
+  /// Flows that finished since the previous call, in completion order
+  /// (instantly-done flows appear after the open that created them).
+  /// Returns a reference to an internal buffer invalidated by the next
+  /// call; costs O(#finished since last drain).
+  const std::vector<FlowId>& drain_completed();
 
   Seconds now() const { return now_; }
   bool flow_done(FlowId id) const { return flow(id).done; }
@@ -76,14 +98,48 @@ class FluidNetwork {
   Bytes total_bytes_opened() const { return total_bytes_; }
 
  private:
+  struct NetEvent {
+    FlowId id;
+    std::uint32_t version;  ///< flow version the prediction was made at
+    bool is_release;
+  };
+
+  /// True when the event at the queue head is still meaningful.
+  bool event_valid(const NetEvent& e) const;
+  /// Settles `remaining` up to now() at the current rate.
+  void settle(FlowState& f);
+  /// Assigns a (new) rate and predicts the flow's completion.
+  void set_rate(FlowId id, FlowState& f, Rate r);
+  /// Latency-phase exit: the flow starts competing for bandwidth.
+  void activate(FlowId id, FlowState& f);
+  /// Payload exhausted: record finish, free links, queue for drain.
+  void complete(FlowId id, FlowState& f);
+  /// Applies pending arrivals/departures to the rate assignment —
+  /// skipping or short-circuiting the Max-Min solve when possible.
   void ensure_rates();
   void recompute_rates();
 
   const Cluster* cluster_;
   std::vector<Rate> capacity_;
   std::vector<FlowState> flows_;
-  std::vector<FlowId> active_ids_;  ///< indices of not-yet-done flows
-  bool dirty_ = false;              ///< rates stale (flows added/removed)
+  std::vector<FlowId> active_ids_;       ///< not-yet-done flows
+  std::vector<std::int32_t> active_pos_; ///< flow id -> index in active_ids_
+  std::vector<std::int32_t> link_users_; ///< released active flows per link
+  EventQueue<NetEvent> events_;          ///< predicted releases/completions
+
+  // Dirty bookkeeping between solves.
+  bool dirty_ = false;             ///< some arrival/departure is unapplied
+  bool contended_change_ = false;  ///< a touched link still has users
+  std::vector<FlowId> pending_activations_;
+
+  // Drain + solver scratch (persistent, reused across solves).
+  std::vector<FlowId> completed_;
+  std::vector<FlowId> drained_;
+  MaxMinSolver solver_;
+  std::vector<FlowDemand> demands_;
+  std::vector<FlowId> demand_index_;
+  std::vector<Rate> rates_;
+
   Seconds now_ = 0;
   Bytes total_bytes_ = 0;
 };

@@ -2,13 +2,164 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "common/error.hpp"
 
 namespace rats {
 
+namespace {
+// A heap entry is considered stale when the link's current fair share
+// has grown past the keyed value by more than this relative slack
+// (shares are non-decreasing as flows are fixed, so stale entries are
+// always under-keyed, never over-keyed).
+constexpr double kShareSlack = 1e-12;
+}  // namespace
+
+void MaxMinSolver::solve(const std::vector<Rate>& capacity,
+                         const std::vector<FlowDemand>& flows,
+                         std::vector<Rate>& rates) {
+  const std::size_t num_links = capacity.size();
+  const std::size_t num_flows = flows.size();
+  rates.assign(num_flows, 0.0);
+
+  remaining_ = capacity;
+  active_.assign(num_links, 0);
+  fixed_.assign(num_flows, 0);
+  caps_.clear();
+  heap_.clear();
+  link_off_.assign(num_links + 1, 0);
+
+  // Pass 1: validate, count link incidences, fix loopback flows.
+  std::size_t unfixed = 0;
+  std::size_t incidences = 0;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (flows[f].links.empty()) {
+      // Loopback: not constrained by any link.
+      rates[f] = flows[f].cap;
+      fixed_[f] = 1;
+      continue;
+    }
+    for (auto l : flows[f].links) {
+      RATS_REQUIRE(l >= 0 && static_cast<std::size_t>(l) < num_links,
+                   "flow references unknown link");
+      const auto li = static_cast<std::size_t>(l);
+      RATS_REQUIRE(capacity[li] > 0, "used link must have positive capacity");
+      ++active_[li];
+      ++link_off_[li + 1];
+    }
+    if (std::isfinite(flows[f].cap))
+      caps_.emplace_back(flows[f].cap, static_cast<std::int32_t>(f));
+    ++unfixed;
+    incidences += flows[f].links.size();
+  }
+  if (unfixed == 0) return;
+
+  // Pass 2: CSR link->flow adjacency.  link_off_[l] is advanced while
+  // filling and restored by the shift below, avoiding a cursor array.
+  for (std::size_t l = 0; l < num_links; ++l) link_off_[l + 1] += link_off_[l];
+  link_flows_.resize(incidences);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (flows[f].links.empty()) continue;
+    for (auto l : flows[f].links)
+      link_flows_[static_cast<std::size_t>(
+          link_off_[static_cast<std::size_t>(l)]++)] =
+          static_cast<std::int32_t>(f);
+  }
+  for (std::size_t l = num_links; l > 0; --l) link_off_[l] = link_off_[l - 1];
+  link_off_[0] = 0;
+
+  std::sort(caps_.begin(), caps_.end());
+
+  const auto heap_greater = std::greater<HeapEntry>();
+  for (std::size_t l = 0; l < num_links; ++l)
+    if (active_[l] > 0)
+      heap_.push_back(HeapEntry{remaining_[l] / active_[l],
+                                static_cast<std::int32_t>(l)});
+  std::make_heap(heap_.begin(), heap_.end(), heap_greater);
+
+  // A fixed flow releases the capacity it leaves unused on each of its
+  // links and stops counting toward their fair shares.
+  const auto settle_flow = [&](std::int32_t f, Rate r) {
+    rates[static_cast<std::size_t>(f)] = r;
+    fixed_[static_cast<std::size_t>(f)] = 1;
+    --unfixed;
+    for (auto l : flows[static_cast<std::size_t>(f)].links) {
+      const auto li = static_cast<std::size_t>(l);
+      remaining_[li] = std::max(0.0, remaining_[li] - r);
+      --active_[li];
+    }
+  };
+
+  // Progressive filling: each round the globally tightest constraint —
+  // a link fair share or a flow cap — fixes the flows it binds.
+  std::size_t cap_ptr = 0;
+  while (unfixed > 0) {
+    // Tightest link fair share; lazily discard/re-key stale entries.
+    Rate link_share = std::numeric_limits<Rate>::infinity();
+    std::int32_t link = -1;
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.front();
+      const auto li = static_cast<std::size_t>(top.link);
+      if (active_[li] == 0) {
+        std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+        heap_.pop_back();
+        continue;
+      }
+      const Rate cur = remaining_[li] / active_[li];
+      if (cur > top.share * (1 + kShareSlack)) {
+        std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+        heap_.back().share = cur;
+        std::push_heap(heap_.begin(), heap_.end(), heap_greater);
+        continue;
+      }
+      link_share = cur;
+      link = top.link;
+      break;
+    }
+
+    // Flows capped at or below the share saturate at their own cap
+    // first; they consume less than a fair share, so fixing them can
+    // only raise the share of the remaining flows.
+    while (cap_ptr < caps_.size() &&
+           fixed_[static_cast<std::size_t>(caps_[cap_ptr].second)])
+      ++cap_ptr;
+    if (cap_ptr < caps_.size() && caps_[cap_ptr].first <= link_share) {
+      settle_flow(caps_[cap_ptr].second, caps_[cap_ptr].first);
+      ++cap_ptr;
+      continue;
+    }
+
+    RATS_REQUIRE(link >= 0 && std::isfinite(link_share),
+                 "no constraining link for active flows");
+    // Saturate the bottleneck link: every unfixed flow crossing it gets
+    // the fair share.  Links that tie (same share up to rounding) carry
+    // on unchanged and pop next — fixing a shared flow at `share`
+    // leaves a tied link's share exactly invariant.
+    std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+    heap_.pop_back();
+    for (auto idx = static_cast<std::size_t>(
+             link_off_[static_cast<std::size_t>(link)]);
+         idx <
+         static_cast<std::size_t>(link_off_[static_cast<std::size_t>(link) + 1]);
+         ++idx) {
+      const std::int32_t f = link_flows_[idx];
+      if (fixed_[static_cast<std::size_t>(f)]) continue;
+      settle_flow(f, link_share);
+    }
+  }
+}
+
 std::vector<Rate> maxmin_fair_rates(const std::vector<Rate>& capacity,
                                     const std::vector<FlowDemand>& flows) {
+  MaxMinSolver solver;
+  std::vector<Rate> rates;
+  solver.solve(capacity, flows, rates);
+  return rates;
+}
+
+std::vector<Rate> maxmin_fair_rates_reference(
+    const std::vector<Rate>& capacity, const std::vector<FlowDemand>& flows) {
   const std::size_t num_links = capacity.size();
   const std::size_t num_flows = flows.size();
   std::vector<Rate> rate(num_flows, 0.0);
@@ -17,6 +168,7 @@ std::vector<Rate> maxmin_fair_rates(const std::vector<Rate>& capacity,
   std::vector<Rate> remaining = capacity;
   std::vector<std::int32_t> active_count(num_links, 0);
   std::vector<char> fixed(num_flows, 0);
+  std::vector<char> saturated(num_links, 0);
 
   std::size_t unfixed = 0;
   for (std::size_t f = 0; f < num_flows; ++f) {
@@ -63,15 +215,19 @@ std::vector<Rate> maxmin_fair_rates(const std::vector<Rate>& capacity,
     }
     if (fixed_by_cap) continue;
 
-    // Otherwise saturate the bottleneck link(s): every unfixed flow
-    // crossing a link whose fair share equals the minimum gets `share`.
+    // Otherwise saturate the bottleneck link(s).  The saturated set is
+    // snapshotted before fixing anything: fixing a flow mutates
+    // remaining/active_count, so testing saturation on the live arrays
+    // would make the outcome depend on flow index order.
     const Rate eps = share * 1e-12;
+    for (std::size_t l = 0; l < num_links; ++l)
+      saturated[l] = active_count[l] > 0 &&
+                     remaining[l] / active_count[l] <= share + eps;
     for (std::size_t f = 0; f < num_flows; ++f) {
       if (fixed[f]) continue;
       bool bottlenecked = false;
       for (auto l : flows[f].links) {
-        const auto li = static_cast<std::size_t>(l);
-        if (remaining[li] / active_count[li] <= share + eps) {
+        if (saturated[static_cast<std::size_t>(l)]) {
           bottlenecked = true;
           break;
         }

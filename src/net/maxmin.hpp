@@ -6,8 +6,27 @@
 // one.  We implement the classic progressive-filling algorithm,
 // extended with per-flow rate caps to model the empirical TCP-window
 // bandwidth bound beta' = min(beta, W_max / RTT).
+//
+// Two implementations are provided:
+//  * `MaxMinSolver` / `maxmin_fair_rates` — the production solver.  It
+//    builds a link->flow adjacency (CSR) once per solve, keeps per-link
+//    remaining capacity and unfixed-flow counts, and drives progressive
+//    filling from a lazy min-heap of link fair shares plus a cap-sorted
+//    flow list.  Each round pops the globally tightest constraint
+//    (stale heap entries are re-keyed on pop; fair shares only grow as
+//    flows are fixed, so lazy re-insertion is sound).  Fixing a flow
+//    touches only its own links, so a solve costs
+//    O(F log F + (F + I) log L) where I = sum of route lengths,
+//    instead of the reference's O(R * (F * r + L)) with R rounds.
+//    `MaxMinSolver` owns persistent scratch buffers: repeated solves
+//    (the fluid network re-solves on every flow arrival/departure)
+//    allocate nothing after warm-up.
+//  * `maxmin_fair_rates_reference` — the straightforward O(R * F * r)
+//    textbook implementation, kept as the oracle for differential
+//    testing and for the solver microbenchmark's old-vs-new grid.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -22,20 +41,58 @@ struct FlowDemand {
   Rate cap = std::numeric_limits<Rate>::infinity();
 };
 
-/// Computes Max-Min fair rates.
-///
-/// `capacity[l]` is the bandwidth of link l (bytes/s, must be > 0 when
-/// used by any flow).  Returns one rate per flow.  Flows crossing no
-/// link (loopback) receive their cap (or +infinity when uncapped) —
-/// callers treat such transfers as instantaneous.
-///
-/// Properties guaranteed (and asserted by the test suite):
-///  * feasibility: for every link, the sum of crossing rates <= capacity;
-///  * cap respect: rate[f] <= cap[f];
-///  * max-min optimality: every flow is bottlenecked, i.e. either runs
-///    at its cap or crosses a saturated link on which it has a maximal
-///    rate among the link's flows.
+/// Reusable Max-Min solver.  Keeps adjacency/heap/scratch storage
+/// across calls so steady-state solves are allocation-free.  Not
+/// thread-safe; use one instance per thread.
+class MaxMinSolver {
+ public:
+  /// Computes Max-Min fair rates into `rates` (resized to flows.size()).
+  ///
+  /// `capacity[l]` is the bandwidth of link l (bytes/s, must be > 0
+  /// when used by any flow).  Flows crossing no link (loopback) receive
+  /// their cap (or +infinity when uncapped) — callers treat such
+  /// transfers as instantaneous.
+  ///
+  /// Properties guaranteed (and asserted by the test suite):
+  ///  * feasibility: for every link, sum of crossing rates <= capacity;
+  ///  * cap respect: rate[f] <= cap[f];
+  ///  * max-min optimality: every flow is bottlenecked, i.e. either
+  ///    runs at its cap or crosses a saturated link on which it has a
+  ///    maximal rate among the link's flows.
+  void solve(const std::vector<Rate>& capacity,
+             const std::vector<FlowDemand>& flows, std::vector<Rate>& rates);
+
+ private:
+  // A (fair share, link) heap entry; stale entries are detected on pop
+  // by re-deriving the share from remaining_/active_.
+  struct HeapEntry {
+    Rate share;
+    std::int32_t link;
+    bool operator>(const HeapEntry& o) const { return share > o.share; }
+  };
+
+  // Per-link state.
+  std::vector<Rate> remaining_;          ///< unallocated capacity
+  std::vector<std::int32_t> active_;     ///< unfixed flows crossing the link
+  std::vector<std::int32_t> link_off_;   ///< CSR offsets into link_flows_
+  std::vector<std::int32_t> link_flows_; ///< CSR: flows crossing each link
+  // Per-flow state.
+  std::vector<char> fixed_;
+  std::vector<std::pair<Rate, std::int32_t>> caps_;  ///< (cap, flow) ascending
+  // Lazy min-heap of link fair shares (std::*_heap over a reused vector).
+  std::vector<HeapEntry> heap_;
+};
+
+/// Convenience wrapper around a fresh `MaxMinSolver` (allocates scratch
+/// per call; hot paths should hold a `MaxMinSolver` instead).
 std::vector<Rate> maxmin_fair_rates(const std::vector<Rate>& capacity,
                                     const std::vector<FlowDemand>& flows);
+
+/// Reference progressive-filling implementation (the seed solver, with
+/// the saturated-link set snapshotted before each fixing pass so the
+/// result does not depend on flow index order).  O(R * F * r) for R
+/// filling rounds and route length r; used for differential testing.
+std::vector<Rate> maxmin_fair_rates_reference(
+    const std::vector<Rate>& capacity, const std::vector<FlowDemand>& flows);
 
 }  // namespace rats

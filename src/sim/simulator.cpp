@@ -54,12 +54,15 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
 
   std::vector<std::int32_t> edge_pending_flows(
       static_cast<std::size_t>(graph.num_edges()), 0);
-  std::vector<std::pair<FlowId, EdgeId>> inflight;
+  std::vector<EdgeId> flow_edge;  ///< flow id -> edge it belongs to
 
-  EventQueue<TaskId> completions;        // task finish events
-  EventQueue<EdgeId> timed_edges;        // contention-free mode only
-  Seconds now = 0;
-  int finished_count = 0;
+  // Tasks whose inputs are complete AND that sit at the head of every
+  // processor queue they use.  Fed by the two events that can make a
+  // task runnable — its last input completing, and a queue head
+  // advancing onto it — so per-event work is O(#affected tasks), not
+  // O(num_tasks).
+  std::vector<TaskId> ready;
+  std::vector<char> queued(static_cast<std::size_t>(num_tasks), 0);
 
   auto at_head = [&](TaskId t) {
     for (NodeId p : schedule.of(t).procs) {
@@ -70,12 +73,28 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
     return true;
   };
 
+  auto enqueue_if_ready = [&](TaskId t) {
+    if (started[static_cast<std::size_t>(t)] ||
+        queued[static_cast<std::size_t>(t)] ||
+        pending_inputs[static_cast<std::size_t>(t)] > 0 || !at_head(t))
+      return;
+    queued[static_cast<std::size_t>(t)] = 1;
+    ready.push_back(t);
+  };
+
+  EventQueue<TaskId> completions;        // task finish events
+  EventQueue<EdgeId> timed_edges;        // contention-free mode only
+  Seconds now = 0;
+  int finished_count = 0;
+
   auto edge_complete = [&](EdgeId e) {
     const TaskId dst = graph.edge(e).dst;
     auto& pending = pending_inputs[static_cast<std::size_t>(dst)];
     RATS_REQUIRE(pending > 0, "edge completed twice");
-    if (--pending == 0)
+    if (--pending == 0) {
       result.timeline[static_cast<std::size_t>(dst)].data_ready = now;
+      enqueue_if_ready(dst);
+    }
   };
 
   auto open_redistribution = [&](EdgeId e) {
@@ -95,7 +114,9 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
     for (const Transfer& tr : plan.transfers()) {
       const FlowId f = net.open_flow(tr.src, tr.dst, tr.bytes);
       ++edge_pending_flows[static_cast<std::size_t>(e)];
-      inflight.emplace_back(f, e);
+      if (flow_edge.size() <= static_cast<std::size_t>(f))
+        flow_edge.resize(static_cast<std::size_t>(f) + 1, -1);
+      flow_edge[static_cast<std::size_t>(f)] = e;
     }
   };
 
@@ -104,20 +125,23 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
     ++finished_count;
     for (NodeId p : schedule.of(t).procs) {
       auto& pos = head[static_cast<std::size_t>(p)];
-      RATS_REQUIRE(queue[static_cast<std::size_t>(p)][pos] == t,
-                   "completing task was not at queue head");
+      const auto& q = queue[static_cast<std::size_t>(p)];
+      RATS_REQUIRE(q[pos] == t, "completing task was not at queue head");
       ++pos;
+      // The queue head advanced: its new head may now be startable.
+      if (pos < q.size()) enqueue_if_ready(q[pos]);
     }
     for (EdgeId e : graph.out_edges(t)) open_redistribution(e);
   };
 
+  // Seed the ready set: entry tasks already heading their queues.
+  for (TaskId t = 0; t < num_tasks; ++t) enqueue_if_ready(t);
+
   while (finished_count < num_tasks) {
-    // Start every task whose data is complete and whose processors have
-    // reached it in schedule order.
-    for (TaskId t = 0; t < num_tasks; ++t) {
-      if (started[static_cast<std::size_t>(t)] ||
-          pending_inputs[static_cast<std::size_t>(t)] > 0 || !at_head(t))
-        continue;
+    // Start everything that became runnable since the last event.
+    while (!ready.empty()) {
+      const TaskId t = ready.back();
+      ready.pop_back();
       started[static_cast<std::size_t>(t)] = 1;
       auto& timing = result.timeline[static_cast<std::size_t>(t)];
       timing.start = now;
@@ -140,17 +164,11 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
     net.advance_to(t_next);
     now = t_next;
 
-    // Flow completions -> redistribution completions.
-    for (std::size_t i = 0; i < inflight.size();) {
-      const auto [flow, e] = inflight[i];
-      if (!net.flow_done(flow)) {
-        ++i;
-        continue;
-      }
+    // Flow completions -> redistribution completions, O(#finished).
+    for (const FlowId f : net.drain_completed()) {
+      const EdgeId e = flow_edge[static_cast<std::size_t>(f)];
       if (--edge_pending_flows[static_cast<std::size_t>(e)] == 0)
         edge_complete(e);
-      inflight[i] = inflight.back();
-      inflight.pop_back();
     }
     while (!timed_edges.empty() &&
            timed_edges.next_time() <= now + kTimeEpsilon)

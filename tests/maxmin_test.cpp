@@ -176,5 +176,123 @@ INSTANTIATE_TEST_SUITE_P(
                       RandomCase{4, 12, 7}, RandomCase{6, 24, 8},
                       RandomCase{12, 48, 9}, RandomCase{16, 100, 10}));
 
+// ------------------------------------------------------- differential
+// The incremental heap-driven solver must agree with the reference
+// progressive-filling implementation on randomized instances spanning
+// degenerate (1 link), sparse, dense, capped and tied configurations.
+
+TEST(MaxMinDifferential, IncrementalMatchesReferenceOnRandomInstances) {
+  Rng rng(0xD1FFu);
+  for (int instance = 0; instance < 200; ++instance) {
+    const int num_links = static_cast<int>(rng.uniform_int(1, 40));
+    const int num_flows = static_cast<int>(rng.uniform_int(1, 120));
+
+    std::vector<Rate> capacity;
+    for (int l = 0; l < num_links; ++l) {
+      // Mix smooth capacities with round ones so exact fair-share ties
+      // (the order-dependence trap) actually occur.
+      capacity.push_back(rng.bernoulli(0.3)
+                             ? 100.0
+                             : rng.uniform(1.0, 500.0));
+    }
+
+    std::vector<FlowDemand> flows;
+    for (int f = 0; f < num_flows; ++f) {
+      FlowDemand d;
+      const int route_len = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < route_len; ++i) {
+        const auto link =
+            static_cast<std::int32_t>(rng.uniform_int(0, num_links - 1));
+        if (std::find(d.links.begin(), d.links.end(), link) == d.links.end())
+          d.links.push_back(link);
+      }
+      if (rng.bernoulli(0.4)) d.cap = rng.uniform(0.5, 300.0);
+      flows.push_back(std::move(d));
+    }
+
+    const auto expected = maxmin_fair_rates_reference(capacity, flows);
+    const auto actual = maxmin_fair_rates(capacity, flows);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t f = 0; f < expected.size(); ++f) {
+      if (std::isinf(expected[f])) {
+        EXPECT_TRUE(std::isinf(actual[f]))
+            << "instance " << instance << " flow " << f;
+        continue;
+      }
+      const double scale = std::max({1.0, expected[f], actual[f]});
+      EXPECT_NEAR(actual[f], expected[f], 1e-9 * scale)
+          << "instance " << instance << " flow " << f << " (links="
+          << num_links << ", flows=" << num_flows << ")";
+    }
+  }
+}
+
+TEST(MaxMinDifferential, SolverScratchIsReusableAcrossSolves) {
+  MaxMinSolver solver;
+  Rng rng(77);
+  std::vector<Rate> rates;
+  for (int round = 0; round < 20; ++round) {
+    const int num_links = static_cast<int>(rng.uniform_int(1, 12));
+    const int num_flows = static_cast<int>(rng.uniform_int(1, 30));
+    std::vector<Rate> capacity;
+    for (int l = 0; l < num_links; ++l)
+      capacity.push_back(rng.uniform(10.0, 200.0));
+    std::vector<FlowDemand> flows;
+    for (int f = 0; f < num_flows; ++f) {
+      FlowDemand d;
+      d.links.push_back(
+          static_cast<std::int32_t>(rng.uniform_int(0, num_links - 1)));
+      if (rng.bernoulli(0.25)) d.cap = rng.uniform(1.0, 100.0);
+      flows.push_back(std::move(d));
+    }
+    solver.solve(capacity, flows, rates);
+    const auto expected = maxmin_fair_rates_reference(capacity, flows);
+    ASSERT_EQ(rates.size(), expected.size());
+    for (std::size_t f = 0; f < expected.size(); ++f) {
+      const double scale = std::max({1.0, expected[f], rates[f]});
+      EXPECT_NEAR(rates[f], expected[f], 1e-9 * scale) << "round " << round;
+    }
+  }
+}
+
+// The seed solver's bottleneck test read remaining/active while the
+// same pass mutated them, so which flows counted as bottlenecked could
+// depend on flow index order.  The snapshot fix makes the result a
+// function of the instance only: permuting flows must permute rates.
+TEST(MaxMinDifferential, ReferenceIsFlowOrderIndependent) {
+  Rng rng(0x0BDE);
+  for (int instance = 0; instance < 50; ++instance) {
+    const int num_links = static_cast<int>(rng.uniform_int(2, 10));
+    const int num_flows = static_cast<int>(rng.uniform_int(2, 40));
+    std::vector<Rate> capacity;
+    for (int l = 0; l < num_links; ++l)
+      capacity.push_back(rng.bernoulli(0.5) ? 100.0 : rng.uniform(5.0, 300.0));
+    std::vector<FlowDemand> flows;
+    for (int f = 0; f < num_flows; ++f) {
+      FlowDemand d;
+      const int route_len = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < route_len; ++i) {
+        const auto link =
+            static_cast<std::int32_t>(rng.uniform_int(0, num_links - 1));
+        if (std::find(d.links.begin(), d.links.end(), link) == d.links.end())
+          d.links.push_back(link);
+      }
+      if (rng.bernoulli(0.3)) d.cap = rng.uniform(1.0, 150.0);
+      flows.push_back(std::move(d));
+    }
+
+    // Reverse permutation: rates must follow their flows.
+    std::vector<FlowDemand> reversed(flows.rbegin(), flows.rend());
+    const auto forward = maxmin_fair_rates_reference(capacity, flows);
+    const auto backward = maxmin_fair_rates_reference(capacity, reversed);
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      const double a = forward[f];
+      const double b = backward[flows.size() - 1 - f];
+      const double scale = std::max({1.0, a, b});
+      EXPECT_NEAR(a, b, 1e-9 * scale) << "instance " << instance;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rats

@@ -1,0 +1,100 @@
+// Makespan regression against the seed simulator.
+//
+// The golden values below were produced by the pre-rewrite (seed)
+// simulator — full O(F x L) Max-Min re-solves, per-event task rescans —
+// on a reduced corpus (seed 42, 1 random sample, 2 kernel samples,
+// every 8th entry) scheduled on grillon.  The incremental engine
+// (lazy-heap solver, event-driven fluid network, ready-queue simulator)
+// must reproduce them: the rewrite is a performance change, not a
+// semantic one.  Observed agreement at capture time was ~9e-15
+// relative; the tolerance leaves two orders of slack for libm/platform
+// variation while still catching any behavioural drift.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "daggen/corpus.hpp"
+#include "platform/grid5000.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace rats {
+namespace {
+
+struct GoldenCase {
+  const char* name;
+  SchedulerKind kind;
+  double makespan;
+};
+
+const GoldenCase kGolden[] = {
+    {"layered/n25/w0.2/d0.2/r0.2/s0", SchedulerKind::Hcpa, 20.925822020917582},
+    {"layered/n25/w0.2/d0.2/r0.2/s0", SchedulerKind::RatsTimeCost, 20.925822020917582},
+    {"layered/n25/w0.8/d0.2/r0.2/s0", SchedulerKind::Hcpa, 10.771588968511924},
+    {"layered/n25/w0.8/d0.2/r0.2/s0", SchedulerKind::RatsTimeCost, 10.857503994063858},
+    {"layered/n50/w0.5/d0.2/r0.2/s0", SchedulerKind::Hcpa, 25.275762631572086},
+    {"layered/n50/w0.5/d0.2/r0.2/s0", SchedulerKind::RatsTimeCost, 25.275762631572086},
+    {"layered/n100/w0.2/d0.2/r0.2/s0", SchedulerKind::Hcpa, 79.548103049619158},
+    {"layered/n100/w0.2/d0.2/r0.2/s0", SchedulerKind::RatsTimeCost, 79.548103049619158},
+    {"layered/n100/w0.8/d0.2/r0.2/s0", SchedulerKind::Hcpa, 42.207651777061059},
+    {"layered/n100/w0.8/d0.2/r0.2/s0", SchedulerKind::RatsTimeCost, 40.423747268738353},
+    {"irregular/n25/w0.2/d0.2/r0.8/j2/s0", SchedulerKind::Hcpa, 23.70384060286537},
+    {"irregular/n25/w0.2/d0.2/r0.8/j2/s0", SchedulerKind::RatsTimeCost, 19.916872696516677},
+    {"irregular/n25/w0.5/d0.2/r0.2/j1/s0", SchedulerKind::Hcpa, 45.076001951405544},
+    {"irregular/n25/w0.5/d0.2/r0.2/j1/s0", SchedulerKind::RatsTimeCost, 40.835864290359034},
+    {"irregular/n25/w0.5/d0.8/r0.2/j4/s0", SchedulerKind::Hcpa, 36.66036514712529},
+    {"irregular/n25/w0.5/d0.8/r0.2/j4/s0", SchedulerKind::RatsTimeCost, 31.549386860606184},
+    {"irregular/n25/w0.8/d0.2/r0.8/j2/s0", SchedulerKind::Hcpa, 24.930605394048694},
+    {"irregular/n25/w0.8/d0.2/r0.8/j2/s0", SchedulerKind::RatsTimeCost, 23.893335404019446},
+    {"irregular/n50/w0.2/d0.2/r0.2/j1/s0", SchedulerKind::Hcpa, 104.07583669166684},
+    {"irregular/n50/w0.2/d0.2/r0.2/j1/s0", SchedulerKind::RatsTimeCost, 90.522105115811598},
+    {"irregular/n50/w0.2/d0.8/r0.2/j4/s0", SchedulerKind::Hcpa, 125.48702112430765},
+    {"irregular/n50/w0.2/d0.8/r0.2/j4/s0", SchedulerKind::RatsTimeCost, 93.827652078557122},
+    {"irregular/n50/w0.5/d0.2/r0.8/j2/s0", SchedulerKind::Hcpa, 62.161884235520006},
+    {"irregular/n50/w0.5/d0.2/r0.8/j2/s0", SchedulerKind::RatsTimeCost, 53.646929120729517},
+    {"irregular/n50/w0.8/d0.2/r0.2/j1/s0", SchedulerKind::Hcpa, 60.873674780078765},
+    {"irregular/n50/w0.8/d0.2/r0.2/j1/s0", SchedulerKind::RatsTimeCost, 44.090194300513062},
+    {"irregular/n50/w0.8/d0.8/r0.2/j4/s0", SchedulerKind::Hcpa, 122.69541814470394},
+    {"irregular/n50/w0.8/d0.8/r0.2/j4/s0", SchedulerKind::RatsTimeCost, 112.3650555438725},
+    {"irregular/n100/w0.2/d0.2/r0.8/j2/s0", SchedulerKind::Hcpa, 151.49353973549361},
+    {"irregular/n100/w0.2/d0.2/r0.8/j2/s0", SchedulerKind::RatsTimeCost, 122.88402815940603},
+    {"irregular/n100/w0.5/d0.2/r0.2/j1/s0", SchedulerKind::Hcpa, 108.22050110749892},
+    {"irregular/n100/w0.5/d0.2/r0.2/j1/s0", SchedulerKind::RatsTimeCost, 104.03140404574887},
+    {"irregular/n100/w0.5/d0.8/r0.2/j4/s0", SchedulerKind::Hcpa, 234.07263037230803},
+    {"irregular/n100/w0.5/d0.8/r0.2/j4/s0", SchedulerKind::RatsTimeCost, 212.39543317217985},
+    {"irregular/n100/w0.8/d0.2/r0.8/j2/s0", SchedulerKind::Hcpa, 78.570049421943551},
+    {"irregular/n100/w0.8/d0.2/r0.8/j2/s0", SchedulerKind::RatsTimeCost, 83.293784058122242},
+    {"fft/k2/s0", SchedulerKind::Hcpa, 4.4761236799328872},
+    {"fft/k2/s0", SchedulerKind::RatsTimeCost, 3.4020065974275502},
+    {"strassen/s0", SchedulerKind::Hcpa, 20.733747356230822},
+    {"strassen/s0", SchedulerKind::RatsTimeCost, 20.765733680241464},
+};
+
+TEST(SimulatorGolden, MakespansMatchSeedSimulatorOnCorpus) {
+  CorpusOptions opt;
+  opt.seed = 42;
+  opt.random_samples = 1;
+  opt.kernel_samples = 2;
+  const auto corpus = build_corpus(opt);
+  const Cluster cluster = grid5000::grillon();
+
+  std::size_t verified = 0;
+  for (const auto& entry : corpus) {
+    for (const auto& golden : kGolden) {
+      if (entry.name != golden.name) continue;
+      SchedulerOptions so;
+      so.kind = golden.kind;
+      const Schedule s = build_schedule(entry.graph, cluster, so);
+      const auto r = simulate(entry.graph, s, cluster);
+      EXPECT_NEAR(r.makespan, golden.makespan, 1e-12 * golden.makespan)
+          << entry.name << " / " << to_string(golden.kind);
+      ++verified;
+    }
+  }
+  // Every golden case must have been found in the corpus — a silently
+  // shrunken corpus would make the test pass vacuously.
+  EXPECT_EQ(verified, std::size(kGolden));
+}
+
+}  // namespace
+}  // namespace rats
