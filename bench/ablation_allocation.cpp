@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
                "best in (combined)"});
   for (const Cluster& cluster : grid5000::all()) {
     std::printf("  running corpus on %s...\n", cluster.name().c_str());
-    auto data = run_experiment(corpus, cluster, algos);
+    auto data = run_experiment(corpus, cluster, algos, cfg.threads);
     for (std::size_t a = 0; a < algos.size(); ++a) {
       auto series = relative_series(data, a, 0, /*makespan=*/true);
       auto s = summarize_relative(series);

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     algos.push_back(unsorted);
   }
 
-  auto data = run_experiment(corpus, cluster, algos);
+  auto data = run_experiment(corpus, cluster, algos, cfg.threads);
 
   bench::heading("Ablation: RATS secondary ready-list sort, " + cluster.name());
   Table table({"strategy", "avg relative makespan", "shorter than HCPA in"});

@@ -171,7 +171,8 @@ std::vector<AlgoSpec> tuned_algos(DagFamily family, const std::string& cluster) 
 }
 
 ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
-                                    const Cluster& cluster) {
+                                    const Cluster& cluster,
+                                    unsigned threads) {
   ExperimentData merged;
   merged.cluster_name = cluster.name();
   merged.algo_names = {"HCPA", "delta", "time-cost"};
@@ -190,7 +191,8 @@ ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
       }
     }
     if (sub.empty()) continue;
-    auto data = run_experiment(sub, cluster, tuned_algos(family, cluster.name()));
+    auto data = run_experiment(sub, cluster, tuned_algos(family, cluster.name()),
+                               threads);
     for (std::size_t j = 0; j < where.size(); ++j) {
       merged.families[where[j]] = data.families[j];
       merged.entry_names[where[j]] = data.entry_names[j];

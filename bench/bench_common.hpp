@@ -72,7 +72,8 @@ std::vector<AlgoSpec> tuned_algos(DagFamily family, const std::string& cluster);
 /// returns the merged outcomes in corpus order.  Algorithm order:
 /// {HCPA, delta, time-cost}.
 ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
-                                    const Cluster& cluster);
+                                    const Cluster& cluster,
+                                    unsigned threads = 0);
 
 /// Prints a heading followed by an underline.
 void heading(const std::string& title);

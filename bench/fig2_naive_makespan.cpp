@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   auto corpus = bench::make_corpus(cfg);
   Cluster cluster = grid5000::grillon();
 
-  auto data = run_experiment(corpus, cluster, bench::naive_algos());
+  auto data = run_experiment(corpus, cluster, bench::naive_algos(), cfg.threads);
 
   bench::heading("Figure 2: relative makespan vs HCPA, naive parameters, " +
                  cluster.name());

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   auto corpus = bench::make_corpus(cfg);
   Cluster cluster = grid5000::grillon();
 
-  auto data = run_experiment(corpus, cluster, bench::naive_algos());
+  auto data = run_experiment(corpus, cluster, bench::naive_algos(), cfg.threads);
 
   bench::heading("Figure 3: relative work vs HCPA, naive parameters, " +
                  cluster.name());

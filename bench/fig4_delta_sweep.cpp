@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   auto corpus = bench::make_family(DagFamily::FFT, cfg);
   Cluster cluster = grid5000::grillon();
 
-  auto sweep = sweep_delta(corpus, cluster);
+  auto sweep = sweep_delta(corpus, cluster, cfg.threads);
 
   bench::heading("Figure 4: avg makespan relative to HCPA, RATS-delta, FFT, " +
                  cluster.name());

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       bench::make_family(DagFamily::Irregular, cfg), cfg, 16);
   Cluster cluster = grid5000::grillon();
 
-  auto sweep = sweep_rho(corpus, cluster);
+  auto sweep = sweep_rho(corpus, cluster, cfg.threads);
 
   bench::heading(
       "Figure 5: avg makespan relative to HCPA, RATS-time-cost, irregular, " +

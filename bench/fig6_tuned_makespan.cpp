@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   auto corpus = bench::make_corpus(cfg);
   Cluster cluster = grid5000::grillon();
 
-  auto data = bench::run_tuned_experiment(corpus, cluster);
+  auto data = bench::run_tuned_experiment(corpus, cluster, cfg.threads);
 
   bench::heading("Figure 6: relative makespan vs HCPA, tuned parameters, " +
                  cluster.name());

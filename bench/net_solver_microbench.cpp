@@ -3,13 +3,20 @@
 // fluid network flow simulation, DAG generation, and one end-to-end
 // schedule+simulate scenario per algorithm.
 //
-// Two modes:
+// Three modes:
 //  * default            — google-benchmark microbenchmarks;
 //  * --grid [--out F]   — the solver scaling grid (flows x links x
 //                         events, old vs new solver), emitting JSON
 //                         under bench/results/ so speedups land in the
 //                         benchmark trajectory.  --quick shrinks the
-//                         grid for CI smoke runs.
+//                         grid for CI smoke runs;
+//  * --components       — re-solve cost vs sharing-component size at a
+//                         fixed total flow count: each event perturbs
+//                         one component and is solved either globally
+//                         (every active flow, what the engine paid
+//                         before component scoping) or component-scoped
+//                         (the subset overload over one component).
+//                         Emits JSON; --quick shrinks it.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -250,17 +257,154 @@ int run_grid(bool quick, const std::string& out_path) {
   return 0;
 }
 
+// ------------------------------------------------- component scaling
+//
+// Fixed total flow population partitioned into `components` disjoint
+// sharing components (each with its own private links).  Every event
+// rewires one flow inside one component — exactly what a contended
+// arrival/departure does — and the rates are recomputed either with a
+// full solve over all flows (the pre-component-scoping cost) or with a
+// subset solve over the touched component only.  The component-scoped
+// cost must track the component size, not the total population.
+
+int run_components(bool quick, const std::string& out_path) {
+  const int total_flows = quick ? 512 : 2048;
+  const std::vector<int> component_counts =
+      quick ? std::vector<int>{1, 8, 64} : std::vector<int>{1, 4, 16, 64, 256};
+  const int events = quick ? 64 : 256;
+  const int links_per_group = 32;  // 16 nodes x (up, down)
+
+  std::filesystem::path path(out_path);
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"net_solver_components\",\n");
+  std::fprintf(out, "  \"unit\": \"ms per event\",\n  \"cells\": [\n");
+
+  bool first = true;
+  bool scales = true;
+  double comp_ms_smallest = 0, comp_ms_largest = 0;
+  for (const int components : component_counts) {
+    const int group_size = total_flows / components;
+    const int num_links = components * links_per_group;
+    std::vector<Rate> capacity(static_cast<std::size_t>(num_links), 125e6);
+
+    // Population: flows of group g use only g's private links.
+    Rng rng(17);
+    std::vector<FlowDemand> flows(static_cast<std::size_t>(total_flows));
+    const auto rewire = [&](std::size_t f) {
+      const int g = static_cast<int>(f) / group_size;
+      const int nodes = links_per_group / 2;
+      auto src = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 1));
+      auto dst = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 1));
+      if (dst == src) dst = (dst + 1) % nodes;
+      flows[f].links = {g * links_per_group + 2 * src,
+                        g * links_per_group + 2 * dst + 1};
+    };
+    for (std::size_t f = 0; f < flows.size(); ++f) rewire(f);
+
+    MaxMinSolver solver;
+    std::vector<Rate> rates;
+    std::vector<FlowDemandView> views(static_cast<std::size_t>(group_size));
+    std::vector<Rate> group_rates(static_cast<std::size_t>(group_size));
+
+    // Full solves: every event re-solves the whole population.
+    double full_ms = 0;
+    {
+      Rng ev(23);
+      const auto start = std::chrono::steady_clock::now();
+      for (int e = 0; e < events; ++e) {
+        solver.solve(capacity, flows, rates);
+        benchmark::DoNotOptimize(rates);
+        rewire(static_cast<std::size_t>(
+            ev.uniform_int(0, static_cast<std::int64_t>(flows.size()) - 1)));
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      full_ms =
+          std::chrono::duration<double, std::milli>(stop - start).count() /
+          events;
+    }
+
+    // Component-scoped solves: only the touched component is re-solved.
+    double comp_ms = 0;
+    {
+      Rng ev(23);
+      const auto start = std::chrono::steady_clock::now();
+      for (int e = 0; e < events; ++e) {
+        const auto victim = static_cast<std::size_t>(
+            ev.uniform_int(0, static_cast<std::int64_t>(flows.size()) - 1));
+        const std::size_t g = victim / static_cast<std::size_t>(group_size);
+        for (int k = 0; k < group_size; ++k) {
+          const auto& d =
+              flows[g * static_cast<std::size_t>(group_size) +
+                    static_cast<std::size_t>(k)];
+          views[static_cast<std::size_t>(k)] = FlowDemandView{
+              d.links.data(), static_cast<std::int32_t>(d.links.size()), d.cap};
+        }
+        solver.solve(capacity, views.data(), views.size(), group_rates.data());
+        benchmark::DoNotOptimize(group_rates);
+        rewire(victim);
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      comp_ms =
+          std::chrono::duration<double, std::milli>(stop - start).count() /
+          events;
+    }
+
+    const double speedup = comp_ms > 0 ? full_ms / comp_ms : 0.0;
+    std::printf(
+        "flows=%-5d components=%-4d comp_size=%-5d full=%8.4fms/ev "
+        "comp=%8.4fms/ev speedup=%6.1fx\n",
+        total_flows, components, group_size, full_ms, comp_ms, speedup);
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out,
+                 "    {\"total_flows\": %d, \"components\": %d, "
+                 "\"component_size\": %d, \"full_ms_per_event\": %.6f, "
+                 "\"component_ms_per_event\": %.6f, \"speedup\": %.3f}",
+                 total_flows, components, group_size, full_ms, comp_ms,
+                 speedup);
+    if (components == component_counts.front()) comp_ms_smallest = comp_ms;
+    if (components == component_counts.back()) comp_ms_largest = comp_ms;
+  }
+  // Scaling gate: with many small components, a component-scoped event
+  // must be far cheaper than with one global component — i.e. the cost
+  // tracks component size, not total flows.
+  if (comp_ms_largest * 4.0 > comp_ms_smallest) scales = false;
+  std::fprintf(out,
+               "\n  ],\n  \"target\": \"component-scoped event cost tracks "
+               "component size, not total flows\"\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!scales) {
+    std::fprintf(stderr,
+                 "FAIL: component-scoped solve cost does not shrink with "
+                 "component size\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool grid = false;
+  bool components = false;
   bool quick = false;
-  std::string out_path = "bench/results/net_solver_scaling.json";
+  std::string out_path;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--grid") == 0) {
       grid = true;
+    } else if (std::strcmp(argv[i], "--components") == 0) {
+      components = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0) {
@@ -273,7 +417,19 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
-  if (grid) return run_grid(quick, out_path);
+  if (grid && components) {
+    std::fprintf(stderr, "--grid and --components are exclusive\n");
+    return 1;
+  }
+  if (components)
+    return run_components(
+        quick,
+        out_path.empty() ? "bench/results/net_solver_components.json"
+                         : out_path);
+  if (grid)
+    return run_grid(quick, out_path.empty()
+                               ? "bench/results/net_solver_scaling.json"
+                               : out_path);
 
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

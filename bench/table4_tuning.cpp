@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     auto corpus = bench::cap_per_family(bench::make_family(family, cfg), cfg, 6);
     std::vector<std::string> row{to_string(family)};
     for (const Cluster& cluster : grid5000::all()) {
-      TunedParams t = tune(corpus, cluster);
+      TunedParams t = tune(corpus, cluster, cfg.threads);
       row.push_back("(" + fmt(t.mindelta, 2) + ", " + fmt(t.maxdelta, 2) +
                     ", " + fmt(t.minrho, 2) + ")");
       std::printf("  tuned %-9s on %-8s: mindelta=%s maxdelta=%s minrho=%s\n",

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   std::vector<ExperimentData> per_cluster;
   for (const Cluster& cluster : grid5000::all()) {
     std::printf("  running corpus on %s...\n", cluster.name().c_str());
-    per_cluster.push_back(bench::run_tuned_experiment(corpus, cluster));
+    per_cluster.push_back(bench::run_tuned_experiment(corpus, cluster, cfg.threads));
   }
   const auto& names = per_cluster.front().algo_names;
 

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   Table table({"cluster", "metric", "HCPA", "delta", "time-cost"});
   for (const Cluster& cluster : grid5000::all()) {
     std::printf("  running corpus on %s...\n", cluster.name().c_str());
-    auto data = bench::run_tuned_experiment(corpus, cluster);
+    auto data = bench::run_tuned_experiment(corpus, cluster, cfg.threads);
     Degradation d[3];
     for (std::size_t a = 0; a < 3; ++a) d[a] = degradation_from_best(data, a);
     table.add_row({cluster.name(), "avg over all exp.",

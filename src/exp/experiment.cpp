@@ -10,7 +10,8 @@ namespace rats {
 
 ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
                               const Cluster& cluster,
-                              const std::vector<AlgoSpec>& algos) {
+                              const std::vector<AlgoSpec>& algos,
+                              unsigned threads) {
   RATS_REQUIRE(!corpus.empty() && !algos.empty(),
                "experiment needs a corpus and algorithms");
   ExperimentData data;
@@ -31,7 +32,7 @@ ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
     const std::size_t a = j % algos.size();
     data.outcome[e][a] =
         run_scenario(corpus[e].graph, cluster, algos[a].options);
-  });
+  }, threads);
   return data;
 }
 

@@ -32,10 +32,12 @@ struct ExperimentData {
 };
 
 /// Runs the full cross product corpus x algos on `cluster`, in
-/// parallel over scenarios.
+/// parallel over scenarios (`threads` workers, 0 = hardware
+/// concurrency).
 ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
                               const Cluster& cluster,
-                              const std::vector<AlgoSpec>& algos);
+                              const std::vector<AlgoSpec>& algos,
+                              unsigned threads = 0);
 
 /// Per-entry ratio metric(algo) / metric(reference algo), e.g. the
 /// "makespan relative to HCPA" of Figures 2 and 6.  `metric` selects

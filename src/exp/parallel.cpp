@@ -1,6 +1,7 @@
 #include "exp/parallel.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -8,43 +9,146 @@
 
 namespace rats {
 
+namespace {
+
+/// Set while a thread (worker or caller) executes job bodies; a nested
+/// parallel_for from such a thread runs inline instead of deadlocking
+/// on the shared pool.
+thread_local bool t_in_job = false;
+
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  unsigned size() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  void run(std::size_t count, const std::function<void(std::size_t)>& body,
+           unsigned workers) {
+    // One job at a time: concurrent callers queue here instead of
+    // racing on the shared job slots.
+    std::lock_guard<std::mutex> job_guard(run_mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    // `workers` includes the caller; pool threads provide the rest.
+    const unsigned helpers = workers - 1;
+    while (threads_.size() < helpers)
+      threads_.emplace_back(&WorkerPool::worker_main, this,
+                            static_cast<unsigned>(threads_.size()));
+    body_ = &body;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_limit_ = helpers;
+    ++generation_;
+    lock.unlock();
+    wake_cv_.notify_all();
+
+    claim(body);  // the caller is a full participant
+
+    lock.lock();
+    done_cv_.wait(lock, [&] {
+      return next_.load(std::memory_order_relaxed) >= count_ &&
+             in_flight_ == 0;
+    });
+    active_limit_ = 0;
+    const std::exception_ptr error = error_;
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  /// Claims indices until the job is exhausted.  Touches `body` only
+  /// for indices it actually claimed, so a late-woken worker that finds
+  /// the job drained never dereferences a finished caller's state.
+  /// After a failure the remaining indices are still claimed (the
+  /// counter must reach `count_` for completion) but no longer
+  /// executed — the first exception is rethrown to the caller anyway.
+  void claim(const std::function<void(std::size_t)>& body) {
+    t_in_job = true;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count_) break;
+      if (failed_.load(std::memory_order_relaxed)) continue;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+        failed_.store(true, std::memory_order_relaxed);
+      }
+    }
+    t_in_job = false;
+  }
+
+  void worker_main(unsigned slot) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::uint64_t seen = 0;
+    for (;;) {
+      wake_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen && slot < active_limit_);
+      });
+      if (stop_) return;
+      seen = generation_;
+      const std::function<void(std::size_t)>* body = body_;
+      ++in_flight_;
+      lock.unlock();
+      claim(*body);
+      lock.lock();
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex run_mutex_;  ///< serializes whole jobs across callers
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+
+  // Current job (guarded by mutex_ except for the atomics).
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> failed_{false};
+  unsigned active_limit_ = 0;   ///< pool workers allowed into the job
+  unsigned in_flight_ = 0;      ///< pool workers currently inside it
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
                   unsigned threads) {
   if (count == 0) return;
   unsigned workers = threads ? threads : std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
-  workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, count));
+  workers = static_cast<unsigned>(std::min<std::size_t>(workers, count));
 
-  if (workers == 1) {
+  if (workers == 1 || t_in_job) {
+    // Serial, or nested inside a pool job: run inline.
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-
-  auto work = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
-  for (auto& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  WorkerPool::instance().run(count, body, workers);
 }
+
+unsigned worker_pool_size() { return WorkerPool::instance().size(); }
 
 }  // namespace rats

@@ -5,6 +5,13 @@
 // hardware threads.  Work is claimed through an atomic counter
 // (dynamic self-scheduling), and each index writes only its own output
 // slot, so results are bit-identical to a sequential run.
+//
+// Workers live in one process-wide persistent pool: the first parallel
+// call spawns them, later calls (the next bench table, the next sweep
+// point) only wake them, so `--threads` pays thread startup once per
+// process instead of once per parallel_for.  A nested call from inside
+// a worker runs inline on that worker, keeping the claiming scheme
+// deadlock-free.
 #pragma once
 
 #include <cstddef>
@@ -14,8 +21,19 @@ namespace rats {
 
 /// Runs body(i) for every i in [0, count) using up to `threads`
 /// workers (0 = hardware concurrency).  Exceptions in workers are
-/// rethrown on the caller thread.
+/// rethrown on the caller thread; after the first exception the
+/// remaining indices are claimed but not executed.
+///
+/// Contract narrowed by the shared pool: jobs from concurrent caller
+/// threads are serialized (one runs at a time), and a body must not
+/// hand work to a *new* non-pool thread that itself calls parallel_for
+/// and join it mid-job — that inner call would queue behind the outer
+/// job and deadlock.  Nested calls made directly from a job body (pool
+/// worker or caller) are safe: they run inline.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   unsigned threads = 0);
+
+/// Number of persistent pool workers spawned so far (diagnostics).
+unsigned worker_pool_size();
 
 }  // namespace rats

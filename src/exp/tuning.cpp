@@ -12,20 +12,22 @@ std::vector<double> tuning_maxdeltas() { return {0.0, 0.25, 0.5, 0.75, 1.0}; }
 std::vector<double> tuning_minrhos() { return {0.2, 0.4, 0.5, 0.6, 0.8, 1.0}; }
 
 std::vector<double> reference_makespans(const std::vector<CorpusEntry>& corpus,
-                                        const Cluster& cluster) {
+                                        const Cluster& cluster,
+                                        unsigned threads) {
   std::vector<double> ref(corpus.size());
   SchedulerOptions hcpa;
   hcpa.kind = SchedulerKind::Hcpa;
   parallel_for(corpus.size(), [&](std::size_t e) {
     ref[e] = run_scenario(corpus[e].graph, cluster, hcpa).makespan;
-  });
+  }, threads);
   return ref;
 }
 
 double average_relative_makespan(const std::vector<CorpusEntry>& corpus,
                                  const Cluster& cluster,
                                  const SchedulerOptions& options,
-                                 const std::vector<double>& reference) {
+                                 const std::vector<double>& reference,
+                                 unsigned threads) {
   RATS_REQUIRE(reference.size() == corpus.size(),
                "reference does not cover the corpus");
   std::vector<double> ratio(corpus.size());
@@ -33,32 +35,67 @@ double average_relative_makespan(const std::vector<CorpusEntry>& corpus,
     const double makespan =
         run_scenario(corpus[e].graph, cluster, options).makespan;
     ratio[e] = makespan / reference[e];
-  });
+  }, threads);
   double sum = 0;
   for (double r : ratio) sum += r;
   return sum / static_cast<double>(ratio.size());
 }
 
+std::vector<double> sweep_grid(const std::vector<CorpusEntry>& corpus,
+                               const Cluster& cluster,
+                               const std::vector<SchedulerOptions>& points,
+                               unsigned threads) {
+  RATS_REQUIRE(!corpus.empty(), "sweep needs a corpus");
+  // All grid points ride through the experiment runner as one batch:
+  // algo 0 is the HCPA reference, the rest are the sweep points, and
+  // the whole points x corpus cross product is claimed by one worker
+  // pool instead of a serial per-point loop.
+  std::vector<AlgoSpec> algos;
+  algos.reserve(points.size() + 1);
+  SchedulerOptions hcpa;
+  hcpa.kind = SchedulerKind::Hcpa;
+  algos.push_back(AlgoSpec{"HCPA", hcpa});
+  for (std::size_t p = 0; p < points.size(); ++p)
+    algos.push_back(AlgoSpec{"point" + std::to_string(p), points[p]});
+
+  const ExperimentData data = run_experiment(corpus, cluster, algos, threads);
+
+  std::vector<double> averages;
+  averages.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p)
+    averages.push_back(
+        summarize_relative(relative_series(data, p + 1, 0, /*makespan=*/true))
+            .mean_ratio);
+  return averages;
+}
+
 DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
-                       const Cluster& cluster) {
+                       const Cluster& cluster, unsigned threads) {
   DeltaSweep sweep;
   sweep.mindeltas = tuning_mindeltas();
   sweep.maxdeltas = tuning_maxdeltas();
-  const auto reference = reference_makespans(corpus, cluster);
 
-  sweep.best_value = std::numeric_limits<double>::infinity();
+  std::vector<SchedulerOptions> points;
   for (double mindelta : sweep.mindeltas) {
-    std::vector<double> row;
     for (double maxdelta : sweep.maxdeltas) {
       SchedulerOptions options;
       options.kind = SchedulerKind::RatsDelta;
       options.rats.mindelta = mindelta;
       options.rats.maxdelta = maxdelta;
-      const double avg =
-          average_relative_makespan(corpus, cluster, options, reference);
-      row.push_back(avg);
-      if (avg < sweep.best_value) {
-        sweep.best_value = avg;
+      points.push_back(options);
+    }
+  }
+  const std::vector<double> avg = sweep_grid(corpus, cluster, points, threads);
+
+  sweep.best_value = std::numeric_limits<double>::infinity();
+  std::size_t k = 0;
+  for (double mindelta : sweep.mindeltas) {
+    std::vector<double> row;
+    for (double maxdelta : sweep.maxdeltas) {
+      const double value = avg[k++];
+      row.push_back(value);
+      if (value < sweep.best_value) {
+        sweep.best_value = value;
         sweep.best_mindelta = mindelta;
         sweep.best_maxdelta = maxdelta;
       }
@@ -69,23 +106,30 @@ DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
 }
 
 RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
-                   const Cluster& cluster) {
+                   const Cluster& cluster, unsigned threads) {
   RhoSweep sweep;
   sweep.minrhos = tuning_minrhos();
-  const auto reference = reference_makespans(corpus, cluster);
 
-  sweep.best_value = std::numeric_limits<double>::infinity();
+  std::vector<SchedulerOptions> points;
   for (double minrho : sweep.minrhos) {
     for (bool packing : {true, false}) {
       SchedulerOptions options;
       options.kind = SchedulerKind::RatsTimeCost;
       options.rats.minrho = minrho;
       options.rats.packing = packing;
-      const double avg =
-          average_relative_makespan(corpus, cluster, options, reference);
-      (packing ? sweep.with_packing : sweep.without_packing).push_back(avg);
-      if (packing && avg < sweep.best_value) {
-        sweep.best_value = avg;
+      points.push_back(options);
+    }
+  }
+  const std::vector<double> avg = sweep_grid(corpus, cluster, points, threads);
+
+  sweep.best_value = std::numeric_limits<double>::infinity();
+  std::size_t k = 0;
+  for (double minrho : sweep.minrhos) {
+    for (bool packing : {true, false}) {
+      const double value = avg[k++];
+      (packing ? sweep.with_packing : sweep.without_packing).push_back(value);
+      if (packing && value < sweep.best_value) {
+        sweep.best_value = value;
         sweep.best_minrho = minrho;
       }
     }
@@ -94,9 +138,9 @@ RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
 }
 
 TunedParams tune(const std::vector<CorpusEntry>& corpus,
-                 const Cluster& cluster) {
-  const DeltaSweep ds = sweep_delta(corpus, cluster);
-  const RhoSweep rs = sweep_rho(corpus, cluster);
+                 const Cluster& cluster, unsigned threads) {
+  const DeltaSweep ds = sweep_delta(corpus, cluster, threads);
+  const RhoSweep rs = sweep_rho(corpus, cluster, threads);
   return TunedParams{ds.best_mindelta, ds.best_maxdelta, rs.best_minrho};
 }
 

@@ -19,13 +19,23 @@ std::vector<double> tuning_minrhos();    ///< {0.2, 0.4, 0.5, 0.6, 0.8, 1}
 /// HCPA reference makespans for a corpus on one cluster (computed in
 /// parallel, reused across sweep points).
 std::vector<double> reference_makespans(const std::vector<CorpusEntry>& corpus,
-                                        const Cluster& cluster);
+                                        const Cluster& cluster,
+                                        unsigned threads = 0);
 
 /// Average makespan of `options` relative to per-entry `reference`.
 double average_relative_makespan(const std::vector<CorpusEntry>& corpus,
                                  const Cluster& cluster,
                                  const SchedulerOptions& options,
-                                 const std::vector<double>& reference);
+                                 const std::vector<double>& reference,
+                                 unsigned threads = 0);
+
+/// Average relative makespan (vs a freshly computed HCPA reference) of
+/// every sweep point, batched through the experiment runner as one
+/// (points + reference) x corpus parallel job.
+std::vector<double> sweep_grid(const std::vector<CorpusEntry>& corpus,
+                               const Cluster& cluster,
+                               const std::vector<SchedulerOptions>& points,
+                               unsigned threads = 0);
 
 /// The (mindelta, maxdelta) surface of Figure 4.
 struct DeltaSweep {
@@ -38,7 +48,7 @@ struct DeltaSweep {
   double best_value{};
 };
 DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
-                       const Cluster& cluster);
+                       const Cluster& cluster, unsigned threads = 0);
 
 /// The minrho curves (packing on/off) of Figure 5.
 struct RhoSweep {
@@ -49,7 +59,7 @@ struct RhoSweep {
   double best_value{};  ///< with packing (always at least as good)
 };
 RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
-                   const Cluster& cluster);
+                   const Cluster& cluster, unsigned threads = 0);
 
 /// One Table IV cell: tuned (mindelta, maxdelta, minrho).
 struct TunedParams {
@@ -58,6 +68,6 @@ struct TunedParams {
   double minrho{};
 };
 TunedParams tune(const std::vector<CorpusEntry>& corpus,
-                 const Cluster& cluster);
+                 const Cluster& cluster, unsigned threads = 0);
 
 }  // namespace rats

@@ -1,17 +1,91 @@
 #include "net/fluid_network.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "common/error.hpp"
 
 namespace rats {
 
+// ---- indexed event heap ------------------------------------------------
+
+void FluidNetwork::EventHeap::place(std::size_t i, const Entry& e) {
+  entries_[i] = e;
+  pos_[static_cast<std::size_t>(e.flow)] = static_cast<std::int32_t>(i);
+}
+
+void FluidNetwork::EventHeap::sift_up(std::size_t i, Entry e) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(e, entries_[parent])) break;
+    place(i, entries_[parent]);
+    i = parent;
+  }
+  place(i, e);
+}
+
+void FluidNetwork::EventHeap::sift_down(std::size_t i, Entry e) {
+  const std::size_t n = entries_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(entries_[child + 1], entries_[child])) ++child;
+    if (!before(entries_[child], e)) break;
+    place(i, entries_[child]);
+    i = child;
+  }
+  place(i, e);
+}
+
+FlowId FluidNetwork::EventHeap::pop() {
+  const FlowId f = entries_.front().flow;
+  pos_[static_cast<std::size_t>(f)] = -1;
+  const Entry last = entries_.back();
+  entries_.pop_back();
+  if (!entries_.empty()) sift_down(0, last);
+  return f;
+}
+
+void FluidNetwork::EventHeap::remove(FlowId f) {
+  const std::int32_t at = pos_[static_cast<std::size_t>(f)];
+  if (at < 0) return;
+  pos_[static_cast<std::size_t>(f)] = -1;
+  const auto i = static_cast<std::size_t>(at);
+  const Entry last = entries_.back();
+  entries_.pop_back();
+  if (i >= entries_.size()) return;  // removed the tail entry itself
+  if (i > 0 && before(last, entries_[(i - 1) / 2]))
+    sift_up(i, last);
+  else
+    sift_down(i, last);
+}
+
+void FluidNetwork::EventHeap::upsert(FlowId f, Seconds time,
+                                     std::uint64_t seq) {
+  const Entry e{time, seq, f};
+  const std::int32_t at = pos_[static_cast<std::size_t>(f)];
+  if (at < 0) {
+    entries_.push_back(e);
+    sift_up(entries_.size() - 1, e);
+    return;
+  }
+  // Re-key in place: the new (time, seq) may sort either way.
+  const auto i = static_cast<std::size_t>(at);
+  if (i > 0 && before(e, entries_[(i - 1) / 2]))
+    sift_up(i, e);
+  else
+    sift_down(i, e);
+}
+
+// ---- fluid network -----------------------------------------------------
+
 FluidNetwork::FluidNetwork(const Cluster& cluster) : cluster_(&cluster) {
   capacity_.reserve(static_cast<std::size_t>(cluster.num_links()));
   for (LinkId l = 0; l < cluster.num_links(); ++l)
     capacity_.push_back(cluster.link(l).bandwidth);
-  link_users_.assign(capacity_.size(), 0);
+  link_members_.assign(capacity_.size(), {});
+  link_stamp_.assign(capacity_.size(), 0);
 }
 
 FlowId FluidNetwork::open_flow(NodeId src, NodeId dst, Bytes bytes) {
@@ -40,24 +114,24 @@ FlowId FluidNetwork::open_flow(NodeId src, NodeId dst, Bytes bytes) {
 
   const Seconds one_way = cluster_->route_latency(src, dst);
   f.release = now_ + one_way;
+  f.link_pos.assign(f.links.size(), -1);  // filled at activation
   // Empirical TCP bound: beta' = min(beta, W_max / RTT), RTT = 2 x one-way.
   const Seconds rtt = 2.0 * one_way;
   if (rtt > 0) f.cap = cluster_->tcp_window() / rtt;
 
   flows_.push_back(std::move(f));
-  if (active_pos_.size() < flows_.size()) active_pos_.resize(flows_.size(), -1);
+  if (active_pos_.size() < flows_.size()) {
+    active_pos_.resize(flows_.size(), -1);
+    component_of_.resize(flows_.size(), -1);
+    member_pos_.resize(flows_.size(), -1);
+    visit_stamp_.resize(flows_.size(), 0);
+    events_.grow(flows_.size());
+  }
   active_pos_[static_cast<std::size_t>(id)] =
       static_cast<std::int32_t>(active_ids_.size());
   active_ids_.push_back(id);
-  events_.push(flows_.back().release, NetEvent{id, 0, true});
+  events_.upsert(id, flows_.back().release, next_seq_++);
   return id;
-}
-
-bool FluidNetwork::event_valid(const NetEvent& e) const {
-  const FlowState& f = flows_[static_cast<std::size_t>(e.id)];
-  if (f.done) return false;
-  if (e.is_release) return !f.released;
-  return f.released && e.version == f.version;
 }
 
 void FluidNetwork::settle(FlowState& f) {
@@ -69,18 +143,114 @@ void FluidNetwork::settle(FlowState& f) {
 void FluidNetwork::set_rate(FlowId id, FlowState& f, Rate r) {
   settle(f);
   f.rate = r;
-  ++f.version;
   if (r > 0)
-    events_.push(std::max(now_ + f.remaining / r, now_),
-                 NetEvent{id, f.version, false});
+    events_.upsert(id, std::max(now_ + f.remaining / r, now_), next_seq_++);
+  else
+    // A flow starved to rate 0 (degenerate exactly-saturated instance)
+    // has no completion to predict; its old prediction must not fire.
+    events_.remove(id);
+}
+
+// ---- sharing-component partition --------------------------------------
+
+std::int32_t FluidNetwork::alloc_component() {
+  std::int32_t c;
+  if (!free_components_.empty()) {
+    c = free_components_.back();
+    free_components_.pop_back();
+    components_[static_cast<std::size_t>(c)].members.clear();
+  } else {
+    c = static_cast<std::int32_t>(components_.size());
+    components_.emplace_back();
+  }
+  auto& comp = components_[static_cast<std::size_t>(c)];
+  comp.live = true;
+  comp.dirty = false;
+  comp.maybe_split = false;
+  comp.solves_since_walk = 0;
+  ++live_components_;
+  return c;
+}
+
+void FluidNetwork::free_component(std::int32_t c) {
+  auto& comp = components_[static_cast<std::size_t>(c)];
+  comp.live = false;
+  comp.dirty = false;
+  comp.maybe_split = false;
+  comp.members.clear();
+  free_components_.push_back(c);
+  --live_components_;
+}
+
+void FluidNetwork::mark_dirty(std::int32_t c) {
+  auto& comp = components_[static_cast<std::size_t>(c)];
+  if (!comp.dirty) {
+    comp.dirty = true;
+    dirty_components_.push_back(c);
+  }
+}
+
+void FluidNetwork::add_member(std::int32_t c, FlowId id) {
+  auto& members = components_[static_cast<std::size_t>(c)].members;
+  component_of_[static_cast<std::size_t>(id)] = c;
+  member_pos_[static_cast<std::size_t>(id)] =
+      static_cast<std::int32_t>(members.size());
+  members.push_back(id);
+}
+
+void FluidNetwork::remove_member(std::int32_t c, FlowId id) {
+  auto& members = components_[static_cast<std::size_t>(c)].members;
+  const auto pos = member_pos_[static_cast<std::size_t>(id)];
+  const FlowId moved = members.back();
+  members[static_cast<std::size_t>(pos)] = moved;
+  member_pos_[static_cast<std::size_t>(moved)] = pos;
+  members.pop_back();
+  member_pos_[static_cast<std::size_t>(id)] = -1;
+}
+
+std::int32_t FluidNetwork::merge_components(std::int32_t a, std::int32_t b) {
+  if (components_[static_cast<std::size_t>(a)].members.size() <
+      components_[static_cast<std::size_t>(b)].members.size())
+    std::swap(a, b);
+  auto& keep = components_[static_cast<std::size_t>(a)];
+  auto& gone = components_[static_cast<std::size_t>(b)];
+  keep.maybe_split = keep.maybe_split || gone.maybe_split;
+  for (const FlowId m : gone.members) {
+    component_of_[static_cast<std::size_t>(m)] = a;
+    member_pos_[static_cast<std::size_t>(m)] =
+        static_cast<std::int32_t>(keep.members.size());
+    keep.members.push_back(m);
+  }
+  free_component(b);
+  return a;
 }
 
 void FluidNetwork::activate(FlowId id, FlowState& f) {
   f.released = true;
   f.last_update = now_;
-  for (LinkId l : f.links) ++link_users_[static_cast<std::size_t>(l)];
-  pending_activations_.push_back(id);
-  dirty_ = true;
+  // Merge the sharing components of every route link.  All released
+  // flows on one link already share a component, so one representative
+  // per link suffices.  The merged result stays connected — the new
+  // flow is the bridge — so no split flag is raised here.
+  std::int32_t target = -1;
+  for (const LinkId l : f.links) {
+    const auto& members = link_members_[static_cast<std::size_t>(l)];
+    if (members.empty()) continue;
+    const std::int32_t c = component_of_[static_cast<std::size_t>(
+        members.front())];
+    if (target == -1)
+      target = c;
+    else if (c != target)
+      target = merge_components(target, c);
+  }
+  if (target == -1) target = alloc_component();
+  add_member(target, id);
+  mark_dirty(target);
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    auto& members = link_members_[static_cast<std::size_t>(f.links[i])];
+    f.link_pos[i] = static_cast<std::int32_t>(members.size());
+    members.push_back(id);
+  }
 }
 
 void FluidNetwork::complete(FlowId id, FlowState& f) {
@@ -88,59 +258,78 @@ void FluidNetwork::complete(FlowId id, FlowState& f) {
   f.done = true;
   f.finish = now_;
   f.rate = 0;
-  ++f.version;
   const auto pos = active_pos_[static_cast<std::size_t>(id)];
   const FlowId moved = active_ids_.back();
   active_ids_[static_cast<std::size_t>(pos)] = moved;
   active_pos_[static_cast<std::size_t>(moved)] = pos;
   active_ids_.pop_back();
   active_pos_[static_cast<std::size_t>(id)] = -1;
-  for (LinkId l : f.links)
-    // Any survivor on a freed link speeds up (and may cascade), so the
-    // next ensure_rates() must run a full solve.
-    if (--link_users_[static_cast<std::size_t>(l)] > 0)
-      contended_change_ = true;
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    const LinkId l = f.links[i];
+    auto& members = link_members_[static_cast<std::size_t>(l)];
+    const auto pos = static_cast<std::size_t>(f.link_pos[i]);
+    const FlowId moved = members.back();
+    members[pos] = moved;
+    members.pop_back();
+    if (moved != id) {
+      // Point the displaced flow's back-pointer for link l at its new
+      // slot; its route is a handful of links, so this scan is O(1)-ish.
+      auto& mf = flows_[static_cast<std::size_t>(moved)];
+      for (std::size_t j = 0; j < mf.links.size(); ++j)
+        if (mf.links[j] == l) {
+          mf.link_pos[j] = static_cast<std::int32_t>(pos);
+          break;
+        }
+    }
+  }
+  const std::int32_t c = component_of_[static_cast<std::size_t>(id)];
+  remove_member(c, id);
+  component_of_[static_cast<std::size_t>(id)] = -1;
+  if (components_[static_cast<std::size_t>(c)].members.empty()) {
+    // Pure removal: the departing flow shared no link with anyone (it
+    // was alone in its component), so no rate can change.
+    free_component(c);
+  } else {
+    // Any survivor on a freed link speeds up (and may cascade through
+    // the component), and the departure may also have disconnected it —
+    // the next ensure_rates() re-partitions and re-solves it.
+    components_[static_cast<std::size_t>(c)].maybe_split = true;
+    mark_dirty(c);
+  }
   completed_.push_back(id);
-  dirty_ = true;
 }
 
 void FluidNetwork::advance_to(Seconds t) {
   RATS_REQUIRE(t >= now_ - 1e-12, "cannot move time backwards");
   for (;;) {
     ensure_rates();
-    // Earliest still-valid event; stale predictions are discarded here.
-    std::optional<Seconds> next;
-    while (!events_.empty()) {
-      if (event_valid(events_.peek())) {
-        next = events_.next_time();
-        break;
-      }
-      events_.pop();
-    }
-    if (!next || *next > t) break;
-    now_ = std::max(now_, *next);
+    if (events_.empty() || events_.next_time() > t) break;
+    const Seconds next = events_.next_time();
+    // Predictions are re-keyed eagerly, so an event can never hide
+    // inside a stale window behind the current time.
+    assert(next >= now_ && "event prediction in the past");
+    now_ = std::max(now_, next);
     // Process the whole batch of simultaneous events before re-solving:
     // one redistribution completing can retire many flows at once.
     while (!events_.empty() && events_.next_time() <= now_) {
-      const NetEvent e = events_.pop();
-      if (!event_valid(e)) continue;
-      auto& f = flows_[static_cast<std::size_t>(e.id)];
-      if (e.is_release)
-        activate(e.id, f);
+      const FlowId id = events_.pop();
+      auto& f = flows_[static_cast<std::size_t>(id)];
+      if (!f.released)
+        activate(id, f);
       else
-        complete(e.id, f);
+        complete(id, f);
     }
   }
   now_ = std::max(now_, t);
 }
 
-std::optional<Seconds> FluidNetwork::next_event_time() {
-  ensure_rates();
-  while (!events_.empty()) {
-    if (event_valid(events_.peek())) return events_.next_time();
-    events_.pop();
-  }
-  return std::nullopt;
+std::optional<Seconds> FluidNetwork::next_event_time() const {
+  // The lazy flush lives in ensure_rates(), which every mutating entry
+  // point runs before returning — the query itself stays const.
+  assert(dirty_components_.empty() &&
+         "next_event_time() with unflushed rate changes");
+  if (events_.empty()) return std::nullopt;
+  return events_.next_time();
 }
 
 const std::vector<FlowId>& FluidNetwork::drain_completed() {
@@ -161,66 +350,133 @@ const FlowState& FluidNetwork::flow(FlowId id) const {
   return flows_[static_cast<std::size_t>(id)];
 }
 
-void FluidNetwork::ensure_rates() {
-  if (!dirty_) return;
-  dirty_ = false;
-
-  // Departures whose links are now unused affect nobody.  Arrivals that
-  // share no link with another active flow take the uncontended rate
-  // directly.  Only when a touched link still carries (other) users can
-  // any existing rate change — that is the full-solve case.
-  bool full_solve = contended_change_;
-  if (!full_solve) {
-    for (const FlowId id : pending_activations_) {
-      for (const LinkId l : flows_[static_cast<std::size_t>(id)].links) {
-        if (link_users_[static_cast<std::size_t>(l)] > 1) {
-          full_solve = true;
-          break;
-        }
-      }
-      if (full_solve) break;
-    }
-  }
-
-  if (full_solve) {
-    recompute_rates();
-  } else {
-    for (const FlowId id : pending_activations_) {
-      auto& f = flows_[static_cast<std::size_t>(id)];
-      Rate r = f.cap;
-      for (const LinkId l : f.links)
-        r = std::min(r, capacity_[static_cast<std::size_t>(l)]);
-      set_rate(id, f, r);
-    }
-  }
-  pending_activations_.clear();
-  contended_change_ = false;
+std::int32_t FluidNetwork::flow_component(FlowId id) const {
+  const FlowState& f = flow(id);
+  if (!f.released || f.done) return -1;
+  return component_of_[static_cast<std::size_t>(id)];
 }
 
-void FluidNetwork::recompute_rates() {
-  // Only flows past their latency phase compete for bandwidth.  The
-  // demand/index/rate buffers persist across solves, so a steady-state
-  // re-solve performs no allocation.
-  std::size_t n = 0;
-  demand_index_.clear();
-  for (const FlowId id : active_ids_) {
-    const auto& f = flows_[static_cast<std::size_t>(id)];
-    if (!f.released) continue;
-    if (demands_.size() <= n) demands_.emplace_back();
-    demands_[n].links.assign(f.links.begin(), f.links.end());
-    demands_[n].cap = f.cap;
-    demand_index_.push_back(id);
-    ++n;
+void FluidNetwork::ensure_rates() {
+  if (dirty_components_.empty()) return;
+  // Swap the dirty list out: re-partitioning may allocate fresh (clean)
+  // components but never re-dirties one mid-flush.
+  dirty_scratch_.swap(dirty_components_);
+  for (const std::int32_t c : dirty_scratch_) {
+    auto& comp = components_[static_cast<std::size_t>(c)];
+    if (!comp.live || !comp.dirty) continue;  // merged or freed away
+    comp.dirty = false;
+    repartition_and_solve(c);
   }
-  demands_.resize(n);
-  if (n == 0) return;
-  solver_.solve(capacity_, demands_, rates_);
-  for (std::size_t k = 0; k < n; ++k) {
-    const FlowId id = demand_index_[k];
+  dirty_scratch_.clear();
+}
+
+void FluidNetwork::repartition_and_solve(std::int32_t c) {
+  auto& comp = components_[static_cast<std::size_t>(c)];
+  // Arrivals only merge (the arriving flow bridges what it touches), so
+  // a component can only have disconnected if a departure marked it.
+  // Singletons are trivially connected.  Large components are walked
+  // only every few departure-solves: a missed split just means solving
+  // a (still exact) over-approximation for a few events, while walking
+  // a big, usually-still-connected component on every departure would
+  // cost as much as the solve itself.  Small components always walk —
+  // the walk is cheap and a split there shrinks solves the most.
+  constexpr std::size_t kEagerSplitSize = 64;
+  constexpr std::uint32_t kSplitPeriod = 16;
+  const bool walk =
+      comp.maybe_split && comp.members.size() > 1 &&
+      (comp.members.size() <= kEagerSplitSize ||
+       ++comp.solves_since_walk >= kSplitPeriod);
+  if (!walk) {
+    solve_group(comp.members.data(), comp.members.size());
+    return;
+  }
+  comp.maybe_split = false;
+  comp.solves_since_walk = 0;
+
+  // Walk the sharing graph over a membership snapshot.  Links are
+  // visit-stamped so each member list is scanned once — the walk is
+  // O(component incidences), the same order as one solver pass.
+  ++visit_epoch_;
+  split_scratch_.assign(comp.members.begin(), comp.members.end());
+  std::size_t assigned = 0;
+  bool first_group = true;
+  for (const FlowId root : split_scratch_) {
+    if (visit_stamp_[static_cast<std::size_t>(root)] == visit_epoch_) continue;
+    group_.clear();
+    visit_stamp_[static_cast<std::size_t>(root)] = visit_epoch_;
+    bfs_queue_.assign(1, root);
+    while (!bfs_queue_.empty()) {
+      const FlowId cur = bfs_queue_.back();
+      bfs_queue_.pop_back();
+      group_.push_back(cur);
+      // All released flows on any of `cur`'s links belong to this
+      // component (the partition refines link sharing), so the walk
+      // never escapes c.
+      for (const LinkId l : flows_[static_cast<std::size_t>(cur)].links) {
+        const auto li = static_cast<std::size_t>(l);
+        if (link_stamp_[li] == visit_epoch_) continue;
+        link_stamp_[li] = visit_epoch_;
+        for (const FlowId nb : link_members_[li])
+          if (visit_stamp_[static_cast<std::size_t>(nb)] != visit_epoch_) {
+            visit_stamp_[static_cast<std::size_t>(nb)] = visit_epoch_;
+            bfs_queue_.push_back(nb);
+          }
+      }
+    }
+    assigned += group_.size();
+    if (first_group && assigned == split_scratch_.size()) {
+      // Still one connected component: keep it as is.
+      solve_group(group_.data(), group_.size());
+      return;
+    }
+    // Split: the first true sub-component keeps id `c`, later ones get
+    // fresh (clean) components.  alloc_component() may reallocate
+    // `components_`, so the member list is re-indexed each round.
+    const std::int32_t target = first_group ? c : alloc_component();
+    first_group = false;
+    auto& members = components_[static_cast<std::size_t>(target)].members;
+    members.assign(group_.begin(), group_.end());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      component_of_[static_cast<std::size_t>(members[k])] = target;
+      member_pos_[static_cast<std::size_t>(members[k])] =
+          static_cast<std::int32_t>(k);
+    }
+    solve_group(members.data(), members.size());
+  }
+}
+
+void FluidNetwork::solve_group(const FlowId* ids, std::size_t n) {
+  if (n == 1) {
+    // Uncontended flow: its rate is the tightest of its own cap and its
+    // links' capacities — same value the solver would produce.
+    const FlowId id = ids[0];
     auto& f = flows_[static_cast<std::size_t>(id)];
-    // Unchanged rates keep their completion prediction; re-predicting
-    // would just churn the event heap.
-    if (rates_[k] != f.rate) set_rate(id, f, rates_[k]);
+    Rate r = f.cap;
+    for (const LinkId l : f.links)
+      r = std::min(r, capacity_[static_cast<std::size_t>(l)]);
+    if (r != f.rate) set_rate(id, f, r);
+    return;
+  }
+  demand_views_.clear();
+  if (local_index_.size() < flows_.size()) local_index_.resize(flows_.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    const FlowState& f = flows_[static_cast<std::size_t>(ids[k])];
+    demand_views_.push_back(FlowDemandView{
+        f.links.data(), static_cast<std::int32_t>(f.links.size()), f.cap});
+    local_index_[static_cast<std::size_t>(ids[k])] =
+        static_cast<std::int32_t>(k);
+  }
+  group_rates_.resize(n);
+  // The live per-link membership lists are exactly this component's
+  // adjacency, so the solver can walk them instead of building a CSR.
+  solver_.solve(capacity_, demand_views_.data(), n, group_rates_.data(),
+                link_members_, local_index_);
+  for (std::size_t k = 0; k < n; ++k) {
+    const FlowId id = ids[k];
+    auto& f = flows_[static_cast<std::size_t>(id)];
+    // Unchanged rates keep their completion prediction; re-keying would
+    // just churn the event heap.
+    if (group_rates_[k] != f.rate) set_rate(id, f, group_rates_[k]);
   }
 }
 

@@ -16,17 +16,31 @@
 //  * per-flow payload is tracked lazily — `remaining` is only brought
 //    up to date when the flow's rate changes or it completes, so events
 //    that do not affect a flow never touch it;
-//  * releases and completions are predicted into an event heap keyed by
-//    absolute time; a per-flow version stamp invalidates predictions
-//    when a re-solve changes the flow's rate, so `next_event_time()` is
-//    an O(log) peek rather than an O(#active) scan;
-//  * the Max-Min solve itself is skipped when the links touched since
-//    the last solve cannot change any active rate: a departing flow
-//    whose links carry no other active flow is a pure removal, and an
-//    arriving flow whose links carry no other active flow gets
-//    rate = min(cap, min link capacity) directly.  Only genuinely
-//    contended changes pay for a full solve, which reuses the
-//    `MaxMinSolver`'s persistent scratch (no steady-state allocation);
+//  * each in-flight flow keeps exactly one entry in an indexed event
+//    heap — its latency-phase exit, then its predicted completion.  A
+//    rate change re-keys the flow's entry in place (O(log #active)),
+//    so the heap never accumulates stale predictions and
+//    `next_event_time()` is a const O(1) peek.  Entries tie-break on a
+//    global sequence number assigned at prediction time, reproducing
+//    the insertion-order pop of a lazy-invalidation queue bit for bit;
+//  * released flows are partitioned into *sharing components* — the
+//    connected components of the flow/link sharing graph (two flows are
+//    adjacent when their routes share a link).  An arrival merges the
+//    components of every link it touches and marks the result dirty; a
+//    departure marks its component dirty (and possibly-split, since
+//    removals are the only edits that can disconnect a component).
+//    `ensure_rates()` re-solves only dirty components: a
+//    possibly-split component is first re-partitioned by a link-stamped
+//    walk of the sharing graph (each link's member list is scanned once
+//    — O(component incidences)), then every true component gets one
+//    Max-Min solve over non-owning route views into the flows'
+//    immutable routes.  Rates, predictions and heap entries of
+//    untouched components are left completely alone, so a contended
+//    event costs O(component * log) — proportional to what changed,
+//    not to what exists.  Max-Min rates decompose exactly over sharing
+//    components, so the rates match a full solve bit for bit.
+//    Single-flow components short-circuit the solver:
+//    rate = min(cap, min link capacity);
 //  * completed flows are reported through `drain_completed()` in
 //    O(#finished), so a driver never rescans its in-flight set.
 #pragma once
@@ -38,7 +52,6 @@
 
 #include "net/maxmin.hpp"
 #include "platform/cluster.hpp"
-#include "sim/event_queue.hpp"
 
 namespace rats {
 
@@ -55,10 +68,13 @@ struct FlowState {
   Seconds finish{};      ///< completion time (valid once done)
   Seconds last_update{}; ///< instant `remaining` was last settled at
   Rate rate{};           ///< current Max-Min rate (0 while latent/done)
-  std::uint32_t version = 0;  ///< bumped on rate change; stales predictions
   bool released = false; ///< past the latency phase, competing for rate
   bool done = false;
   std::vector<LinkId> links;
+  /// Position of this flow in link_members_[links[i]] while released —
+  /// lets a departure swap-remove itself from each member list in
+  /// O(route length) instead of scanning the link's population.
+  std::vector<std::int32_t> link_pos;
   Rate cap = std::numeric_limits<Rate>::infinity();
 };
 
@@ -77,9 +93,17 @@ class FluidNetwork {
   void advance_to(Seconds t);
 
   /// Earliest future instant at which a flow completes or leaves its
-  /// latency phase; nullopt when no flow is in flight.  (Non-const:
-  /// flushes any pending lazy rate recomputation.)
-  std::optional<Seconds> next_event_time();
+  /// latency phase; nullopt when no flow is in flight.  Const: the lazy
+  /// rate recomputation is flushed by `advance_to`/`ensure_rates`
+  /// before control returns to the caller, and a debug assert checks
+  /// no component is still dirty here.
+  std::optional<Seconds> next_event_time() const;
+
+  /// Applies pending arrivals/departures to the rate assignment,
+  /// re-solving only the dirty sharing components.  Called
+  /// automatically by `advance_to`; public so diagnostics/tests can
+  /// flush explicitly.
+  void ensure_rates();
 
   /// Flows that finished since the previous call, in completion order
   /// (instantly-done flows appear after the open that created them).
@@ -97,48 +121,126 @@ class FluidNetwork {
   /// Sum over all completed and in-flight flows of bytes injected.
   Bytes total_bytes_opened() const { return total_bytes_; }
 
+  // ---- sharing-component observers (tests / diagnostics) -------------
+
+  /// Component id of a released, not-yet-done flow; -1 otherwise.  Ids
+  /// are stable while the partition is clean; a re-solve may renumber
+  /// the components it splits.
+  std::int32_t flow_component(FlowId id) const;
+  /// Number of live sharing components.  After a flush
+  /// (`advance_to`/`ensure_rates`) the partition is exact for
+  /// components up to the eager-split size (64 members); a larger
+  /// component that a departure disconnected may stay merged — a
+  /// correct over-approximation, rates are unaffected — until its
+  /// amortized split walk runs (at most 16 departure-solves later).
+  std::size_t num_components() const { return live_components_; }
+
  private:
-  struct NetEvent {
-    FlowId id;
-    std::uint32_t version;  ///< flow version the prediction was made at
-    bool is_release;
+  /// One sharing component of the released-flow/link graph.
+  struct Component {
+    std::vector<FlowId> members;
+    bool dirty = false;        ///< membership changed since last solve
+    bool maybe_split = false;  ///< a departure may have disconnected it
+    bool live = false;
+    std::uint32_t solves_since_walk = 0;  ///< amortizes split detection
   };
 
-  /// True when the event at the queue head is still meaningful.
-  bool event_valid(const NetEvent& e) const;
+  /// Indexed binary min-heap over (time, seq) with one entry per flow:
+  /// the latency-phase exit while latent, the predicted completion once
+  /// released.  Re-keying on rate change keeps the heap stale-free, so
+  /// its size is O(#in-flight flows) and the head is always meaningful.
+  /// `seq` reproduces the push order of a lazy-invalidation event queue
+  /// (a fresh, larger seq per prediction), keeping simultaneous events
+  /// in the exact order the previous engine processed them.
+  class EventHeap {
+   public:
+    bool empty() const { return entries_.empty(); }
+    Seconds next_time() const { return entries_.front().time; }
+    FlowId pop();
+    /// Inserts or re-keys `f`'s entry.
+    void upsert(FlowId f, Seconds time, std::uint64_t seq);
+    /// Drops `f`'s entry if present (a flow rated down to zero has no
+    /// completion to predict).
+    void remove(FlowId f);
+    void grow(std::size_t num_flows) { pos_.resize(num_flows, -1); }
+
+   private:
+    struct Entry {
+      Seconds time;
+      std::uint64_t seq;
+      FlowId flow;
+    };
+    bool before(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
+    }
+    void place(std::size_t i, const Entry& e);
+    void sift_up(std::size_t i, Entry e);
+    void sift_down(std::size_t i, Entry e);
+
+    std::vector<Entry> entries_;
+    std::vector<std::int32_t> pos_;  ///< flow id -> index in entries_, -1
+  };
+
   /// Settles `remaining` up to now() at the current rate.
   void settle(FlowState& f);
-  /// Assigns a (new) rate and predicts the flow's completion.
+  /// Assigns a (new) rate and re-keys the flow's completion prediction.
   void set_rate(FlowId id, FlowState& f, Rate r);
   /// Latency-phase exit: the flow starts competing for bandwidth.
   void activate(FlowId id, FlowState& f);
   /// Payload exhausted: record finish, free links, queue for drain.
   void complete(FlowId id, FlowState& f);
-  /// Applies pending arrivals/departures to the rate assignment —
-  /// skipping or short-circuiting the Max-Min solve when possible.
-  void ensure_rates();
-  void recompute_rates();
+
+  // Partition maintenance.
+  std::int32_t alloc_component();
+  void free_component(std::int32_t c);
+  void mark_dirty(std::int32_t c);
+  void add_member(std::int32_t c, FlowId id);
+  void remove_member(std::int32_t c, FlowId id);
+  /// Moves the smaller component's members into the larger; returns the
+  /// surviving id.
+  std::int32_t merge_components(std::int32_t a, std::int32_t b);
+  /// Re-solves a dirty component, re-partitioning it first when a
+  /// departure may have disconnected it.
+  void repartition_and_solve(std::int32_t c);
+  /// Solves one true component (the `n` flows in `ids`) and applies
+  /// changed rates.  `ids` must stay valid across the call (it may
+  /// alias a component's member list or the walk scratch).
+  void solve_group(const FlowId* ids, std::size_t n);
 
   const Cluster* cluster_;
   std::vector<Rate> capacity_;
   std::vector<FlowState> flows_;
   std::vector<FlowId> active_ids_;       ///< not-yet-done flows
   std::vector<std::int32_t> active_pos_; ///< flow id -> index in active_ids_
-  std::vector<std::int32_t> link_users_; ///< released active flows per link
-  EventQueue<NetEvent> events_;          ///< predicted releases/completions
+  EventHeap events_;
+  std::uint64_t next_seq_ = 0;  ///< prediction tie-break counter
 
-  // Dirty bookkeeping between solves.
-  bool dirty_ = false;             ///< some arrival/departure is unapplied
-  bool contended_change_ = false;  ///< a touched link still has users
-  std::vector<FlowId> pending_activations_;
+  // Sharing-component partition of released flows.
+  std::vector<std::vector<FlowId>> link_members_;  ///< released flows per link
+  std::vector<Component> components_;
+  std::vector<std::int32_t> free_components_;
+  std::vector<std::int32_t> dirty_components_;
+  std::vector<std::int32_t> component_of_;  ///< flow id -> component (-1)
+  std::vector<std::int32_t> member_pos_;    ///< flow id -> index in members
+  std::size_t live_components_ = 0;
 
-  // Drain + solver scratch (persistent, reused across solves).
+  // Re-partition / solve scratch (persistent, reused across solves).
+  std::vector<std::int32_t> dirty_scratch_;
+  std::vector<FlowId> group_;          ///< members of one true component
+  std::vector<FlowId> split_scratch_;  ///< membership snapshot for walks
+  std::vector<FlowId> bfs_queue_;
+  std::vector<std::uint32_t> link_stamp_;   ///< per link id
+  std::uint32_t visit_epoch_ = 0;
+  std::vector<std::uint32_t> visit_stamp_;  ///< per flow id
+  std::vector<FlowDemandView> demand_views_;
+  std::vector<std::int32_t> local_index_;  ///< flow id -> index in group_
+  std::vector<Rate> group_rates_;
+
+  // Drain + solver scratch.
   std::vector<FlowId> completed_;
   std::vector<FlowId> drained_;
   MaxMinSolver solver_;
-  std::vector<FlowDemand> demands_;
-  std::vector<FlowId> demand_index_;
-  std::vector<Rate> rates_;
 
   Seconds now_ = 0;
   Bytes total_bytes_ = 0;

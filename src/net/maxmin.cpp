@@ -19,63 +19,133 @@ constexpr double kShareSlack = 1e-12;
 void MaxMinSolver::solve(const std::vector<Rate>& capacity,
                          const std::vector<FlowDemand>& flows,
                          std::vector<Rate>& rates) {
-  const std::size_t num_links = capacity.size();
-  const std::size_t num_flows = flows.size();
-  rates.assign(num_flows, 0.0);
+  views_.clear();
+  views_.reserve(flows.size());
+  for (const FlowDemand& f : flows)
+    views_.push_back(FlowDemandView{
+        f.links.data(), static_cast<std::int32_t>(f.links.size()), f.cap});
+  rates.resize(flows.size());
+  solve(capacity, views_.data(), views_.size(), rates.data());
+}
 
-  remaining_ = capacity;
-  active_.assign(num_links, 0);
-  fixed_.assign(num_flows, 0);
+void MaxMinSolver::solve(const std::vector<Rate>& capacity,
+                         const FlowDemandView* flows, std::size_t num_flows,
+                         Rate* rates) {
+  solve_impl(capacity, flows, num_flows, rates, nullptr);
+}
+
+void MaxMinSolver::solve(const std::vector<Rate>& capacity,
+                         const FlowDemandView* flows, std::size_t num_flows,
+                         Rate* rates,
+                         const std::vector<std::vector<std::int32_t>>& link_flows,
+                         const std::vector<std::int32_t>& local_of) {
+  const ExtAdjacency ext{&link_flows, &local_of};
+  solve_impl(capacity, flows, num_flows, rates, &ext);
+}
+
+void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
+                              const FlowDemandView* flows,
+                              std::size_t num_flows, Rate* rates,
+                              const ExtAdjacency* ext) {
+  const std::size_t num_links = capacity.size();
+  // Per-link slots are epoch-stamped: growing them is the only O(L)
+  // work, paid once; after that a solve touches only its own links.
+  if (slots_.size() < num_links) slots_.resize(num_links);
+  ++epoch_;
+
+  touched_.clear();
   caps_.clear();
   heap_.clear();
-  link_off_.assign(num_links + 1, 0);
+  fixed_.assign(num_flows, 0);
 
   // Pass 1: validate, count link incidences, fix loopback flows.
   std::size_t unfixed = 0;
   std::size_t incidences = 0;
+  Rate min_cap = std::numeric_limits<Rate>::infinity();
+  Rate max_touched_capacity = 0;
   for (std::size_t f = 0; f < num_flows; ++f) {
-    if (flows[f].links.empty()) {
+    const FlowDemandView& d = flows[f];
+    if (d.count == 0) {
       // Loopback: not constrained by any link.
-      rates[f] = flows[f].cap;
+      rates[f] = d.cap;
       fixed_[f] = 1;
       continue;
     }
-    for (auto l : flows[f].links) {
+    rates[f] = 0.0;
+    for (std::int32_t i = 0; i < d.count; ++i) {
+      const std::int32_t l = d.links[static_cast<std::size_t>(i)];
       RATS_REQUIRE(l >= 0 && static_cast<std::size_t>(l) < num_links,
                    "flow references unknown link");
-      const auto li = static_cast<std::size_t>(l);
-      RATS_REQUIRE(capacity[li] > 0, "used link must have positive capacity");
-      ++active_[li];
-      ++link_off_[li + 1];
+      LinkSlot& slot = slots_[static_cast<std::size_t>(l)];
+      if (slot.epoch != epoch_) {
+        const Rate cap_l = capacity[static_cast<std::size_t>(l)];
+        RATS_REQUIRE(cap_l > 0, "used link must have positive capacity");
+        slot.epoch = epoch_;
+        slot.remaining = cap_l;
+        slot.active = 0;
+        slot.index = static_cast<std::int32_t>(touched_.size());
+        touched_.push_back(l);
+        max_touched_capacity = std::max(max_touched_capacity, cap_l);
+      }
+      ++slot.active;
     }
-    if (std::isfinite(flows[f].cap))
-      caps_.emplace_back(flows[f].cap, static_cast<std::int32_t>(f));
+    if (std::isfinite(d.cap)) {
+      caps_.emplace_back(d.cap, static_cast<std::int32_t>(f));
+      min_cap = std::min(min_cap, d.cap);
+    }
     ++unfixed;
-    incidences += flows[f].links.size();
+    incidences += static_cast<std::size_t>(d.count);
   }
   if (unfixed == 0) return;
 
-  // Pass 2: CSR link->flow adjacency.  link_off_[l] is advanced while
-  // filling and restored by the shift below, avoiding a cursor array.
-  for (std::size_t l = 0; l < num_links; ++l) link_off_[l + 1] += link_off_[l];
-  link_flows_.resize(incidences);
-  for (std::size_t f = 0; f < num_flows; ++f) {
-    if (flows[f].links.empty()) continue;
-    for (auto l : flows[f].links)
-      link_flows_[static_cast<std::size_t>(
-          link_off_[static_cast<std::size_t>(l)]++)] =
-          static_cast<std::int32_t>(f);
+  // Fair shares never exceed the largest touched capacity, so when even
+  // the smallest cap is above it no cap can ever be the tightest
+  // constraint (cap <= share is unreachable) — drop the cap machinery,
+  // including its O(F log F) sort.  Common case: the TCP-window bound
+  // W/RTT sits far above the per-link bandwidth on low-latency
+  // clusters.
+  if (min_cap > max_touched_capacity) caps_.clear();
+
+  // Pass 2: CSR link->flow adjacency over the touched links only —
+  // skipped entirely when the caller shares its own adjacency table.
+  // Offsets are advanced while filling and restored by the shift below,
+  // avoiding a cursor array.
+  if (!ext) {
+    link_off_.assign(touched_.size() + 1, 0);
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      const FlowDemandView& d = flows[f];
+      for (std::int32_t i = 0; i < d.count; ++i)
+        ++link_off_[static_cast<std::size_t>(
+                        slots_[static_cast<std::size_t>(
+                                   d.links[static_cast<std::size_t>(i)])]
+                            .index) +
+                    1];
+    }
+    for (std::size_t k = 0; k < touched_.size(); ++k)
+      link_off_[k + 1] += link_off_[k];
+    link_flows_.resize(incidences);
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      const FlowDemandView& d = flows[f];
+      for (std::int32_t i = 0; i < d.count; ++i) {
+        const auto k = static_cast<std::size_t>(
+            slots_[static_cast<std::size_t>(d.links[static_cast<std::size_t>(i)])]
+                .index);
+        link_flows_[static_cast<std::size_t>(link_off_[k]++)] =
+            static_cast<std::int32_t>(f);
+      }
+    }
+    for (std::size_t k = touched_.size(); k > 0; --k)
+      link_off_[k] = link_off_[k - 1];
+    link_off_[0] = 0;
   }
-  for (std::size_t l = num_links; l > 0; --l) link_off_[l] = link_off_[l - 1];
-  link_off_[0] = 0;
 
   std::sort(caps_.begin(), caps_.end());
 
   const auto heap_greater = std::greater<HeapEntry>();
-  for (std::size_t l = 0; l < num_links; ++l)
-    if (active_[l] > 0)
-      heap_.push_back(HeapEntry{remaining_[l] / active_[l],
-                                static_cast<std::int32_t>(l)});
+  for (const std::int32_t l : touched_) {
+    const LinkSlot& slot = slots_[static_cast<std::size_t>(l)];
+    heap_.push_back(HeapEntry{slot.remaining / slot.active, l});
+  }
   std::make_heap(heap_.begin(), heap_.end(), heap_greater);
 
   // A fixed flow releases the capacity it leaves unused on each of its
@@ -84,10 +154,12 @@ void MaxMinSolver::solve(const std::vector<Rate>& capacity,
     rates[static_cast<std::size_t>(f)] = r;
     fixed_[static_cast<std::size_t>(f)] = 1;
     --unfixed;
-    for (auto l : flows[static_cast<std::size_t>(f)].links) {
-      const auto li = static_cast<std::size_t>(l);
-      remaining_[li] = std::max(0.0, remaining_[li] - r);
-      --active_[li];
+    const FlowDemandView& d = flows[static_cast<std::size_t>(f)];
+    for (std::int32_t i = 0; i < d.count; ++i) {
+      LinkSlot& slot =
+          slots_[static_cast<std::size_t>(d.links[static_cast<std::size_t>(i)])];
+      slot.remaining = std::max(0.0, slot.remaining - r);
+      --slot.active;
     }
   };
 
@@ -100,13 +172,13 @@ void MaxMinSolver::solve(const std::vector<Rate>& capacity,
     std::int32_t link = -1;
     while (!heap_.empty()) {
       const HeapEntry top = heap_.front();
-      const auto li = static_cast<std::size_t>(top.link);
-      if (active_[li] == 0) {
+      const LinkSlot& slot = slots_[static_cast<std::size_t>(top.link)];
+      if (slot.active == 0) {
         std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
         heap_.pop_back();
         continue;
       }
-      const Rate cur = remaining_[li] / active_[li];
+      const Rate cur = slot.remaining / slot.active;
       if (cur > top.share * (1 + kShareSlack)) {
         std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
         heap_.back().share = cur;
@@ -138,14 +210,22 @@ void MaxMinSolver::solve(const std::vector<Rate>& capacity,
     // leaves a tied link's share exactly invariant.
     std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
     heap_.pop_back();
-    for (auto idx = static_cast<std::size_t>(
-             link_off_[static_cast<std::size_t>(link)]);
-         idx <
-         static_cast<std::size_t>(link_off_[static_cast<std::size_t>(link) + 1]);
-         ++idx) {
-      const std::int32_t f = link_flows_[idx];
-      if (fixed_[static_cast<std::size_t>(f)]) continue;
-      settle_flow(f, link_share);
+    if (ext) {
+      for (const std::int32_t id :
+           (*ext->link_flows)[static_cast<std::size_t>(link)]) {
+        const std::int32_t f = (*ext->local_of)[static_cast<std::size_t>(id)];
+        if (fixed_[static_cast<std::size_t>(f)]) continue;
+        settle_flow(f, link_share);
+      }
+    } else {
+      const auto k = static_cast<std::size_t>(
+          slots_[static_cast<std::size_t>(link)].index);
+      for (auto idx = static_cast<std::size_t>(link_off_[k]);
+           idx < static_cast<std::size_t>(link_off_[k + 1]); ++idx) {
+        const std::int32_t f = link_flows_[idx];
+        if (fixed_[static_cast<std::size_t>(f)]) continue;
+        settle_flow(f, link_share);
+      }
     }
   }
 }

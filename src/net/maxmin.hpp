@@ -16,11 +16,21 @@
 //    (stale heap entries are re-keyed on pop; fair shares only grow as
 //    flows are fixed, so lazy re-insertion is sound).  Fixing a flow
 //    touches only its own links, so a solve costs
-//    O(F log F + (F + I) log L) where I = sum of route lengths,
-//    instead of the reference's O(R * (F * r + L)) with R rounds.
+//    O(F log F + (F + I) log L) where I = sum of route lengths and L
+//    the number of *distinct links the subset uses* — per-link scratch
+//    is epoch-stamped and initialized lazily, so the cost is
+//    independent of `capacity.size()` and of flows outside the subset.
+//    That makes the `FlowDemandView` overload suitable for
+//    component-scoped re-solves: the fluid network passes only the
+//    flows of one sharing component (views pointing straight into each
+//    flow's immutable route, no demand copying) and pays O(component),
+//    not O(all active flows).  Max-Min rates decompose exactly over
+//    connected components of the flow/link sharing graph, and the heap
+//    orders ties by link id, so a subset solve reproduces the full
+//    solve's per-flow rates bit for bit.
 //    `MaxMinSolver` owns persistent scratch buffers: repeated solves
-//    (the fluid network re-solves on every flow arrival/departure)
-//    allocate nothing after warm-up.
+//    (the fluid network re-solves on every contended flow
+//    arrival/departure) allocate nothing after warm-up.
 //  * `maxmin_fair_rates_reference` — the straightforward O(R * F * r)
 //    textbook implementation, kept as the oracle for differential
 //    testing and for the solver microbenchmark's old-vs-new grid.
@@ -38,6 +48,15 @@ namespace rats {
 /// optional cap on its own rate (infinity = uncapped).
 struct FlowDemand {
   std::vector<std::int32_t> links;
+  Rate cap = std::numeric_limits<Rate>::infinity();
+};
+
+/// Non-owning view of one flow's demand.  `links` typically points into
+/// storage the caller already maintains (e.g. a fluid-network flow's
+/// immutable route) and must stay valid for the duration of the solve.
+struct FlowDemandView {
+  const std::int32_t* links = nullptr;
+  std::int32_t count = 0;
   Rate cap = std::numeric_limits<Rate>::infinity();
 };
 
@@ -62,25 +81,74 @@ class MaxMinSolver {
   void solve(const std::vector<Rate>& capacity,
              const std::vector<FlowDemand>& flows, std::vector<Rate>& rates);
 
+  /// Subset solve over non-owning route views: `rates[f]` receives the
+  /// Max-Min rate of `flows[f]` for f in [0, num_flows).  Only the
+  /// links the subset actually crosses are touched, so the cost is
+  /// O(F log F + (F + I) log L_c) with L_c = distinct subset links —
+  /// independent of `capacity.size()`.  When `flows` is (a superset
+  /// of) a connected component of the sharing graph, the rates equal
+  /// the full solve's rates for those flows.
+  void solve(const std::vector<Rate>& capacity, const FlowDemandView* flows,
+             std::size_t num_flows, Rate* rates);
+
+  /// Adjacency-sharing subset solve: identical rates to the overload
+  /// above, but walks a caller-maintained link->flow table instead of
+  /// building a CSR copy per solve.  `link_flows[l]` must list exactly
+  /// the subset's flows crossing link l (as caller-scoped ids), and
+  /// `local_of[id]` maps such an id to its index in `flows`.  The
+  /// fluid network hands in its live per-link membership lists, saving
+  /// the two CSR passes on every contended re-solve.  (The order of a
+  /// link's list is irrelevant: every unfixed flow on a saturated link
+  /// receives the same share, so the arithmetic is order-invariant.)
+  void solve(const std::vector<Rate>& capacity, const FlowDemandView* flows,
+             std::size_t num_flows, Rate* rates,
+             const std::vector<std::vector<std::int32_t>>& link_flows,
+             const std::vector<std::int32_t>& local_of);
+
  private:
+  /// External adjacency for the sharing overload; null = build CSR.
+  struct ExtAdjacency {
+    const std::vector<std::vector<std::int32_t>>* link_flows;
+    const std::vector<std::int32_t>* local_of;
+  };
+  void solve_impl(const std::vector<Rate>& capacity,
+                  const FlowDemandView* flows, std::size_t num_flows,
+                  Rate* rates, const ExtAdjacency* ext);
   // A (fair share, link) heap entry; stale entries are detected on pop
-  // by re-deriving the share from remaining_/active_.
+  // by re-deriving the share from remaining_/active_.  Ties order by
+  // link id so the pop sequence of one sharing component is the same
+  // whether it is solved alone or interleaved with other components.
   struct HeapEntry {
     Rate share;
     std::int32_t link;
-    bool operator>(const HeapEntry& o) const { return share > o.share; }
+    bool operator>(const HeapEntry& o) const {
+      if (share != o.share) return share > o.share;
+      return link > o.link;
+    }
   };
 
-  // Per-link state.
-  std::vector<Rate> remaining_;          ///< unallocated capacity
-  std::vector<std::int32_t> active_;     ///< unfixed flows crossing the link
-  std::vector<std::int32_t> link_off_;   ///< CSR offsets into link_flows_
-  std::vector<std::int32_t> link_flows_; ///< CSR: flows crossing each link
+  // Per-link state, epoch-stamped: a slot is (re)initialized the first
+  // time a solve touches its link, so untouched links cost nothing.
+  // One packed struct per link keeps a touch to a single cache line.
+  struct LinkSlot {
+    std::uint64_t epoch = 0;
+    Rate remaining = 0;        ///< unallocated capacity
+    std::int32_t active = 0;   ///< unfixed flows crossing the link
+    std::int32_t index = 0;    ///< dense index among touched links
+  };
+  std::vector<LinkSlot> slots_;
+  std::vector<std::int32_t> touched_;  ///< distinct links of this solve
+  std::uint64_t epoch_ = 0;
+  // CSR adjacency over touched links (offsets indexed by dense index).
+  std::vector<std::int32_t> link_off_;
+  std::vector<std::int32_t> link_flows_;
   // Per-flow state.
   std::vector<char> fixed_;
   std::vector<std::pair<Rate, std::int32_t>> caps_;  ///< (cap, flow) ascending
   // Lazy min-heap of link fair shares (std::*_heap over a reused vector).
   std::vector<HeapEntry> heap_;
+  // View scratch for the owning-demand overload.
+  std::vector<FlowDemandView> views_;
 };
 
 /// Convenience wrapper around a fresh `MaxMinSolver` (allocates scratch

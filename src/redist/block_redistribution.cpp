@@ -1,7 +1,7 @@
 #include "redist/block_redistribution.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstring>
 
 #include "common/error.hpp"
 
@@ -17,18 +17,49 @@ Bytes block_overlap(Bytes total, int p, int i, int q, int j) {
   return std::max(0.0, std::min(hi_s, hi_r) - std::max(lo_s, lo_r));
 }
 
-Redistribution Redistribution::plan(Bytes total_bytes,
-                                    const std::vector<NodeId>& senders,
-                                    const std::vector<NodeId>& receivers,
-                                    bool maximize_self) {
+namespace {
+
+/// Sorted flat map lookup; returns nullptr when `node` is absent.
+template <typename Pair>
+Pair* flat_find(std::vector<Pair>& entries, NodeId node) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), node,
+      [](const Pair& a, NodeId n) { return a.first < n; });
+  if (it == entries.end() || it->first != node) return nullptr;
+  return &*it;
+}
+
+/// Sorts a flat (node, value) map by node and keeps each node's FIRST
+/// inserted value (std::map::emplace semantics the original code had).
+template <typename Pair>
+void sort_unique_by_node(std::vector<Pair>& entries) {
+  std::stable_sort(
+      entries.begin(), entries.end(),
+      [](const Pair& a, const Pair& b) { return a.first < b.first; });
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const Pair& a, const Pair& b) {
+                              return a.first == b.first;
+                            }),
+                entries.end());
+}
+
+}  // namespace
+
+void Redistribution::plan_into(Bytes total_bytes,
+                               const std::vector<NodeId>& senders,
+                               const std::vector<NodeId>& receivers,
+                               bool maximize_self, PlanScratch& scratch,
+                               Redistribution& out) {
   RATS_REQUIRE(total_bytes >= 0, "volume must be non-negative");
   RATS_REQUIRE(!senders.empty() && !receivers.empty(),
                "redistribution needs sender and receiver ranks");
 
-  Redistribution r;
-  r.sender_order_ = senders;
-  r.receiver_order_ = receivers;
-  r.total_ = total_bytes;
+  out.sender_order_ = senders;
+  out.receiver_order_ = receivers;
+  out.total_ = total_bytes;
+  out.self_bytes_ = 0;
+  out.remote_bytes_ = 0;
+  out.transfers_.clear();
   const int p = static_cast<int>(senders.size());
   const int q = static_cast<int>(receivers.size());
 
@@ -37,64 +68,77 @@ Redistribution Redistribution::plan(Bytes total_bytes,
     // present on both sides get the receiver interval overlapping
     // their sender interval the most.  Greedy matching on descending
     // overlap; ties broken deterministically by (node, rank).
-    std::map<NodeId, int> sender_rank;  // node -> its (first) sender rank
-    for (int i = 0; i < p; ++i) sender_rank.emplace(senders[i], i);
+    auto& sender_rank = scratch.sender_rank;  // node -> first sender rank
+    sender_rank.clear();
+    for (int i = 0; i < p; ++i) sender_rank.emplace_back(senders[i], i);
+    sort_unique_by_node(sender_rank);
 
-    struct Cand {
-      Bytes overlap;
-      NodeId node;
-      int rank;  // candidate receiver rank
-    };
-    std::vector<Cand> cands;
+    auto& cands = scratch.cands;
+    cands.clear();
     for (NodeId node : receivers) {
-      auto it = sender_rank.find(node);
-      if (it == sender_rank.end()) continue;
+      const auto* hit = flat_find(sender_rank, node);
+      if (!hit) continue;
       for (int j = 0; j < q; ++j) {
-        const Bytes ov = block_overlap(total_bytes, p, it->second, q, j);
-        if (ov > 0) cands.push_back(Cand{ov, node, j});
+        const Bytes ov = block_overlap(total_bytes, p, hit->second, q, j);
+        if (ov > 0) cands.push_back(PlanScratch::Cand{ov, node, j});
       }
     }
-    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
-      if (a.overlap != b.overlap) return a.overlap > b.overlap;
-      if (a.node != b.node) return a.node < b.node;
-      return a.rank < b.rank;
-    });
+    std::sort(cands.begin(), cands.end(),
+              [](const PlanScratch::Cand& a, const PlanScratch::Cand& b) {
+                if (a.overlap != b.overlap) return a.overlap > b.overlap;
+                if (a.node != b.node) return a.node < b.node;
+                return a.rank < b.rank;
+              });
 
-    std::vector<NodeId> assignment(static_cast<std::size_t>(q), kNoNode);
-    std::map<NodeId, bool> node_used;
-    for (NodeId node : receivers) node_used[node] = false;
-    for (const Cand& c : cands) {
-      if (node_used[c.node] || assignment[static_cast<std::size_t>(c.rank)] != kNoNode)
+    auto& assignment = scratch.assignment;
+    assignment.assign(static_cast<std::size_t>(q), kNoNode);
+    auto& node_used = scratch.node_used;
+    node_used.clear();
+    for (NodeId node : receivers) node_used.emplace_back(node, 0);
+    sort_unique_by_node(node_used);
+    for (const PlanScratch::Cand& c : cands) {
+      auto* used = flat_find(node_used, c.node);
+      if (used->second || assignment[static_cast<std::size_t>(c.rank)] != kNoNode)
         continue;
       assignment[static_cast<std::size_t>(c.rank)] = c.node;
-      node_used[c.node] = true;
+      used->second = 1;
     }
     // Fill the remaining ranks with the unassigned nodes in their
     // original order.
     std::size_t next = 0;
     for (NodeId node : receivers) {
-      if (node_used[node]) continue;
+      auto* used = flat_find(node_used, node);
+      if (used->second) continue;
       while (assignment[next] != kNoNode) ++next;
       assignment[next] = node;
-      node_used[node] = true;
+      used->second = 1;
     }
-    r.receiver_order_ = std::move(assignment);
+    out.receiver_order_.assign(assignment.begin(), assignment.end());
   }
 
   for (int i = 0; i < p; ++i) {
     for (int j = 0; j < q; ++j) {
       const Bytes ov = block_overlap(total_bytes, p, i, q, j);
       if (ov <= 0) continue;
-      const NodeId src = r.sender_order_[static_cast<std::size_t>(i)];
-      const NodeId dst = r.receiver_order_[static_cast<std::size_t>(j)];
+      const NodeId src = out.sender_order_[static_cast<std::size_t>(i)];
+      const NodeId dst = out.receiver_order_[static_cast<std::size_t>(j)];
       if (src == dst) {
-        r.self_bytes_ += ov;
+        out.self_bytes_ += ov;
       } else {
-        r.remote_bytes_ += ov;
-        r.transfers_.push_back(Transfer{src, dst, ov});
+        out.remote_bytes_ += ov;
+        out.transfers_.push_back(Transfer{src, dst, ov});
       }
     }
   }
+}
+
+Redistribution Redistribution::plan(Bytes total_bytes,
+                                    const std::vector<NodeId>& senders,
+                                    const std::vector<NodeId>& receivers,
+                                    bool maximize_self) {
+  Redistribution r;
+  PlanScratch scratch;
+  plan_into(total_bytes, senders, receivers, maximize_self, scratch, r);
   return r;
 }
 
@@ -108,6 +152,70 @@ std::vector<std::vector<Bytes>> Redistribution::matrix() const {
       m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
           block_overlap(total_, p, i, q, j);
   return m;
+}
+
+// ---- RedistPlanner -----------------------------------------------------
+
+std::size_t RedistPlanner::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the byte volume, flag and node lists.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(k.total_bytes));
+  std::memcpy(&bits, &k.total_bytes, sizeof(bits));
+  mix(bits);
+  mix(k.maximize_self ? 1 : 0);
+  mix(k.senders.size());
+  for (NodeId n : k.senders) mix(static_cast<std::uint64_t>(n));
+  mix(k.receivers.size());
+  for (NodeId n : k.receivers) mix(static_cast<std::uint64_t>(n));
+  return static_cast<std::size_t>(h);
+}
+
+const Redistribution& RedistPlanner::plan(Bytes total_bytes,
+                                          const std::vector<NodeId>& senders,
+                                          const std::vector<NodeId>& receivers,
+                                          bool maximize_self) {
+  probe_.total_bytes = total_bytes;
+  probe_.maximize_self = maximize_self;
+  probe_.senders = senders;      // reuses probe_'s capacity
+  probe_.receivers = receivers;
+  ++tick_;
+  const auto hit = cache_.find(probe_);
+  if (hit != cache_.end()) {
+    ++hits_;
+    hit->second.last_used = tick_;
+    return hit->second.plan;
+  }
+  ++misses_;
+  if (cache_.size() >= capacity_) {
+    // Batch-evict the least recently used half: one O(capacity) pass
+    // per capacity/2 misses keeps eviction O(1) amortized without an
+    // intrusive LRU list.
+    ticks_scratch_.clear();
+    ticks_scratch_.reserve(cache_.size());
+    for (const auto& [key, entry] : cache_)
+      ticks_scratch_.push_back(entry.last_used);
+    auto mid = ticks_scratch_.begin() +
+               static_cast<std::ptrdiff_t>(ticks_scratch_.size() / 2);
+    std::nth_element(ticks_scratch_.begin(), mid, ticks_scratch_.end());
+    // Ticks are unique, so erasing <= cutoff drops the median entry too
+    // — at least one entry always goes, keeping the bound even at
+    // capacity 1.
+    const std::uint64_t cutoff = *mid;
+    for (auto it = cache_.begin(); it != cache_.end();)
+      it = it->second.last_used <= cutoff ? cache_.erase(it) : std::next(it);
+  }
+  auto [slot, inserted] =
+      cache_.emplace(std::move(probe_), CacheEntry{{}, tick_});
+  Redistribution::plan_into(total_bytes, senders, receivers, maximize_self,
+                            scratch_, slot->second.plan);
+  return slot->second.plan;
 }
 
 }  // namespace rats

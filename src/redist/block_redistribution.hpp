@@ -14,6 +14,8 @@
 // set of processors therefore exchange zero bytes over the network.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -68,12 +70,93 @@ class Redistribution {
  private:
   Redistribution() = default;
 
+  friend class RedistPlanner;
+
+  /// Scratch buffers for the self-communication matching; owned by the
+  /// caller so repeated planning allocates nothing after warm-up.
+  struct PlanScratch {
+    struct Cand {
+      Bytes overlap;
+      NodeId node;
+      int rank;  ///< candidate receiver rank
+    };
+    std::vector<Cand> cands;
+    std::vector<NodeId> assignment;
+    std::vector<std::pair<NodeId, int>> sender_rank;  ///< sorted by node
+    std::vector<std::pair<NodeId, char>> node_used;   ///< sorted by node
+  };
+
+  /// The planning core shared by `plan` and `RedistPlanner`.
+  static void plan_into(Bytes total_bytes, const std::vector<NodeId>& senders,
+                        const std::vector<NodeId>& receivers,
+                        bool maximize_self, PlanScratch& scratch,
+                        Redistribution& out);
+
   std::vector<NodeId> sender_order_;
   std::vector<NodeId> receiver_order_;
   Bytes total_{};
   Bytes self_bytes_{};
   Bytes remote_bytes_{};
   std::vector<Transfer> transfers_;
+};
+
+/// Reusable redistribution planner for hot paths (the simulator opens a
+/// plan per DAG edge; the mapper estimates one per candidate placement
+/// per in-edge).  Two layers:
+///  * persistent planning scratch, so a miss allocates only what the
+///    resulting plan itself needs;
+///  * an LRU cache keyed on (total_bytes, sender list, receiver list,
+///    maximize_self) — schedules re-plan the same redistribution many
+///    times within a corpus run, and a cached plan is returned as-is.
+/// The returned reference stays valid until the next `plan` call (an
+/// insertion may evict the least recently used entry).  Not
+/// thread-safe; use one instance per thread.
+class RedistPlanner {
+ public:
+  /// `capacity` bounds the number of cached plans (LRU batch eviction:
+  /// the least recently used half is dropped when the cache fills).
+  explicit RedistPlanner(std::size_t capacity = 4096)
+      : capacity_(capacity ? capacity : 1) {}
+
+  /// Plans `total_bytes` from `senders` to `receivers`, or returns the
+  /// cached plan for the identical request.
+  const Redistribution& plan(Bytes total_bytes,
+                             const std::vector<NodeId>& senders,
+                             const std::vector<NodeId>& receivers,
+                             bool maximize_self = true);
+
+  std::size_t cache_size() const { return cache_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    Bytes total_bytes;
+    bool maximize_self;
+    std::vector<NodeId> senders;
+    std::vector<NodeId> receivers;
+    bool operator==(const Key& o) const {
+      return total_bytes == o.total_bytes &&
+             maximize_self == o.maximize_self && senders == o.senders &&
+             receivers == o.receivers;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct CacheEntry {
+    Redistribution plan;
+    std::uint64_t last_used = 0;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::unordered_map<Key, CacheEntry, KeyHash> cache_;
+  std::vector<std::uint64_t> ticks_scratch_;  ///< batch-eviction scratch
+  Redistribution::PlanScratch scratch_;
+  Key probe_;  ///< reused lookup key (avoids per-call vector copies)
 };
 
 /// Overlap in bytes between sender rank `i` of `p` and receiver rank

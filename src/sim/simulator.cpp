@@ -97,11 +97,16 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
     }
   };
 
+  // Redistribution plans repeat across task completions (and across the
+  // scenarios a worker thread replays): the per-thread planner caches
+  // them and reuses its matching scratch on misses.
+  static thread_local RedistPlanner planner;
+
   auto open_redistribution = [&](EdgeId e) {
     const Edge& edge = graph.edge(e);
-    const auto plan =
-        Redistribution::plan(edge.bytes, schedule.of(edge.src).procs,
-                             schedule.of(edge.dst).procs);
+    const Redistribution& plan =
+        planner.plan(edge.bytes, schedule.of(edge.src).procs,
+                     schedule.of(edge.dst).procs);
     result.network_bytes += plan.remote_bytes();
     if (plan.transfers().empty()) {
       edge_complete(e);  // all data stays local: zero-cost redistribution

@@ -41,6 +41,32 @@ TEST(ParallelFor, PropagatesExceptions) {
       Error);
 }
 
+TEST(ParallelFor, ReusesThePersistentPool) {
+  // Consecutive calls share one process-wide pool: the worker count
+  // reaches the requested size once and stays there instead of
+  // re-spawning per call.
+  std::atomic<int> sink{0};
+  parallel_for(64, [&](std::size_t) { ++sink; }, 3);
+  const unsigned after_first = worker_pool_size();
+  EXPECT_GE(after_first, 2u);  // 3 workers = caller + 2 pool threads
+  for (int round = 0; round < 5; ++round)
+    parallel_for(64, [&](std::size_t) { ++sink; }, 3);
+  EXPECT_EQ(worker_pool_size(), after_first);
+  EXPECT_EQ(sink.load(), 64 * 6);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  // A body that itself calls parallel_for must not deadlock on the
+  // shared pool; the inner loop runs inline on the claiming worker.
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(10, [&](std::size_t outer) {
+    parallel_for(10, [&](std::size_t inner) {
+      ++hits[outer * 10 + inner];
+    }, 4);
+  }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 // ------------------------------------------------- synthetic aggregation
 
 ExperimentData synthetic() {

@@ -1,7 +1,13 @@
 // Unit tests for the fluid (flow-level) network simulation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
 
 #include "common/error.hpp"
 #include "net/fluid_network.hpp"
@@ -177,6 +183,138 @@ TEST(FluidNetwork, AdvanceInSmallStepsMatchesOneBigStep) {
   ASSERT_TRUE(a.flow_done(fa));
   ASSERT_TRUE(b.flow_done(fb));
   EXPECT_NEAR(a.flow_finish_time(fa), b.flow_finish_time(fb), 1e-6);
+}
+
+// -------------------------------------------- sharing-component partition
+
+// Brute-force check that the engine's partition matches the connected
+// components of the link-sharing graph over released, unfinished flows.
+void expect_exact_partition(const FluidNetwork& net,
+                            const std::vector<FlowId>& flows) {
+  std::vector<FlowId> alive;
+  for (FlowId f : flows)
+    if (net.flow(f).released && !net.flow(f).done) alive.push_back(f);
+
+  // Union-find over the alive flows by shared link.
+  std::map<FlowId, FlowId> parent;
+  for (FlowId f : alive) parent[f] = f;
+  std::function<FlowId(FlowId)> find = [&](FlowId x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (std::size_t i = 0; i < alive.size(); ++i)
+    for (std::size_t j = i + 1; j < alive.size(); ++j) {
+      const auto& a = net.flow(alive[i]).links;
+      const auto& b = net.flow(alive[j]).links;
+      const bool share = std::any_of(a.begin(), a.end(), [&](LinkId l) {
+        return std::find(b.begin(), b.end(), l) != b.end();
+      });
+      if (share) parent[find(alive[i])] = find(alive[j]);
+    }
+
+  // Same partition: pairs agree, and the component count matches.
+  std::set<FlowId> roots;
+  std::set<std::int32_t> comps;
+  for (FlowId f : alive) {
+    roots.insert(find(f));
+    ASSERT_GE(net.flow_component(f), 0) << "flow " << f;
+    comps.insert(net.flow_component(f));
+  }
+  for (std::size_t i = 0; i < alive.size(); ++i)
+    for (std::size_t j = i + 1; j < alive.size(); ++j)
+      EXPECT_EQ(find(alive[i]) == find(alive[j]),
+                net.flow_component(alive[i]) == net.flow_component(alive[j]))
+          << "flows " << alive[i] << " and " << alive[j];
+  EXPECT_EQ(comps.size(), roots.size());
+  EXPECT_EQ(net.num_components(), roots.size());
+}
+
+TEST(FluidNetworkComponents, PartitionRefinesLinkSharing) {
+  const Cluster c = test_cluster(6);
+  FluidNetwork net(c);
+  // Two sharing pairs and one isolated flow: 0->1 and 0->2 share node
+  // 0's uplink; 3->4 and 5->4 share node 4's downlink; 1->5 is alone...
+  // no: 1->5 shares 1's uplink with nothing and 5's downlink with
+  // nothing else, so it forms its own component.
+  std::vector<FlowId> flows;
+  flows.push_back(net.open_flow(0, 1, 1e8));
+  flows.push_back(net.open_flow(0, 2, 1e8));
+  flows.push_back(net.open_flow(3, 4, 1e8));
+  flows.push_back(net.open_flow(5, 4, 1e8));
+  flows.push_back(net.open_flow(1, 5, 1e8));
+  net.advance_to(0.01);  // everyone past the 200us latency phase
+  EXPECT_EQ(net.flow_component(flows[0]), net.flow_component(flows[1]));
+  EXPECT_EQ(net.flow_component(flows[2]), net.flow_component(flows[3]));
+  EXPECT_NE(net.flow_component(flows[0]), net.flow_component(flows[2]));
+  EXPECT_NE(net.flow_component(flows[0]), net.flow_component(flows[4]));
+  EXPECT_NE(net.flow_component(flows[2]), net.flow_component(flows[4]));
+  EXPECT_EQ(net.num_components(), 3u);
+  expect_exact_partition(net, flows);
+}
+
+TEST(FluidNetworkComponents, ComponentsMergeOnActivate) {
+  const Cluster c = test_cluster(6);
+  FluidNetwork net(c);
+  const FlowId a = net.open_flow(0, 1, 1e9);
+  const FlowId b = net.open_flow(2, 3, 1e9);
+  net.advance_to(0.01);
+  ASSERT_NE(net.flow_component(a), net.flow_component(b));
+  ASSERT_EQ(net.num_components(), 2u);
+  // 0 -> 3 shares 0's uplink with `a` and 3's downlink with `b`.
+  const FlowId bridge = net.open_flow(0, 3, 1e9);
+  EXPECT_EQ(net.flow_component(bridge), -1);  // still latent
+  net.advance_to(0.02);
+  EXPECT_EQ(net.flow_component(a), net.flow_component(bridge));
+  EXPECT_EQ(net.flow_component(b), net.flow_component(bridge));
+  EXPECT_EQ(net.num_components(), 1u);
+  expect_exact_partition(net, {a, b, bridge});
+}
+
+TEST(FluidNetworkComponents, ComponentsSplitWhenTheBridgeCompletes) {
+  const Cluster c = test_cluster(6);
+  FluidNetwork net(c);
+  // Bridge 0->1 connects 0->2 (via 0's uplink) and 3->1 (via 1's
+  // downlink); it carries far fewer bytes, so it finishes first.
+  const FlowId left = net.open_flow(0, 2, 4e8);
+  const FlowId right = net.open_flow(3, 1, 4e8);
+  const FlowId bridge = net.open_flow(0, 1, 1e7);
+  net.advance_to(0.01);
+  ASSERT_EQ(net.flow_component(left), net.flow_component(bridge));
+  ASSERT_EQ(net.flow_component(right), net.flow_component(bridge));
+  ASSERT_EQ(net.num_components(), 1u);
+  net.advance_to(1.0);  // bridge done (~0.16s); the others still run
+  ASSERT_TRUE(net.flow_done(bridge));
+  ASSERT_FALSE(net.flow_done(left));
+  ASSERT_FALSE(net.flow_done(right));
+  EXPECT_EQ(net.flow_component(bridge), -1);
+  EXPECT_NE(net.flow_component(left), net.flow_component(right));
+  EXPECT_EQ(net.num_components(), 2u);
+  expect_exact_partition(net, {left, right, bridge});
+}
+
+TEST(FluidNetworkComponents, RandomTrafficKeepsPartitionExact) {
+  const Cluster c = test_cluster(8);
+  FluidNetwork net(c);
+  std::uint64_t state = 12345;
+  const auto next_u32 = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(state >> 33);
+  };
+  std::vector<FlowId> flows;
+  Seconds t = 0;
+  for (int round = 0; round < 60; ++round) {
+    const int src = static_cast<int>(next_u32() % 8);
+    int dst = static_cast<int>(next_u32() % 8);
+    if (dst == src) dst = (dst + 1) % 8;
+    flows.push_back(
+        net.open_flow(src, dst, 1e6 * (1 + next_u32() % 200)));
+    t += 0.001 * (1 + next_u32() % 50);
+    net.advance_to(t);
+    expect_exact_partition(net, flows);
+  }
+  net.advance_to(1e6);
+  for (FlowId f : flows) EXPECT_TRUE(net.flow_done(f));
+  EXPECT_EQ(net.num_components(), 0u);
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
 // Unit and property tests for the Max-Min fair bandwidth-sharing solver.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -251,6 +254,99 @@ TEST(MaxMinDifferential, SolverScratchIsReusableAcrossSolves) {
     for (std::size_t f = 0; f < expected.size(); ++f) {
       const double scale = std::max({1.0, expected[f], rates[f]});
       EXPECT_NEAR(rates[f], expected[f], 1e-9 * scale) << "round " << round;
+    }
+  }
+}
+
+// ---------------------------------------------- component decomposition
+// Max-Min rates decompose exactly over connected components of the
+// flow/link sharing graph: solving one component's flows alone (the
+// fluid network's component-scoped re-solve) must reproduce the full
+// solve bit for bit.  Exercises both subset entry points: the
+// route-view overload and the adjacency-sharing overload.
+
+TEST(MaxMinDifferential, ComponentScopedSolvesMatchFullSolve) {
+  Rng rng(0xC04Au);
+  MaxMinSolver full_solver;
+  MaxMinSolver subset_solver;
+  for (int instance = 0; instance < 200; ++instance) {
+    const int num_links = static_cast<int>(rng.uniform_int(2, 40));
+    const int num_flows = static_cast<int>(rng.uniform_int(1, 120));
+
+    std::vector<Rate> capacity;
+    for (int l = 0; l < num_links; ++l)
+      capacity.push_back(rng.bernoulli(0.3) ? 100.0 : rng.uniform(1.0, 500.0));
+
+    std::vector<FlowDemand> flows;
+    for (int f = 0; f < num_flows; ++f) {
+      FlowDemand d;
+      const int route_len = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < route_len; ++i) {
+        const auto link =
+            static_cast<std::int32_t>(rng.uniform_int(0, num_links - 1));
+        if (std::find(d.links.begin(), d.links.end(), link) == d.links.end())
+          d.links.push_back(link);
+      }
+      // Mix unbindable caps (above any capacity) with binding ones so
+      // both the cap-skip and the cap-fixing paths are exercised.
+      if (rng.bernoulli(0.3))
+        d.cap = rng.bernoulli(0.5) ? rng.uniform(600.0, 1000.0)
+                                   : rng.uniform(0.5, 300.0);
+      flows.push_back(std::move(d));
+    }
+
+    std::vector<Rate> full;
+    full_solver.solve(capacity, flows, full);
+
+    // Connected components of the sharing graph via union-find on links.
+    std::vector<int> parent(static_cast<std::size_t>(num_links));
+    for (int l = 0; l < num_links; ++l) parent[static_cast<std::size_t>(l)] = l;
+    std::function<int(int)> find = [&](int x) {
+      while (parent[static_cast<std::size_t>(x)] != x)
+        x = parent[static_cast<std::size_t>(x)] =
+            parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      return x;
+    };
+    for (const auto& d : flows)
+      for (std::size_t i = 1; i < d.links.size(); ++i)
+        parent[static_cast<std::size_t>(find(d.links[i]))] = find(d.links[0]);
+
+    std::map<int, std::vector<std::int32_t>> groups;  // root -> flow ids
+    for (std::size_t f = 0; f < flows.size(); ++f)
+      groups[find(flows[f].links.front())].push_back(
+          static_cast<std::int32_t>(f));
+
+    for (const auto& [root, ids] : groups) {
+      // Route-view subset solve.
+      std::vector<FlowDemandView> views;
+      for (const std::int32_t f : ids)
+        views.push_back(FlowDemandView{
+            flows[static_cast<std::size_t>(f)].links.data(),
+            static_cast<std::int32_t>(
+                flows[static_cast<std::size_t>(f)].links.size()),
+            flows[static_cast<std::size_t>(f)].cap});
+      std::vector<Rate> sub(ids.size());
+      subset_solver.solve(capacity, views.data(), views.size(), sub.data());
+      for (std::size_t k = 0; k < ids.size(); ++k)
+        EXPECT_DOUBLE_EQ(sub[k], full[static_cast<std::size_t>(ids[k])])
+            << "instance " << instance << " flow " << ids[k];
+
+      // Adjacency-sharing subset solve over the same component.
+      std::vector<std::vector<std::int32_t>> link_flows(
+          static_cast<std::size_t>(num_links));
+      std::vector<std::int32_t> local_of(flows.size(), -1);
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        local_of[static_cast<std::size_t>(ids[k])] =
+            static_cast<std::int32_t>(k);
+        for (const auto l : flows[static_cast<std::size_t>(ids[k])].links)
+          link_flows[static_cast<std::size_t>(l)].push_back(ids[k]);
+      }
+      std::vector<Rate> shared(ids.size());
+      subset_solver.solve(capacity, views.data(), views.size(), shared.data(),
+                          link_flows, local_of);
+      for (std::size_t k = 0; k < ids.size(); ++k)
+        EXPECT_DOUBLE_EQ(shared[k], full[static_cast<std::size_t>(ids[k])])
+            << "instance " << instance << " flow " << ids[k] << " (adjacency)";
     }
   }
 }

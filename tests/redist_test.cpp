@@ -224,5 +224,63 @@ TEST(Estimate, ScalesLinearlyWithVolume) {
   EXPECT_NEAR(t2 - 2e-4, 2.0 * (t1 - 2e-4), 1e-9);
 }
 
+// --------------------------------------------------------- RedistPlanner
+
+void expect_same_plan(const Redistribution& a, const Redistribution& b) {
+  EXPECT_EQ(a.self_bytes(), b.self_bytes());
+  EXPECT_EQ(a.remote_bytes(), b.remote_bytes());
+  EXPECT_EQ(a.receiver_order(), b.receiver_order());
+  ASSERT_EQ(a.transfers().size(), b.transfers().size());
+  for (std::size_t i = 0; i < a.transfers().size(); ++i) {
+    EXPECT_EQ(a.transfers()[i].src, b.transfers()[i].src);
+    EXPECT_EQ(a.transfers()[i].dst, b.transfers()[i].dst);
+    EXPECT_EQ(a.transfers()[i].bytes, b.transfers()[i].bytes);
+  }
+}
+
+TEST(RedistPlanner, MatchesTheStaticPlanner) {
+  RedistPlanner planner;
+  // Disjoint, overlapping and identical sets, self-matching on and off.
+  const std::vector<std::pair<std::vector<NodeId>, std::vector<NodeId>>> cases =
+      {{nodes({0, 1, 2}), nodes({3, 4})},
+       {nodes({0, 1, 2, 3}), nodes({2, 3, 4})},
+       {nodes({3, 1, 4}), nodes({4, 3, 1})},
+       {nodes({5}), nodes({5, 6, 7})}};
+  for (const auto& [senders, receivers] : cases) {
+    for (bool maximize : {true, false}) {
+      expect_same_plan(planner.plan(1e7, senders, receivers, maximize),
+                       Redistribution::plan(1e7, senders, receivers, maximize));
+    }
+  }
+}
+
+TEST(RedistPlanner, CachesRepeatedRequests) {
+  RedistPlanner planner;
+  const auto senders = nodes({0, 1, 2});
+  const auto receivers = nodes({2, 3});
+  planner.plan(1e6, senders, receivers);
+  EXPECT_EQ(planner.misses(), 1u);
+  const Redistribution& again = planner.plan(1e6, senders, receivers);
+  EXPECT_EQ(planner.hits(), 1u);
+  EXPECT_EQ(planner.misses(), 1u);
+  expect_same_plan(again, Redistribution::plan(1e6, senders, receivers));
+  // A different volume, rank order or flag is a different plan.
+  planner.plan(2e6, senders, receivers);
+  planner.plan(1e6, receivers, senders);
+  planner.plan(1e6, senders, receivers, /*maximize_self=*/false);
+  EXPECT_EQ(planner.misses(), 4u);
+  EXPECT_EQ(planner.cache_size(), 4u);
+}
+
+TEST(RedistPlanner, EvictionKeepsTheCacheBounded) {
+  RedistPlanner planner(8);
+  for (int i = 0; i < 100; ++i)
+    planner.plan(1e6 + i, nodes({0, 1}), nodes({2, 3}));
+  EXPECT_LE(planner.cache_size(), 8u);
+  // Still correct after heavy eviction.
+  expect_same_plan(planner.plan(42.0, nodes({0, 1}), nodes({2, 3})),
+                   Redistribution::plan(42.0, nodes({0, 1}), nodes({2, 3})));
+}
+
 }  // namespace
 }  // namespace rats
