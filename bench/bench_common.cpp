@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "exp/parallel.hpp"
 
@@ -173,33 +175,54 @@ std::vector<AlgoSpec> tuned_algos(DagFamily family, const std::string& cluster) 
 ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
                                     const Cluster& cluster,
                                     unsigned threads) {
-  ExperimentData merged;
-  merged.cluster_name = cluster.name();
-  merged.algo_names = {"HCPA", "delta", "time-cost"};
-  merged.families.resize(corpus.size());
-  merged.entry_names.resize(corpus.size());
-  merged.outcome.resize(corpus.size());
+  return run_tuned_experiments(corpus, {cluster}, threads).front();
+}
 
-  for (DagFamily family : {DagFamily::Layered, DagFamily::Irregular,
-                           DagFamily::FFT, DagFamily::Strassen}) {
-    std::vector<CorpusEntry> sub;
-    std::vector<std::size_t> where;
-    for (std::size_t i = 0; i < corpus.size(); ++i) {
-      if (corpus[i].family == family) {
-        sub.push_back(corpus[i]);
-        where.push_back(i);
-      }
+std::vector<ExperimentData> run_tuned_experiments(
+    const std::vector<CorpusEntry>& corpus, const std::vector<Cluster>& clusters,
+    unsigned threads) {
+  constexpr DagFamily kFamilies[] = {DagFamily::Layered, DagFamily::Irregular,
+                                     DagFamily::FFT, DagFamily::Strassen};
+  const std::size_t num_algos = 3;
+
+  // Per (cluster, family) tuned algorithm specs, resolved up front so
+  // jobs only read shared state.
+  std::vector<std::vector<std::vector<AlgoSpec>>> specs(clusters.size());
+  std::vector<ExperimentData> results(clusters.size());
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (const DagFamily family : kFamilies)
+      specs[c].push_back(tuned_algos(family, clusters[c].name()));
+    results[c].cluster_name = clusters[c].name();
+    results[c].algo_names = {"HCPA", "delta", "time-cost"};
+    results[c].families.reserve(corpus.size());
+    results[c].entry_names.reserve(corpus.size());
+    for (const auto& entry : corpus) {
+      results[c].families.push_back(entry.family);
+      results[c].entry_names.push_back(entry.name);
     }
-    if (sub.empty()) continue;
-    auto data = run_experiment(sub, cluster, tuned_algos(family, cluster.name()),
-                               threads);
-    for (std::size_t j = 0; j < where.size(); ++j) {
-      merged.families[where[j]] = data.families[j];
-      merged.entry_names[where[j]] = data.entry_names[j];
-      merged.outcome[where[j]] = data.outcome[j];
-    }
+    results[c].outcome.assign(corpus.size(),
+                              std::vector<RunOutcome>(num_algos));
   }
-  return merged;
+  const auto family_index = [&](DagFamily family) {
+    for (std::size_t k = 0; k < std::size(kFamilies); ++k)
+      if (kFamilies[k] == family) return k;
+    RATS_REQUIRE(false, "unknown DAG family");
+    return std::size_t{0};
+  };
+
+  // One flat (cluster, entry, algo) batch: every scenario is an
+  // independent job, each writing only its own outcome slot.
+  const std::size_t per_cluster = corpus.size() * num_algos;
+  parallel_for(clusters.size() * per_cluster, [&](std::size_t j) {
+    const std::size_t c = j / per_cluster;
+    const std::size_t e = (j % per_cluster) / num_algos;
+    const std::size_t a = j % num_algos;
+    const AlgoSpec& spec =
+        specs[c][family_index(corpus[e].family)][a];
+    results[c].outcome[e][a] =
+        run_scenario(corpus[e].graph, clusters[c], spec.options);
+  }, threads);
+  return results;
 }
 
 void heading(const std::string& title) {

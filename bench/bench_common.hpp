@@ -75,6 +75,16 @@ ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
                                     const Cluster& cluster,
                                     unsigned threads = 0);
 
+/// Multi-cluster form of `run_tuned_experiment`: every (cluster, corpus
+/// entry, algorithm) scenario becomes one job in a single batch through
+/// the persistent worker pool, so multi-cluster tables (V, VI) keep all
+/// `--threads` workers busy across cluster boundaries instead of
+/// draining the pool once per cluster and family.  Results are in
+/// `clusters` order, each in corpus order.
+std::vector<ExperimentData> run_tuned_experiments(
+    const std::vector<CorpusEntry>& corpus, const std::vector<Cluster>& clusters,
+    unsigned threads = 0);
+
 /// Prints a heading followed by an underline.
 void heading(const std::string& title);
 

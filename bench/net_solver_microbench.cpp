@@ -16,7 +16,17 @@
 //                         (every active flow, what the engine paid
 //                         before component scoping) or component-scoped
 //                         (the subset overload over one component).
-//                         Emits JSON; --quick shrinks it.
+//                         Emits JSON; --quick shrinks it;
+//  * --bipartite        — cold-solve cost on flat-cluster populations
+//                         (every flow = {src uplink, dst downlink}):
+//                         general lazy-heap solver vs the
+//                         BipartiteWaterfillSolver specialization,
+//                         which must win on every cell.  Emits JSON;
+//  * --warmstart        — per-event re-solve cost after a single-flow
+//                         swap: full cold solve (what the engine paid
+//                         before warm starts) vs solve_warm over the
+//                         saturation trace, with cold fallbacks
+//                         counted.  Emits JSON.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -391,11 +401,364 @@ int run_components(bool quick, const std::string& out_path) {
   return 0;
 }
 
+// ------------------------------------------------- bipartite fast path
+//
+// Cold solves over flat-cluster populations (two links per flow): the
+// general solver vs the BipartiteWaterfillSolver.  Each event rewires
+// one flow so successive solves see fresh instances; both solvers pay a
+// full solve per event — exactly the fluid network's cold-solve path.
+
+int run_bipartite(bool quick, const std::string& out_path) {
+  struct Cell {
+    int flows, links;
+  };
+  std::vector<Cell> grid;
+  const std::vector<int> flow_counts =
+      quick ? std::vector<int>{100, 400} : std::vector<int>{100, 400, 1000, 4000};
+  const std::vector<int> link_counts =
+      quick ? std::vector<int>{64} : std::vector<int>{64, 256};
+  for (int f : flow_counts)
+    for (int l : link_counts) grid.push_back({f, l});
+  const int events = quick ? 64 : 256;
+
+  std::filesystem::path path(out_path);
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"net_solver_bipartite\",\n");
+  std::fprintf(out, "  \"unit\": \"ms per cold solve\",\n  \"cells\": [\n");
+
+  bool first = true;
+  bool target_met = true;
+  for (const auto& cell : grid) {
+    std::vector<Rate> capacity(static_cast<std::size_t>(cell.links), 125e6);
+    auto flows = make_flows(static_cast<std::size_t>(cell.flows), cell.links, 29);
+    std::vector<FlowDemandView> views(flows.size());
+    const auto refresh_views = [&] {
+      for (std::size_t f = 0; f < flows.size(); ++f)
+        views[f] = FlowDemandView{flows[f].links.data(),
+                                  static_cast<std::int32_t>(flows[f].links.size()),
+                                  flows[f].cap};
+    };
+    const auto rewire = [&](Rng& rng) {
+      const auto victim =
+          static_cast<std::size_t>(rng.uniform_int(0, flows.size() - 1));
+      const int nodes = cell.links / 2;
+      auto src = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 1));
+      auto dst = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 1));
+      if (dst == src) dst = (dst + 1) % nodes;
+      flows[victim].links = {2 * src, 2 * dst + 1};
+    };
+
+    // Equality check once per cell (not timed).
+    {
+      refresh_views();
+      MaxMinSolver general;
+      BipartiteWaterfillSolver bipartite;
+      std::vector<Rate> a(flows.size()), b(flows.size());
+      general.solve(capacity, views.data(), views.size(), a.data());
+      bipartite.solve(capacity, views.data(), views.size(), b.data());
+      for (std::size_t f = 0; f < flows.size(); ++f)
+        if (a[f] != b[f]) {
+          std::fprintf(stderr, "FAIL: bipartite rate mismatch at flow %zu\n", f);
+          std::fclose(out);
+          return 1;
+        }
+    }
+
+    const auto time_mode = [&](bool use_bipartite) {
+      // Best of two repetitions: a single OS hiccup on a busy (CI)
+      // machine must not flip the gate.
+      const auto saved = flows;
+      double best = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 2; ++rep) {
+        flows = saved;  // identical population and event replay per rep
+        Rng rng(31);
+        MaxMinSolver general;
+        BipartiteWaterfillSolver bipartite;
+        std::vector<Rate> rates(flows.size());
+        const auto start = std::chrono::steady_clock::now();
+        for (int e = 0; e < events; ++e) {
+          refresh_views();
+          if (use_bipartite)
+            bipartite.solve(capacity, views.data(), views.size(), rates.data());
+          else
+            general.solve(capacity, views.data(), views.size(), rates.data());
+          benchmark::DoNotOptimize(rates);
+          rewire(rng);
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        best = std::min(
+            best,
+            std::chrono::duration<double, std::milli>(stop - start).count() /
+                events);
+      }
+      return best;
+    };
+    const double general_ms = time_mode(false);
+    const double bipartite_ms = time_mode(true);
+    const double speedup = bipartite_ms > 0 ? general_ms / bipartite_ms : 0.0;
+
+    std::printf(
+        "flows=%-6d links=%-5d general=%8.4fms bipartite=%8.4fms "
+        "speedup=%5.2fx\n",
+        cell.flows, cell.links, general_ms, bipartite_ms, speedup);
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out,
+                 "    {\"flows\": %d, \"links\": %d, \"general_ms\": %.6f, "
+                 "\"bipartite_ms\": %.6f, \"speedup\": %.3f}",
+                 cell.flows, cell.links, general_ms, bipartite_ms, speedup);
+    // Cells under a few hundred flows time at single-microsecond scale
+    // — reported, but too noisy to gate (especially on CI runners).
+    if (cell.flows >= 400 && speedup < 1.0) target_met = false;
+  }
+  std::fprintf(out,
+               "\n  ],\n  \"target\": \"bipartite beats the general solver on "
+               "every flat-cluster cell with >= 400 flows\"\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!target_met) {
+    std::fprintf(stderr, "FAIL: bipartite slower than the general solver\n");
+    return 1;
+  }
+  return 0;
+}
+
+// ----------------------------------------------------- warm-start grid
+//
+// Event-driven usage with warm starts: after one flow departs and one
+// arrives, the cold engine re-solves the whole population while the
+// warm engine undoes and replays only the affected saturation cascade.
+//
+// Traffic is *skewed* (quadratically towards low node ids), like real
+// redistribution traffic where a few NICs carry whole p x q transfer
+// sets: the hottest links saturate in the earliest rounds, and an
+// arrival on an averagely-loaded link leaves all of those rounds
+// untouched.  Uniform traffic would make every link equally loaded and
+// push almost every arrival's divergence to round zero.
+
+int run_warmstart(bool quick, const std::string& out_path) {
+  struct Cell {
+    int flows, links;
+    bool capped;  ///< 30% of flows carry a binding TCP cap
+  };
+  std::vector<Cell> grid;
+  const std::vector<int> flow_counts =
+      quick ? std::vector<int>{100, 400} : std::vector<int>{100, 400, 1000, 4000};
+  const std::vector<int> link_counts =
+      quick ? std::vector<int>{64} : std::vector<int>{64, 256};
+  // Uncapped cells model low-latency clusters (the TCP-window bound
+  // sits above the link bandwidth, fig2's regime, where warm starts
+  // shine); capped cells add binding caps, whose early cap rounds make
+  // departures cascade much deeper.
+  for (int f : flow_counts)
+    for (int l : link_counts)
+      for (bool capped : {false, true}) grid.push_back({f, l, capped});
+  const int events = quick ? 128 : 256;
+
+  std::filesystem::path path(out_path);
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"net_solver_warmstart\",\n");
+  std::fprintf(out, "  \"unit\": \"ms per event\",\n  \"cells\": [\n");
+
+  bool first = true;
+  bool target_met = true;
+  for (const auto& cell : grid) {
+    std::vector<Rate> capacity(static_cast<std::size_t>(cell.links), 125e6);
+    const int nodes = cell.links / 2;
+    const auto skewed_node = [&](Rng& rng) {
+      const double u = rng.uniform(0.0, 1.0);
+      return static_cast<std::int32_t>(
+          std::min<double>(nodes - 1, nodes * u * u));
+    };
+    const auto random_demand = [&](Rng& rng) {
+      FlowDemand d;
+      const std::int32_t src = skewed_node(rng);
+      std::int32_t dst = skewed_node(rng);
+      if (dst == src) dst = (dst + 1) % nodes;
+      d.links = {2 * src, 2 * dst + 1};
+      if (cell.capped && rng.bernoulli(0.3)) d.cap = rng.uniform(1e6, 125e6);
+      return d;
+    };
+    std::vector<FlowDemand> initial;
+    {
+      Rng rng(37);
+      for (int f = 0; f < cell.flows; ++f) initial.push_back(random_demand(rng));
+    }
+
+    // Events alternate a single departure (even) with a single arrival
+    // (odd) — the fluid network's ensure_rates sees exactly such
+    // single-flow deltas between solves.  Both engines replay the
+    // identical sequence; the population size oscillates by one.
+    struct Event {
+      bool departure;
+      std::size_t victim;      // departure only
+      FlowDemand arriving;     // arrival only
+    };
+    const auto make_event = [&](Rng& rng, int index, std::size_t population) {
+      Event ev;
+      ev.departure = index % 2 == 0;
+      if (ev.departure)
+        ev.victim =
+            static_cast<std::size_t>(rng.uniform_int(0, population - 1));
+      else
+        ev.arriving = random_demand(rng);
+      return ev;
+    };
+
+    const auto make_views = [](const std::vector<FlowDemand>& flows,
+                               std::vector<FlowDemandView>& views) {
+      views.clear();
+      for (const auto& d : flows)
+        views.push_back(FlowDemandView{
+            d.links.data(), static_cast<std::int32_t>(d.links.size()), d.cap});
+    };
+
+    // Cold engine: one full subset solve per event.  Best of two
+    // repetitions (the event replay is deterministic), so one OS
+    // hiccup cannot flip the gate on a busy CI machine.
+    double cold_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 2; ++rep) {
+      auto flows = initial;
+      Rng rng(41);
+      MaxMinSolver solver;
+      std::vector<FlowDemandView> views;
+      std::vector<Rate> rates;
+      const auto start = std::chrono::steady_clock::now();
+      for (int e = 0; e < events; ++e) {
+        auto ev = make_event(rng, e, flows.size());
+        if (ev.departure) {
+          flows[ev.victim] = std::move(flows.back());
+          flows.pop_back();
+        } else {
+          flows.push_back(std::move(ev.arriving));
+        }
+        make_views(flows, views);
+        rates.resize(flows.size());
+        solver.solve(capacity, views.data(), views.size(), rates.data());
+        benchmark::DoNotOptimize(rates);
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      cold_ms = std::min(
+          cold_ms,
+          std::chrono::duration<double, std::milli>(stop - start).count() /
+              events);
+    }
+
+    // Warm engine: traced solve once, then solve_warm per event.  Best
+    // of two deterministic repetitions, like the cold engine.
+    double warm_ms = std::numeric_limits<double>::infinity();
+    int fallbacks = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+      fallbacks = 0;
+      auto flows = initial;
+      std::vector<std::int32_t> ids(flows.size());
+      for (std::size_t f = 0; f < flows.size(); ++f)
+        ids[f] = static_cast<std::int32_t>(f);
+      std::int32_t next_id = static_cast<std::int32_t>(flows.size());
+      Rng rng(41);
+      MaxMinSolver solver;
+      MaxMinWarmState state;
+      std::vector<FlowDemandView> views;
+      std::vector<Rate> rates(flows.size());
+      std::vector<std::pair<std::int32_t, Rate>> changed;
+      const auto start = std::chrono::steady_clock::now();
+      make_views(flows, views);
+      solver.solve(capacity, views.data(), views.size(), rates.data(), &state,
+                   ids.data());
+      for (int e = 0; e < events; ++e) {
+        auto ev = make_event(rng, e, flows.size());
+        bool ok;
+        changed.clear();
+        if (ev.departure) {
+          const std::int32_t departing = ids[ev.victim];
+          ok = solver.solve_warm(capacity, state, nullptr, 0, &departing, 1,
+                                 changed);
+          flows[ev.victim] = std::move(flows.back());
+          flows.pop_back();
+          ids[ev.victim] = ids.back();
+          ids.pop_back();
+        } else {
+          const std::int32_t arriving_id = next_id++;
+          const FlowArrival arrival{
+              arriving_id, ev.arriving.links.data(),
+              static_cast<std::int32_t>(ev.arriving.links.size()),
+              ev.arriving.cap};
+          ok = solver.solve_warm(capacity, state, &arrival, 1, nullptr, 0,
+                                 changed);
+          flows.push_back(std::move(ev.arriving));
+          ids.push_back(arriving_id);
+        }
+        benchmark::DoNotOptimize(changed);
+        if (!ok) {
+          ++fallbacks;
+          make_views(flows, views);
+          rates.resize(flows.size());
+          solver.solve(capacity, views.data(), views.size(), rates.data(),
+                       &state, ids.data());
+        }
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      warm_ms = std::min(
+          warm_ms,
+          std::chrono::duration<double, std::milli>(stop - start).count() /
+              events);
+    }
+
+    const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+    std::printf(
+        "flows=%-6d links=%-5d capped=%d cold=%8.4fms warm=%8.4fms "
+        "speedup=%5.2fx fallbacks=%d/%d\n",
+        cell.flows, cell.links, cell.capped ? 1 : 0, cold_ms, warm_ms, speedup,
+        fallbacks, events);
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out,
+                 "    {\"flows\": %d, \"links\": %d, \"capped\": %s, "
+                 "\"cold_ms\": %.6f, \"warm_ms\": %.6f, \"speedup\": %.3f, "
+                 "\"fallbacks\": %d, \"events\": %d}",
+                 cell.flows, cell.links, cell.capped ? "true" : "false",
+                 cold_ms, warm_ms, speedup, fallbacks, events);
+    // Binding caps fix flows in early rounds, so departures legitimately
+    // cascade most of the trace and the solver falls back to cold —
+    // those cells are reported but not gated; neither are cells under a
+    // few hundred flows, which time at single-microsecond noise scale.
+    if (!cell.capped && cell.flows >= 400 && speedup < 1.0) target_met = false;
+  }
+  std::fprintf(out,
+               "\n  ],\n  \"target\": \"warm re-solves beat full cold solves "
+               "on every uncapped cell with >= 400 flows\"\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!target_met) {
+    std::fprintf(stderr, "FAIL: warm re-solve slower than a full cold solve\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool grid = false;
   bool components = false;
+  bool bipartite = false;
+  bool warmstart = false;
   bool quick = false;
   std::string out_path;
   std::vector<char*> passthrough;
@@ -405,6 +768,10 @@ int main(int argc, char** argv) {
       grid = true;
     } else if (std::strcmp(argv[i], "--components") == 0) {
       components = true;
+    } else if (std::strcmp(argv[i], "--bipartite") == 0) {
+      bipartite = true;
+    } else if (std::strcmp(argv[i], "--warmstart") == 0) {
+      warmstart = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0) {
@@ -417,8 +784,10 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
-  if (grid && components) {
-    std::fprintf(stderr, "--grid and --components are exclusive\n");
+  if (grid + components + bipartite + warmstart > 1) {
+    std::fprintf(stderr,
+                 "--grid, --components, --bipartite and --warmstart are "
+                 "exclusive\n");
     return 1;
   }
   if (components)
@@ -426,6 +795,16 @@ int main(int argc, char** argv) {
         quick,
         out_path.empty() ? "bench/results/net_solver_components.json"
                          : out_path);
+  if (bipartite)
+    return run_bipartite(quick,
+                         out_path.empty()
+                             ? "bench/results/net_solver_bipartite.json"
+                             : out_path);
+  if (warmstart)
+    return run_warmstart(quick,
+                         out_path.empty()
+                             ? "bench/results/net_solver_warmstart.json"
+                             : out_path);
   if (grid)
     return run_grid(quick, out_path.empty()
                                ? "bench/results/net_solver_scaling.json"

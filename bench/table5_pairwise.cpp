@@ -17,11 +17,13 @@ int main(int argc, char** argv) {
   auto cfg = bench::parse_args(argc, argv);
   auto corpus = bench::cap_per_family(bench::make_corpus(cfg), cfg, 12);
 
-  std::vector<ExperimentData> per_cluster;
-  for (const Cluster& cluster : grid5000::all()) {
-    std::printf("  running corpus on %s...\n", cluster.name().c_str());
-    per_cluster.push_back(bench::run_tuned_experiment(corpus, cluster, cfg.threads));
-  }
+  // All (cluster, entry, algo) scenarios go through the worker pool as
+  // one batch, so --threads spans the whole table instead of one
+  // cluster at a time.
+  const auto clusters = grid5000::all();
+  std::printf("  running corpus on %zu clusters...\n", clusters.size());
+  const std::vector<ExperimentData> per_cluster =
+      bench::run_tuned_experiments(corpus, clusters, cfg.threads);
   const auto& names = per_cluster.front().algo_names;
 
   bench::heading("Table V: pairwise comparison (chti / grillon / grelon)");

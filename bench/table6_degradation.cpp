@@ -20,9 +20,15 @@ int main(int argc, char** argv) {
 
   bench::heading("Table VI: average degradation from best");
   Table table({"cluster", "metric", "HCPA", "delta", "time-cost"});
-  for (const Cluster& cluster : grid5000::all()) {
-    std::printf("  running corpus on %s...\n", cluster.name().c_str());
-    auto data = bench::run_tuned_experiment(corpus, cluster, cfg.threads);
+  // One (cluster, entry, algo) batch across all clusters — the pool
+  // stays saturated for the whole table.
+  const auto clusters = grid5000::all();
+  std::printf("  running corpus on %zu clusters...\n", clusters.size());
+  const auto per_cluster =
+      bench::run_tuned_experiments(corpus, clusters, cfg.threads);
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    const Cluster& cluster = clusters[ci];
+    const ExperimentData& data = per_cluster[ci];
     Degradation d[3];
     for (std::size_t a = 0; a < 3; ++a) d[a] = degradation_from_best(data, a);
     table.add_row({cluster.name(), "avg over all exp.",

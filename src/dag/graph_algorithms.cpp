@@ -7,42 +7,11 @@
 namespace rats {
 
 std::vector<TaskId> topological_order(const TaskGraph& g) {
-  g.validate();
-  const auto n = static_cast<std::size_t>(g.num_tasks());
-  std::vector<std::int32_t> indegree(n);
-  for (TaskId t = 0; t < g.num_tasks(); ++t)
-    indegree[static_cast<std::size_t>(t)] =
-        static_cast<std::int32_t>(g.in_edges(t).size());
-
-  // A sorted frontier gives a canonical order: among ready tasks the
-  // smallest id goes first.  The frontier is kept as a min-heap.
-  std::vector<TaskId> heap;
-  auto cmp = [](TaskId a, TaskId b) { return a > b; };
-  for (TaskId t = 0; t < g.num_tasks(); ++t)
-    if (indegree[static_cast<std::size_t>(t)] == 0) heap.push_back(t);
-  std::make_heap(heap.begin(), heap.end(), cmp);
-
-  std::vector<TaskId> order;
-  order.reserve(n);
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), cmp);
-    const TaskId t = heap.back();
-    heap.pop_back();
-    order.push_back(t);
-    for (EdgeId e : g.out_edges(t)) {
-      const TaskId dst = g.edge(e).dst;
-      if (--indegree[static_cast<std::size_t>(dst)] == 0) {
-        heap.push_back(dst);
-        std::push_heap(heap.begin(), heap.end(), cmp);
-      }
-    }
-  }
-  RATS_REQUIRE(order.size() == n, "cycle detected in topological sort");
-  return order;
+  return g.topo_order();
 }
 
 std::vector<std::int32_t> task_levels(const TaskGraph& g) {
-  const auto order = topological_order(g);
+  const std::vector<TaskId>& order = g.topo_order();
   std::vector<std::int32_t> level(static_cast<std::size_t>(g.num_tasks()), 0);
   for (TaskId t : order)
     for (EdgeId e : g.in_edges(t)) {
@@ -68,23 +37,14 @@ std::vector<std::vector<TaskId>> tasks_by_level(const TaskGraph& g) {
 std::vector<double> bottom_levels(const TaskGraph& g,
                                   const NodeCostFn& node_cost,
                                   const EdgeCostFn& edge_cost) {
-  const auto order = topological_order(g);
-  std::vector<double> bl(static_cast<std::size_t>(g.num_tasks()), 0.0);
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const TaskId t = *it;
-    double tail = 0.0;
-    for (EdgeId e : g.out_edges(t)) {
-      const TaskId dst = g.edge(e).dst;
-      tail = std::max(tail, edge_cost(e) + bl[static_cast<std::size_t>(dst)]);
-    }
-    bl[static_cast<std::size_t>(t)] = node_cost(t) + tail;
-  }
+  std::vector<double> bl;
+  bottom_levels_into(g, node_cost, edge_cost, bl);
   return bl;
 }
 
 std::vector<double> top_levels(const TaskGraph& g, const NodeCostFn& node_cost,
                                const EdgeCostFn& edge_cost) {
-  const auto order = topological_order(g);
+  const std::vector<TaskId>& order = g.topo_order();
   std::vector<double> tl(static_cast<std::size_t>(g.num_tasks()), 0.0);
   for (TaskId t : order) {
     double head = 0.0;
@@ -100,38 +60,9 @@ std::vector<double> top_levels(const TaskGraph& g, const NodeCostFn& node_cost,
 
 CriticalPath critical_path(const TaskGraph& g, const NodeCostFn& node_cost,
                            const EdgeCostFn& edge_cost) {
-  const auto bl = bottom_levels(g, node_cost, edge_cost);
   CriticalPath cp;
-
-  // Start from the entry with the largest bottom level (ties: lowest id).
-  TaskId current = kInvalidTask;
-  for (TaskId t : g.entry_tasks()) {
-    if (current == kInvalidTask ||
-        bl[static_cast<std::size_t>(t)] > bl[static_cast<std::size_t>(current)])
-      current = t;
-  }
-  RATS_REQUIRE(current != kInvalidTask, "graph has no entry task");
-  cp.length = bl[static_cast<std::size_t>(current)];
-
-  // Walk down: at each step pick the successor that realizes the
-  // recurrence bl(t) = cost(t) + max(edge + bl(succ)).
-  while (current != kInvalidTask) {
-    cp.tasks.push_back(current);
-    const double tail =
-        bl[static_cast<std::size_t>(current)] - node_cost(current);
-    TaskId next = kInvalidTask;
-    double best_gap = 1e-9 * std::max(1.0, cp.length);
-    for (EdgeId e : g.out_edges(current)) {
-      const TaskId dst = g.edge(e).dst;
-      const double gap =
-          std::abs(edge_cost(e) + bl[static_cast<std::size_t>(dst)] - tail);
-      if (gap < best_gap) {
-        best_gap = gap;
-        next = dst;
-      }
-    }
-    current = next;
-  }
+  std::vector<double> bl;
+  critical_path_into(g, node_cost, edge_cost, bl, cp);
   return cp;
 }
 

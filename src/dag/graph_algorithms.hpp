@@ -4,11 +4,23 @@
 // Node and edge weights are supplied by callables so the same routines
 // serve the allocation step (weights depend on the current allocation)
 // and the mapping step (static priorities).
+//
+// The schedulers re-evaluate these under changing weights hundreds of
+// times per schedule build, so the structural invariants are memoized:
+// the topological order comes from `TaskGraph::topo_order()` (computed
+// once per graph, shared across all algorithms evaluating it), and the
+// `*_into` function templates inline the cost callables and fill
+// caller-owned scratch — a critical-path recomputation allocates
+// nothing and re-derives nothing structural.  The `std::function`
+// overloads remain as convenience wrappers.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <vector>
 
+#include "common/error.hpp"
 #include "dag/task_graph.hpp"
 
 namespace rats {
@@ -19,7 +31,8 @@ using NodeCostFn = std::function<double(TaskId)>;
 using EdgeCostFn = std::function<double(EdgeId)>;
 
 /// A topological order of all task ids (deterministic: ties broken by
-/// ascending id).  Throws if the graph is cyclic.
+/// ascending id).  Throws if the graph is cyclic.  Returns a copy of
+/// the graph's cached order; hot paths use `g.topo_order()` directly.
 std::vector<TaskId> topological_order(const TaskGraph& g);
 
 /// Structural level of every task: entries are level 0, otherwise
@@ -29,10 +42,27 @@ std::vector<std::int32_t> task_levels(const TaskGraph& g);
 /// Tasks grouped by structural level, level 0 first.
 std::vector<std::vector<TaskId>> tasks_by_level(const TaskGraph& g);
 
-/// Bottom level of every task: node_cost(t) plus the maximum over
-/// successors s of edge_cost(t->s) + bottom_level(s).  This is each
-/// task's distance to the end of the application, the list-scheduling
-/// priority used by CPA/HCPA/RATS.
+/// Fills `bl` with the bottom level of every task: node_cost(t) plus
+/// the maximum over successors s of edge_cost(t->s) + bottom_level(s).
+/// This is each task's distance to the end of the application, the
+/// list-scheduling priority used by CPA/HCPA/RATS.
+template <typename NodeF, typename EdgeF>
+void bottom_levels_into(const TaskGraph& g, NodeF&& node_cost,
+                        EdgeF&& edge_cost, std::vector<double>& bl) {
+  const std::vector<TaskId>& order = g.topo_order();
+  bl.assign(static_cast<std::size_t>(g.num_tasks()), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    double tail = 0.0;
+    for (EdgeId e : g.out_edges(t)) {
+      const TaskId dst = g.edge(e).dst;
+      tail = std::max(tail, edge_cost(e) + bl[static_cast<std::size_t>(dst)]);
+    }
+    bl[static_cast<std::size_t>(t)] = node_cost(t) + tail;
+  }
+}
+
+/// Bottom levels as a fresh vector (convenience wrapper).
 std::vector<double> bottom_levels(const TaskGraph& g, const NodeCostFn& node_cost,
                                   const EdgeCostFn& edge_cost);
 
@@ -47,7 +77,50 @@ struct CriticalPath {
 };
 
 /// The critical path under the given weights; ties broken
-/// deterministically by task id.
+/// deterministically by task id.  `bl` is scratch for the bottom
+/// levels; `cp` is overwritten.  Reuses every buffer, so the
+/// allocation step's repeated per-iteration calls allocate nothing.
+template <typename NodeF, typename EdgeF>
+void critical_path_into(const TaskGraph& g, NodeF&& node_cost,
+                        EdgeF&& edge_cost, std::vector<double>& bl,
+                        CriticalPath& cp) {
+  bottom_levels_into(g, node_cost, edge_cost, bl);
+  cp.tasks.clear();
+
+  // Start from the entry with the largest bottom level (ties: lowest
+  // id — entries are scanned in id order).
+  TaskId current = kInvalidTask;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (!g.in_edges(t).empty()) continue;
+    if (current == kInvalidTask ||
+        bl[static_cast<std::size_t>(t)] > bl[static_cast<std::size_t>(current)])
+      current = t;
+  }
+  RATS_REQUIRE(current != kInvalidTask, "graph has no entry task");
+  cp.length = bl[static_cast<std::size_t>(current)];
+
+  // Walk down: at each step pick the successor that realizes the
+  // recurrence bl(t) = cost(t) + max(edge + bl(succ)).
+  while (current != kInvalidTask) {
+    cp.tasks.push_back(current);
+    const double tail =
+        bl[static_cast<std::size_t>(current)] - node_cost(current);
+    TaskId next = kInvalidTask;
+    double best_gap = 1e-9 * std::max(1.0, cp.length);
+    for (EdgeId e : g.out_edges(current)) {
+      const TaskId dst = g.edge(e).dst;
+      const double gap =
+          std::abs(edge_cost(e) + bl[static_cast<std::size_t>(dst)] - tail);
+      if (gap < best_gap) {
+        best_gap = gap;
+        next = dst;
+      }
+    }
+    current = next;
+  }
+}
+
+/// The critical path as a fresh result (convenience wrapper).
 CriticalPath critical_path(const TaskGraph& g, const NodeCostFn& node_cost,
                            const EdgeCostFn& edge_cost);
 

@@ -1,5 +1,6 @@
 #include "dag/task_graph.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -14,7 +15,13 @@ TaskId TaskGraph::add_task(Task task) {
   tasks_.push_back(std::move(task));
   in_.emplace_back();
   out_.emplace_back();
+  invalidate_topo_cache();
   return num_tasks() - 1;
+}
+
+void TaskGraph::invalidate_topo_cache() {
+  if (topo_cache_ && topo_cache_->computed.load(std::memory_order_acquire))
+    topo_cache_ = std::make_shared<TopoCache>();
 }
 
 TaskId TaskGraph::add_task(std::string name, double m, double a, double alpha) {
@@ -30,7 +37,48 @@ EdgeId TaskGraph::add_edge(TaskId src, TaskId dst, Bytes bytes) {
   edges_.push_back(Edge{src, dst, bytes});
   out_[static_cast<std::size_t>(src)].push_back(id);
   in_[static_cast<std::size_t>(dst)].push_back(id);
+  invalidate_topo_cache();
   return id;
+}
+
+const std::vector<TaskId>& TaskGraph::topo_order() const {
+  if (!topo_cache_) topo_cache_ = std::make_shared<TopoCache>();  // moved-from
+  TopoCache& cache = *topo_cache_;
+  std::call_once(cache.once, [&] {
+    validate();
+    const auto n = static_cast<std::size_t>(num_tasks());
+    std::vector<std::int32_t> indegree(n);
+    for (TaskId t = 0; t < num_tasks(); ++t)
+      indegree[static_cast<std::size_t>(t)] =
+          static_cast<std::int32_t>(in_edges(t).size());
+
+    // A sorted frontier gives a canonical order: among ready tasks the
+    // smallest id goes first.  The frontier is kept as a min-heap.
+    std::vector<TaskId> heap;
+    auto cmp = [](TaskId a, TaskId b) { return a > b; };
+    for (TaskId t = 0; t < num_tasks(); ++t)
+      if (indegree[static_cast<std::size_t>(t)] == 0) heap.push_back(t);
+    std::make_heap(heap.begin(), heap.end(), cmp);
+
+    std::vector<TaskId>& order = cache.order;
+    order.reserve(n);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      const TaskId t = heap.back();
+      heap.pop_back();
+      order.push_back(t);
+      for (EdgeId e : out_edges(t)) {
+        const TaskId dst = edge(e).dst;
+        if (--indegree[static_cast<std::size_t>(dst)] == 0) {
+          heap.push_back(dst);
+          std::push_heap(heap.begin(), heap.end(), cmp);
+        }
+      }
+    }
+    RATS_REQUIRE(order.size() == n, "cycle detected in topological sort");
+    cache.computed.store(true, std::memory_order_release);
+  });
+  return cache.order;
 }
 
 const Edge& TaskGraph::edge(EdgeId id) const {

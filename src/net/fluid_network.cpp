@@ -168,6 +168,7 @@ std::int32_t FluidNetwork::alloc_component() {
   comp.dirty = false;
   comp.maybe_split = false;
   comp.solves_since_walk = 0;
+  comp.reset_warm();
   ++live_components_;
   return c;
 }
@@ -178,6 +179,7 @@ void FluidNetwork::free_component(std::int32_t c) {
   comp.dirty = false;
   comp.maybe_split = false;
   comp.members.clear();
+  comp.reset_warm();
   free_components_.push_back(c);
   --live_components_;
 }
@@ -215,11 +217,15 @@ std::int32_t FluidNetwork::merge_components(std::int32_t a, std::int32_t b) {
   auto& keep = components_[static_cast<std::size_t>(a)];
   auto& gone = components_[static_cast<std::size_t>(b)];
   keep.maybe_split = keep.maybe_split || gone.maybe_split;
+  // Relative to the survivor's trace, the absorbed members are plain
+  // arrivals — the absorbed trace is dropped with its component.
+  const bool track = keep.warm.valid;
   for (const FlowId m : gone.members) {
     component_of_[static_cast<std::size_t>(m)] = a;
     member_pos_[static_cast<std::size_t>(m)] =
         static_cast<std::int32_t>(keep.members.size());
     keep.members.push_back(m);
+    if (track) keep.pending_add.push_back(m);
   }
   free_component(b);
   return a;
@@ -245,6 +251,8 @@ void FluidNetwork::activate(FlowId id, FlowState& f) {
   }
   if (target == -1) target = alloc_component();
   add_member(target, id);
+  if (components_[static_cast<std::size_t>(target)].warm.valid)
+    components_[static_cast<std::size_t>(target)].pending_add.push_back(id);
   mark_dirty(target);
   for (std::size_t i = 0; i < f.links.size(); ++i) {
     auto& members = link_members_[static_cast<std::size_t>(f.links[i])];
@@ -293,7 +301,18 @@ void FluidNetwork::complete(FlowId id, FlowState& f) {
     // Any survivor on a freed link speeds up (and may cascade through
     // the component), and the departure may also have disconnected it —
     // the next ensure_rates() re-partitions and re-solves it.
-    components_[static_cast<std::size_t>(c)].maybe_split = true;
+    auto& comp = components_[static_cast<std::size_t>(c)];
+    if (comp.warm.valid) {
+      // A flow that arrived and completed within one event batch never
+      // entered the trace: the delta cancels out entirely.
+      const auto added = std::find(comp.pending_add.begin(),
+                                   comp.pending_add.end(), id);
+      if (added != comp.pending_add.end())
+        comp.pending_add.erase(added);
+      else
+        comp.pending_remove.push_back(id);
+    }
+    comp.maybe_split = true;
     mark_dirty(c);
   }
   completed_.push_back(id);
@@ -387,7 +406,7 @@ void FluidNetwork::repartition_and_solve(std::int32_t c) {
       (comp.members.size() <= kEagerSplitSize ||
        ++comp.solves_since_walk >= kSplitPeriod);
   if (!walk) {
-    solve_group(comp.members.data(), comp.members.size());
+    solve_component(c);
     return;
   }
   comp.maybe_split = false;
@@ -425,14 +444,20 @@ void FluidNetwork::repartition_and_solve(std::int32_t c) {
     }
     assigned += group_.size();
     if (first_group && assigned == split_scratch_.size()) {
-      // Still one connected component: keep it as is.
-      solve_group(group_.data(), group_.size());
+      // Still one connected component: keep it as is (pending deltas
+      // and the trace stay usable — membership did not change here).
+      solve_component(c);
       return;
     }
     // Split: the first true sub-component keeps id `c`, later ones get
     // fresh (clean) components.  alloc_component() may reallocate
     // `components_`, so the member list is re-indexed each round.
     const std::int32_t target = first_group ? c : alloc_component();
+    if (first_group) {
+      // The old trace covers the union, not this part: drop it.  The
+      // cold solve below records each part's own trace.
+      components_[static_cast<std::size_t>(c)].reset_warm();
+    }
     first_group = false;
     auto& members = components_[static_cast<std::size_t>(target)].members;
     members.assign(group_.begin(), group_.end());
@@ -441,15 +466,19 @@ void FluidNetwork::repartition_and_solve(std::int32_t c) {
       member_pos_[static_cast<std::size_t>(members[k])] =
           static_cast<std::int32_t>(k);
     }
-    solve_group(members.data(), members.size());
+    solve_component(target);
   }
 }
 
-void FluidNetwork::solve_group(const FlowId* ids, std::size_t n) {
+void FluidNetwork::solve_component(std::int32_t c) {
+  auto& comp = components_[static_cast<std::size_t>(c)];
+  const std::size_t n = comp.members.size();
   if (n == 1) {
     // Uncontended flow: its rate is the tightest of its own cap and its
-    // links' capacities — same value the solver would produce.
-    const FlowId id = ids[0];
+    // links' capacities — same value the solver would produce.  No
+    // trace: the first contended solve will record one.
+    comp.reset_warm();
+    const FlowId id = comp.members.front();
     auto& f = flows_[static_cast<std::size_t>(id)];
     Rate r = f.cap;
     for (const LinkId l : f.links)
@@ -457,20 +486,65 @@ void FluidNetwork::solve_group(const FlowId* ids, std::size_t n) {
     if (r != f.rate) set_rate(id, f, r);
     return;
   }
+  if (comp.warm.valid) {
+    if (comp.pending_add.empty() && comp.pending_remove.empty()) {
+      // A flow arrived and completed within one batch: the population
+      // the trace covers is unchanged, so every rate is still exact.
+      return;
+    }
+    arrivals_scratch_.clear();
+    for (const FlowId id : comp.pending_add) {
+      const FlowState& f = flows_[static_cast<std::size_t>(id)];
+      arrivals_scratch_.push_back(FlowArrival{
+          id, f.links.data(), static_cast<std::int32_t>(f.links.size()),
+          f.cap});
+    }
+    changed_.clear();
+    if (solver_.solve_warm(capacity_, comp.warm, arrivals_scratch_.data(),
+                           arrivals_scratch_.size(),
+                           comp.pending_remove.data(),
+                           comp.pending_remove.size(), changed_)) {
+      for (const auto& [id, r] : changed_) {
+        auto& f = flows_[static_cast<std::size_t>(id)];
+        // Unchanged rates keep their completion prediction; re-keying
+        // would just churn the event heap.
+        if (r != f.rate) set_rate(id, f, r);
+      }
+      comp.clear_pending();
+      return;
+    }
+  }
+  solve_cold(c);
+}
+
+void FluidNetwork::solve_cold(std::int32_t c) {
+  auto& comp = components_[static_cast<std::size_t>(c)];
+  comp.clear_pending();
+  const FlowId* ids = comp.members.data();
+  const std::size_t n = comp.members.size();
   demand_views_.clear();
   if (local_index_.size() < flows_.size()) local_index_.resize(flows_.size());
+  bool two_link = true;
   for (std::size_t k = 0; k < n; ++k) {
     const FlowState& f = flows_[static_cast<std::size_t>(ids[k])];
     demand_views_.push_back(FlowDemandView{
         f.links.data(), static_cast<std::int32_t>(f.links.size()), f.cap});
+    two_link = two_link && f.links.size() == 2;
     local_index_[static_cast<std::size_t>(ids[k])] =
         static_cast<std::int32_t>(k);
   }
   group_rates_.resize(n);
-  // The live per-link membership lists are exactly this component's
-  // adjacency, so the solver can walk them instead of building a CSR.
-  solver_.solve(capacity_, demand_views_.data(), n, group_rates_.data(),
-                link_members_, local_index_);
+  if (two_link) {
+    // Flat-cluster component ({src uplink, dst downlink} routes): the
+    // bipartite waterfilling specialization.
+    bipartite_.solve(capacity_, demand_views_.data(), n, group_rates_.data(),
+                     &comp.warm, ids);
+  } else {
+    // The live per-link membership lists are exactly this component's
+    // adjacency, so the solver can walk them instead of building a CSR.
+    solver_.solve(capacity_, demand_views_.data(), n, group_rates_.data(),
+                  link_members_, local_index_, &comp.warm, ids);
+  }
   for (std::size_t k = 0; k < n; ++k) {
     const FlowId id = ids[k];
     auto& f = flows_[static_cast<std::size_t>(id)];

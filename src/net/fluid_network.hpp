@@ -38,8 +38,23 @@
 //    untouched components are left completely alone, so a contended
 //    event costs O(component * log) — proportional to what changed,
 //    not to what exists.  Max-Min rates decompose exactly over sharing
-//    components, so the rates match a full solve bit for bit.
-//    Single-flow components short-circuit the solver:
+//    components, so the rates match a full solve bit for bit;
+//  * each component's solve goes through a *solver-strategy dispatch*
+//    (see net/maxmin.hpp).  Every component keeps the saturation trace
+//    of its last solve (`MaxMinWarmState`) plus the arrivals and
+//    departures recorded since; when the trace is live the component
+//    is re-solved *warm* — only the saturation cascade the changed
+//    flows can reach is recomputed, O(cascade) instead of
+//    O(component).  Cold solves (first solve, post-split, deep
+//    cascades) go to the bipartite waterfilling fast path when every
+//    member crosses exactly two links (always true on
+//    `Cluster::flat_routes()` platforms), and to the general
+//    adjacency-sharing solver otherwise; both re-record the trace.  A
+//    merge turns the absorbed component's members into pending
+//    arrivals of the survivor, so warm solving survives the common
+//    merge-on-arrival; a split invalidates the union's trace and
+//    cold-solves the parts (priming their own traces).
+//    Single-flow components short-circuit the solver entirely:
 //    rate = min(cap, min link capacity);
 //  * completed flows are reported through `drain_completed()` in
 //    O(#finished), so a driver never rescans its in-flight set.
@@ -143,6 +158,24 @@ class FluidNetwork {
     bool maybe_split = false;  ///< a departure may have disconnected it
     bool live = false;
     std::uint32_t solves_since_walk = 0;  ///< amortizes split detection
+    /// Saturation trace of the last solve plus the membership delta
+    /// accumulated since — the warm re-solve's inputs.  `pending_add`
+    /// and `pending_remove` are only tracked while `warm.valid`.
+    MaxMinWarmState warm;
+    std::vector<FlowId> pending_add;
+    std::vector<FlowId> pending_remove;
+    /// Drops the trace and the pending delta together (the invariant:
+    /// pending lists are meaningless without a valid trace).
+    void reset_warm() {
+      warm.invalidate();
+      pending_add.clear();
+      pending_remove.clear();
+    }
+    /// Keeps the (freshly re-recorded) trace, drops the consumed delta.
+    void clear_pending() {
+      pending_add.clear();
+      pending_remove.clear();
+    }
   };
 
   /// Indexed binary min-heap over (time, seq) with one entry per flow:
@@ -203,10 +236,14 @@ class FluidNetwork {
   /// Re-solves a dirty component, re-partitioning it first when a
   /// departure may have disconnected it.
   void repartition_and_solve(std::int32_t c);
-  /// Solves one true component (the `n` flows in `ids`) and applies
-  /// changed rates.  `ids` must stay valid across the call (it may
-  /// alias a component's member list or the walk scratch).
-  void solve_group(const FlowId* ids, std::size_t n);
+  /// Solver-strategy dispatch for one true component: singleton
+  /// short-circuit, warm re-solve over the pending delta when the
+  /// trace allows it, else a traced cold solve.
+  void solve_component(std::int32_t c);
+  /// Traced cold solve of a component: bipartite waterfilling when
+  /// every member crosses exactly two links, the general
+  /// adjacency-sharing solver otherwise.  Re-primes `warm`.
+  void solve_cold(std::int32_t c);
 
   const Cluster* cluster_;
   std::vector<Rate> capacity_;
@@ -241,6 +278,9 @@ class FluidNetwork {
   std::vector<FlowId> completed_;
   std::vector<FlowId> drained_;
   MaxMinSolver solver_;
+  BipartiteWaterfillSolver bipartite_;
+  std::vector<FlowArrival> arrivals_scratch_;
+  std::vector<std::pair<std::int32_t, Rate>> changed_;
 
   Seconds now_ = 0;
   Bytes total_bytes_ = 0;

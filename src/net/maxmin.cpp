@@ -1,6 +1,7 @@
 #include "net/maxmin.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <functional>
 
@@ -14,6 +15,12 @@ namespace {
 // (shares are non-decreasing as flows are fixed, so stale entries are
 // always under-keyed, never over-keyed).
 constexpr double kShareSlack = 1e-12;
+
+// A warm re-solve undoes the trace back to the first round whose
+// binding share reaches the delta's divergence bound; the bound is
+// shaved by this relative margin so rounding noise can only undo one
+// round too many, never one too few.
+constexpr double kDivergenceMargin = 1e-9;
 }  // namespace
 
 void MaxMinSolver::solve(const std::vector<Rate>& capacity,
@@ -25,28 +32,33 @@ void MaxMinSolver::solve(const std::vector<Rate>& capacity,
     views_.push_back(FlowDemandView{
         f.links.data(), static_cast<std::int32_t>(f.links.size()), f.cap});
   rates.resize(flows.size());
-  solve(capacity, views_.data(), views_.size(), rates.data());
+  solve_impl(capacity, views_.data(), views_.size(), rates.data(), nullptr,
+             nullptr, nullptr);
 }
 
 void MaxMinSolver::solve(const std::vector<Rate>& capacity,
                          const FlowDemandView* flows, std::size_t num_flows,
-                         Rate* rates) {
-  solve_impl(capacity, flows, num_flows, rates, nullptr);
+                         Rate* rates, MaxMinWarmState* trace,
+                         const std::int32_t* stable_ids) {
+  solve_impl(capacity, flows, num_flows, rates, nullptr, trace, stable_ids);
 }
 
 void MaxMinSolver::solve(const std::vector<Rate>& capacity,
                          const FlowDemandView* flows, std::size_t num_flows,
                          Rate* rates,
                          const std::vector<std::vector<std::int32_t>>& link_flows,
-                         const std::vector<std::int32_t>& local_of) {
+                         const std::vector<std::int32_t>& local_of,
+                         MaxMinWarmState* trace,
+                         const std::int32_t* stable_ids) {
   const ExtAdjacency ext{&link_flows, &local_of};
-  solve_impl(capacity, flows, num_flows, rates, &ext);
+  solve_impl(capacity, flows, num_flows, rates, &ext, trace, stable_ids);
 }
 
 void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
                               const FlowDemandView* flows,
                               std::size_t num_flows, Rate* rates,
-                              const ExtAdjacency* ext) {
+                              const ExtAdjacency* ext, MaxMinWarmState* trace,
+                              const std::int32_t* stable_ids) {
   const std::size_t num_links = capacity.size();
   // Per-link slots are epoch-stamped: growing them is the only O(L)
   // work, paid once; after that a solve touches only its own links.
@@ -57,6 +69,10 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
   caps_.clear();
   heap_.clear();
   fixed_.assign(num_flows, 0);
+  if (trace) trace->invalidate();
+  const auto stable_id = [&](std::size_t f) {
+    return stable_ids ? stable_ids[f] : static_cast<std::int32_t>(f);
+  };
 
   // Pass 1: validate, count link incidences, fix loopback flows.
   std::size_t unfixed = 0;
@@ -69,6 +85,10 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
       // Loopback: not constrained by any link.
       rates[f] = d.cap;
       fixed_[f] = 1;
+      if (trace)
+        trace->settles.push_back(MaxMinWarmState::Settle{
+            stable_id(f), static_cast<std::int32_t>(trace->log.size()), d.cap,
+            d.cap});
       continue;
     }
     rates[f] = 0.0;
@@ -96,7 +116,20 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
     ++unfixed;
     incidences += static_cast<std::size_t>(d.count);
   }
-  if (unfixed == 0) return;
+  if (trace) {
+    trace->links = touched_;
+    trace->act0.reserve(touched_.size());
+    for (const std::int32_t l : touched_)
+      trace->act0.push_back(slots_[static_cast<std::size_t>(l)].active);
+    trace->max_capacity = max_touched_capacity;
+  }
+  if (unfixed == 0) {
+    if (trace) {
+      trace->remaining.assign(touched_.size(), 0);
+      trace->valid = true;
+    }
+    return;
+  }
 
   // Fair shares never exceed the largest touched capacity, so when even
   // the smallest cap is above it no cap can ever be the tightest
@@ -155,9 +188,16 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
     fixed_[static_cast<std::size_t>(f)] = 1;
     --unfixed;
     const FlowDemandView& d = flows[static_cast<std::size_t>(f)];
+    if (trace)
+      trace->settles.push_back(MaxMinWarmState::Settle{
+          stable_id(static_cast<std::size_t>(f)),
+          static_cast<std::int32_t>(trace->log.size()), r, d.cap});
     for (std::int32_t i = 0; i < d.count; ++i) {
       LinkSlot& slot =
           slots_[static_cast<std::size_t>(d.links[static_cast<std::size_t>(i)])];
+      if (trace)
+        trace->log.push_back(
+            MaxMinWarmState::LogEntry{slot.index, slot.remaining});
       slot.remaining = std::max(0.0, slot.remaining - r);
       --slot.active;
     }
@@ -197,6 +237,10 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
            fixed_[static_cast<std::size_t>(caps_[cap_ptr].second)])
       ++cap_ptr;
     if (cap_ptr < caps_.size() && caps_[cap_ptr].first <= link_share) {
+      if (trace)
+        trace->rounds.push_back(MaxMinWarmState::Round{
+            static_cast<std::int32_t>(trace->settles.size()),
+            caps_[cap_ptr].first});
       settle_flow(caps_[cap_ptr].second, caps_[cap_ptr].first);
       ++cap_ptr;
       continue;
@@ -208,6 +252,9 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
     // the fair share.  Links that tie (same share up to rounding) carry
     // on unchanged and pop next — fixing a shared flow at `share`
     // leaves a tied link's share exactly invariant.
+    if (trace)
+      trace->rounds.push_back(MaxMinWarmState::Round{
+          static_cast<std::int32_t>(trace->settles.size()), link_share});
     std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
     heap_.pop_back();
     if (ext) {
@@ -227,6 +274,546 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
         settle_flow(f, link_share);
       }
     }
+  }
+  if (trace) {
+    trace->remaining.reserve(touched_.size());
+    for (const std::int32_t l : touched_)
+      trace->remaining.push_back(slots_[static_cast<std::size_t>(l)].remaining);
+    trace->valid = true;
+  }
+}
+
+// ---- warm re-solve -----------------------------------------------------
+
+bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
+                              MaxMinWarmState& state,
+                              const FlowArrival* arrivals,
+                              std::size_t num_arrivals,
+                              const std::int32_t* departures,
+                              std::size_t num_departures,
+                              std::vector<std::pair<std::int32_t, Rate>>& changed) {
+  if (!state.valid) return false;
+  // Loopback arrivals need no cascade but would sit outside the round
+  // structure; the (rare) caller cold-solves instead.
+  for (std::size_t a = 0; a < num_arrivals; ++a) {
+    if (arrivals[a].count <= 0) return false;
+    for (std::int32_t i = 0; i < arrivals[a].count; ++i) {
+      const std::int32_t l = arrivals[a].links[static_cast<std::size_t>(i)];
+      RATS_REQUIRE(l >= 0 && static_cast<std::size_t>(l) < capacity.size(),
+                   "flow references unknown link");
+      RATS_REQUIRE(capacity[static_cast<std::size_t>(l)] > 0,
+                   "used link must have positive capacity");
+    }
+  }
+
+  const std::size_t num_known = state.links.size();
+  const std::size_t num_settles = state.settles.size();
+
+  // Dense mapping of the state's link table via the epoch-stamped slots.
+  if (slots_.size() < capacity.size()) slots_.resize(capacity.size());
+  ++epoch_;
+  for (std::size_t d = 0; d < num_known; ++d) {
+    LinkSlot& slot = slots_[static_cast<std::size_t>(state.links[d])];
+    slot.epoch = epoch_;
+    slot.index = static_cast<std::int32_t>(d);
+  }
+
+  // Locate each departure's settle.  Departed loopback flows (empty
+  // link range) affect nobody: they are only compacted out of the trace.
+  std::vector<std::int32_t>& dep_settles = warm_links_;  // reuse scratch
+  dep_settles.clear();
+  std::vector<std::int32_t> loopback_settles;  // rare; usually no alloc
+  if (num_departures > 0) {
+    std::size_t found = 0;
+    for (std::size_t s = 0; s < num_settles && found < num_departures; ++s) {
+      const MaxMinWarmState::Settle& st = state.settles[s];
+      bool departs = false;
+      for (std::size_t q = 0; q < num_departures; ++q)
+        if (departures[q] == st.id) {
+          departs = true;
+          break;
+        }
+      if (!departs) continue;
+      ++found;
+      const std::int32_t end =
+          s + 1 < num_settles ? state.settles[s + 1].link_off
+                              : static_cast<std::int32_t>(state.log.size());
+      if (st.link_off == end)
+        loopback_settles.push_back(static_cast<std::int32_t>(s));
+      else
+        dep_settles.push_back(static_cast<std::int32_t>(s));
+    }
+    if (found != num_departures) {
+      assert(false && "warm departure not present in trace");
+      return false;
+    }
+  }
+
+  // Divergence bound from the arrivals: their links' initial shares and
+  // their caps.  Arriving flows only lower the shares of their own
+  // links, so every round whose binding share stays strictly below the
+  // bound is bitwise unaffected by the delta.
+  warm_extra_.assign(num_known, 0);
+  std::size_t num_new_links = 0;
+  for (std::size_t a = 0; a < num_arrivals; ++a) {
+    for (std::int32_t i = 0; i < arrivals[a].count; ++i) {
+      const auto l = static_cast<std::size_t>(
+          arrivals[a].links[static_cast<std::size_t>(i)]);
+      LinkSlot& slot = slots_[l];
+      if (slot.epoch != epoch_) {
+        slot.epoch = epoch_;
+        slot.index = static_cast<std::int32_t>(num_known + num_new_links);
+        ++num_new_links;
+        warm_extra_.push_back(0);
+      }
+      ++warm_extra_[static_cast<std::size_t>(slot.index)];
+    }
+  }
+  Rate s_star = std::numeric_limits<Rate>::infinity();
+  for (std::size_t a = 0; a < num_arrivals; ++a) {
+    s_star = std::min(s_star, arrivals[a].cap);
+    for (std::int32_t i = 0; i < arrivals[a].count; ++i) {
+      const auto l = static_cast<std::size_t>(
+          arrivals[a].links[static_cast<std::size_t>(i)]);
+      const auto d = static_cast<std::size_t>(slots_[l].index);
+      const std::int32_t base =
+          d < num_known ? state.act0[d] : 0;
+      s_star = std::min(
+          s_star, capacity[l] / (base + warm_extra_[d]));
+    }
+  }
+
+  // Divergence round: the earliest of any departure's fix round and the
+  // first round whose share reaches the arrival bound.
+  std::size_t k = state.rounds.size();
+  if (!dep_settles.empty()) {
+    // dep_settles is in settle order; the first one decides.
+    const std::int32_t s0 = dep_settles.front();
+    std::size_t lo = 0, hi = state.rounds.size();
+    while (lo + 1 < hi) {  // last round with first_settle <= s0
+      const std::size_t mid = (lo + hi) / 2;
+      if (state.rounds[mid].first_settle <= s0)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    k = lo;
+  }
+  if (num_arrivals > 0) {
+    const Rate bound = s_star * (1 - kDivergenceMargin);
+    for (std::size_t r = 0; r < k; ++r) {
+      if (state.rounds[r].share >= bound) {
+        k = r;
+        break;
+      }
+    }
+  }
+
+  const std::size_t first_undone =
+      k < state.rounds.size()
+          ? static_cast<std::size_t>(state.rounds[k].first_settle)
+          : num_settles;
+  const std::size_t undone = num_settles - first_undone;
+  // When the cascade covers most of the trace a cold solve is cheaper:
+  // the warm path pays the undo replay on top of re-filling, so it
+  // needs a clear majority of the trace intact to win.
+  if (undone * 5 > num_settles * 3 && undone > 16) return false;
+
+  // ---- committed: everything below mutates `state` -------------------
+
+  // Undo: replay the log suffix backwards, restoring each link's
+  // residual to its pre-settle value and re-counting its unfixed flow.
+  const std::size_t log_first =
+      first_undone < num_settles
+          ? static_cast<std::size_t>(state.settles[first_undone].link_off)
+          : state.log.size();
+  warm_active_.assign(num_known + num_new_links, 0);
+  warm_touched_.assign(num_known + num_new_links, 0);
+  for (std::size_t e = state.log.size(); e > log_first; --e) {
+    const MaxMinWarmState::LogEntry& entry = state.log[e - 1];
+    const auto d = static_cast<std::size_t>(entry.link);
+    state.remaining[d] = entry.before;
+    ++warm_active_[d];
+    warm_touched_[d] = 1;
+  }
+
+  // Cascade work list: the undone flows (departures excluded, their
+  // link counts removed) plus the arrivals.
+  work_ids_.clear();
+  work_caps_.clear();
+  work_off_.clear();
+  work_flow_links_.clear();
+  std::size_t dep_ptr = 0;
+  for (std::size_t s = first_undone; s < num_settles; ++s) {
+    const MaxMinWarmState::Settle& st = state.settles[s];
+    const auto begin = static_cast<std::size_t>(st.link_off);
+    const auto end = s + 1 < num_settles
+                         ? static_cast<std::size_t>(state.settles[s + 1].link_off)
+                         : state.log.size();
+    if (dep_ptr < dep_settles.size() &&
+        dep_settles[dep_ptr] == static_cast<std::int32_t>(s)) {
+      ++dep_ptr;
+      for (std::size_t e = begin; e < end; ++e) {
+        const auto d = static_cast<std::size_t>(state.log[e].link);
+        --warm_active_[d];
+        --state.act0[d];
+      }
+      continue;
+    }
+    work_ids_.push_back(st.id);
+    work_caps_.push_back(st.cap);
+    work_off_.push_back(static_cast<std::int32_t>(work_flow_links_.size()));
+    for (std::size_t e = begin; e < end; ++e)
+      work_flow_links_.push_back(state.log[e].link);
+  }
+  assert(dep_ptr == dep_settles.size() &&
+         "departure fixed before the divergence round");
+
+  // Arrivals: grow the link table for unseen links, then count the new
+  // flows in.
+  for (std::size_t a = 0; a < num_arrivals; ++a) {
+    work_ids_.push_back(arrivals[a].id);
+    work_caps_.push_back(arrivals[a].cap);
+    work_off_.push_back(static_cast<std::int32_t>(work_flow_links_.size()));
+    for (std::int32_t i = 0; i < arrivals[a].count; ++i) {
+      const auto l = static_cast<std::size_t>(
+          arrivals[a].links[static_cast<std::size_t>(i)]);
+      const auto d = static_cast<std::size_t>(slots_[l].index);
+      if (d >= state.links.size()) {
+        assert(d == state.links.size());
+        state.links.push_back(static_cast<std::int32_t>(l));
+        state.act0.push_back(0);
+        state.remaining.push_back(capacity[l]);
+        state.max_capacity = std::max(state.max_capacity, capacity[l]);
+      }
+      ++warm_active_[d];
+      ++state.act0[d];
+      warm_touched_[d] = 1;
+      work_flow_links_.push_back(static_cast<std::int32_t>(d));
+    }
+  }
+  work_off_.push_back(static_cast<std::int32_t>(work_flow_links_.size()));
+
+  // Truncate the undone tail of the trace; the continuation re-records.
+  state.settles.resize(first_undone);
+  state.log.resize(log_first);
+  state.rounds.resize(k);
+
+  const std::size_t num_work = work_ids_.size();
+  std::size_t unfixed = num_work;
+  if (num_work > 0) {
+    // Mini-CSR over the cascade links and a fresh share heap (pop order
+    // matches the cold solve's lazy heap: both yield the minimum
+    // current share, ties by link id).
+    std::vector<std::int32_t>& clinks = warm_links_;  // dep_settles done
+    clinks.clear();
+    const std::size_t total = num_known + num_new_links;
+    if (csr_slot_.size() < total) csr_slot_.resize(total);
+    for (std::size_t d = 0; d < total; ++d)
+      if (warm_touched_[d]) {
+        csr_slot_[d] = static_cast<std::int32_t>(clinks.size());
+        clinks.push_back(static_cast<std::int32_t>(d));
+      }
+    work_csr_off_.assign(clinks.size() + 1, 0);
+    for (const std::int32_t d : work_flow_links_)
+      ++work_csr_off_[static_cast<std::size_t>(
+                          csr_slot_[static_cast<std::size_t>(d)]) +
+                      1];
+    for (std::size_t c = 0; c < clinks.size(); ++c)
+      work_csr_off_[c + 1] += work_csr_off_[c];
+    work_csr_.resize(work_flow_links_.size());
+    for (std::size_t w = 0; w < num_work; ++w)
+      for (auto i = static_cast<std::size_t>(work_off_[w]);
+           i < static_cast<std::size_t>(work_off_[w + 1]); ++i) {
+        const auto c = static_cast<std::size_t>(
+            csr_slot_[static_cast<std::size_t>(work_flow_links_[i])]);
+        work_csr_[static_cast<std::size_t>(work_csr_off_[c]++)] =
+            static_cast<std::int32_t>(w);
+      }
+    for (std::size_t c = clinks.size(); c > 0; --c)
+      work_csr_off_[c] = work_csr_off_[c - 1];
+    work_csr_off_[0] = 0;
+
+    fixed_.assign(num_work, 0);
+    caps_.clear();
+    Rate min_cap = std::numeric_limits<Rate>::infinity();
+    for (std::size_t w = 0; w < num_work; ++w)
+      if (std::isfinite(work_caps_[w])) {
+        caps_.emplace_back(work_caps_[w], static_cast<std::int32_t>(w));
+        min_cap = std::min(min_cap, work_caps_[w]);
+      }
+    // Same reachability cut as the cold solve; `max_capacity` is the
+    // monotone over-approximation, which can only keep extra
+    // never-binding caps.
+    if (min_cap > state.max_capacity) caps_.clear();
+    std::sort(caps_.begin(), caps_.end());
+
+    heap_.clear();
+    const auto heap_greater = std::greater<HeapEntry>();
+    for (const std::int32_t d : clinks)
+      if (warm_active_[static_cast<std::size_t>(d)] > 0)
+        heap_.push_back(
+            HeapEntry{state.remaining[static_cast<std::size_t>(d)] /
+                          warm_active_[static_cast<std::size_t>(d)],
+                      state.links[static_cast<std::size_t>(d)]});
+    std::make_heap(heap_.begin(), heap_.end(), heap_greater);
+
+    const auto settle_work = [&](std::int32_t w, Rate r) {
+      changed.emplace_back(work_ids_[static_cast<std::size_t>(w)], r);
+      state.settles.push_back(MaxMinWarmState::Settle{
+          work_ids_[static_cast<std::size_t>(w)],
+          static_cast<std::int32_t>(state.log.size()), r,
+          work_caps_[static_cast<std::size_t>(w)]});
+      for (auto i = static_cast<std::size_t>(work_off_[w]);
+           i < static_cast<std::size_t>(work_off_[w + 1]); ++i) {
+        const auto d = static_cast<std::size_t>(work_flow_links_[i]);
+        state.log.push_back(MaxMinWarmState::LogEntry{
+            static_cast<std::int32_t>(d), state.remaining[d]});
+        state.remaining[d] = std::max(0.0, state.remaining[d] - r);
+        --warm_active_[d];
+      }
+      fixed_[static_cast<std::size_t>(w)] = 1;
+      --unfixed;
+    };
+
+    std::size_t cap_ptr = 0;
+    while (unfixed > 0) {
+      Rate link_share = std::numeric_limits<Rate>::infinity();
+      std::int32_t link = -1;
+      while (!heap_.empty()) {
+        const HeapEntry top = heap_.front();
+        const auto d = static_cast<std::size_t>(
+            slots_[static_cast<std::size_t>(top.link)].index);
+        if (warm_active_[d] == 0) {
+          std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+          heap_.pop_back();
+          continue;
+        }
+        const Rate cur = state.remaining[d] / warm_active_[d];
+        if (cur > top.share * (1 + kShareSlack)) {
+          std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+          heap_.back().share = cur;
+          std::push_heap(heap_.begin(), heap_.end(), heap_greater);
+          continue;
+        }
+        link_share = cur;
+        link = top.link;
+        break;
+      }
+
+      while (cap_ptr < caps_.size() &&
+             fixed_[static_cast<std::size_t>(caps_[cap_ptr].second)])
+        ++cap_ptr;
+      if (cap_ptr < caps_.size() && caps_[cap_ptr].first <= link_share) {
+        state.rounds.push_back(MaxMinWarmState::Round{
+            static_cast<std::int32_t>(state.settles.size()),
+            caps_[cap_ptr].first});
+        settle_work(caps_[cap_ptr].second, caps_[cap_ptr].first);
+        ++cap_ptr;
+        continue;
+      }
+
+      RATS_REQUIRE(link >= 0 && std::isfinite(link_share),
+                   "no constraining link for active flows");
+      state.rounds.push_back(MaxMinWarmState::Round{
+          static_cast<std::int32_t>(state.settles.size()), link_share});
+      std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+      heap_.pop_back();
+      const auto c = static_cast<std::size_t>(csr_slot_[static_cast<std::size_t>(
+          slots_[static_cast<std::size_t>(link)].index)]);
+      for (auto i = static_cast<std::size_t>(work_csr_off_[c]);
+           i < static_cast<std::size_t>(work_csr_off_[c + 1]); ++i) {
+        const std::int32_t w = work_csr_[i];
+        if (fixed_[static_cast<std::size_t>(w)]) continue;
+        settle_work(w, link_share);
+      }
+    }
+  }
+
+  // Compact departed loopback settles (always in the kept prefix, all
+  // before the first round).
+  if (!loopback_settles.empty()) {
+    std::size_t out = 0, rm = 0;
+    for (std::size_t s = 0; s < state.settles.size(); ++s) {
+      if (rm < loopback_settles.size() &&
+          loopback_settles[rm] == static_cast<std::int32_t>(s)) {
+        ++rm;
+        continue;
+      }
+      state.settles[out++] = state.settles[s];
+    }
+    state.settles.resize(out);
+    for (MaxMinWarmState::Round& r : state.rounds)
+      r.first_settle -= static_cast<std::int32_t>(rm);
+  }
+  return true;
+}
+
+// ---- bipartite waterfilling --------------------------------------------
+
+void BipartiteWaterfillSolver::solve(const std::vector<Rate>& capacity,
+                                     const FlowDemandView* flows,
+                                     std::size_t num_flows, Rate* rates,
+                                     MaxMinWarmState* trace,
+                                     const std::int32_t* stable_ids) {
+  const std::size_t num_links = capacity.size();
+  if (slots_.size() < num_links) slots_.resize(num_links);
+  ++epoch_;
+
+  touched_.clear();
+  caps_.clear();
+  heap_.clear();
+  fixed_.assign(num_flows, 0);
+  flow_links_.resize(2 * num_flows);
+  if (trace) trace->invalidate();
+
+  // Pass 1: exactly two links per flow, unrolled.
+  std::size_t unfixed = num_flows;
+  Rate min_cap = std::numeric_limits<Rate>::infinity();
+  Rate max_touched_capacity = 0;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    const FlowDemandView& d = flows[f];
+    RATS_REQUIRE(d.count == 2, "bipartite solver requires two-link routes");
+    rates[f] = 0.0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      const std::int32_t l = d.links[i];
+      RATS_REQUIRE(l >= 0 && static_cast<std::size_t>(l) < num_links,
+                   "flow references unknown link");
+      LinkSlot& slot = slots_[static_cast<std::size_t>(l)];
+      if (slot.epoch != epoch_) {
+        const Rate cap_l = capacity[static_cast<std::size_t>(l)];
+        RATS_REQUIRE(cap_l > 0, "used link must have positive capacity");
+        slot.epoch = epoch_;
+        slot.remaining = cap_l;
+        slot.active = 0;
+        slot.index = static_cast<std::int32_t>(touched_.size());
+        touched_.push_back(l);
+        max_touched_capacity = std::max(max_touched_capacity, cap_l);
+      }
+      ++slot.active;
+      flow_links_[2 * f + i] = l;
+    }
+    if (std::isfinite(d.cap)) {
+      caps_.emplace_back(d.cap, static_cast<std::int32_t>(f));
+      min_cap = std::min(min_cap, d.cap);
+    }
+  }
+  if (trace) {
+    trace->links = touched_;
+    trace->act0.reserve(touched_.size());
+    for (const std::int32_t l : touched_)
+      trace->act0.push_back(slots_[static_cast<std::size_t>(l)].active);
+    trace->max_capacity = max_touched_capacity;
+  }
+  if (num_flows == 0) {
+    if (trace) trace->valid = true;
+    return;
+  }
+  if (min_cap > max_touched_capacity) caps_.clear();
+  std::sort(caps_.begin(), caps_.end());
+
+  // CSR straight from the per-link counts (no separate counting pass).
+  link_off_.assign(touched_.size() + 1, 0);
+  for (std::size_t q = 0; q < touched_.size(); ++q)
+    link_off_[q + 1] =
+        link_off_[q] + slots_[static_cast<std::size_t>(touched_[q])].active;
+  link_csr_.resize(2 * num_flows);
+  for (std::size_t f = 0; f < num_flows; ++f)
+    for (std::size_t i = 0; i < 2; ++i) {
+      const auto q = static_cast<std::size_t>(
+          slots_[static_cast<std::size_t>(flow_links_[2 * f + i])].index);
+      link_csr_[static_cast<std::size_t>(link_off_[q]++)] =
+          static_cast<std::int32_t>(f);
+    }
+  for (std::size_t q = touched_.size(); q > 0; --q)
+    link_off_[q] = link_off_[q - 1];
+  link_off_[0] = 0;
+
+  const auto heap_greater = std::greater<HeapEntry>();
+  for (const std::int32_t l : touched_) {
+    const LinkSlot& slot = slots_[static_cast<std::size_t>(l)];
+    heap_.push_back(HeapEntry{slot.remaining / slot.active, l});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), heap_greater);
+
+  const auto settle_flow = [&](std::int32_t f, Rate r) {
+    rates[static_cast<std::size_t>(f)] = r;
+    fixed_[static_cast<std::size_t>(f)] = 1;
+    --unfixed;
+    if (trace)
+      trace->settles.push_back(MaxMinWarmState::Settle{
+          stable_ids ? stable_ids[static_cast<std::size_t>(f)] : f,
+          static_cast<std::int32_t>(trace->log.size()), r,
+          flows[static_cast<std::size_t>(f)].cap});
+    for (std::size_t i = 0; i < 2; ++i) {
+      LinkSlot& slot = slots_[static_cast<std::size_t>(
+          flow_links_[2 * static_cast<std::size_t>(f) + i])];
+      if (trace)
+        trace->log.push_back(
+            MaxMinWarmState::LogEntry{slot.index, slot.remaining});
+      slot.remaining = std::max(0.0, slot.remaining - r);
+      --slot.active;
+    }
+  };
+
+  std::size_t cap_ptr = 0;
+  while (unfixed > 0) {
+    Rate link_share = std::numeric_limits<Rate>::infinity();
+    std::int32_t link = -1;
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.front();
+      const LinkSlot& slot = slots_[static_cast<std::size_t>(top.link)];
+      if (slot.active == 0) {
+        std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+        heap_.pop_back();
+        continue;
+      }
+      const Rate cur = slot.remaining / slot.active;
+      if (cur > top.share * (1 + kShareSlack)) {
+        std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+        heap_.back().share = cur;
+        std::push_heap(heap_.begin(), heap_.end(), heap_greater);
+        continue;
+      }
+      link_share = cur;
+      link = top.link;
+      break;
+    }
+
+    while (cap_ptr < caps_.size() &&
+           fixed_[static_cast<std::size_t>(caps_[cap_ptr].second)])
+      ++cap_ptr;
+    if (cap_ptr < caps_.size() && caps_[cap_ptr].first <= link_share) {
+      if (trace)
+        trace->rounds.push_back(MaxMinWarmState::Round{
+            static_cast<std::int32_t>(trace->settles.size()),
+            caps_[cap_ptr].first});
+      settle_flow(caps_[cap_ptr].second, caps_[cap_ptr].first);
+      ++cap_ptr;
+      continue;
+    }
+
+    RATS_REQUIRE(link >= 0 && std::isfinite(link_share),
+                 "no constraining link for active flows");
+    if (trace)
+      trace->rounds.push_back(MaxMinWarmState::Round{
+          static_cast<std::int32_t>(trace->settles.size()), link_share});
+    std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+    heap_.pop_back();
+    const auto q =
+        static_cast<std::size_t>(slots_[static_cast<std::size_t>(link)].index);
+    for (auto idx = static_cast<std::size_t>(link_off_[q]);
+         idx < static_cast<std::size_t>(link_off_[q + 1]); ++idx) {
+      const std::int32_t f = link_csr_[idx];
+      if (fixed_[static_cast<std::size_t>(f)]) continue;
+      settle_flow(f, link_share);
+    }
+  }
+  if (trace) {
+    trace->remaining.reserve(touched_.size());
+    for (const std::int32_t l : touched_)
+      trace->remaining.push_back(slots_[static_cast<std::size_t>(l)].remaining);
+    trace->valid = true;
   }
 }
 

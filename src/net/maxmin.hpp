@@ -7,37 +7,62 @@
 // extended with per-flow rate caps to model the empirical TCP-window
 // bandwidth bound beta' = min(beta, W_max / RTT).
 //
-// Two implementations are provided:
-//  * `MaxMinSolver` / `maxmin_fair_rates` — the production solver.  It
-//    builds a link->flow adjacency (CSR) once per solve, keeps per-link
-//    remaining capacity and unfixed-flow counts, and drives progressive
-//    filling from a lazy min-heap of link fair shares plus a cap-sorted
-//    flow list.  Each round pops the globally tightest constraint
-//    (stale heap entries are re-keyed on pop; fair shares only grow as
-//    flows are fixed, so lazy re-insertion is sound).  Fixing a flow
-//    touches only its own links, so a solve costs
-//    O(F log F + (F + I) log L) where I = sum of route lengths and L
-//    the number of *distinct links the subset uses* — per-link scratch
-//    is epoch-stamped and initialized lazily, so the cost is
-//    independent of `capacity.size()` and of flows outside the subset.
-//    That makes the `FlowDemandView` overload suitable for
-//    component-scoped re-solves: the fluid network passes only the
-//    flows of one sharing component (views pointing straight into each
-//    flow's immutable route, no demand copying) and pays O(component),
-//    not O(all active flows).  Max-Min rates decompose exactly over
-//    connected components of the flow/link sharing graph, and the heap
-//    orders ties by link id, so a subset solve reproduces the full
-//    solve's per-flow rates bit for bit.
-//    `MaxMinSolver` owns persistent scratch buffers: repeated solves
-//    (the fluid network re-solves on every contended flow
-//    arrival/departure) allocate nothing after warm-up.
-//  * `maxmin_fair_rates_reference` — the straightforward O(R * F * r)
-//    textbook implementation, kept as the oracle for differential
-//    testing and for the solver microbenchmark's old-vs-new grid.
+// ---- solver-strategy layer ---------------------------------------------
+//
+// Re-solving a sharing component on every flow arrival/departure is the
+// simulation's hot path, so three strategies are provided and the fluid
+// network dispatches among them per component and per event:
+//
+//  1. Warm-started re-solve (`MaxMinSolver::solve_warm`).  Progressive
+//     filling fixes flows in rounds of non-decreasing binding shares; a
+//     single-flow (or small batched) population delta leaves every
+//     round before the changed flows' first participation bitwise
+//     untouched.  Each traced solve therefore records its *saturation
+//     trace* into a caller-owned `MaxMinWarmState`: the rounds (binding
+//     share each), the flows fixed per round, a per-settle undo log of
+//     prior link residuals, and the final residuals.  A warm re-solve
+//     finds the divergence round (a departed flow's fix round; for an
+//     arrival, the first round whose share reaches the arrival's
+//     initial link shares or cap), undoes the trace back to it by
+//     replaying the log in reverse, applies the delta, and re-runs the
+//     filling only over the undone "cascade" — O(cascade), not
+//     O(component).  It declines (returns false, caller cold-solves)
+//     when the cascade covers most of the trace or the state is stale.
+//  2. Bipartite waterfilling (`BipartiteWaterfillSolver`).  On flat
+//     clusters every route is exactly {src uplink, dst downlink}; with
+//     two links per flow the adjacency is a pair of flat arrays, pass 1
+//     unrolls, and the CSR falls out of the per-link counts — an
+//     O(F log F + L log L) solve with far smaller constants than the
+//     general path.  Used for cold (full) component solves whenever
+//     every member crosses exactly two links (`Cluster::flat_routes`
+//     guarantees it platform-wide on flat clusters).
+//  3. General lazy-heap solve (`MaxMinSolver::solve`): builds a
+//     link->flow adjacency (CSR) once per solve — or walks a
+//     caller-shared adjacency — keeps per-link remaining capacity and
+//     unfixed-flow counts, and drives progressive filling from a lazy
+//     min-heap of link fair shares plus a cap-sorted flow list.
+//     Per-link scratch is epoch-stamped and initialized lazily, so a
+//     subset solve costs O(F log F + (F + I) log L_c) with L_c the
+//     distinct subset links — independent of `capacity.size()`.
+//
+// All three produce bitwise-identical rates: the heap orders ties by
+// link id, settle arithmetic is order-invariant, and the warm
+// continuation rebuilds a fresh share heap whose pop order matches the
+// lazy heap's (stale entries re-key until the top is fresh, so both pop
+// the minimum current share).  Max-Min rates decompose exactly over
+// connected components of the flow/link sharing graph, so a
+// component-scoped solve — by any strategy — reproduces the full
+// solve's per-flow rates bit for bit.  The differential test suite
+// (tests/maxmin_test.cpp) checks all pairings on randomized instances.
+//
+// `maxmin_fair_rates_reference` — the straightforward O(R * F * r)
+// textbook implementation — is kept as the oracle for differential
+// testing and for the solver microbenchmark's old-vs-new grid.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -58,6 +83,65 @@ struct FlowDemandView {
   const std::int32_t* links = nullptr;
   std::int32_t count = 0;
   Rate cap = std::numeric_limits<Rate>::infinity();
+};
+
+/// One arriving flow for a warm re-solve.  `links` must stay valid for
+/// the duration of the call; `id` must be new to the population.
+struct FlowArrival {
+  std::int32_t id = -1;
+  const std::int32_t* links = nullptr;
+  std::int32_t count = 0;
+  Rate cap = std::numeric_limits<Rate>::infinity();
+};
+
+/// Saturation trace of one population's last solve, owned by the caller
+/// (the fluid network keeps one per sharing component).  Filled by the
+/// traced solve entry points and consumed/updated by
+/// `MaxMinSolver::solve_warm`; opaque to everything else.
+struct MaxMinWarmState {
+  bool valid = false;
+
+  // Dense link table over every distinct link the population touched
+  // while this state has been live (links never leave; a link all of
+  // whose flows departed keeps `remaining == capacity`).
+  std::vector<std::int32_t> links;  ///< dense index -> link id
+  std::vector<std::int32_t> act0;   ///< population flows per link
+  std::vector<Rate> remaining;      ///< residual capacity after the solve
+  Rate max_capacity = 0;            ///< max capacity ever seen in `links`
+
+  /// One fixed flow, in fix order.  Its links (with the link residual
+  /// recorded *before* this settle subtracted the rate) live in
+  /// `log[link_off .. next settle's link_off)`.
+  struct Settle {
+    std::int32_t id;        ///< caller-stable flow id
+    std::int32_t link_off;  ///< first undo-log entry
+    Rate rate;
+    Rate cap;
+  };
+  struct LogEntry {
+    std::int32_t link;  ///< dense link index
+    Rate before;        ///< link residual before the settle
+  };
+  /// One filling round: a link saturation or a cap fix; `share` is the
+  /// binding value (non-decreasing over rounds up to rounding).
+  struct Round {
+    std::int32_t first_settle;
+    Rate share;
+  };
+  std::vector<Settle> settles;
+  std::vector<LogEntry> log;
+  std::vector<Round> rounds;
+
+  void invalidate() {
+    valid = false;
+    links.clear();
+    act0.clear();
+    remaining.clear();
+    max_capacity = 0;
+    settles.clear();
+    log.clear();
+    rounds.clear();
+  }
 };
 
 /// Reusable Max-Min solver.  Keeps adjacency/heap/scratch storage
@@ -83,13 +167,17 @@ class MaxMinSolver {
 
   /// Subset solve over non-owning route views: `rates[f]` receives the
   /// Max-Min rate of `flows[f]` for f in [0, num_flows).  Only the
-  /// links the subset actually crosses are touched, so the cost is
-  /// O(F log F + (F + I) log L_c) with L_c = distinct subset links —
-  /// independent of `capacity.size()`.  When `flows` is (a superset
-  /// of) a connected component of the sharing graph, the rates equal
-  /// the full solve's rates for those flows.
+  /// links the subset actually crosses are touched.  When `flows` is
+  /// (a superset of) a connected component of the sharing graph, the
+  /// rates equal the full solve's rates for those flows.
+  ///
+  /// When `trace` is non-null the solve also records its saturation
+  /// trace there, priming warm re-solves; `stable_ids[f]` then names
+  /// flow f in the trace (null = use the local index).
   void solve(const std::vector<Rate>& capacity, const FlowDemandView* flows,
-             std::size_t num_flows, Rate* rates);
+             std::size_t num_flows, Rate* rates,
+             MaxMinWarmState* trace = nullptr,
+             const std::int32_t* stable_ids = nullptr);
 
   /// Adjacency-sharing subset solve: identical rates to the overload
   /// above, but walks a caller-maintained link->flow table instead of
@@ -103,9 +191,28 @@ class MaxMinSolver {
   void solve(const std::vector<Rate>& capacity, const FlowDemandView* flows,
              std::size_t num_flows, Rate* rates,
              const std::vector<std::vector<std::int32_t>>& link_flows,
-             const std::vector<std::int32_t>& local_of);
+             const std::vector<std::int32_t>& local_of,
+             MaxMinWarmState* trace = nullptr,
+             const std::int32_t* stable_ids = nullptr);
+
+  /// Warm re-solve of the population recorded in `state` after removing
+  /// the flows in `departures` and adding those in `arrivals` (see the
+  /// strategy overview in the header comment).  On success, appends
+  /// (id, rate) for every flow whose rate was recomputed — the
+  /// "cascade", a superset of the flows whose rate actually changed —
+  /// to `changed`, updates `state` to the new population's trace, and
+  /// returns true.  Returns false (leaving `state` untouched) when the
+  /// state is invalid, a departure is unknown, an arrival has no links,
+  /// or the cascade would cover most of the trace (a cold solve is
+  /// cheaper); the caller must then run a traced cold solve.
+  bool solve_warm(const std::vector<Rate>& capacity, MaxMinWarmState& state,
+                  const FlowArrival* arrivals, std::size_t num_arrivals,
+                  const std::int32_t* departures, std::size_t num_departures,
+                  std::vector<std::pair<std::int32_t, Rate>>& changed);
 
  private:
+  friend class BipartiteWaterfillSolver;
+
   /// External adjacency for the sharing overload; null = build CSR.
   struct ExtAdjacency {
     const std::vector<std::vector<std::int32_t>>* link_flows;
@@ -113,7 +220,8 @@ class MaxMinSolver {
   };
   void solve_impl(const std::vector<Rate>& capacity,
                   const FlowDemandView* flows, std::size_t num_flows,
-                  Rate* rates, const ExtAdjacency* ext);
+                  Rate* rates, const ExtAdjacency* ext, MaxMinWarmState* trace,
+                  const std::int32_t* stable_ids);
   // A (fair share, link) heap entry; stale entries are detected on pop
   // by re-deriving the share from remaining_/active_.  Ties order by
   // link id so the pop sequence of one sharing component is the same
@@ -149,6 +257,51 @@ class MaxMinSolver {
   std::vector<HeapEntry> heap_;
   // View scratch for the owning-demand overload.
   std::vector<FlowDemandView> views_;
+
+  // ---- warm re-solve scratch (dense over the state's link table) ----
+  std::vector<std::int32_t> warm_active_;   ///< unfixed flows per link
+  std::vector<std::int32_t> warm_extra_;    ///< arriving flows per link
+  std::vector<char> warm_touched_;          ///< link in the cascade?
+  std::vector<std::int32_t> warm_links_;    ///< cascade links (dense)
+  // Cascade work list: flow w has links in
+  // work_links_[work_off_[w] .. work_off_[w + 1]).
+  std::vector<std::int32_t> work_ids_;
+  std::vector<Rate> work_caps_;
+  std::vector<std::int32_t> work_off_;
+  std::vector<std::int32_t> work_flow_links_;
+  std::vector<std::int32_t> work_csr_off_;  ///< per cascade link
+  std::vector<std::int32_t> work_csr_;
+  std::vector<std::int32_t> csr_slot_;      ///< dense link -> cascade index
+};
+
+/// Waterfilling specialization for populations where every flow crosses
+/// exactly two links (flat clusters: src uplink + dst downlink).  Runs
+/// the same progressive filling as `MaxMinSolver` — identical rates,
+/// bit for bit — with two-entry routes unrolled into flat arrays.  See
+/// the strategy overview in the header comment.  Not thread-safe.
+class BipartiteWaterfillSolver {
+ public:
+  /// Drop-in for `MaxMinSolver::solve` over views; every flow must
+  /// cross exactly two links (checked).  `trace`/`stable_ids` as in the
+  /// traced general solve.
+  void solve(const std::vector<Rate>& capacity, const FlowDemandView* flows,
+             std::size_t num_flows, Rate* rates,
+             MaxMinWarmState* trace = nullptr,
+             const std::int32_t* stable_ids = nullptr);
+
+ private:
+  using LinkSlot = MaxMinSolver::LinkSlot;
+  using HeapEntry = MaxMinSolver::HeapEntry;
+
+  std::vector<LinkSlot> slots_;
+  std::vector<std::int32_t> touched_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::int32_t> flow_links_;  ///< 2 dense links per flow
+  std::vector<std::int32_t> link_off_;    ///< CSR over touched links
+  std::vector<std::int32_t> link_csr_;
+  std::vector<char> fixed_;
+  std::vector<std::pair<Rate, std::int32_t>> caps_;
+  std::vector<HeapEntry> heap_;
 };
 
 /// Convenience wrapper around a fresh `MaxMinSolver` (allocates scratch

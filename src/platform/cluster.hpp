@@ -56,6 +56,18 @@ class Cluster {
   int num_nodes() const { return num_nodes_; }
   FlopRate node_speed() const { return node_speed_; }
   bool hierarchical_topology() const { return nodes_per_cabinet_ > 0; }
+  /// Flat-topology predicate: true iff every src != dst route is
+  /// exactly {src uplink, dst downlink}.  Flat clusters satisfy it by
+  /// construction, as does a degenerate one-cabinet hierarchy; with
+  /// several cabinets cross-cabinet routes add uplink hops.  This is
+  /// the platform-level invariant behind the fluid network's bipartite
+  /// waterfilling dispatch (which tests each component's routes
+  /// directly, so same-cabinet components qualify even when the whole
+  /// platform does not); a property test checks the predicate against
+  /// per-flow route inspection.
+  bool flat_routes() const {
+    return nodes_per_cabinet_ == 0 || cabinets() == 1;
+  }
   int cabinets() const;
   /// Cabinet index of `node` (0 for flat clusters).
   int cabinet_of(NodeId node) const;

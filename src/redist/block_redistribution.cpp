@@ -1,6 +1,9 @@
 #include "redist/block_redistribution.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -156,8 +159,47 @@ std::vector<std::vector<Bytes>> Redistribution::matrix() const {
 
 // ---- RedistPlanner -----------------------------------------------------
 
+namespace {
+
+/// Process-wide planner statistics, printed at exit when
+/// RATS_REDIST_STATS is set (every per-thread/per-mapper planner folds
+/// its counters in on destruction).
+struct PlannerStats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> sim_hits{0};
+  std::atomic<std::uint64_t> sim_misses{0};
+  const bool enabled = std::getenv("RATS_REDIST_STATS") != nullptr;
+  static void report(const char* label, std::uint64_t h, std::uint64_t m) {
+    if (h + m == 0) return;
+    std::fprintf(stderr,
+                 "RedistPlanner (%s): %llu hits / %llu lookups (%.1f%% hit "
+                 "rate)\n",
+                 label, static_cast<unsigned long long>(h),
+                 static_cast<unsigned long long>(h + m),
+                 100.0 * static_cast<double>(h) / static_cast<double>(h + m));
+  }
+  ~PlannerStats() {
+    if (!enabled) return;
+    report("simulator", sim_hits.load(), sim_misses.load());
+    report("mapper", hits.load(), misses.load());
+  }
+};
+PlannerStats g_planner_stats;
+
+}  // namespace
+
+RedistPlanner::~RedistPlanner() {
+  if (g_planner_stats.enabled) {
+    auto& h = sim_side_ ? g_planner_stats.sim_hits : g_planner_stats.hits;
+    auto& m = sim_side_ ? g_planner_stats.sim_misses : g_planner_stats.misses;
+    h.fetch_add(hits_, std::memory_order_relaxed);
+    m.fetch_add(misses_, std::memory_order_relaxed);
+  }
+}
+
 std::size_t RedistPlanner::KeyHash::operator()(const Key& k) const {
-  // FNV-1a over the byte volume, flag and node lists.
+  // FNV-1a over the flag, volume key and node lists.
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](std::uint64_t v) {
     for (int b = 0; b < 8; ++b) {
@@ -165,11 +207,11 @@ std::size_t RedistPlanner::KeyHash::operator()(const Key& k) const {
       h *= 1099511628211ull;
     }
   };
-  std::uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(k.total_bytes));
-  std::memcpy(&bits, &k.total_bytes, sizeof(bits));
-  mix(bits);
   mix(k.maximize_self ? 1 : 0);
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(k.volume_key));
+  std::memcpy(&bits, &k.volume_key, sizeof(bits));
+  mix(bits);
   mix(k.senders.size());
   for (NodeId n : k.senders) mix(static_cast<std::uint64_t>(n));
   mix(k.receivers.size());
@@ -181,16 +223,76 @@ const Redistribution& RedistPlanner::plan(Bytes total_bytes,
                                           const std::vector<NodeId>& senders,
                                           const std::vector<NodeId>& receivers,
                                           bool maximize_self) {
-  probe_.total_bytes = total_bytes;
+  // Validate before touching the cache: the hit/rescale paths never
+  // reach plan_into's checks, and a throw after the miss-path emplace
+  // would leave a half-initialized entry behind to be served later.
+  RATS_REQUIRE(total_bytes >= 0, "volume must be non-negative");
+  RATS_REQUIRE(!senders.empty() && !receivers.empty(),
+               "redistribution needs sender and receiver ranks");
+  // Volume-independent plan structure (see the class comment):
+  //  * no matching at all (!maximize_self), or
+  //  * p == q — every shared node's single positive-overlap candidate
+  //    is its own rank, so the matching is conflict-free and its
+  //    rounding-sensitive tie order cannot change the outcome, or
+  //  * disjoint node sets — no candidates, permutation is the input
+  //    order.
+  // Everything else keys on the raw volume; volume 0 (empty plan,
+  // unpermuted order even where a matched volume would permute) gets
+  // its own sentinel class.
+  bool scale_safe = !maximize_self || senders.size() == receivers.size();
+  if (!scale_safe) {
+    NodeId max_node = -1;
+    for (const NodeId n : senders) max_node = std::max(max_node, n);
+    for (const NodeId n : receivers) max_node = std::max(max_node, n);
+    if (node_stamp_.size() <= static_cast<std::size_t>(max_node))
+      node_stamp_.resize(static_cast<std::size_t>(max_node) + 1, 0);
+    ++stamp_;
+    for (const NodeId n : senders)
+      node_stamp_[static_cast<std::size_t>(n)] = stamp_;
+    scale_safe = true;
+    for (const NodeId n : receivers)
+      if (node_stamp_[static_cast<std::size_t>(n)] == stamp_) {
+        scale_safe = false;
+        break;
+      }
+  }
   probe_.maximize_self = maximize_self;
+  probe_.volume_key =
+      total_bytes == 0 ? -1.0 : (scale_safe ? 0.0 : total_bytes);
   probe_.senders = senders;      // reuses probe_'s capacity
   probe_.receivers = receivers;
   ++tick_;
   const auto hit = cache_.find(probe_);
   if (hit != cache_.end()) {
     ++hits_;
-    hit->second.last_used = tick_;
-    return hit->second.plan;
+    CacheEntry& entry = hit->second;
+    entry.last_used = tick_;
+    if (entry.volume == total_bytes) return entry.plan;
+    // Same geometry, different volume (scale-safe entries only): the
+    // permutation carries over and each candidate pair's byte count is
+    // re-derived with the exact `block_overlap` expression — and the
+    // same positivity test — a fresh plan would evaluate.
+    scaled_.sender_order_ = entry.plan.sender_order_;
+    scaled_.receiver_order_ = entry.plan.receiver_order_;
+    scaled_.total_ = total_bytes;
+    scaled_.self_bytes_ = 0;
+    scaled_.remote_bytes_ = 0;
+    scaled_.transfers_.clear();
+    const int p = entry.plan.senders();
+    const int q = entry.plan.receivers();
+    for (const auto& [i, j] : entry.pairs) {
+      const Bytes ov = block_overlap(total_bytes, p, i, q, j);
+      if (ov <= 0) continue;  // exact-boundary pair below rounding
+      const NodeId src = scaled_.sender_order_[static_cast<std::size_t>(i)];
+      const NodeId dst = scaled_.receiver_order_[static_cast<std::size_t>(j)];
+      if (src == dst) {
+        scaled_.self_bytes_ += ov;
+      } else {
+        scaled_.remote_bytes_ += ov;
+        scaled_.transfers_.push_back(Transfer{src, dst, ov});
+      }
+    }
+    return scaled_;
   }
   ++misses_;
   if (cache_.size() >= capacity_) {
@@ -211,11 +313,32 @@ const Redistribution& RedistPlanner::plan(Bytes total_bytes,
     for (auto it = cache_.begin(); it != cache_.end();)
       it = it->second.last_used <= cutoff ? cache_.erase(it) : std::next(it);
   }
-  auto [slot, inserted] =
-      cache_.emplace(std::move(probe_), CacheEntry{{}, tick_});
+  auto [slot, inserted] = cache_.emplace(std::move(probe_), CacheEntry{});
+  CacheEntry& entry = slot->second;
+  entry.last_used = tick_;
+  entry.volume = total_bytes;
   Redistribution::plan_into(total_bytes, senders, receivers, maximize_self,
-                            scratch_, slot->second.plan);
-  return slot->second.plan;
+                            scratch_, entry.plan);
+  // Record the candidate pair set in *exact* integer interval
+  // arithmetic (rank i of p covers [i*q, (i+1)*q) in units of
+  // total/(p*q)) so hits at other volumes walk the same pairs in the
+  // identical order: strictly-overlapping pairs always transfer;
+  // exact-boundary pairs (zero-width intersection) transfer only when
+  // rounding at that volume says so.  Volume-keyed entries (and the
+  // volume-0 sentinel class) can only ever hit at their own volume, so
+  // they skip the pair recording entirely.
+  if (scale_safe && total_bytes != 0) {
+    const auto p64 = static_cast<std::int64_t>(senders.size());
+    const auto q64 = static_cast<std::int64_t>(receivers.size());
+    for (std::int64_t i = 0; i < p64; ++i)
+      for (std::int64_t j = 0; j < q64; ++j)
+        if (std::min((i + 1) * q64, (j + 1) * p64) -
+                std::max(i * q64, j * p64) >=
+            0)
+          entry.pairs.emplace_back(static_cast<std::int32_t>(i),
+                                   static_cast<std::int32_t>(j));
+  }
+  return entry.plan;
 }
 
 }  // namespace rats

@@ -65,8 +65,14 @@ Allocation allocate(const TaskGraph& graph, const Cluster& cluster,
     return true;
   };
 
+  // The CPA loop recomputes the critical path under changing node
+  // weights every iteration; the `_into` form inlines the cost lambdas
+  // and reuses the bottom-level scratch and the graph's cached
+  // topological order, so one iteration allocates nothing.
+  std::vector<double> bl_scratch;
+  CriticalPath cp;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    const CriticalPath cp = critical_path(graph, node_cost, edge_cost);
+    critical_path_into(graph, node_cost, edge_cost, bl_scratch, cp);
     const double area =
         average_area(graph, cluster, model, alloc, options.kind);
     if (cp.length <= area) break;  // C-infinity <= W: optimal trade-off

@@ -50,15 +50,17 @@ class Mapper {
     sched_ = &sched;
 
     // Static priorities: bottom levels with step-one execution times
-    // and contention-free transfer estimates as edge weights.
-    bl_ = bottom_levels(
+    // and contention-free transfer estimates as edge weights (inlined
+    // callables over the graph's cached topological order).
+    bottom_levels_into(
         g_,
         [&](TaskId t) {
           return model_.execution_time(g_.task(t), np_alloc(t));
         },
         [&](EdgeId e) {
           return allocation_edge_cost(cluster_, g_.edge(e).bytes);
-        });
+        },
+        bl_);
 
     std::vector<std::int32_t> pending(static_cast<std::size_t>(g_.num_tasks()));
     for (TaskId t = 0; t < g_.num_tasks(); ++t)

@@ -101,6 +101,7 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
   // scenarios a worker thread replays): the per-thread planner caches
   // them and reuses its matching scratch on misses.
   static thread_local RedistPlanner planner;
+  planner.tag_simulator();
 
   auto open_redistribution = [&](EdgeId e) {
     const Edge& edge = graph.edge(e);

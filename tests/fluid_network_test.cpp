@@ -292,6 +292,86 @@ TEST(FluidNetworkComponents, ComponentsSplitWhenTheBridgeCompletes) {
   expect_exact_partition(net, {left, right, bridge});
 }
 
+// ------------------------------------------------ warm-state exactness
+// The component solves dispatch among warm re-solves, the bipartite
+// fast path and the general solver; whatever the path — and across
+// merges (bulk pending arrivals), splits (trace invalidation) and the
+// amortized re-partition of large components — every released flow's
+// rate must equal a from-scratch Max-Min solve of the whole released
+// population, bit for bit.
+
+void expect_rates_match_full_solve(const Cluster& c, const FluidNetwork& net,
+                                   const std::vector<FlowId>& flows,
+                                   int step) {
+  std::vector<Rate> capacity;
+  for (LinkId l = 0; l < c.num_links(); ++l)
+    capacity.push_back(c.link(l).bandwidth);
+  std::vector<FlowDemand> demands;
+  std::vector<FlowId> released;
+  for (const FlowId id : flows) {
+    const FlowState& f = net.flow(id);
+    if (!f.released || f.done) continue;
+    released.push_back(id);
+    demands.push_back(FlowDemand{f.links, f.cap});
+  }
+  std::vector<Rate> expected;
+  MaxMinSolver solver;
+  solver.solve(capacity, demands, expected);
+  for (std::size_t k = 0; k < released.size(); ++k)
+    EXPECT_EQ(net.flow(released[k]).rate, expected[k])
+        << "step " << step << " flow " << released[k] << " on " << c.name();
+}
+
+TEST(FluidNetworkWarm, RandomTrafficRatesMatchFullSolveBitwise) {
+  // Flat (bipartite fast path + warm) and hierarchical (general solver
+  // + warm; cross-cabinet routes have four links) clusters.
+  const std::vector<Cluster> clusters = {
+      test_cluster(10),
+      Cluster::hierarchical("h-test", 3, 4, 1e9, 100e-6, 125e6, 100e-6,
+                            125e6)};
+  for (const Cluster& c : clusters) {
+    FluidNetwork net(c);
+    const int nodes = c.num_nodes();
+    std::uint64_t state = 987654321;
+    const auto next_u32 = [&state]() {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<std::uint32_t>(state >> 33);
+    };
+    std::vector<FlowId> flows;
+    Seconds t = 0;
+    int step = 0;
+
+    // Phase A: grow one large component (> 64 members, hot node 0) so
+    // the amortized split walk is armed, with staggered arrivals taking
+    // the warm path.
+    for (int i = 0; i < 80; ++i) {
+      const int dst = 1 + static_cast<int>(next_u32() % (nodes - 1));
+      flows.push_back(net.open_flow(0, dst, 1e6 * (1 + next_u32() % 100)));
+      t += 0.0002 * (1 + next_u32() % 5);
+      net.advance_to(t);
+      expect_rates_match_full_solve(c, net, flows, step++);
+    }
+    // Phase B: mixed random traffic (merges via bridging flows) while
+    // phase A flows drain (departures, splits, re-partitions).
+    for (int i = 0; i < 120; ++i) {
+      const int src = static_cast<int>(next_u32() % nodes);
+      int dst = static_cast<int>(next_u32() % nodes);
+      if (dst == src) dst = (dst + 1) % nodes;
+      flows.push_back(net.open_flow(src, dst, 1e6 * (1 + next_u32() % 300)));
+      t += 0.003 * (1 + next_u32() % 40);
+      net.advance_to(t);
+      expect_rates_match_full_solve(c, net, flows, step++);
+    }
+    // Phase C: drain everything, checking along the way.
+    while (net.active_flows() > 0) {
+      t += 0.05;
+      net.advance_to(t);
+      expect_rates_match_full_solve(c, net, flows, step++);
+    }
+    for (FlowId f : flows) EXPECT_TRUE(net.flow_done(f));
+  }
+}
+
 TEST(FluidNetworkComponents, RandomTrafficKeepsPartitionExact) {
   const Cluster c = test_cluster(8);
   FluidNetwork net(c);

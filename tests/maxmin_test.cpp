@@ -351,6 +351,192 @@ TEST(MaxMinDifferential, ComponentScopedSolvesMatchFullSolve) {
   }
 }
 
+// ------------------------------------------------- bipartite fast path
+// The two-link waterfilling specialization must reproduce the general
+// solver bit for bit on any population where every flow crosses exactly
+// two links (flat-cluster traffic, but also arbitrary two-link routes).
+
+TEST(MaxMinDifferential, BipartiteMatchesGeneralBitwise) {
+  Rng rng(0xB1Fu);
+  MaxMinSolver general;
+  BipartiteWaterfillSolver bipartite;
+  for (int instance = 0; instance < 200; ++instance) {
+    const int num_links = static_cast<int>(rng.uniform_int(2, 64));
+    const int num_flows = static_cast<int>(rng.uniform_int(1, 150));
+    std::vector<Rate> capacity;
+    for (int l = 0; l < num_links; ++l)
+      capacity.push_back(rng.bernoulli(0.4) ? 125e6 : rng.uniform(1e6, 5e8));
+
+    std::vector<FlowDemand> flows;
+    for (int f = 0; f < num_flows; ++f) {
+      FlowDemand d;
+      const auto a =
+          static_cast<std::int32_t>(rng.uniform_int(0, num_links - 1));
+      auto b = static_cast<std::int32_t>(rng.uniform_int(0, num_links - 1));
+      if (b == a) b = (b + 1) % num_links;
+      d.links = {a, b};
+      // Mix unbindable caps (above any capacity) with binding ones so
+      // both the cap-skip and the cap-fixing paths are exercised.
+      if (rng.bernoulli(0.3))
+        d.cap = rng.bernoulli(0.5) ? rng.uniform(6e8, 1e9)
+                                   : rng.uniform(1e5, 3e8);
+      flows.push_back(std::move(d));
+    }
+    std::vector<FlowDemandView> views;
+    for (const auto& d : flows)
+      views.push_back(FlowDemandView{
+          d.links.data(), static_cast<std::int32_t>(d.links.size()), d.cap});
+
+    std::vector<Rate> expected(flows.size()), actual(flows.size());
+    general.solve(capacity, views.data(), views.size(), expected.data());
+    bipartite.solve(capacity, views.data(), views.size(), actual.data());
+    for (std::size_t f = 0; f < flows.size(); ++f)
+      EXPECT_EQ(actual[f], expected[f])
+          << "instance " << instance << " flow " << f;
+  }
+}
+
+// ----------------------------------------------------- warm re-solves
+// A traced solve plus solve_warm over a small population delta must
+// reproduce a from-scratch solve of the new population bit for bit —
+// whichever solver (general or bipartite) recorded the trace.
+
+TEST(MaxMinDifferential, WarmResolveMatchesColdBitwise) {
+  Rng rng(0x3A4Du);
+  MaxMinSolver warm_solver;
+  MaxMinSolver cold_solver;
+  BipartiteWaterfillSolver bipartite;
+  int warm_successes = 0;
+  for (int instance = 0; instance < 200; ++instance) {
+    const bool two_link_only = rng.bernoulli(0.5);
+    const int num_links = static_cast<int>(rng.uniform_int(2, 40));
+    const int num_flows = static_cast<int>(rng.uniform_int(2, 100));
+    std::vector<Rate> capacity;
+    for (int l = 0; l < num_links; ++l)
+      capacity.push_back(rng.bernoulli(0.4) ? 100.0 : rng.uniform(1.0, 500.0));
+
+    // Population keyed by stable ids.
+    std::vector<FlowDemand> flows;
+    std::vector<std::int32_t> ids;
+    std::int32_t next_id = 0;
+    const auto random_flow = [&] {
+      FlowDemand d;
+      const int route_len =
+          two_link_only ? 2 : static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < route_len; ++i) {
+        auto link =
+            static_cast<std::int32_t>(rng.uniform_int(0, num_links - 1));
+        if (two_link_only && !d.links.empty() && link == d.links.front())
+          link = (link + 1) % num_links;
+        if (std::find(d.links.begin(), d.links.end(), link) == d.links.end())
+          d.links.push_back(link);
+      }
+      if (rng.bernoulli(0.35))
+        d.cap = rng.bernoulli(0.5) ? rng.uniform(600.0, 1000.0)
+                                   : rng.uniform(0.5, 300.0);
+      return d;
+    };
+    for (int f = 0; f < num_flows; ++f) {
+      flows.push_back(random_flow());
+      ids.push_back(next_id++);
+    }
+
+    const auto make_views = [&](const std::vector<FlowDemand>& population) {
+      std::vector<FlowDemandView> views;
+      for (const auto& d : population)
+        views.push_back(FlowDemandView{
+            d.links.data(), static_cast<std::int32_t>(d.links.size()), d.cap});
+      return views;
+    };
+
+    // Initial traced solve; rate_of tracks the warm path's view of
+    // every live flow's rate.
+    MaxMinWarmState state;
+    std::map<std::int32_t, Rate> rate_of;
+    {
+      auto views = make_views(flows);
+      std::vector<Rate> rates(flows.size());
+      if (two_link_only)
+        bipartite.solve(capacity, views.data(), views.size(), rates.data(),
+                        &state, ids.data());
+      else
+        warm_solver.solve(capacity, views.data(), views.size(), rates.data(),
+                          &state, ids.data());
+      for (std::size_t f = 0; f < flows.size(); ++f)
+        rate_of[ids[f]] = rates[f];
+    }
+
+    std::vector<std::pair<std::int32_t, Rate>> changed;
+    for (int event = 0; event < 8; ++event) {
+      // Random small delta: 0-2 departures and 0-2 arrivals (not both
+      // empty).
+      std::vector<std::int32_t> deps;
+      std::vector<FlowDemand> arriving;
+      std::vector<std::int32_t> arriving_ids;
+      const int nd = flows.empty()
+                         ? 0
+                         : static_cast<int>(rng.uniform_int(0, 2));
+      for (int q = 0; q < nd && !flows.empty(); ++q) {
+        const auto victim =
+            static_cast<std::size_t>(rng.uniform_int(0, flows.size() - 1));
+        deps.push_back(ids[victim]);
+        flows.erase(flows.begin() + static_cast<std::ptrdiff_t>(victim));
+        ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+      int na = static_cast<int>(rng.uniform_int(0, 2));
+      if (deps.empty() && na == 0) na = 1;
+      for (int q = 0; q < na; ++q) {
+        arriving.push_back(random_flow());
+        arriving_ids.push_back(next_id++);
+      }
+
+      std::vector<FlowArrival> arrivals;
+      for (std::size_t a = 0; a < arriving.size(); ++a)
+        arrivals.push_back(FlowArrival{
+            arriving_ids[a], arriving[a].links.data(),
+            static_cast<std::int32_t>(arriving[a].links.size()),
+            arriving[a].cap});
+
+      changed.clear();
+      const bool ok = warm_solver.solve_warm(
+          capacity, state, arrivals.data(), arrivals.size(), deps.data(),
+          deps.size(), changed);
+      for (std::size_t a = 0; a < arriving.size(); ++a) {
+        flows.push_back(std::move(arriving[a]));
+        ids.push_back(arriving_ids[a]);
+      }
+      for (const std::int32_t d : deps) rate_of.erase(d);
+      if (ok) {
+        ++warm_successes;
+        for (const auto& [id, r] : changed) rate_of[id] = r;
+      } else {
+        // Fallback: traced cold solve, exactly as the fluid network
+        // would.
+        auto views = make_views(flows);
+        std::vector<Rate> rates(flows.size());
+        warm_solver.solve(capacity, views.data(), views.size(), rates.data(),
+                          &state, ids.data());
+        for (std::size_t f = 0; f < flows.size(); ++f)
+          rate_of[ids[f]] = rates[f];
+      }
+
+      // Oracle: fresh cold solve of the new population.
+      auto views = make_views(flows);
+      std::vector<Rate> expected(flows.size());
+      cold_solver.solve(capacity, views.data(), views.size(), expected.data());
+      ASSERT_EQ(rate_of.size(), flows.size());
+      for (std::size_t f = 0; f < flows.size(); ++f)
+        EXPECT_EQ(rate_of[ids[f]], expected[f])
+            << "instance " << instance << " event " << event << " flow id "
+            << ids[f] << (two_link_only ? " (bipartite trace)" : "");
+    }
+  }
+  // The point of the test is the warm path: a solid share of the
+  // deltas must take it (deep cascades legitimately fall back; these
+  // dense random instances cascade far more than cluster traffic).
+  EXPECT_GT(warm_successes, 400);
+}
+
 // The seed solver's bottleneck test read remaining/active while the
 // same pass mutated them, so which flows counted as bottlenecked could
 // depend on flow index order.  The snapshot fix makes the result a

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "redist/block_redistribution.hpp"
 #include "redist/estimate.hpp"
 
@@ -270,6 +271,48 @@ TEST(RedistPlanner, CachesRepeatedRequests) {
   planner.plan(1e6, senders, receivers, /*maximize_self=*/false);
   EXPECT_EQ(planner.misses(), 4u);
   EXPECT_EQ(planner.cache_size(), 4u);
+}
+
+TEST(RedistPlanner, GeometryKeyedEntriesRescaleAcrossVolumes) {
+  // Disjoint sets, equal-size sets and maximize_self=false have
+  // volume-independent plan structure: one cache entry serves every
+  // byte volume, rescaled bitwise to what a fresh plan computes.
+  RedistPlanner planner;
+  const std::vector<std::tuple<std::vector<NodeId>, std::vector<NodeId>, bool>>
+      cases = {{nodes({0, 1, 2}), nodes({3, 4}), true},       // disjoint
+               {nodes({0, 1, 2}), nodes({5, 6, 7, 8}), true}, // disjoint
+               {nodes({3, 1, 4}), nodes({4, 3, 1}), true},    // p == q, shared
+               {nodes({0, 1, 2, 3}), nodes({2, 3, 4}), false}};  // no matching
+  for (const auto& [senders, receivers, maximize] : cases) {
+    const auto misses_before = planner.misses();
+    for (const Bytes volume : {1e6, 3.5e7, 123456.0, 1e9, 7.0, 0.0})
+      expect_same_plan(
+          planner.plan(volume, senders, receivers, maximize),
+          Redistribution::plan(volume, senders, receivers, maximize));
+    // Volume 0 is its own class (empty plan, unpermuted receiver
+    // order); every nonzero volume shares one geometry entry.
+    EXPECT_LE(planner.misses() - misses_before, 2u);
+  }
+}
+
+TEST(RedistPlanner, RescaleMatchesFreshPlansOnRandomGeometries) {
+  RedistPlanner planner;
+  Rng rng(0x9E0Du);
+  for (int instance = 0; instance < 300; ++instance) {
+    const int p = static_cast<int>(rng.uniform_int(1, 12));
+    const int q = static_cast<int>(rng.uniform_int(1, 12));
+    const bool disjoint = rng.bernoulli(0.5);
+    std::vector<NodeId> senders, receivers;
+    for (int i = 0; i < p; ++i) senders.push_back(i);
+    for (int j = 0; j < q; ++j)
+      receivers.push_back(disjoint ? p + j : j);
+    const bool maximize = rng.bernoulli(0.7);
+    const Bytes volume = rng.bernoulli(0.2)
+                             ? static_cast<Bytes>(rng.uniform_int(0, 3))
+                             : rng.uniform(1.0, 1e9);
+    expect_same_plan(planner.plan(volume, senders, receivers, maximize),
+                     Redistribution::plan(volume, senders, receivers, maximize));
+  }
 }
 
 TEST(RedistPlanner, EvictionKeepsTheCacheBounded) {
