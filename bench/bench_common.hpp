@@ -8,10 +8,10 @@
 //   --csv               also emit machine-readable CSV after each table
 //   --threads N         worker threads (0 = hardware concurrency)
 //
-// Without --full the corpus is scaled down (1 random sample, 5 kernel
-// samples) so the whole bench suite runs in minutes; relative results
-// (who wins, by what factor) are stable across corpus sizes because
-// every entry is an independent scenario.
+// The corpus/algorithm/report machinery itself lives in the library
+// (src/exp/presets.hpp) so the scenario engine (`rats run
+// scenarios/fig2.rats`) executes the exact same code; this header only
+// keeps the command-line front end plus thin aliases for the benches.
 #pragma once
 
 #include <cstdint>
@@ -20,16 +20,15 @@
 
 #include "daggen/corpus.hpp"
 #include "exp/experiment.hpp"
+#include "exp/presets.hpp"
 #include "platform/grid5000.hpp"
+#include "scenario/registry.hpp"
 #include "sched/scheduler.hpp"
 
 namespace rats::bench {
 
 struct BenchConfig {
-  bool full = false;
-  int samples_random = 1;
-  int samples_kernel = 5;
-  std::uint64_t seed = 42;
+  presets::CorpusConfig corpus;
   bool csv = false;
   unsigned threads = 0;
 };
@@ -37,60 +36,54 @@ struct BenchConfig {
 /// Parses the common flags; prints usage and exits on --help or errors.
 BenchConfig parse_args(int argc, char** argv);
 
-/// Corpus options implied by the config (full restores the paper's
-/// 3/25 sampling).
-CorpusOptions corpus_options(const BenchConfig& cfg);
+// Thin aliases over the library presets (see src/exp/presets.hpp).
+inline std::vector<CorpusEntry> make_corpus(const BenchConfig& cfg) {
+  return presets::make_corpus(cfg.corpus);
+}
+inline std::vector<CorpusEntry> make_family(DagFamily family,
+                                            const BenchConfig& cfg) {
+  return presets::make_family(family, cfg.corpus);
+}
+inline std::vector<CorpusEntry> cap_per_family(std::vector<CorpusEntry> corpus,
+                                               const BenchConfig& cfg, int n) {
+  return presets::cap_per_family(std::move(corpus), cfg.corpus, n);
+}
+inline std::vector<AlgoSpec> naive_algos() { return presets::naive_algos(); }
+inline RatsParams paper_tuned_params(DagFamily family,
+                                     const std::string& cluster) {
+  return presets::paper_tuned_params(family, cluster);
+}
+inline std::vector<AlgoSpec> tuned_algos(DagFamily family,
+                                         const std::string& cluster) {
+  return presets::tuned_algos(family, cluster);
+}
+inline ExperimentData run_tuned_experiment(
+    const std::vector<CorpusEntry>& corpus, const Cluster& cluster,
+    unsigned threads = 0) {
+  return presets::run_tuned_experiment(corpus, cluster, threads);
+}
+inline std::vector<ExperimentData> run_tuned_experiments(
+    const std::vector<CorpusEntry>& corpus,
+    const std::vector<Cluster>& clusters, unsigned threads = 0) {
+  return presets::run_tuned_experiments(corpus, clusters, threads);
+}
+inline void heading(const std::string& title) { presets::heading(title); }
+inline void print_sorted_curve(const std::string& label,
+                               const std::vector<double>& series) {
+  presets::print_sorted_curve(label, series);
+}
 
-/// Builds the corpus (all families) for the config and announces its
-/// size on stdout.
-std::vector<CorpusEntry> make_corpus(const BenchConfig& cfg);
-
-/// Builds one family's sub-corpus for the config.
-std::vector<CorpusEntry> make_family(DagFamily family, const BenchConfig& cfg);
-
-/// Keeps at most `n` entries of each family (deterministic stride
-/// subsample, preserving parameter diversity).  No-op when n == 0 or
-/// cfg.full was given — heavy benches use this to stay tractable on
-/// small machines while --full restores the complete corpus.
-std::vector<CorpusEntry> cap_per_family(std::vector<CorpusEntry> corpus,
-                                        const BenchConfig& cfg, int n);
-
-/// The three algorithm specs of the paper's main comparison with naive
-/// RATS parameters (Figures 2-3): HCPA, delta(0.5), time-cost(0.5).
-std::vector<AlgoSpec> naive_algos();
-
-/// The paper's tuned RATS parameters (Table IV) for one application
-/// family on one cluster (cluster matched by name).
-RatsParams paper_tuned_params(DagFamily family, const std::string& cluster);
-
-/// Algorithm specs with Table IV tuned parameters for `family` on
-/// `cluster`: HCPA, tuned delta, tuned time-cost.
-std::vector<AlgoSpec> tuned_algos(DagFamily family, const std::string& cluster);
-
-/// Runs HCPA / tuned delta / tuned time-cost on `corpus` grouped by
-/// family (each family uses its Table IV parameters for `cluster`) and
-/// returns the merged outcomes in corpus order.  Algorithm order:
-/// {HCPA, delta, time-cost}.
-ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
-                                    const Cluster& cluster,
-                                    unsigned threads = 0);
-
-/// Multi-cluster form of `run_tuned_experiment`: every (cluster, corpus
-/// entry, algorithm) scenario becomes one job in a single batch through
-/// the persistent worker pool, so multi-cluster tables (V, VI) keep all
-/// `--threads` workers busy across cluster boundaries instead of
-/// draining the pool once per cluster and family.  Results are in
-/// `clusters` order, each in corpus order.
-std::vector<ExperimentData> run_tuned_experiments(
-    const std::vector<CorpusEntry>& corpus, const std::vector<Cluster>& clusters,
-    unsigned threads = 0);
-
-/// Prints a heading followed by an underline.
-void heading(const std::string& title);
-
-/// Renders a 21-point sorted percentile curve as an ASCII sparkline
-/// table row set ("x%  ratio").
-void print_sorted_curve(const std::string& label,
-                        const std::vector<double>& series);
+/// Runs a fig/table scenario kind with the bench command line layered
+/// over its default spec — the same execution `rats run
+/// scenarios/<kind>.rats` performs, so binary and scenario output stay
+/// byte-identical by construction.
+inline int run_kind(const char* kind, const BenchConfig& cfg) {
+  auto spec = scenario::default_spec(kind);
+  spec.workload.corpus = cfg.corpus;
+  spec.output.csv = cfg.csv;
+  spec.threads = cfg.threads;
+  scenario::run(spec);
+  return 0;
+}
 
 }  // namespace rats::bench

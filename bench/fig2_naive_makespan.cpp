@@ -6,37 +6,11 @@
 //
 // Paper result: delta averages ~9% shorter than HCPA (better in 72% of
 // scenarios); time-cost ~16% shorter (better in 80%).
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/fig2.rats` (see src/scenario/).
 #include "bench_common.hpp"
-#include "common/table.hpp"
-
-using namespace rats;
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-  auto corpus = bench::make_corpus(cfg);
-  Cluster cluster = grid5000::grillon();
-
-  auto data = run_experiment(corpus, cluster, bench::naive_algos(), cfg.threads);
-
-  bench::heading("Figure 2: relative makespan vs HCPA, naive parameters, " +
-                 cluster.name());
-  Table table({"strategy", "avg relative makespan", "avg improvement",
-               "shorter in", "equal in"});
-  for (std::size_t algo : {std::size_t{1}, std::size_t{2}}) {
-    auto series = relative_series(data, algo, 0, /*makespan=*/true);
-    auto s = summarize_relative(series);
-    table.add_row({data.algo_names[algo], fmt(s.mean_ratio, 3),
-                   fmt_percent(1.0 - s.mean_ratio, 1),
-                   fmt_percent(s.fraction_better, 1),
-                   fmt_percent(s.fraction_equal, 1)});
-    bench::print_sorted_curve(data.algo_names[algo], series);
-  }
-  std::printf("%s", table.to_text().c_str());
-  if (cfg.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf(
-      "\n  paper: delta ~9%% shorter on average, better in 72%% of "
-      "scenarios;\n         time-cost ~16%% shorter, better in 80%%.\n");
-  return 0;
+  return rats::bench::run_kind("fig2", rats::bench::parse_args(argc, argv));
 }

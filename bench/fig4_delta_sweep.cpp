@@ -6,40 +6,12 @@
 // Paper result: larger maxdelta (more stretching) improves the average
 // relative makespan; decreasing mindelta helps only to a certain
 // extent.
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/fig4.rats`; the sweep grid itself is data in the
+// scenario file's [sweep] section.
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "exp/tuning.hpp"
-
-using namespace rats;
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-  auto corpus = bench::make_family(DagFamily::FFT, cfg);
-  Cluster cluster = grid5000::grillon();
-
-  auto sweep = sweep_delta(corpus, cluster, cfg.threads);
-
-  bench::heading("Figure 4: avg makespan relative to HCPA, RATS-delta, FFT, " +
-                 cluster.name());
-  std::vector<std::string> header{"mindelta \\ maxdelta"};
-  for (double mx : sweep.maxdeltas) header.push_back(fmt(mx, 2));
-  Table table(header);
-  for (std::size_t i = 0; i < sweep.mindeltas.size(); ++i) {
-    std::vector<std::string> row{fmt(sweep.mindeltas[i], 2)};
-    for (std::size_t j = 0; j < sweep.maxdeltas.size(); ++j)
-      row.push_back(fmt(sweep.avg_relative[i][j], 3));
-    table.add_row(row);
-  }
-  std::printf("%s", table.to_text().c_str());
-  if (cfg.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf("\n  best: mindelta=%s maxdelta=%s -> %s\n",
-              fmt(sweep.best_mindelta, 2).c_str(),
-              fmt(sweep.best_maxdelta, 2).c_str(),
-              fmt(sweep.best_value, 3).c_str());
-  std::printf(
-      "  paper: larger maxdelta improves the relative makespan; lowering\n"
-      "  mindelta helps only to a certain extent (Table IV picks (-.5, 1)).\n");
-  return 0;
+  return rats::bench::run_kind("fig4", rats::bench::parse_args(argc, argv));
 }

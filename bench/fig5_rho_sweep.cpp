@@ -5,36 +5,12 @@
 // Paper result: packing always helps; a threshold around minrho = 0.5
 // gives the best average makespan, beyond which more flexibility does
 // not pay off.
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/fig5.rats`; the rho grid is data in the scenario
+// file's [sweep] section.
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "exp/tuning.hpp"
-
-using namespace rats;
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-  auto corpus = bench::cap_per_family(
-      bench::make_family(DagFamily::Irregular, cfg), cfg, 16);
-  Cluster cluster = grid5000::grillon();
-
-  auto sweep = sweep_rho(corpus, cluster, cfg.threads);
-
-  bench::heading(
-      "Figure 5: avg makespan relative to HCPA, RATS-time-cost, irregular, " +
-      cluster.name());
-  Table table({"minrho", "packing allowed", "no packing"});
-  for (std::size_t i = 0; i < sweep.minrhos.size(); ++i)
-    table.add_row({fmt(sweep.minrhos[i], 2), fmt(sweep.with_packing[i], 3),
-                   fmt(sweep.without_packing[i], 3)});
-  std::printf("%s", table.to_text().c_str());
-  if (cfg.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf("\n  best (packing allowed): minrho=%s -> %s\n",
-              fmt(sweep.best_minrho, 2).c_str(),
-              fmt(sweep.best_value, 3).c_str());
-  std::printf(
-      "  paper: packing gives better performance at every minrho; the\n"
-      "  curve flattens beyond a threshold (0.5 on grillon).\n");
-  return 0;
+  return rats::bench::run_kind("fig5", rats::bench::parse_args(argc, argv));
 }

@@ -5,37 +5,11 @@
 // Paper result: tuning helps delta the most (from ~9% to ~13% shorter
 // on grillon); time-cost improves only slightly since 0.5 was already
 // a good minrho.
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/fig6.rats` (see src/scenario/).
 #include "bench_common.hpp"
-#include "common/table.hpp"
-
-using namespace rats;
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-  auto corpus = bench::make_corpus(cfg);
-  Cluster cluster = grid5000::grillon();
-
-  auto data = bench::run_tuned_experiment(corpus, cluster, cfg.threads);
-
-  bench::heading("Figure 6: relative makespan vs HCPA, tuned parameters, " +
-                 cluster.name());
-  Table table({"strategy", "avg relative makespan", "avg improvement",
-               "shorter in", "equal in"});
-  for (std::size_t algo : {std::size_t{1}, std::size_t{2}}) {
-    auto series = relative_series(data, algo, 0, /*makespan=*/true);
-    auto s = summarize_relative(series);
-    table.add_row({data.algo_names[algo], fmt(s.mean_ratio, 3),
-                   fmt_percent(1.0 - s.mean_ratio, 1),
-                   fmt_percent(s.fraction_better, 1),
-                   fmt_percent(s.fraction_equal, 1)});
-    bench::print_sorted_curve(data.algo_names[algo], series);
-  }
-  std::printf("%s", table.to_text().c_str());
-  if (cfg.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf(
-      "\n  paper: tuned delta ~13%% shorter than HCPA on grillon (9%% "
-      "naive);\n         time-cost improves only slightly over naive.\n");
-  return 0;
+  return rats::bench::run_kind("fig6", rats::bench::parse_args(argc, argv));
 }

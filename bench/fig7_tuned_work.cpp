@@ -5,35 +5,11 @@
 // Paper result: even though allocations can be stretched further
 // (maxdelta is larger after tuning), the delta strategy still consumes
 // less resources than HCPA in the vast majority of scenarios.
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/fig7.rats` (see src/scenario/).
 #include "bench_common.hpp"
-#include "common/table.hpp"
-
-using namespace rats;
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-  auto corpus = bench::make_corpus(cfg);
-  Cluster cluster = grid5000::grillon();
-
-  auto data = bench::run_tuned_experiment(corpus, cluster, cfg.threads);
-
-  bench::heading("Figure 7: relative work vs HCPA, tuned parameters, " +
-                 cluster.name());
-  Table table({"strategy", "avg relative work", "less work in", "equal in"});
-  for (std::size_t algo : {std::size_t{1}, std::size_t{2}}) {
-    auto series = relative_series(data, algo, 0, /*makespan=*/false);
-    auto s = summarize_relative(series);
-    table.add_row({data.algo_names[algo], fmt(s.mean_ratio, 3),
-                   fmt_percent(s.fraction_better, 1),
-                   fmt_percent(s.fraction_equal, 1)});
-    bench::print_sorted_curve(data.algo_names[algo], series);
-  }
-  std::printf("%s", table.to_text().c_str());
-  if (cfg.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf(
-      "\n  paper: tuned RATS stays close to (mostly below) HCPA's resource "
-      "usage.\n");
-  return 0;
+  return rats::bench::run_kind("fig7", rats::bench::parse_args(argc, argv));
 }

@@ -2,66 +2,11 @@
 // 10 units of data between p = 4 sending and q = 5 receiving
 // processors, plus the self-communication behaviour the paper
 // describes for overlapping processor sets.
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/table1.rats` (see src/scenario/).
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "redist/block_redistribution.hpp"
-
-using namespace rats;
-
-namespace {
-
-void print_matrix(const Redistribution& r, Bytes unit) {
-  auto m = r.matrix();
-  std::vector<std::string> header{""};
-  for (int q = 0; q < r.receivers(); ++q)
-    header.push_back("q" + std::to_string(q + 1));
-  Table table(header);
-  for (int p = 0; p < r.senders(); ++p) {
-    std::vector<std::string> row{"p" + std::to_string(p + 1)};
-    for (int q = 0; q < r.receivers(); ++q) {
-      double units = m[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)] / unit;
-      row.push_back(units == 0 ? "" : fmt(units, 2));
-    }
-    table.add_row(row);
-  }
-  std::printf("%s", table.to_text().c_str());
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-
-  bench::heading(
-      "Table I: communication matrix, 10 units, p=4 senders, q=5 receivers");
-  const Bytes unit = 1024;  // any unit; the matrix scales linearly
-  std::vector<NodeId> senders{0, 1, 2, 3};
-  std::vector<NodeId> receivers{4, 5, 6, 7, 8};
-  auto r = Redistribution::plan(10 * unit, senders, receivers);
-  print_matrix(r, unit);
-  std::printf("  non-empty entries: %zu (expected p+q-1 = 8)\n",
-              r.transfers().size());
-  std::printf("  self bytes: %s units, remote: %s units\n",
-              fmt(r.self_bytes() / unit, 2).c_str(),
-              fmt(r.remote_bytes() / unit, 2).c_str());
-
-  bench::heading(
-      "Overlapping sets: receiver order permuted to maximize self "
-      "communication");
-  std::vector<NodeId> overlap_recv{2, 3, 4, 5, 6};
-  auto r2 = Redistribution::plan(10 * unit, senders, overlap_recv);
-  print_matrix(r2, unit);
-  std::printf("  self bytes: %s units (stay on node), remote: %s units\n",
-              fmt(r2.self_bytes() / unit, 2).c_str(),
-              fmt(r2.remote_bytes() / unit, 2).c_str());
-
-  bench::heading("Identical sets: redistribution cost is zero");
-  auto r3 = Redistribution::plan(10 * unit, senders, senders);
-  std::printf("  remote bytes: %s (paper: zero when tasks share the same "
-              "processor set)\n",
-              fmt(r3.remote_bytes(), 0).c_str());
-  (void)cfg;
-  return 0;
+  return rats::bench::run_kind("table1", rats::bench::parse_args(argc, argv));
 }

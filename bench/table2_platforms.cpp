@@ -1,44 +1,11 @@
 // Reproduces Table II: the characteristics of the three simulated
 // Grid'5000 clusters, plus the derived network structure our platform
 // model builds for each (links, routes, TCP-window bandwidth bound).
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/table2.rats` (see src/scenario/).
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "common/units.hpp"
-#include "platform/grid5000.hpp"
-
-using namespace rats;
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-
-  bench::heading("Table II: cluster characteristics");
-  Table table({"Cluster", "#proc.", "GFlop/sec", "topology", "#links"});
-  for (const Cluster& c : grid5000::all()) {
-    table.add_row({c.name(), std::to_string(c.num_nodes()),
-                   fmt(c.node_speed() / 1e9, 3),
-                   c.hierarchical_topology()
-                       ? std::to_string(c.cabinets()) + " cabinets"
-                       : "flat switch",
-                   std::to_string(c.num_links())});
-  }
-  std::printf("%s", table.to_text().c_str());
-  if (cfg.csv) std::printf("%s", table.to_csv().c_str());
-
-  bench::heading("Derived network model (Section IV-A)");
-  for (const Cluster& c : grid5000::all()) {
-    NodeId far = static_cast<NodeId>(c.num_nodes() - 1);
-    auto route = c.route(0, far);
-    Seconds lat = c.route_latency(0, far);
-    Seconds rtt = 2 * lat;
-    Rate beta = c.link(c.nic_up(0)).bandwidth;
-    Rate beta_prime = std::min(beta, c.tcp_window() / rtt);
-    std::printf(
-        "  %-8s route node0->node%-3d: %zu links, one-way latency %s us, "
-        "beta' = min(beta, Wmax/RTT) = %s MB/s (beta = %s MB/s)\n",
-        c.name().c_str(), far, route.size(), fmt(lat * 1e6, 1).c_str(),
-        fmt(beta_prime / 1e6, 1).c_str(), fmt(beta / 1e6, 1).c_str());
-  }
-  return 0;
+  return rats::bench::run_kind("table2", rats::bench::parse_args(argc, argv));
 }

@@ -2,54 +2,11 @@
 // resulting corpus composition (108 layered + 324 irregular + 100 FFT
 // + 25 Strassen = 557 configurations at paper scale), with structural
 // statistics per family.
-#include <algorithm>
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/table3.rats` (see src/scenario/).
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "dag/graph_algorithms.hpp"
-
-using namespace rats;
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-  auto corpus = bench::make_corpus(cfg);
-
-  bench::heading("Table III: corpus composition");
-  Table params({"family", "#configs", "tasks", "edges(min-max)",
-                "avg levels", "avg width"});
-  for (DagFamily family : {DagFamily::Layered, DagFamily::Irregular,
-                           DagFamily::FFT, DagFamily::Strassen}) {
-    int count = 0;
-    std::int32_t min_edges = INT32_MAX, max_edges = 0;
-    std::int32_t min_tasks = INT32_MAX, max_tasks = 0;
-    double sum_levels = 0, sum_width = 0;
-    for (const auto& e : corpus) {
-      if (e.family != family) continue;
-      ++count;
-      min_edges = std::min(min_edges, e.graph.num_edges());
-      max_edges = std::max(max_edges, e.graph.num_edges());
-      min_tasks = std::min(min_tasks, e.graph.num_tasks());
-      max_tasks = std::max(max_tasks, e.graph.num_tasks());
-      auto levels = task_levels(e.graph);
-      int num_levels = 1 + *std::max_element(levels.begin(), levels.end());
-      std::vector<int> per_level(static_cast<std::size_t>(num_levels), 0);
-      for (int l : levels) ++per_level[static_cast<std::size_t>(l)];
-      sum_levels += num_levels;
-      sum_width += *std::max_element(per_level.begin(), per_level.end());
-    }
-    if (count == 0) continue;
-    params.add_row({to_string(family), std::to_string(count),
-                    std::to_string(min_tasks) + "-" + std::to_string(max_tasks),
-                    std::to_string(min_edges) + "-" + std::to_string(max_edges),
-                    fmt(sum_levels / count, 1), fmt(sum_width / count, 1)});
-  }
-  std::printf("%s", params.to_text().c_str());
-  if (cfg.csv) std::printf("%s", params.to_csv().c_str());
-
-  std::printf(
-      "\n  paper scale: 108 layered + 324 irregular + 100 FFT + 25 Strassen "
-      "= 557\n  (this run: %zu; --full regenerates the paper corpus)\n",
-      corpus.size());
-  return 0;
+  return rats::bench::run_kind("table3", rats::bench::parse_args(argc, argv));
 }

@@ -6,43 +6,11 @@
 // This is the most expensive bench (a full parameter sweep per
 // family x cluster); at reduced scale it runs the same sweeps on the
 // scaled-down corpus.
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/table4.rats` (see src/scenario/).
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "exp/tuning.hpp"
-
-using namespace rats;
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-
-  bench::heading("Table IV: tuned (mindelta, maxdelta, minrho)");
-  Table table({"family \\ cluster", "chti", "grillon", "grelon"});
-  for (DagFamily family : {DagFamily::FFT, DagFamily::Strassen,
-                           DagFamily::Layered, DagFamily::Irregular}) {
-    auto corpus = bench::cap_per_family(bench::make_family(family, cfg), cfg, 6);
-    std::vector<std::string> row{to_string(family)};
-    for (const Cluster& cluster : grid5000::all()) {
-      TunedParams t = tune(corpus, cluster, cfg.threads);
-      row.push_back("(" + fmt(t.mindelta, 2) + ", " + fmt(t.maxdelta, 2) +
-                    ", " + fmt(t.minrho, 2) + ")");
-      std::printf("  tuned %-9s on %-8s: mindelta=%s maxdelta=%s minrho=%s\n",
-                  to_string(family).c_str(), cluster.name().c_str(),
-                  fmt(t.mindelta, 2).c_str(), fmt(t.maxdelta, 2).c_str(),
-                  fmt(t.minrho, 2).c_str());
-    }
-    table.add_row(row);
-  }
-  std::printf("%s", table.to_text().c_str());
-  if (cfg.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf(
-      "\n  paper Table IV (chti/grillon/grelon):\n"
-      "    FFT      (-.5,1,.2)   (-.5,1,.2)   (-.25,.75,.4)\n"
-      "    Strassen (-.25,.5,.5) (0,1,.4)     (-.25,1,.5)\n"
-      "    Layered  (-.5,1,.2)   (-.25,1,.2)  (-.5,1,.2)\n"
-      "    Random   (-.75,1,.5)  (-.75,1,.5)  (-.75,1,.4)\n"
-      "  exact cell values depend on the generated corpus; the shape to\n"
-      "  check is maxdelta ~ 1, negative mindelta, small-to-mid minrho.\n");
-  return 0;
+  return rats::bench::run_kind("table4", rats::bench::parse_args(argc, argv));
 }

@@ -6,61 +6,11 @@
 // Paper result: ranking {time-cost, delta, HCPA}; time-cost gets
 // stronger as the cluster grows, delta is best on small/medium
 // clusters.
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/table5.rats` (see src/scenario/).
 #include "bench_common.hpp"
-#include "common/table.hpp"
-
-using namespace rats;
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-  auto corpus = bench::cap_per_family(bench::make_corpus(cfg), cfg, 12);
-
-  // All (cluster, entry, algo) scenarios go through the worker pool as
-  // one batch, so --threads spans the whole table instead of one
-  // cluster at a time.
-  const auto clusters = grid5000::all();
-  std::printf("  running corpus on %zu clusters...\n", clusters.size());
-  const std::vector<ExperimentData> per_cluster =
-      bench::run_tuned_experiments(corpus, clusters, cfg.threads);
-  const auto& names = per_cluster.front().algo_names;
-
-  bench::heading("Table V: pairwise comparison (chti / grillon / grelon)");
-  Table table({"algorithm", "", "vs HCPA", "vs delta", "vs time-cost",
-               "combined (%)"});
-  for (std::size_t a = 0; a < names.size(); ++a) {
-    const char* rows[3] = {"better", "equal", "worse"};
-    for (int r = 0; r < 3; ++r) {
-      std::vector<std::string> row{r == 0 ? names[a] : "", rows[r]};
-      for (std::size_t b = 0; b < names.size(); ++b) {
-        if (a == b) {
-          row.push_back("XXX");
-          continue;
-        }
-        std::string cell;
-        for (const auto& data : per_cluster) {
-          auto c = pairwise_compare(data, a, b);
-          int v = r == 0 ? c.better : (r == 1 ? c.equal : c.worse);
-          cell += (cell.empty() ? "" : " / ") + std::to_string(v);
-        }
-        row.push_back(cell);
-      }
-      std::string comb;
-      for (const auto& data : per_cluster) {
-        auto f = combined_compare(data, a);
-        double v = r == 0 ? f.better : (r == 1 ? f.equal : f.worse);
-        comb += (comb.empty() ? "" : " / ") + fmt(100 * v, 1);
-      }
-      row.push_back(comb);
-      table.add_row(row);
-    }
-  }
-  std::printf("%s", table.to_text().c_str());
-  if (cfg.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf(
-      "\n  paper: ranking {time-cost, delta, HCPA} by best-result counts;\n"
-      "  time-cost wins more as cluster size grows, delta is strongest on\n"
-      "  small and medium clusters.\n");
-  return 0;
+  return rats::bench::run_kind("table5", rats::bench::parse_args(argc, argv));
 }

@@ -7,47 +7,11 @@
 // Paper result: time-cost degrades < 6% on average (improving with
 // cluster size); delta's degradation grows with cluster size; HCPA can
 // be more than twice as long as the best.
-#include <cstdio>
-
+//
+// Thin front end over the scenario engine: identical to
+// `rats run scenarios/table6.rats` (see src/scenario/).
 #include "bench_common.hpp"
-#include "common/table.hpp"
-
-using namespace rats;
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_args(argc, argv);
-  auto corpus = bench::cap_per_family(bench::make_corpus(cfg), cfg, 12);
-
-  bench::heading("Table VI: average degradation from best");
-  Table table({"cluster", "metric", "HCPA", "delta", "time-cost"});
-  // One (cluster, entry, algo) batch across all clusters — the pool
-  // stays saturated for the whole table.
-  const auto clusters = grid5000::all();
-  std::printf("  running corpus on %zu clusters...\n", clusters.size());
-  const auto per_cluster =
-      bench::run_tuned_experiments(corpus, clusters, cfg.threads);
-  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
-    const Cluster& cluster = clusters[ci];
-    const ExperimentData& data = per_cluster[ci];
-    Degradation d[3];
-    for (std::size_t a = 0; a < 3; ++a) d[a] = degradation_from_best(data, a);
-    table.add_row({cluster.name(), "avg over all exp.",
-                   fmt_percent(d[0].avg_over_all, 2),
-                   fmt_percent(d[1].avg_over_all, 2),
-                   fmt_percent(d[2].avg_over_all, 2)});
-    table.add_row({"", "# not best", std::to_string(d[0].not_best),
-                   std::to_string(d[1].not_best),
-                   std::to_string(d[2].not_best)});
-    table.add_row({"", "avg over # not best",
-                   fmt_percent(d[0].avg_over_not_best, 2),
-                   fmt_percent(d[1].avg_over_not_best, 2),
-                   fmt_percent(d[2].avg_over_not_best, 2)});
-  }
-  std::printf("%s", table.to_text().c_str());
-  if (cfg.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf(
-      "\n  paper: time-cost stays closest to the best (< 6%% over all\n"
-      "  experiments, improving with cluster size); delta degrades as the\n"
-      "  cluster grows; HCPA reaches > 100%% on large clusters.\n");
-  return 0;
+  return rats::bench::run_kind("table6", rats::bench::parse_args(argc, argv));
 }

@@ -1,16 +1,23 @@
-// Command-line scheduler: load (or generate) a workflow, schedule it
-// on a chosen platform with a chosen algorithm, simulate with network
-// contention and print a per-task timeline — optionally emitting the
-// workflow back as text or the DAG as Graphviz DOT.
+// `rats` — the command-line driver for the scenario engine.
 //
-//   $ ./rats_cli --dag workflow.txt --platform grillon --algo time-cost
-//   $ ./rats_cli --generate fft:8 --platform flat:64:3.0 --algo delta \
-//                --mindelta -0.5 --maxdelta 1 --dot fft.dot
+//   rats run <scenario.rats> [--trace out.jsonl] [--threads N]
+//                            [--csv] [--full]
+//   rats verify <trace.jsonl> [--threads N]
+//   rats emit (<scenario.rats> | --kind <kind>)
+//   rats kinds
+//   rats sched [legacy options]      (the original one-shot scheduler CLI)
 //
-// Platforms: chti | grillon | grelon | flat:<nodes>:<gflops>
-// Generators: fft:<k> | strassen | layered:<n> | irregular:<n>
-// Algorithms: cpa | mcpa | hcpa | delta | time-cost | auto-delta |
-//             auto-time-cost  (auto-* run the AutoTuner first)
+// `run` executes a declarative scenario file (grammar in
+// src/scenario/parser.hpp; cookbook in README.md).  `--trace` writes a
+// structured JSON-lines simulation trace that `verify` re-simulates
+// and byte-diffs — a whole-stack determinism check.  `emit` prints the
+// canonical form of a scenario file (or of a registry kind's default
+// spec, which is how the checked-in scenarios/*.rats were generated).
+//
+// The old direct scheduling interface survives as the `sched`
+// subcommand (also used by examples/docs):
+//   rats sched --generate fft:8 --platform flat:64:3.0 --algo delta \
+//              --mindelta -0.5 --maxdelta 1 --dot fft.dot
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,8 +31,11 @@
 #include "exp/autotune.hpp"
 #include "io/workflow_io.hpp"
 #include "platform/grid5000.hpp"
+#include "scenario/parser.hpp"
+#include "scenario/registry.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "trace/replay.hpp"
 
 using namespace rats;
 
@@ -33,7 +43,24 @@ namespace {
 
 [[noreturn]] void usage(int code) {
   std::printf(
-      "usage: rats_cli [options]\n"
+      "usage: rats <command> [options]\n"
+      "  run <scenario.rats>     execute a scenario file\n"
+      "      --trace FILE        also write a JSON-lines simulation trace\n"
+      "      --threads N         worker threads (0 = hardware)\n"
+      "      --csv               also emit CSV after each table\n"
+      "      --full              paper-scale corpus\n"
+      "  verify <trace.jsonl>    re-simulate a trace and byte-diff it\n"
+      "      --threads N         worker threads for the replay\n"
+      "  emit <scenario.rats>    print the canonical form of a scenario\n"
+      "  emit --kind <kind>      print a registry kind's default scenario\n"
+      "  kinds                   list registered scenario kinds\n"
+      "  sched [options]         one-shot scheduling (rats sched --help)\n");
+  std::exit(code);
+}
+
+[[noreturn]] void sched_usage(int code) {
+  std::printf(
+      "usage: rats sched [options]\n"
       "  --dag FILE            workflow file (see src/io/workflow_io.hpp)\n"
       "  --generate SPEC       fft:<k> | strassen | layered:<n> | irregular:<n>\n"
       "  --platform P          chti | grillon | grelon | flat:<nodes>:<gflops>\n"
@@ -91,9 +118,101 @@ Cluster platform_of(const std::string& spec) {
   throw Error("unknown platform '" + spec + "'");
 }
 
-}  // namespace
+unsigned parse_threads(const char* text) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) usage(2);
+  return static_cast<unsigned>(v);
+}
 
-int main(int argc, char** argv) try {
+int cmd_run(int argc, char** argv) {
+  std::string file;
+  scenario::RunOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (a == "--trace") options.trace_path = next();
+    else if (a == "--threads") {
+      options.has_threads = true;
+      options.threads = parse_threads(next());
+    } else if (a == "--csv") options.csv = true;
+    else if (a == "--full") options.full = true;
+    else if (a == "--help" || a == "-h") usage(0);
+    else if (!a.empty() && a[0] == '-') usage(2);
+    else if (file.empty()) file = a;
+    else usage(2);
+  }
+  if (file.empty()) {
+    std::fprintf(stderr, "rats run: missing scenario file\n");
+    usage(2);
+  }
+  scenario::run(scenario::load_scenario(file), options);
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  std::string file;
+  unsigned threads = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads") {
+      if (i + 1 >= argc) usage(2);
+      threads = parse_threads(argv[++i]);
+    } else if (a == "--help" || a == "-h") usage(0);
+    else if (!a.empty() && a[0] == '-') usage(2);
+    else if (file.empty()) file = a;
+    else usage(2);
+  }
+  if (file.empty()) {
+    std::fprintf(stderr, "rats verify: missing trace file\n");
+    usage(2);
+  }
+  const ReplayReport report = verify_trace(file, threads);
+  if (!report.ok) {
+    std::fprintf(stderr, "FAIL %s\n", report.error.c_str());
+    return 1;
+  }
+  std::printf("OK %s: %zu runs, %zu events replayed bit-identically\n",
+              file.c_str(), report.runs, report.events);
+  return 0;
+}
+
+int cmd_emit(int argc, char** argv) {
+  std::string file, kind;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--kind") {
+      if (i + 1 >= argc) usage(2);
+      kind = argv[++i];
+    } else if (a == "--help" || a == "-h") usage(0);
+    else if (!a.empty() && a[0] == '-') usage(2);
+    else if (file.empty()) file = a;
+    else usage(2);
+  }
+  if (file.empty() == kind.empty()) {
+    std::fprintf(stderr, "rats emit: need a scenario file or --kind\n");
+    usage(2);
+  }
+  const scenario::ScenarioSpec spec = kind.empty()
+                                          ? scenario::load_scenario(file)
+                                          : scenario::default_spec(kind);
+  std::printf("%s", scenario::emit_scenario(spec).c_str());
+  return 0;
+}
+
+int cmd_kinds() {
+  for (const std::string& kind : scenario::kinds()) {
+    const char* traced =
+        scenario::kind_supports_trace(kind) ? "  (traceable)" : "";
+    std::printf("%s%s\n", kind.c_str(), traced);
+  }
+  return 0;
+}
+
+int cmd_sched(int argc, char** argv) {
   std::string dag_file, gen_spec, platform = "grillon", algo = "time-cost";
   std::string dot_file, save_file;
   std::uint64_t seed = 42;
@@ -102,10 +221,10 @@ int main(int argc, char** argv) try {
   std::optional<double> mindelta, maxdelta, minrho;
   bool packing = true;
 
-  for (int i = 1; i < argc; ++i) {
+  for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(2);
+      if (i + 1 >= argc) sched_usage(2);
       return argv[++i];
     };
     if (a == "--dag") dag_file = next();
@@ -120,12 +239,12 @@ int main(int argc, char** argv) try {
     else if (a == "--no-contention") sim_options.contention = false;
     else if (a == "--dot") dot_file = next();
     else if (a == "--save") save_file = next();
-    else if (a == "--help" || a == "-h") usage(0);
-    else usage(2);
+    else if (a == "--help" || a == "-h") sched_usage(0);
+    else sched_usage(2);
   }
   if (dag_file.empty() == gen_spec.empty()) {
     std::fprintf(stderr, "need exactly one of --dag or --generate\n");
-    usage(2);
+    sched_usage(2);
   }
 
   const TaskGraph graph =
@@ -152,7 +271,7 @@ int main(int argc, char** argv) try {
                 t.mindelta, t.maxdelta, t.minrho);
   } else {
     std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
-    usage(2);
+    sched_usage(2);
   }
   if (mindelta) options.rats.mindelta = *mindelta;
   if (maxdelta) options.rats.maxdelta = *maxdelta;
@@ -191,6 +310,23 @@ int main(int argc, char** argv) try {
     std::printf("wrote workflow to %s\n", save_file.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 2) usage(2);
+  const std::string command = argv[1];
+  if (command == "run") return cmd_run(argc - 2, argv + 2);
+  if (command == "verify") return cmd_verify(argc - 2, argv + 2);
+  if (command == "emit") return cmd_emit(argc - 2, argv + 2);
+  if (command == "kinds") return cmd_kinds();
+  if (command == "sched") return cmd_sched(argc - 2, argv + 2);
+  if (command == "--help" || command == "-h") usage(0);
+  // Backwards compatibility: the pre-subcommand CLI started with "--".
+  if (command.rfind("--", 0) == 0) return cmd_sched(argc - 1, argv + 1);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  usage(2);
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

@@ -1,0 +1,96 @@
+// Paper-experiment presets shared by the bench binaries and the
+// scenario engine: corpus construction (with the benches' stdout
+// announcements), the naive/tuned algorithm sets of the paper's main
+// comparison, tuned multi-cluster batch execution, and the small
+// report helpers (headings, sorted percentile curves).
+//
+// Everything here used to live in bench/bench_common.*; it moved into
+// the library so `rats run scenarios/fig2.rats` and the fig2 binary
+// execute — and print — the exact same code path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daggen/corpus.hpp"
+#include "exp/experiment.hpp"
+#include "platform/grid5000.hpp"
+#include "sched/scheduler.hpp"
+
+namespace rats::presets {
+
+/// Corpus sizing shared by every bench command line and scenario
+/// workload section.  Without `full` the corpus is scaled down (1
+/// random sample, 5 kernel samples) so a whole suite runs in minutes;
+/// relative results are stable across corpus sizes because every entry
+/// is an independent scenario.
+struct CorpusConfig {
+  bool full = false;
+  int samples_random = 1;
+  int samples_kernel = 5;
+  std::uint64_t seed = 42;
+};
+
+/// Corpus options implied by the config (full restores the paper's
+/// 3/25 sampling).
+CorpusOptions corpus_options(const CorpusConfig& cfg);
+
+/// Builds the corpus (all families) for the config and announces its
+/// size on stdout.
+std::vector<CorpusEntry> make_corpus(const CorpusConfig& cfg);
+
+/// Builds one family's sub-corpus for the config.
+std::vector<CorpusEntry> make_family(DagFamily family,
+                                     const CorpusConfig& cfg);
+
+/// Keeps at most `n` entries of each family (deterministic stride
+/// subsample, preserving parameter diversity).  No-op when n == 0 or
+/// cfg.full was given — heavy benches use this to stay tractable on
+/// small machines while --full restores the complete corpus.
+/// `announce` controls the "(capped to ...)" stdout line (quiet callers
+/// like the trace replay must still pick identical entries).
+std::vector<CorpusEntry> cap_per_family(std::vector<CorpusEntry> corpus,
+                                        const CorpusConfig& cfg, int n,
+                                        bool announce = true);
+
+/// The three algorithm specs of the paper's main comparison with naive
+/// RATS parameters (Figures 2-3): HCPA, delta(0.5), time-cost(0.5).
+std::vector<AlgoSpec> naive_algos();
+
+/// The paper's tuned RATS parameters (Table IV) for one application
+/// family on one cluster (cluster matched by name).
+RatsParams paper_tuned_params(DagFamily family, const std::string& cluster);
+
+/// Algorithm specs with Table IV tuned parameters for `family` on
+/// `cluster`: HCPA, tuned delta, tuned time-cost.
+std::vector<AlgoSpec> tuned_algos(DagFamily family,
+                                  const std::string& cluster);
+
+/// Runs HCPA / tuned delta / tuned time-cost on `corpus` grouped by
+/// family (each family uses its Table IV parameters for `cluster`) and
+/// returns the merged outcomes in corpus order.  Algorithm order:
+/// {HCPA, delta, time-cost}.
+ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
+                                    const Cluster& cluster,
+                                    unsigned threads = 0);
+
+/// Multi-cluster form of `run_tuned_experiment`: every (cluster, corpus
+/// entry, algorithm) scenario becomes one job in a single batch through
+/// the persistent worker pool, so multi-cluster tables (V, VI) keep all
+/// `--threads` workers busy across cluster boundaries instead of
+/// draining the pool once per cluster and family.  Results are in
+/// `clusters` order, each in corpus order.
+std::vector<ExperimentData> run_tuned_experiments(
+    const std::vector<CorpusEntry>& corpus,
+    const std::vector<Cluster>& clusters, unsigned threads = 0);
+
+/// Prints a heading followed by an underline.
+void heading(const std::string& title);
+
+/// Renders a 21-point sorted percentile curve as an ASCII sparkline
+/// table row set ("x%  ratio").
+void print_sorted_curve(const std::string& label,
+                        const std::vector<double>& series);
+
+}  // namespace rats::presets

@@ -71,9 +71,17 @@ std::vector<double> sweep_grid(const std::vector<CorpusEntry>& corpus,
 
 DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
                        const Cluster& cluster, unsigned threads) {
+  return sweep_delta(corpus, cluster, {}, {}, threads);
+}
+
+DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
+                       const Cluster& cluster,
+                       const std::vector<double>& mindeltas,
+                       const std::vector<double>& maxdeltas,
+                       unsigned threads) {
   DeltaSweep sweep;
-  sweep.mindeltas = tuning_mindeltas();
-  sweep.maxdeltas = tuning_maxdeltas();
+  sweep.mindeltas = mindeltas.empty() ? tuning_mindeltas() : mindeltas;
+  sweep.maxdeltas = maxdeltas.empty() ? tuning_maxdeltas() : maxdeltas;
 
   std::vector<SchedulerOptions> points;
   for (double mindelta : sweep.mindeltas) {
@@ -107,8 +115,14 @@ DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
 
 RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
                    const Cluster& cluster, unsigned threads) {
+  return sweep_rho(corpus, cluster, {}, threads);
+}
+
+RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
+                   const Cluster& cluster,
+                   const std::vector<double>& minrhos, unsigned threads) {
   RhoSweep sweep;
-  sweep.minrhos = tuning_minrhos();
+  sweep.minrhos = minrhos.empty() ? tuning_minrhos() : minrhos;
 
   std::vector<SchedulerOptions> points;
   for (double minrho : sweep.minrhos) {

@@ -50,6 +50,14 @@ struct DeltaSweep {
 DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
                        const Cluster& cluster, unsigned threads = 0);
 
+/// Custom-grid form (the scenario engine's [sweep] section); an empty
+/// list falls back to that parameter's paper grid above.
+DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
+                       const Cluster& cluster,
+                       const std::vector<double>& mindeltas,
+                       const std::vector<double>& maxdeltas,
+                       unsigned threads = 0);
+
 /// The minrho curves (packing on/off) of Figure 5.
 struct RhoSweep {
   std::vector<double> minrhos;
@@ -60,6 +68,12 @@ struct RhoSweep {
 };
 RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
                    const Cluster& cluster, unsigned threads = 0);
+
+/// Custom-grid form (the scenario engine's [sweep] section); an empty
+/// list falls back to the paper grid.
+RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
+                   const Cluster& cluster,
+                   const std::vector<double>& minrhos, unsigned threads = 0);
 
 /// One Table IV cell: tuned (mindelta, maxdelta, minrho).
 struct TunedParams {

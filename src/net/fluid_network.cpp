@@ -38,12 +38,26 @@ void FluidNetwork::EventHeap::sift_down(std::size_t i, Entry e) {
   place(i, e);
 }
 
+void FluidNetwork::EventHeap::fix_top() {
+  while (!entries_.empty()) {
+    const Entry& top = entries_.front();
+    const auto fi = static_cast<std::size_t>(top.flow);
+    if (true_seq_[fi] == top.seq) return;
+    // Deferred re-keys only ever move a key later, so the true key is
+    // >= the stored lower bound and the entry can only sink.
+    sift_down(0, Entry{true_time_[fi], true_seq_[fi], top.flow});
+  }
+}
+
 FlowId FluidNetwork::EventHeap::pop() {
+  // The top is fresh by invariant (every mutation ends in fix_top), so
+  // the popped event is the true earliest.
   const FlowId f = entries_.front().flow;
   pos_[static_cast<std::size_t>(f)] = -1;
   const Entry last = entries_.back();
   entries_.pop_back();
   if (!entries_.empty()) sift_down(0, last);
+  fix_top();
   return f;
 }
 
@@ -54,28 +68,38 @@ void FluidNetwork::EventHeap::remove(FlowId f) {
   const auto i = static_cast<std::size_t>(at);
   const Entry last = entries_.back();
   entries_.pop_back();
-  if (i >= entries_.size()) return;  // removed the tail entry itself
-  if (i > 0 && before(last, entries_[(i - 1) / 2]))
-    sift_up(i, last);
-  else
-    sift_down(i, last);
+  if (i < entries_.size()) {
+    if (i > 0 && before(last, entries_[(i - 1) / 2]))
+      sift_up(i, last);
+    else
+      sift_down(i, last);
+  }
+  fix_top();
 }
 
 void FluidNetwork::EventHeap::upsert(FlowId f, Seconds time,
                                      std::uint64_t seq) {
+  const auto fi = static_cast<std::size_t>(f);
+  true_time_[fi] = time;
+  true_seq_[fi] = seq;
   const Entry e{time, seq, f};
-  const std::int32_t at = pos_[static_cast<std::size_t>(f)];
+  const std::int32_t at = pos_[fi];
   if (at < 0) {
     entries_.push_back(e);
     sift_up(entries_.size() - 1, e);
     return;
   }
-  // Re-key in place: the new (time, seq) may sort either way.
   const auto i = static_cast<std::size_t>(at);
-  if (i > 0 && before(e, entries_[(i - 1) / 2]))
-    sift_up(i, e);
-  else
-    sift_down(i, e);
+  if (time >= entries_[i].time) {
+    // Moved later (the fresh seq always sorts after the stored one at
+    // equal times): defer — the stored key stays a valid lower bound
+    // and the entry is re-keyed only if it ever surfaces at the top.
+    if (i == 0) fix_top();
+    return;
+  }
+  // Moved earlier: a lower bound would be violated, re-key now.  The
+  // key strictly decreased, so the entry can only rise.
+  sift_up(i, e);
 }
 
 // ---- fluid network -----------------------------------------------------
@@ -143,12 +167,29 @@ void FluidNetwork::settle(FlowState& f) {
 void FluidNetwork::set_rate(FlowId id, FlowState& f, Rate r) {
   settle(f);
   f.rate = r;
-  if (r > 0)
-    events_.upsert(id, std::max(now_ + f.remaining / r, now_), next_seq_++);
-  else
+  if (trace_) trace_->record(now_, TraceEventKind::RateChange, id, -1, r);
+  // The heap re-key is queued, not applied: one component solve changes
+  // many rates, and batching lets the whole flush touch the heap once
+  // per flow at the end (seq is assigned here so the batch reproduces
+  // the eager scheme's tie-break order exactly).
+  if (r > 0) {
+    rekey_buffer_.push_back(PendingRekey{
+        id, false, std::max(now_ + f.remaining / r, now_), next_seq_++});
+  } else {
     // A flow starved to rate 0 (degenerate exactly-saturated instance)
     // has no completion to predict; its old prediction must not fire.
-    events_.remove(id);
+    rekey_buffer_.push_back(PendingRekey{id, true, 0, 0});
+  }
+}
+
+void FluidNetwork::apply_rekeys() {
+  for (const PendingRekey& rk : rekey_buffer_) {
+    if (rk.remove)
+      events_.remove(rk.flow);
+    else
+      events_.upsert(rk.flow, rk.time, rk.seq);
+  }
+  rekey_buffer_.clear();
 }
 
 // ---- sharing-component partition --------------------------------------
@@ -387,6 +428,8 @@ void FluidNetwork::ensure_rates() {
     repartition_and_solve(c);
   }
   dirty_scratch_.clear();
+  // One heap pass for the whole flush (see set_rate).
+  apply_rekeys();
 }
 
 void FluidNetwork::repartition_and_solve(std::int32_t c) {
@@ -476,7 +519,10 @@ void FluidNetwork::solve_component(std::int32_t c) {
   if (n == 1) {
     // Uncontended flow: its rate is the tightest of its own cap and its
     // links' capacities — same value the solver would produce.  No
-    // trace: the first contended solve will record one.
+    // warm trace: the first contended solve will record one.
+    if (trace_)
+      trace_->record(now_, TraceEventKind::SolveComponent, c, 1,
+                     kSolveSingleton);
     comp.reset_warm();
     const FlowId id = comp.members.front();
     auto& f = flows_[static_cast<std::size_t>(id)];
@@ -504,6 +550,10 @@ void FluidNetwork::solve_component(std::int32_t c) {
                            arrivals_scratch_.size(),
                            comp.pending_remove.data(),
                            comp.pending_remove.size(), changed_)) {
+      if (trace_)
+        trace_->record(now_, TraceEventKind::SolveComponent, c,
+                       static_cast<std::int32_t>(comp.members.size()),
+                       kSolveWarm);
       for (const auto& [id, r] : changed_) {
         auto& f = flows_[static_cast<std::size_t>(id)];
         // Unchanged rates keep their completion prediction; re-keying
@@ -534,6 +584,10 @@ void FluidNetwork::solve_cold(std::int32_t c) {
         static_cast<std::int32_t>(k);
   }
   group_rates_.resize(n);
+  if (trace_)
+    trace_->record(now_, TraceEventKind::SolveComponent, c,
+                   static_cast<std::int32_t>(n),
+                   two_link ? kSolveBipartite : kSolveGeneral);
   if (two_link) {
     // Flat-cluster component ({src uplink, dst downlink} routes): the
     // bipartite waterfilling specialization.

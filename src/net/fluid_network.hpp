@@ -67,6 +67,7 @@
 
 #include "net/maxmin.hpp"
 #include "platform/cluster.hpp"
+#include "trace/trace.hpp"
 
 namespace rats {
 
@@ -136,6 +137,12 @@ class FluidNetwork {
   /// Sum over all completed and in-flight flows of bytes injected.
   Bytes total_bytes_opened() const { return total_bytes_; }
 
+  /// Opt-in structured tracing: when set, every component solve (with
+  /// the strategy the dispatch picked) and every rate assignment is
+  /// recorded.  Pass nullptr to disable (the default); the sink must
+  /// outlive the network.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
   // ---- sharing-component observers (tests / diagnostics) -------------
 
   /// Component id of a released, not-yet-done flow; -1 otherwise.  Ids
@@ -180,22 +187,40 @@ class FluidNetwork {
 
   /// Indexed binary min-heap over (time, seq) with one entry per flow:
   /// the latency-phase exit while latent, the predicted completion once
-  /// released.  Re-keying on rate change keeps the heap stale-free, so
-  /// its size is O(#in-flight flows) and the head is always meaningful.
-  /// `seq` reproduces the push order of a lazy-invalidation event queue
-  /// (a fresh, larger seq per prediction), keeping simultaneous events
-  /// in the exact order the previous engine processed them.
+  /// released.  `seq` reproduces the push order of a lazy-invalidation
+  /// event queue (a fresh, larger seq per prediction), keeping
+  /// simultaneous events in the exact order the previous engine
+  /// processed them.
+  ///
+  /// Re-keys are *lazy for completions that moved later*: the common
+  /// rate change (an arrival slows everyone down, pushing predictions
+  /// out) only records the flow's true (time, seq) in a side array and
+  /// leaves the heap entry where it is.  Since the stored key is then a
+  /// lower bound on the true key, heap order stays valid; a stale entry
+  /// is re-keyed (one sift) only when it surfaces at the top —
+  /// `fix_top()` restores the "top entry is fresh" invariant after
+  /// every mutation, so `next_time()` remains an exact O(1) const
+  /// peek.  A flow re-keyed k times between top visits pays one sift
+  /// instead of k.  Completions that moved *earlier* sift up
+  /// immediately (a lower-bound violation cannot be deferred).  The
+  /// effective pop order — by true (time, seq) — is bit-identical to
+  /// the eager scheme's.
   class EventHeap {
    public:
     bool empty() const { return entries_.empty(); }
     Seconds next_time() const { return entries_.front().time; }
     FlowId pop();
-    /// Inserts or re-keys `f`'s entry.
+    /// Inserts or re-keys `f`'s entry; later-moving re-keys are
+    /// deferred (see class comment).
     void upsert(FlowId f, Seconds time, std::uint64_t seq);
     /// Drops `f`'s entry if present (a flow rated down to zero has no
     /// completion to predict).
     void remove(FlowId f);
-    void grow(std::size_t num_flows) { pos_.resize(num_flows, -1); }
+    void grow(std::size_t num_flows) {
+      pos_.resize(num_flows, -1);
+      true_time_.resize(num_flows, 0);
+      true_seq_.resize(num_flows, 0);
+    }
 
    private:
     struct Entry {
@@ -210,15 +235,29 @@ class FluidNetwork {
     void place(std::size_t i, const Entry& e);
     void sift_up(std::size_t i, Entry e);
     void sift_down(std::size_t i, Entry e);
+    /// Re-keys deferred entries that reached the root until the top
+    /// holds its true key (or the heap is empty).
+    void fix_top();
 
     std::vector<Entry> entries_;
     std::vector<std::int32_t> pos_;  ///< flow id -> index in entries_, -1
+    // True key of each flow's entry; an entry whose stored seq differs
+    // is stale (its stored key is an earlier lower bound).
+    std::vector<Seconds> true_time_;
+    std::vector<std::uint64_t> true_seq_;
   };
 
   /// Settles `remaining` up to now() at the current rate.
   void settle(FlowState& f);
-  /// Assigns a (new) rate and re-keys the flow's completion prediction.
+  /// Assigns a (new) rate and queues the completion-prediction re-key.
+  /// Only called while `ensure_rates()` flushes dirty components; the
+  /// queued re-keys are applied in one batch after all component
+  /// solves (`apply_rekeys`), so a solve touches the event heap zero
+  /// times instead of once per changed rate.
   void set_rate(FlowId id, FlowState& f, Rate r);
+  /// Applies the re-keys queued by `set_rate` since the last batch, in
+  /// call order (preserving the eager scheme's seq assignment).
+  void apply_rekeys();
   /// Latency-phase exit: the flow starts competing for bandwidth.
   void activate(FlowId id, FlowState& f);
   /// Payload exhausted: record finish, free links, queue for drain.
@@ -252,6 +291,15 @@ class FluidNetwork {
   std::vector<std::int32_t> active_pos_; ///< flow id -> index in active_ids_
   EventHeap events_;
   std::uint64_t next_seq_ = 0;  ///< prediction tie-break counter
+  /// Re-keys queued during a rate flush (flow, prediction, seq); a
+  /// non-positive rate queues a removal instead (time is ignored).
+  struct PendingRekey {
+    FlowId flow;
+    bool remove;
+    Seconds time;
+    std::uint64_t seq;
+  };
+  std::vector<PendingRekey> rekey_buffer_;
 
   // Sharing-component partition of released flows.
   std::vector<std::vector<FlowId>> link_members_;  ///< released flows per link
@@ -284,6 +332,7 @@ class FluidNetwork {
 
   Seconds now_ = 0;
   Bytes total_bytes_ = 0;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace rats

@@ -1,5 +1,7 @@
 #include "platform/cluster.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace rats {
@@ -46,13 +48,48 @@ Cluster Cluster::hierarchical(std::string name, int cabinets,
   return c;
 }
 
+Cluster Cluster::hierarchical_custom(std::string name,
+                                     const std::vector<int>& cabinet_nodes,
+                                     FlopRate node_speed, Seconds link_latency,
+                                     Rate link_bandwidth,
+                                     Seconds uplink_latency,
+                                     Rate uplink_bandwidth) {
+  RATS_REQUIRE(!cabinet_nodes.empty(),
+               "hierarchical cluster needs at least one cabinet");
+  int total = 0;
+  for (const int n : cabinet_nodes) {
+    RATS_REQUIRE(n > 0, "every cabinet needs at least one node");
+    total += n;
+  }
+  Cluster c = flat(std::move(name), total, node_speed, link_latency,
+                   link_bandwidth);
+  c.cabinet_start_.reserve(cabinet_nodes.size());
+  NodeId start = 0;
+  for (std::size_t cab = 0; cab < cabinet_nodes.size(); ++cab) {
+    c.cabinet_start_.push_back(start);
+    start += cabinet_nodes[cab];
+    c.links_.push_back(LinkSpec{"cabinet" + std::to_string(cab) + ".up",
+                                uplink_latency, uplink_bandwidth});
+    c.links_.push_back(LinkSpec{"cabinet" + std::to_string(cab) + ".down",
+                                uplink_latency, uplink_bandwidth});
+  }
+  return c;
+}
+
 int Cluster::cabinets() const {
-  return hierarchical_topology() ? num_nodes_ / nodes_per_cabinet_ : 1;
+  if (!cabinet_start_.empty()) return static_cast<int>(cabinet_start_.size());
+  return nodes_per_cabinet_ > 0 ? num_nodes_ / nodes_per_cabinet_ : 1;
 }
 
 int Cluster::cabinet_of(NodeId node) const {
   check_node(node);
-  return hierarchical_topology() ? node / nodes_per_cabinet_ : 0;
+  if (!cabinet_start_.empty()) {
+    // Last cabinet whose first node is <= node.
+    const auto it = std::upper_bound(cabinet_start_.begin(),
+                                     cabinet_start_.end(), node);
+    return static_cast<int>(it - cabinet_start_.begin()) - 1;
+  }
+  return nodes_per_cabinet_ > 0 ? node / nodes_per_cabinet_ : 0;
 }
 
 const LinkSpec& Cluster::link(LinkId id) const {

@@ -52,10 +52,23 @@ class Cluster {
                               Seconds link_latency, Rate link_bandwidth,
                               Seconds uplink_latency, Rate uplink_bandwidth);
 
+  /// Heterogeneous hierarchical cluster: cabinet `i` holds
+  /// `cabinet_nodes[i]` nodes (sizes may differ).  Same link layout and
+  /// uplink sharing as `hierarchical`; node ids are assigned cabinet by
+  /// cabinet in order.
+  static Cluster hierarchical_custom(std::string name,
+                                     const std::vector<int>& cabinet_nodes,
+                                     FlopRate node_speed,
+                                     Seconds link_latency, Rate link_bandwidth,
+                                     Seconds uplink_latency,
+                                     Rate uplink_bandwidth);
+
   const std::string& name() const { return name_; }
   int num_nodes() const { return num_nodes_; }
   FlopRate node_speed() const { return node_speed_; }
-  bool hierarchical_topology() const { return nodes_per_cabinet_ > 0; }
+  bool hierarchical_topology() const {
+    return nodes_per_cabinet_ > 0 || !cabinet_start_.empty();
+  }
   /// Flat-topology predicate: true iff every src != dst route is
   /// exactly {src uplink, dst downlink}.  Flat clusters satisfy it by
   /// construction, as does a degenerate one-cabinet hierarchy; with
@@ -66,7 +79,7 @@ class Cluster {
   /// platform does not); a property test checks the predicate against
   /// per-flow route inspection.
   bool flat_routes() const {
-    return nodes_per_cabinet_ == 0 || cabinets() == 1;
+    return !hierarchical_topology() || cabinets() == 1;
   }
   int cabinets() const;
   /// Cabinet index of `node` (0 for flat clusters).
@@ -100,7 +113,10 @@ class Cluster {
   std::string name_;
   int num_nodes_ = 0;
   FlopRate node_speed_ = 0;
-  int nodes_per_cabinet_ = 0;  // 0 => flat topology
+  int nodes_per_cabinet_ = 0;  // 0 => flat or heterogeneous topology
+  /// First node id of each cabinet (heterogeneous hierarchies only;
+  /// uniform ones divide by nodes_per_cabinet_ instead).
+  std::vector<NodeId> cabinet_start_;
   std::vector<LinkSpec> links_;
   Bytes tcp_window_ = 4.0 * 1024 * 1024;  // SimGrid's classic 4 MiB default
 };

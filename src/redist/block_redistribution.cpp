@@ -162,14 +162,22 @@ std::vector<std::vector<Bytes>> Redistribution::matrix() const {
 namespace {
 
 /// Process-wide planner statistics, printed at exit when
-/// RATS_REDIST_STATS is set (every per-thread/per-mapper planner folds
-/// its counters in on destruction).
+/// RATS_REDIST_STATS is set.  Counters are bumped live on every lookup
+/// (relaxed atomics, only when the env var is set) rather than folded
+/// in planner destructors: the persistent worker pool's threads — and
+/// their thread-local simulator planners — outlive the report, so
+/// destructor folding silently dropped every pool worker's lookups.
 struct PlannerStats {
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
   std::atomic<std::uint64_t> sim_hits{0};
   std::atomic<std::uint64_t> sim_misses{0};
   const bool enabled = std::getenv("RATS_REDIST_STATS") != nullptr;
+  void bump(bool sim_side, bool hit) {
+    auto& counter = sim_side ? (hit ? sim_hits : sim_misses)
+                             : (hit ? hits : misses);
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
   static void report(const char* label, std::uint64_t h, std::uint64_t m) {
     if (h + m == 0) return;
     std::fprintf(stderr,
@@ -181,22 +189,16 @@ struct PlannerStats {
   }
   ~PlannerStats() {
     if (!enabled) return;
-    report("simulator", sim_hits.load(), sim_misses.load());
-    report("mapper", hits.load(), misses.load());
+    const std::uint64_t sh = sim_hits.load(), sm = sim_misses.load();
+    const std::uint64_t mh = hits.load(), mm = misses.load();
+    report("simulator", sh, sm);
+    report("mapper", mh, mm);
+    report("total", sh + mh, sm + mm);
   }
 };
 PlannerStats g_planner_stats;
 
 }  // namespace
-
-RedistPlanner::~RedistPlanner() {
-  if (g_planner_stats.enabled) {
-    auto& h = sim_side_ ? g_planner_stats.sim_hits : g_planner_stats.hits;
-    auto& m = sim_side_ ? g_planner_stats.sim_misses : g_planner_stats.misses;
-    h.fetch_add(hits_, std::memory_order_relaxed);
-    m.fetch_add(misses_, std::memory_order_relaxed);
-  }
-}
 
 std::size_t RedistPlanner::KeyHash::operator()(const Key& k) const {
   // FNV-1a over the flag, volume key and node lists.
@@ -263,6 +265,8 @@ const Redistribution& RedistPlanner::plan(Bytes total_bytes,
   probe_.receivers = receivers;
   ++tick_;
   const auto hit = cache_.find(probe_);
+  if (g_planner_stats.enabled)
+    g_planner_stats.bump(sim_side_, hit != cache_.end());
   if (hit != cache_.end()) {
     ++hits_;
     CacheEntry& entry = hit->second;

@@ -125,14 +125,16 @@ class Redistribution {
 /// The returned reference stays valid until the next `plan` call (an
 /// insertion may evict the least recently used entry).  Not
 /// thread-safe; use one instance per thread.  Set RATS_REDIST_STATS=1
-/// to print process-wide hit statistics at exit.
+/// to print process-wide hit statistics at exit, split by call-site
+/// (simulator vs mapper, see `tag_simulator`) plus a summed total;
+/// counters are folded live so planners owned by persistent worker
+/// pool threads are included.
 class RedistPlanner {
  public:
   /// `capacity` bounds the number of cached plans (LRU batch eviction:
   /// the least recently used half is dropped when the cache fills).
   explicit RedistPlanner(std::size_t capacity = 4096)
       : capacity_(capacity ? capacity : 1) {}
-  ~RedistPlanner();
 
   /// Plans `total_bytes` from `senders` to `receivers`, or rescales the
   /// cached plan of the geometrically-identical request.

@@ -1,0 +1,684 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "dag/graph_algorithms.hpp"
+#include "exp/parallel.hpp"
+#include "exp/tuning.hpp"
+#include "redist/block_redistribution.hpp"
+#include "scenario/parser.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace rats::scenario {
+
+namespace {
+
+// ---- shared report fragments (ported verbatim from the benches) --------
+
+/// Figures 2 and 6: relative-makespan summary + sorted curves.
+void makespan_report(const ExperimentData& data, bool csv) {
+  Table table({"strategy", "avg relative makespan", "avg improvement",
+               "shorter in", "equal in"});
+  for (std::size_t algo = 1; algo < data.algos(); ++algo) {
+    auto series = relative_series(data, algo, 0, /*makespan=*/true);
+    auto s = summarize_relative(series);
+    table.add_row({data.algo_names[algo], fmt(s.mean_ratio, 3),
+                   fmt_percent(1.0 - s.mean_ratio, 1),
+                   fmt_percent(s.fraction_better, 1),
+                   fmt_percent(s.fraction_equal, 1)});
+    presets::print_sorted_curve(data.algo_names[algo], series);
+  }
+  std::printf("%s", table.to_text().c_str());
+  if (csv) std::printf("%s", table.to_csv().c_str());
+}
+
+/// Figures 3 and 7: relative-work summary + sorted curves.
+void work_report(const ExperimentData& data, bool csv) {
+  Table table({"strategy", "avg relative work", "less work in", "equal in"});
+  for (std::size_t algo = 1; algo < data.algos(); ++algo) {
+    auto series = relative_series(data, algo, 0, /*makespan=*/false);
+    auto s = summarize_relative(series);
+    table.add_row({data.algo_names[algo], fmt(s.mean_ratio, 3),
+                   fmt_percent(s.fraction_better, 1),
+                   fmt_percent(s.fraction_equal, 1)});
+    presets::print_sorted_curve(data.algo_names[algo], series);
+  }
+  std::printf("%s", table.to_text().c_str());
+  if (csv) std::printf("%s", table.to_csv().c_str());
+}
+
+/// Corpus x algorithms on one cluster — the shared execution of the
+/// fig2/fig3/fig6/fig7 and generic kinds.  Tuned presets group by
+/// family (Table IV parameters), everything else runs one algo list.
+ExperimentData run_matrix_experiment(const ScenarioSpec& spec,
+                                     const std::vector<CorpusEntry>& entries,
+                                     const Cluster& cluster) {
+  if (spec.algorithms.tuned())
+    return presets::run_tuned_experiment(entries, cluster, spec.threads);
+  return run_experiment(entries, cluster,
+                        spec.algorithms.resolve(DagFamily::Irregular,
+                                                cluster.name()),
+                        spec.threads);
+}
+
+void run_fig2(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  Cluster cluster = spec.platform.resolve_one();
+  auto data = run_matrix_experiment(spec, corpus, cluster);
+  presets::heading(
+      "Figure 2: relative makespan vs HCPA, naive parameters, " +
+      cluster.name());
+  makespan_report(data, spec.output.csv);
+  std::printf(
+      "\n  paper: delta ~9%% shorter on average, better in 72%% of "
+      "scenarios;\n         time-cost ~16%% shorter, better in 80%%.\n");
+}
+
+void run_fig3(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  Cluster cluster = spec.platform.resolve_one();
+  auto data = run_matrix_experiment(spec, corpus, cluster);
+  presets::heading("Figure 3: relative work vs HCPA, naive parameters, " +
+                   cluster.name());
+  work_report(data, spec.output.csv);
+  std::printf(
+      "\n  paper: both strategies stay close to HCPA's resource usage;\n"
+      "         delta consumes less than time-cost.\n");
+}
+
+void run_fig4(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  Cluster cluster = spec.platform.resolve_one();
+  // Empty [sweep] lists fall back to the paper grids inside sweep_delta.
+  auto sweep = sweep_delta(corpus, cluster, spec.sweep.mindeltas,
+                           spec.sweep.maxdeltas, spec.threads);
+  presets::heading(
+      "Figure 4: avg makespan relative to HCPA, RATS-delta, FFT, " +
+      cluster.name());
+  std::vector<std::string> header{"mindelta \\ maxdelta"};
+  for (double mx : sweep.maxdeltas) header.push_back(fmt(mx, 2));
+  Table table(header);
+  for (std::size_t i = 0; i < sweep.mindeltas.size(); ++i) {
+    std::vector<std::string> row{fmt(sweep.mindeltas[i], 2)};
+    for (std::size_t j = 0; j < sweep.maxdeltas.size(); ++j)
+      row.push_back(fmt(sweep.avg_relative[i][j], 3));
+    table.add_row(row);
+  }
+  std::printf("%s", table.to_text().c_str());
+  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
+  std::printf("\n  best: mindelta=%s maxdelta=%s -> %s\n",
+              fmt(sweep.best_mindelta, 2).c_str(),
+              fmt(sweep.best_maxdelta, 2).c_str(),
+              fmt(sweep.best_value, 3).c_str());
+  std::printf(
+      "  paper: larger maxdelta improves the relative makespan; lowering\n"
+      "  mindelta helps only to a certain extent (Table IV picks (-.5, 1)).\n");
+}
+
+void run_fig5(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  Cluster cluster = spec.platform.resolve_one();
+  auto sweep = sweep_rho(corpus, cluster, spec.sweep.minrhos, spec.threads);
+  presets::heading(
+      "Figure 5: avg makespan relative to HCPA, RATS-time-cost, irregular, " +
+      cluster.name());
+  Table table({"minrho", "packing allowed", "no packing"});
+  for (std::size_t i = 0; i < sweep.minrhos.size(); ++i)
+    table.add_row({fmt(sweep.minrhos[i], 2), fmt(sweep.with_packing[i], 3),
+                   fmt(sweep.without_packing[i], 3)});
+  std::printf("%s", table.to_text().c_str());
+  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
+  std::printf("\n  best (packing allowed): minrho=%s -> %s\n",
+              fmt(sweep.best_minrho, 2).c_str(),
+              fmt(sweep.best_value, 3).c_str());
+  std::printf(
+      "  paper: packing gives better performance at every minrho; the\n"
+      "  curve flattens beyond a threshold (0.5 on grillon).\n");
+}
+
+void run_fig6(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  Cluster cluster = spec.platform.resolve_one();
+  auto data = run_matrix_experiment(spec, corpus, cluster);
+  presets::heading(
+      "Figure 6: relative makespan vs HCPA, tuned parameters, " +
+      cluster.name());
+  makespan_report(data, spec.output.csv);
+  std::printf(
+      "\n  paper: tuned delta ~13%% shorter than HCPA on grillon (9%% "
+      "naive);\n         time-cost improves only slightly over naive.\n");
+}
+
+void run_fig7(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  Cluster cluster = spec.platform.resolve_one();
+  auto data = run_matrix_experiment(spec, corpus, cluster);
+  presets::heading("Figure 7: relative work vs HCPA, tuned parameters, " +
+                   cluster.name());
+  work_report(data, spec.output.csv);
+  std::printf(
+      "\n  paper: tuned RATS stays close to (mostly below) HCPA's resource "
+      "usage.\n");
+}
+
+void print_redist_matrix(const Redistribution& r, Bytes unit) {
+  auto m = r.matrix();
+  std::vector<std::string> header{""};
+  for (int q = 0; q < r.receivers(); ++q)
+    header.push_back("q" + std::to_string(q + 1));
+  Table table(header);
+  for (int p = 0; p < r.senders(); ++p) {
+    std::vector<std::string> row{"p" + std::to_string(p + 1)};
+    for (int q = 0; q < r.receivers(); ++q) {
+      double units =
+          m[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)] / unit;
+      row.push_back(units == 0 ? "" : fmt(units, 2));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.to_text().c_str());
+}
+
+void run_table1(const ScenarioSpec&) {
+  presets::heading(
+      "Table I: communication matrix, 10 units, p=4 senders, q=5 receivers");
+  const Bytes unit = 1024;  // any unit; the matrix scales linearly
+  std::vector<NodeId> senders{0, 1, 2, 3};
+  std::vector<NodeId> receivers{4, 5, 6, 7, 8};
+  auto r = Redistribution::plan(10 * unit, senders, receivers);
+  print_redist_matrix(r, unit);
+  std::printf("  non-empty entries: %zu (expected p+q-1 = 8)\n",
+              r.transfers().size());
+  std::printf("  self bytes: %s units, remote: %s units\n",
+              fmt(r.self_bytes() / unit, 2).c_str(),
+              fmt(r.remote_bytes() / unit, 2).c_str());
+
+  presets::heading(
+      "Overlapping sets: receiver order permuted to maximize self "
+      "communication");
+  std::vector<NodeId> overlap_recv{2, 3, 4, 5, 6};
+  auto r2 = Redistribution::plan(10 * unit, senders, overlap_recv);
+  print_redist_matrix(r2, unit);
+  std::printf("  self bytes: %s units (stay on node), remote: %s units\n",
+              fmt(r2.self_bytes() / unit, 2).c_str(),
+              fmt(r2.remote_bytes() / unit, 2).c_str());
+
+  presets::heading("Identical sets: redistribution cost is zero");
+  auto r3 = Redistribution::plan(10 * unit, senders, senders);
+  std::printf("  remote bytes: %s (paper: zero when tasks share the same "
+              "processor set)\n",
+              fmt(r3.remote_bytes(), 0).c_str());
+}
+
+void run_table2(const ScenarioSpec& spec) {
+  const auto clusters = spec.platform.resolve();
+  presets::heading("Table II: cluster characteristics");
+  Table table({"Cluster", "#proc.", "GFlop/sec", "topology", "#links"});
+  for (const Cluster& c : clusters) {
+    table.add_row({c.name(), std::to_string(c.num_nodes()),
+                   fmt(c.node_speed() / 1e9, 3),
+                   c.hierarchical_topology()
+                       ? std::to_string(c.cabinets()) + " cabinets"
+                       : "flat switch",
+                   std::to_string(c.num_links())});
+  }
+  std::printf("%s", table.to_text().c_str());
+  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
+
+  presets::heading("Derived network model (Section IV-A)");
+  for (const Cluster& c : clusters) {
+    NodeId far = static_cast<NodeId>(c.num_nodes() - 1);
+    auto route = c.route(0, far);
+    Seconds lat = c.route_latency(0, far);
+    Seconds rtt = 2 * lat;
+    Rate beta = c.link(c.nic_up(0)).bandwidth;
+    Rate beta_prime = std::min(beta, c.tcp_window() / rtt);
+    std::printf(
+        "  %-8s route node0->node%-3d: %zu links, one-way latency %s us, "
+        "beta' = min(beta, Wmax/RTT) = %s MB/s (beta = %s MB/s)\n",
+        c.name().c_str(), far, route.size(), fmt(lat * 1e6, 1).c_str(),
+        fmt(beta_prime / 1e6, 1).c_str(), fmt(beta / 1e6, 1).c_str());
+  }
+}
+
+void run_table3(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  presets::heading("Table III: corpus composition");
+  Table params({"family", "#configs", "tasks", "edges(min-max)",
+                "avg levels", "avg width"});
+  for (DagFamily family : {DagFamily::Layered, DagFamily::Irregular,
+                           DagFamily::FFT, DagFamily::Strassen}) {
+    int count = 0;
+    std::int32_t min_edges = INT32_MAX, max_edges = 0;
+    std::int32_t min_tasks = INT32_MAX, max_tasks = 0;
+    double sum_levels = 0, sum_width = 0;
+    for (const auto& e : corpus) {
+      if (e.family != family) continue;
+      ++count;
+      min_edges = std::min(min_edges, e.graph.num_edges());
+      max_edges = std::max(max_edges, e.graph.num_edges());
+      min_tasks = std::min(min_tasks, e.graph.num_tasks());
+      max_tasks = std::max(max_tasks, e.graph.num_tasks());
+      auto levels = task_levels(e.graph);
+      int num_levels = 1 + *std::max_element(levels.begin(), levels.end());
+      std::vector<int> per_level(static_cast<std::size_t>(num_levels), 0);
+      for (int l : levels) ++per_level[static_cast<std::size_t>(l)];
+      sum_levels += num_levels;
+      sum_width += *std::max_element(per_level.begin(), per_level.end());
+    }
+    if (count == 0) continue;
+    params.add_row({to_string(family), std::to_string(count),
+                    std::to_string(min_tasks) + "-" + std::to_string(max_tasks),
+                    std::to_string(min_edges) + "-" + std::to_string(max_edges),
+                    fmt(sum_levels / count, 1), fmt(sum_width / count, 1)});
+  }
+  std::printf("%s", params.to_text().c_str());
+  if (spec.output.csv) std::printf("%s", params.to_csv().c_str());
+
+  std::printf(
+      "\n  paper scale: 108 layered + 324 irregular + 100 FFT + 25 Strassen "
+      "= 557\n  (this run: %zu; --full regenerates the paper corpus)\n",
+      corpus.size());
+}
+
+void run_table4(const ScenarioSpec& spec) {
+  presets::heading("Table IV: tuned (mindelta, maxdelta, minrho)");
+  Table table({"family \\ cluster", "chti", "grillon", "grelon"});
+  const int cap = spec.workload.cap_per_family > 0
+                      ? spec.workload.cap_per_family
+                      : 6;
+  for (DagFamily family : {DagFamily::FFT, DagFamily::Strassen,
+                           DagFamily::Layered, DagFamily::Irregular}) {
+    auto corpus = presets::cap_per_family(
+        presets::make_family(family, spec.workload.corpus),
+        spec.workload.corpus, cap);
+    std::vector<std::string> row{to_string(family)};
+    for (const Cluster& cluster : spec.platform.resolve()) {
+      TunedParams t = tune(corpus, cluster, spec.threads);
+      row.push_back("(" + fmt(t.mindelta, 2) + ", " + fmt(t.maxdelta, 2) +
+                    ", " + fmt(t.minrho, 2) + ")");
+      std::printf("  tuned %-9s on %-8s: mindelta=%s maxdelta=%s minrho=%s\n",
+                  to_string(family).c_str(), cluster.name().c_str(),
+                  fmt(t.mindelta, 2).c_str(), fmt(t.maxdelta, 2).c_str(),
+                  fmt(t.minrho, 2).c_str());
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.to_text().c_str());
+  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
+  std::printf(
+      "\n  paper Table IV (chti/grillon/grelon):\n"
+      "    FFT      (-.5,1,.2)   (-.5,1,.2)   (-.25,.75,.4)\n"
+      "    Strassen (-.25,.5,.5) (0,1,.4)     (-.25,1,.5)\n"
+      "    Layered  (-.5,1,.2)   (-.25,1,.2)  (-.5,1,.2)\n"
+      "    Random   (-.75,1,.5)  (-.75,1,.5)  (-.75,1,.4)\n"
+      "  exact cell values depend on the generated corpus; the shape to\n"
+      "  check is maxdelta ~ 1, negative mindelta, small-to-mid minrho.\n");
+}
+
+void run_table5(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  const auto clusters = spec.platform.resolve();
+  std::printf("  running corpus on %zu clusters...\n", clusters.size());
+  const std::vector<ExperimentData> per_cluster =
+      presets::run_tuned_experiments(corpus, clusters, spec.threads);
+  const auto& names = per_cluster.front().algo_names;
+
+  presets::heading("Table V: pairwise comparison (chti / grillon / grelon)");
+  Table table({"algorithm", "", "vs HCPA", "vs delta", "vs time-cost",
+               "combined (%)"});
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    const char* rows[3] = {"better", "equal", "worse"};
+    for (int r = 0; r < 3; ++r) {
+      std::vector<std::string> row{r == 0 ? names[a] : "", rows[r]};
+      for (std::size_t b = 0; b < names.size(); ++b) {
+        if (a == b) {
+          row.push_back("XXX");
+          continue;
+        }
+        std::string cell;
+        for (const auto& data : per_cluster) {
+          auto c = pairwise_compare(data, a, b);
+          int v = r == 0 ? c.better : (r == 1 ? c.equal : c.worse);
+          cell += (cell.empty() ? "" : " / ") + std::to_string(v);
+        }
+        row.push_back(cell);
+      }
+      std::string comb;
+      for (const auto& data : per_cluster) {
+        auto f = combined_compare(data, a);
+        double v = r == 0 ? f.better : (r == 1 ? f.equal : f.worse);
+        comb += (comb.empty() ? "" : " / ") + fmt(100 * v, 1);
+      }
+      row.push_back(comb);
+      table.add_row(row);
+    }
+  }
+  std::printf("%s", table.to_text().c_str());
+  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
+  std::printf(
+      "\n  paper: ranking {time-cost, delta, HCPA} by best-result counts;\n"
+      "  time-cost wins more as cluster size grows, delta is strongest on\n"
+      "  small and medium clusters.\n");
+}
+
+void run_table6(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  presets::heading("Table VI: average degradation from best");
+  Table table({"cluster", "metric", "HCPA", "delta", "time-cost"});
+  const auto clusters = spec.platform.resolve();
+  std::printf("  running corpus on %zu clusters...\n", clusters.size());
+  const auto per_cluster =
+      presets::run_tuned_experiments(corpus, clusters, spec.threads);
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    const Cluster& cluster = clusters[ci];
+    const ExperimentData& data = per_cluster[ci];
+    Degradation d[3];
+    for (std::size_t a = 0; a < 3; ++a) d[a] = degradation_from_best(data, a);
+    table.add_row({cluster.name(), "avg over all exp.",
+                   fmt_percent(d[0].avg_over_all, 2),
+                   fmt_percent(d[1].avg_over_all, 2),
+                   fmt_percent(d[2].avg_over_all, 2)});
+    table.add_row({"", "# not best", std::to_string(d[0].not_best),
+                   std::to_string(d[1].not_best),
+                   std::to_string(d[2].not_best)});
+    table.add_row({"", "avg over # not best",
+                   fmt_percent(d[0].avg_over_not_best, 2),
+                   fmt_percent(d[1].avg_over_not_best, 2),
+                   fmt_percent(d[2].avg_over_not_best, 2)});
+  }
+  std::printf("%s", table.to_text().c_str());
+  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
+  std::printf(
+      "\n  paper: time-cost stays closest to the best (< 6%% over all\n"
+      "  experiments, improving with cluster size); delta degrades as the\n"
+      "  cluster grows; HCPA reaches > 100%% on large clusters.\n");
+}
+
+void run_experiment_kind(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  Cluster cluster = spec.platform.resolve_one();
+  auto data = run_matrix_experiment(spec, corpus, cluster);
+  presets::heading("Scenario '" + spec.name + "': " + cluster.name() + ", " +
+                   std::to_string(data.entries()) + " workloads x " +
+                   std::to_string(data.algos()) + " algorithms");
+  constexpr double kTolerance = 1e-6;
+  Table table({"algorithm", "avg makespan (s)", "avg work (proc*s)",
+               "best in"});
+  for (std::size_t a = 0; a < data.algos(); ++a) {
+    double sum_makespan = 0, sum_work = 0;
+    int best = 0;
+    for (std::size_t e = 0; e < data.entries(); ++e) {
+      sum_makespan += data.outcome[e][a].makespan;
+      sum_work += data.outcome[e][a].work;
+      double min_makespan = data.outcome[e][0].makespan;
+      for (std::size_t other = 1; other < data.algos(); ++other)
+        min_makespan = std::min(min_makespan, data.outcome[e][other].makespan);
+      if (data.outcome[e][a].makespan <= min_makespan * (1 + kTolerance))
+        ++best;
+    }
+    const auto n = static_cast<double>(data.entries());
+    table.add_row({data.algo_names[a], fmt(sum_makespan / n, 2),
+                   fmt(sum_work / n, 1),
+                   std::to_string(best) + "/" + std::to_string(data.entries())});
+  }
+  std::printf("%s", table.to_text().c_str());
+  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
+  if (data.entries() <= 24) {
+    presets::heading("Per-workload makespans (s)");
+    std::vector<std::string> header{"workload"};
+    for (const auto& name : data.algo_names) header.push_back(name);
+    Table per_entry(header);
+    for (std::size_t e = 0; e < data.entries(); ++e) {
+      std::vector<std::string> row{data.entry_names[e]};
+      for (std::size_t a = 0; a < data.algos(); ++a)
+        row.push_back(fmt(data.outcome[e][a].makespan, 2));
+      per_entry.add_row(row);
+    }
+    std::printf("%s", per_entry.to_text().c_str());
+    if (spec.output.csv) std::printf("%s", per_entry.to_csv().c_str());
+  }
+}
+
+void run_single(const ScenarioSpec& spec) {
+  auto corpus = spec.workload.resolve(true);
+  Cluster cluster = spec.platform.resolve_one();
+  for (const CorpusEntry& entry : corpus) {
+    const auto algos =
+        spec.algorithms.resolve(entry.family, cluster.name());
+    for (const AlgoSpec& algo : algos) {
+      std::printf("\nworkflow %s: %d tasks, %d edges; platform %s (%d "
+                  "nodes)\n",
+                  entry.name.c_str(), entry.graph.num_tasks(),
+                  entry.graph.num_edges(), cluster.name().c_str(),
+                  cluster.num_nodes());
+      const Schedule schedule =
+          build_schedule(entry.graph, cluster, algo.options);
+      TraceSink sink;
+      SimulatorOptions sim_options;
+      if (spec.output.gantt) sim_options.trace = &sink;
+      const SimulationResult result =
+          simulate(entry.graph, schedule, cluster, sim_options);
+      std::printf(
+          "%s: makespan %.2f s (mapper estimate %.2f s), work %.1f proc*s, "
+          "network %.1f MiB\n",
+          algo.name.c_str(), result.makespan, schedule.estimated_makespan(),
+          result.total_work, result.network_bytes / MiB);
+      std::printf("%-20s %5s %9s %9s %9s\n", "task", "procs", "ready",
+                  "start", "finish");
+      for (TaskId t = 0; t < entry.graph.num_tasks(); ++t) {
+        const auto& tl = result.timeline[static_cast<std::size_t>(t)];
+        std::printf("%-20s %5zu %9.2f %9.2f %9.2f\n",
+                    entry.graph.task(t).name.c_str(),
+                    schedule.of(t).procs.size(), tl.data_ready, tl.start,
+                    tl.finish);
+      }
+      if (spec.output.gantt) {
+        std::vector<std::string> names;
+        for (TaskId t = 0; t < entry.graph.num_tasks(); ++t)
+          names.push_back(entry.graph.task(t).name);
+        presets::heading("Gantt (" + entry.name + ", " + algo.name + ")");
+        std::printf("%s", trace_gantt(sink.events(), &names).c_str());
+      }
+    }
+  }
+}
+
+// ---- registry ----------------------------------------------------------
+
+struct KindEntry {
+  const char* name;
+  void (*fn)(const ScenarioSpec&);
+  bool traceable;
+};
+
+constexpr KindEntry kKinds[] = {
+    {"fig2", run_fig2, true},
+    {"fig3", run_fig3, true},
+    {"fig4", run_fig4, false},
+    {"fig5", run_fig5, false},
+    {"fig6", run_fig6, true},
+    {"fig7", run_fig7, true},
+    {"table1", run_table1, false},
+    {"table2", run_table2, false},
+    {"table3", run_table3, false},
+    {"table4", run_table4, false},
+    {"table5", run_table5, false},
+    {"table6", run_table6, false},
+    {"experiment", run_experiment_kind, true},
+    {"single", run_single, true},
+};
+
+const KindEntry* find_kind(const std::string& kind) {
+  for (const KindEntry& entry : kKinds)
+    if (kind == entry.name) return &entry;
+  return nullptr;
+}
+
+const KindEntry& require_kind(const std::string& kind) {
+  const KindEntry* entry = find_kind(kind);
+  if (entry == nullptr) {
+    std::string known;
+    for (const KindEntry& k : kKinds)
+      known += (known.empty() ? "" : ", ") + std::string(k.name);
+    throw Error("unknown scenario kind '" + kind + "' (known: " + known +
+                ")");
+  }
+  return *entry;
+}
+
+// ---- trace rendering ---------------------------------------------------
+
+/// The run matrix of a traceable scenario: every (entry, algorithm)
+/// pair, with tuned presets resolved per entry family.
+struct TraceMatrix {
+  Cluster cluster;
+  std::vector<CorpusEntry> entries;
+  std::vector<std::string> algo_names;
+  std::vector<std::vector<SchedulerOptions>> options;  ///< [entry][algo]
+};
+
+TraceMatrix trace_matrix(const ScenarioSpec& spec) {
+  TraceMatrix m{spec.platform.resolve_one(), spec.workload.resolve(false),
+                spec.algorithms.names(), {}};
+  m.options.reserve(m.entries.size());
+  for (const CorpusEntry& entry : m.entries) {
+    const auto algos =
+        spec.algorithms.resolve(entry.family, m.cluster.name());
+    RATS_REQUIRE(algos.size() == m.algo_names.size(),
+                 "algorithm list changed size across families");
+    std::vector<SchedulerOptions> row;
+    for (const AlgoSpec& algo : algos) row.push_back(algo.options);
+    m.options.push_back(std::move(row));
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::string> kinds() {
+  std::vector<std::string> names;
+  for (const KindEntry& entry : kKinds) names.emplace_back(entry.name);
+  return names;
+}
+
+bool kind_supports_trace(const std::string& kind) {
+  const KindEntry* entry = find_kind(kind);
+  return entry != nullptr && entry->traceable;
+}
+
+std::string render_trace(const ScenarioSpec& spec, unsigned threads) {
+  RATS_REQUIRE(kind_supports_trace(spec.kind),
+               "scenario kind '" + spec.kind + "' does not support tracing");
+  const TraceMatrix m = trace_matrix(spec);
+  const std::size_t num_algos = m.algo_names.size();
+  const std::size_t runs = m.entries.size() * num_algos;
+
+  std::string out = "{\"rats_trace\":1,\"name\":\"" + json_escape(spec.name) +
+                    "\",\"kind\":\"" + json_escape(spec.kind) +
+                    "\",\"runs\":" + std::to_string(runs) + ",\"spec\":\"" +
+                    json_escape(emit_scenario(spec)) + "\"}\n";
+
+  // Each run is independent: schedule + simulate with a private sink,
+  // serialize into its own chunk, concatenate in run order.
+  std::vector<std::string> chunks(runs);
+  parallel_for(runs, [&](std::size_t r) {
+    const std::size_t e = r / num_algos;
+    const std::size_t a = r % num_algos;
+    const CorpusEntry& entry = m.entries[e];
+    const Schedule schedule =
+        build_schedule(entry.graph, m.cluster, m.options[e][a]);
+    TraceSink sink;
+    SimulatorOptions sim_options;
+    sim_options.trace = &sink;
+    const SimulationResult result =
+        simulate(entry.graph, schedule, m.cluster, sim_options);
+    std::string chunk = "{\"run\":" + std::to_string(r) + ",\"entry\":\"" +
+                        json_escape(entry.name) + "\",\"algo\":\"" +
+                        json_escape(m.algo_names[a]) + "\",\"cluster\":\"" +
+                        json_escape(m.cluster.name()) + "\"}\n";
+    for (const TraceEvent& event : sink.events()) {
+      chunk += trace_event_line(event);
+      chunk += '\n';
+    }
+    chunk += "{\"run_end\":" + std::to_string(r) +
+             ",\"events\":" + std::to_string(sink.size()) +
+             ",\"makespan\":" + trace_double(result.makespan) + "}\n";
+    chunks[r] = std::move(chunk);
+  }, threads);
+  for (const std::string& chunk : chunks) out += chunk;
+  return out;
+}
+
+void run(const ScenarioSpec& spec, const RunOptions& options) {
+  ScenarioSpec effective = spec;
+  if (options.has_threads) effective.threads = options.threads;
+  if (options.csv) effective.output.csv = true;
+  if (options.full) effective.workload.corpus.full = true;
+  const KindEntry& entry = require_kind(effective.kind);
+  // Reject an untraceable kind before spending the report run on it.
+  RATS_REQUIRE(options.trace_path.empty() || entry.traceable,
+               "scenario kind '" + effective.kind +
+                   "' does not support tracing");
+  entry.fn(effective);
+  if (!options.trace_path.empty()) {
+    const std::string text = render_trace(effective, effective.threads);
+    std::ofstream out(options.trace_path, std::ios::binary);
+    if (!out) throw Error("cannot write trace '" + options.trace_path + "'");
+    out << text;
+    out.close();
+    std::fprintf(stderr, "wrote trace %s\n", options.trace_path.c_str());
+  }
+}
+
+ScenarioSpec default_spec(const std::string& kind) {
+  require_kind(kind);
+  ScenarioSpec spec;
+  spec.name = kind;
+  spec.kind = kind;
+  spec.platform.presets = {"grillon"};
+  if (kind == "fig4") {
+    spec.workload.source = WorkloadSpec::Source::Family;
+    spec.workload.family = "fft";
+    spec.sweep.mindeltas = tuning_mindeltas();
+    spec.sweep.maxdeltas = tuning_maxdeltas();
+  } else if (kind == "fig5") {
+    spec.workload.source = WorkloadSpec::Source::Family;
+    spec.workload.family = "irregular";
+    spec.workload.cap_per_family = 16;
+    spec.sweep.minrhos = tuning_minrhos();
+  } else if (kind == "fig6" || kind == "fig7") {
+    spec.algorithms.preset = "tuned";
+  } else if (kind == "table2" || kind == "table4") {
+    spec.platform.presets = {"chti", "grillon", "grelon"};
+    if (kind == "table4") spec.workload.cap_per_family = 6;
+  } else if (kind == "table5" || kind == "table6") {
+    spec.platform.presets = {"chti", "grillon", "grelon"};
+    spec.workload.cap_per_family = 12;
+    spec.algorithms.preset = "tuned";
+  } else if (kind == "experiment") {
+    spec.workload.source = WorkloadSpec::Source::Generate;
+    spec.workload.generator = "layered";
+    spec.workload.count = 3;
+    spec.workload.dag.num_tasks = 40;
+    spec.workload.dag.width = 0.5;
+    spec.workload.dag.density = 0.5;
+    spec.workload.dag.regularity = 0.5;
+  } else if (kind == "single") {
+    spec.workload.source = WorkloadSpec::Source::Generate;
+    spec.workload.generator = "fft";
+    spec.workload.count = 1;
+    spec.workload.fft_k = 8;
+    spec.algorithms.preset.clear();
+    spec.algorithms.algos = {presets::naive_algos().back()};
+  }
+  return spec;
+}
+
+}  // namespace rats::scenario

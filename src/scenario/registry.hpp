@@ -1,0 +1,61 @@
+// Scenario kind registry: maps each scenario kind onto the src/exp/
+// runner machinery and renders the same reports the fig/table bench
+// binaries print.
+//
+// Kinds (one per paper artefact plus two generic ones):
+//   fig2 fig3 fig6 fig7      corpus x algorithms on one cluster
+//   fig4 fig5                parameter sweep grids
+//   table1 table2 table3     static/structural reports
+//   table4                   full tuning sweeps (Table IV)
+//   table5 table6            tuned multi-cluster comparisons
+//   experiment               generic corpus x algorithms summary
+//   single                   per-task timeline of each workload entry
+//
+// The corpus-x-algorithms kinds (fig2/fig3/fig6/fig7, experiment,
+// single) are *traceable*: `run` with a trace path — or `render_trace`
+// directly — re-simulates every (entry, algorithm) run with a
+// TraceSink attached and serializes the streams as JSON lines behind a
+// header that embeds the canonical scenario text, which is exactly
+// what trace/replay.hpp needs to re-simulate and diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace rats::scenario {
+
+/// Per-invocation overrides (command line) layered over the spec.
+struct RunOptions {
+  bool has_threads = false;
+  unsigned threads = 0;
+  bool csv = false;        ///< force CSV emission on
+  bool full = false;       ///< force the paper-scale corpus
+  std::string trace_path;  ///< write a JSON-lines trace here (traceable kinds)
+};
+
+/// All registered kinds, in registry order.
+std::vector<std::string> kinds();
+
+/// True when `kind` exists and supports trace capture.
+bool kind_supports_trace(const std::string& kind);
+
+/// Executes the scenario: prints the kind's report to stdout and, when
+/// `options.trace_path` is set, re-simulates the runs with tracing and
+/// writes the trace file (a note goes to stderr, keeping stdout
+/// byte-identical to the untraced run).  Throws rats::Error on unknown
+/// kinds, spec/kind mismatches, or tracing an untraceable kind.
+void run(const ScenarioSpec& spec, const RunOptions& options = {});
+
+/// Renders the complete trace text (header + runs) for a traceable
+/// kind without printing anything.  Deterministic for a given spec —
+/// the replay checker's whole contract.
+std::string render_trace(const ScenarioSpec& spec, unsigned threads);
+
+/// The spec the named fig/table bench binary runs by default — also
+/// the content of the checked-in scenarios/<kind>.rats files.  Throws
+/// on unknown kinds.
+ScenarioSpec default_spec(const std::string& kind);
+
+}  // namespace rats::scenario

@@ -1,0 +1,119 @@
+// Declarative scenario model: platforms, workloads, algorithms, sweep
+// grids and output selection as *data* rather than compiled bench
+// binaries.
+//
+// A scenario is written as a `.rats` text file (see scenario/parser.hpp
+// for the grammar), bound into the ScenarioSpec struct below, and
+// executed through the kind registry (scenario/registry.hpp), which
+// maps each scenario kind onto the src/exp/ runner machinery.  Every
+// fig/table reproduction binary is expressible this way — the binaries
+// themselves build their default spec and run it through the same
+// path, so `rats run scenarios/fig2.rats` and `fig2_naive_makespan`
+// print byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daggen/corpus.hpp"
+#include "daggen/random_dag.hpp"
+#include "exp/experiment.hpp"
+#include "exp/presets.hpp"
+#include "platform/cluster.hpp"
+
+namespace rats::scenario {
+
+/// Platform section: either a list of named Grid'5000 presets (several
+/// for multi-cluster kinds like table5/table6) or one custom cluster —
+/// flat (`nodes`) or hierarchical (`cabinets`, possibly heterogeneous
+/// per-cabinet node counts).
+struct PlatformSpec {
+  std::vector<std::string> presets;  ///< "chti" | "grillon" | "grelon"
+  std::string name = "custom";
+  int nodes = 0;                     ///< custom flat cluster
+  std::vector<int> cabinet_nodes;    ///< custom hierarchical cluster
+  double gflops = 1.0;
+  double latency_us = 100.0;
+  double bandwidth_gbps = 1.0;
+  double uplink_latency_us = 100.0;
+  double uplink_bandwidth_gbps = 1.0;
+
+  bool is_custom() const { return presets.empty(); }
+  /// All clusters of the section (presets in order, or the one custom
+  /// cluster).  Throws on unknown preset names or empty sections.
+  std::vector<Cluster> resolve() const;
+  /// The single cluster of the section; throws when it names several.
+  Cluster resolve_one() const;
+};
+
+/// Workload section: where the task graphs come from.
+struct WorkloadSpec {
+  enum class Source { Corpus, Family, Generate, File };
+  Source source = Source::Corpus;
+
+  /// Corpus / Family sources (the paper's Table III corpus).
+  presets::CorpusConfig corpus;
+  std::string family = "fft";  ///< Family source only
+  /// Keep at most this many entries per family (0 = no cap; ignored
+  /// with corpus.full, mirroring the benches' --full behaviour).
+  int cap_per_family = 0;
+
+  /// Generate source: `count` samples of one generator.
+  std::string generator = "layered";  ///< fft|strassen|layered|irregular
+  int count = 1;
+  int fft_k = 8;
+  RandomDagParams dag;
+  std::uint64_t generate_seed = 42;
+
+  /// File source: a workflow file for src/io/workflow_io.hpp.
+  std::string path;
+
+  /// Materializes the workload.  With `announce`, prints the same
+  /// corpus-size lines the bench binaries print.
+  std::vector<CorpusEntry> resolve(bool announce) const;
+};
+
+/// Algorithms section: a named preset or an explicit ordered list.
+///   naive — HCPA, delta(-0.5,0.5), time-cost(0.5)   (Figures 2-3)
+///   tuned — HCPA + Table IV parameters per family   (Figures 6-7)
+struct AlgorithmsSpec {
+  std::string preset = "naive";  ///< "naive" | "tuned" | "" (explicit)
+  std::vector<AlgoSpec> algos;   ///< explicit list (preset empty)
+
+  bool tuned() const { return preset == "tuned"; }
+  /// Algorithm specs for entries of `family` on `cluster` (tuned
+  /// presets pick the family's Table IV cell).
+  std::vector<AlgoSpec> resolve(DagFamily family,
+                                const std::string& cluster) const;
+  /// Algorithm display names (family-independent).
+  std::vector<std::string> names() const;
+};
+
+/// Sweep section: parameter grids for the sweep kinds (fig4/fig5).
+/// Empty lists fall back to the paper's grids.
+struct SweepSpec {
+  std::vector<double> mindeltas;
+  std::vector<double> maxdeltas;
+  std::vector<double> minrhos;
+};
+
+/// Output section.
+struct OutputSpec {
+  bool csv = false;    ///< also emit CSV after each table
+  bool gantt = false;  ///< print a Gantt table per run (kind "single")
+};
+
+/// One fully-described scenario.
+struct ScenarioSpec {
+  std::string name;
+  std::string kind;
+  unsigned threads = 0;  ///< worker threads (0 = hardware concurrency)
+  PlatformSpec platform;
+  WorkloadSpec workload;
+  AlgorithmsSpec algorithms;
+  SweepSpec sweep;
+  OutputSpec output;
+};
+
+}  // namespace rats::scenario

@@ -21,6 +21,8 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
   schedule.validate(graph, cluster);
   const AmdahlModel model(cluster.node_speed());
   FluidNetwork net(cluster);
+  TraceSink* const trace = options.trace;
+  net.set_trace(trace);
 
   const int num_tasks = graph.num_tasks();
   SimulationResult result;
@@ -91,6 +93,7 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
     const TaskId dst = graph.edge(e).dst;
     auto& pending = pending_inputs[static_cast<std::size_t>(dst)];
     RATS_REQUIRE(pending > 0, "edge completed twice");
+    if (trace) trace->record(now, TraceEventKind::RedistDone, e);
     if (--pending == 0) {
       result.timeline[static_cast<std::size_t>(dst)].data_ready = now;
       enqueue_if_ready(dst);
@@ -109,6 +112,10 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
         planner.plan(edge.bytes, schedule.of(edge.src).procs,
                      schedule.of(edge.dst).procs);
     result.network_bytes += plan.remote_bytes();
+    if (trace)
+      trace->record(now, TraceEventKind::RedistStart, e,
+                    static_cast<std::int32_t>(plan.transfers().size()),
+                    plan.remote_bytes());
     if (plan.transfers().empty()) {
       edge_complete(e);  // all data stays local: zero-cost redistribution
       return;
@@ -129,6 +136,7 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
   auto finish_task = [&](TaskId t) {
     result.timeline[static_cast<std::size_t>(t)].finish = now;
     ++finished_count;
+    if (trace) trace->record(now, TraceEventKind::TaskFinish, t);
     for (NodeId p : schedule.of(t).procs) {
       auto& pos = head[static_cast<std::size_t>(p)];
       const auto& q = queue[static_cast<std::size_t>(p)];
@@ -151,6 +159,9 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
       started[static_cast<std::size_t>(t)] = 1;
       auto& timing = result.timeline[static_cast<std::size_t>(t)];
       timing.start = now;
+      if (trace)
+        trace->record(now, TraceEventKind::TaskStart, t,
+                      static_cast<std::int32_t>(schedule.of(t).procs.size()));
       const Seconds duration =
           model.execution_time(graph.task(t), schedule.allocation(t));
       completions.push(now + duration, t);

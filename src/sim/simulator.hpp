@@ -48,6 +48,10 @@ struct SimulatorOptions {
   /// time instead of being simulated as contending fluid flows (used by
   /// the contention ablation bench).
   bool contention = true;
+  /// Opt-in structured tracing (see trace/trace.hpp): task start/finish,
+  /// redistribution intervals, component solves and rate changes are
+  /// recorded into the sink.  Must outlive the simulate() call.
+  TraceSink* trace = nullptr;
 };
 
 /// Simulates `schedule` for `graph` on `cluster`; throws on invalid

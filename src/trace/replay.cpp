@@ -1,0 +1,140 @@
+#include "trace/replay.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "scenario/parser.hpp"
+#include "scenario/registry.hpp"
+
+namespace rats {
+
+namespace {
+
+/// Extracts the value of a `"key":"..."` string field from a JSON
+/// object line written by the trace renderer, undoing its escaping.
+/// Returns false when the key is absent.
+bool extract_string_field(const std::string& line, const std::string& key,
+                          std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  out.clear();
+  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\') {
+      if (i + 1 >= line.size()) return false;
+      const char next = line[++i];
+      if (next == 'n') out += '\n';
+      else if (next == 't') out += '\t';
+      else if (next == 'r') out += '\r';
+      else if (next == 'u') {
+        // json_escape writes other control characters as \u00XX.
+        if (i + 4 >= line.size()) return false;
+        unsigned code = 0;
+        for (int d = 0; d < 4; ++d) {
+          const char h = line[++i];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f')
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F')
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        if (code > 0x7f) return false;  // the writer only escapes ASCII
+        out += static_cast<char>(code);
+      } else out += next;  // \" and \\ (and any future passthrough)
+    } else if (c == '"') {
+      return true;
+    } else {
+      out += c;
+    }
+  }
+  return false;  // unterminated
+}
+
+/// First line of `text` starting at `pos` (without the newline).
+std::string line_at(const std::string& text, std::size_t pos) {
+  const std::size_t end = text.find('\n', pos);
+  return text.substr(pos, end == std::string::npos ? std::string::npos
+                                                   : end - pos);
+}
+
+std::string truncate(std::string s, std::size_t limit = 160) {
+  if (s.size() > limit) s = s.substr(0, limit) + "...";
+  return s;
+}
+
+}  // namespace
+
+ReplayReport verify_trace(const std::string& path, unsigned threads) {
+  ReplayReport report;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    report.error = "cannot open trace file '" + path + "'";
+    return report;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string actual = buffer.str();
+
+  const std::string header = line_at(actual, 0);
+  if (header.rfind("{\"rats_trace\":1,", 0) != 0) {
+    report.error = path + ":1: not a RATS trace (header line missing)";
+    return report;
+  }
+  std::string spec_text;
+  if (!extract_string_field(header, "spec", spec_text)) {
+    report.error = path + ":1: header has no embedded scenario spec";
+    return report;
+  }
+
+  std::string expected;
+  try {
+    const scenario::ScenarioSpec spec =
+        scenario::parse_scenario_string(spec_text, path + ":<header spec>");
+    expected = scenario::render_trace(spec, threads);
+  } catch (const Error& e) {
+    report.error = std::string("replay failed: ") + e.what();
+    return report;
+  }
+
+  // Byte-diff, reported line by line.  (A line consumes its newline;
+  // a final line without one pushes the position one past the end,
+  // which the bounds checks below must run before any further
+  // line_at.)
+  std::size_t line_no = 1, pos_a = 0, pos_e = 0;
+  while (pos_a < actual.size() || pos_e < expected.size()) {
+    if (pos_a >= actual.size()) {
+      report.error = path + ":" + std::to_string(line_no) +
+                     ": trace ends early; replay expects: " +
+                     truncate(line_at(expected, pos_e));
+      return report;
+    }
+    if (pos_e >= expected.size()) {
+      report.error = path + ":" + std::to_string(line_no) +
+                     ": trailing content after the replayed stream: " +
+                     truncate(line_at(actual, pos_a));
+      return report;
+    }
+    const std::string line_actual = line_at(actual, pos_a);
+    const std::string line_expected = line_at(expected, pos_e);
+    if (line_actual != line_expected) {
+      report.error = path + ":" + std::to_string(line_no) +
+                     ": trace diverges from replay\n  trace:  " +
+                     truncate(line_actual) +
+                     "\n  replay: " + truncate(line_expected);
+      return report;
+    }
+    if (line_actual.rfind("{\"run\":", 0) == 0) ++report.runs;
+    else if (line_actual.rfind("{\"t\":", 0) == 0) ++report.events;
+    pos_a += line_actual.size() + 1;
+    pos_e += line_expected.size() + 1;
+    ++line_no;
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace rats

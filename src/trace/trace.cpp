@@ -1,0 +1,122 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace rats {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::TaskStart: return "task_start";
+    case TraceEventKind::TaskFinish: return "task_finish";
+    case TraceEventKind::RedistStart: return "redist_start";
+    case TraceEventKind::RedistDone: return "redist_done";
+    case TraceEventKind::SolveComponent: return "solve";
+    case TraceEventKind::RateChange: return "rate";
+  }
+  return "?";
+}
+
+std::string trace_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string trace_event_line(const TraceEvent& event) {
+  std::string line = "{\"t\":" + trace_double(event.time);
+  line += ",\"ev\":\"";
+  line += to_string(event.kind);
+  line += "\",\"a\":" + std::to_string(event.a);
+  line += ",\"b\":" + std::to_string(event.b);
+  line += ",\"v\":" + trace_double(event.value) + "}";
+  return line;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string trace_gantt(const std::vector<TraceEvent>& events,
+                        const std::vector<std::string>* task_names) {
+  struct Interval {
+    bool task;        ///< task interval (else redistribution)
+    std::int32_t id;
+    Seconds start;
+    Seconds finish;
+    bool closed = false;
+  };
+  std::vector<Interval> intervals;
+  // Open-interval lookup: (task, id) -> index.  Streams are small and
+  // ids dense per run, so a linear scan from the back (intervals close
+  // roughly in the order they open) is plenty.
+  auto open_index = [&](bool task, std::int32_t id) -> Interval* {
+    for (auto it = intervals.rbegin(); it != intervals.rend(); ++it)
+      if (it->task == task && it->id == id && !it->closed) return &*it;
+    return nullptr;
+  };
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::TaskStart:
+        intervals.push_back(Interval{true, e.a, e.time, e.time});
+        break;
+      case TraceEventKind::RedistStart:
+        intervals.push_back(Interval{false, e.a, e.time, e.time});
+        break;
+      case TraceEventKind::TaskFinish:
+      case TraceEventKind::RedistDone: {
+        Interval* open =
+            open_index(e.kind == TraceEventKind::TaskFinish, e.a);
+        RATS_REQUIRE(open != nullptr, "trace closes an interval it never opened");
+        open->finish = e.time;
+        open->closed = true;
+        break;
+      }
+      default:
+        break;  // solver/rate events carry no interval
+    }
+  }
+  std::stable_sort(intervals.begin(), intervals.end(),
+                   [](const Interval& a, const Interval& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     return a.task > b.task;
+                   });
+  Table table({"interval", "start", "finish", "duration"});
+  for (const Interval& iv : intervals) {
+    std::string label;
+    if (iv.task) {
+      label = task_names != nullptr
+                  ? (*task_names)[static_cast<std::size_t>(iv.id)]
+                  : "task " + std::to_string(iv.id);
+    } else {
+      label = "edge " + std::to_string(iv.id);
+    }
+    table.add_row({label, fmt(iv.start, 3), fmt(iv.finish, 3),
+                   fmt(iv.finish - iv.start, 3)});
+  }
+  return table.to_text();
+}
+
+}  // namespace rats
