@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -37,16 +38,28 @@ struct BenchConfig {
 BenchConfig parse_args(int argc, char** argv);
 
 // Thin aliases over the library presets (see src/exp/presets.hpp).
+// The presets capture their announcement lines into strings (report
+// models need them as data); the bench front ends still print them.
 inline std::vector<CorpusEntry> make_corpus(const BenchConfig& cfg) {
-  return presets::make_corpus(cfg.corpus);
+  std::string announce;
+  auto corpus = presets::make_corpus(cfg.corpus, &announce);
+  std::fputs(announce.c_str(), stdout);
+  return corpus;
 }
 inline std::vector<CorpusEntry> make_family(DagFamily family,
                                             const BenchConfig& cfg) {
-  return presets::make_family(family, cfg.corpus);
+  std::string announce;
+  auto corpus = presets::make_family(family, cfg.corpus, &announce);
+  std::fputs(announce.c_str(), stdout);
+  return corpus;
 }
 inline std::vector<CorpusEntry> cap_per_family(std::vector<CorpusEntry> corpus,
                                                const BenchConfig& cfg, int n) {
-  return presets::cap_per_family(std::move(corpus), cfg.corpus, n);
+  std::string announce;
+  auto capped =
+      presets::cap_per_family(std::move(corpus), cfg.corpus, n, &announce);
+  std::fputs(announce.c_str(), stdout);
+  return capped;
 }
 inline std::vector<AlgoSpec> naive_algos() { return presets::naive_algos(); }
 inline RatsParams paper_tuned_params(DagFamily family,

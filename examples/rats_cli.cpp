@@ -19,6 +19,7 @@
 //   rats sched --generate fft:8 --platform flat:64:3.0 --algo delta \
 //              --mindelta -0.5 --maxdelta 1 --dot fft.dot
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -29,6 +30,7 @@
 #include "daggen/kernels.hpp"
 #include "daggen/random_dag.hpp"
 #include "exp/autotune.hpp"
+#include "exp/runner.hpp"
 #include "io/workflow_io.hpp"
 #include "platform/grid5000.hpp"
 #include "scenario/parser.hpp"
@@ -44,8 +46,11 @@ namespace {
 [[noreturn]] void usage(int code) {
   std::printf(
       "usage: rats <command> [options]\n"
-      "  run <scenario.rats>     execute a scenario file\n"
-      "      --trace FILE        also write a JSON-lines simulation trace\n"
+      "  run <scenario.rats>     execute a scenario file (one simulation\n"
+      "                          pass feeds report, trace and artefacts)\n"
+      "      --trace FILE        stream a JSON-lines simulation trace\n"
+      "      --report-csv FILE   write the CSV report rendering\n"
+      "      --report-json FILE  write the JSON report rendering\n"
       "      --threads N         worker threads (0 = hardware)\n"
       "      --csv               also emit CSV after each table\n"
       "      --full              paper-scale corpus\n"
@@ -135,6 +140,8 @@ int cmd_run(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--trace") options.trace_path = next();
+    else if (a == "--report-csv") options.report_csv_path = next();
+    else if (a == "--report-json") options.report_json_path = next();
     else if (a == "--threads") {
       options.has_threads = true;
       options.threads = parse_threads(next());
@@ -149,7 +156,16 @@ int cmd_run(int argc, char** argv) {
     std::fprintf(stderr, "rats run: missing scenario file\n");
     usage(2);
   }
+  // RATS_RUN_STATS=1 prints how many schedule+simulate runs the
+  // scenario cost — the CI gate that a traced run's matrix was
+  // simulated exactly once (report and trace share the pass).
+  const std::uint64_t runs_before = simulated_run_count();
   scenario::run(scenario::load_scenario(file), options);
+  const char* stats = std::getenv("RATS_RUN_STATS");
+  if (stats != nullptr && *stats != '\0' && *stats != '0')
+    std::fprintf(stderr, "run-stats: simulated %llu runs\n",
+                 static_cast<unsigned long long>(simulated_run_count() -
+                                                 runs_before));
   return 0;
 }
 

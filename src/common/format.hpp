@@ -1,0 +1,41 @@
+// printf-style formatting into std::string.
+//
+// The report pipeline captures every line the legacy binaries printed
+// with std::printf into structured models, so the exact byte sequences
+// must be reproducible; routing both through vsnprintf guarantees that.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rats {
+
+/// va_list core shared by strf and ReportModel::textf.  Consumes
+/// `args` (the caller still owns the va_end).
+inline std::string vstrf(const char* fmt, va_list args) {
+  va_list probe;
+  va_copy(probe, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, probe);
+  va_end(probe);
+  RATS_REQUIRE(n >= 0, "vsnprintf failed");
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::string out = vstrf(fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace rats

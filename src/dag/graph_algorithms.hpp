@@ -66,6 +66,67 @@ void bottom_levels_into(const TaskGraph& g, NodeF&& node_cost,
 std::vector<double> bottom_levels(const TaskGraph& g, const NodeCostFn& node_cost,
                                   const EdgeCostFn& edge_cost);
 
+/// Scratch for incremental bottom-level maintenance (see
+/// bottom_levels_update).  Reusable across calls on the same graph;
+/// resizing the graph invalidates it (the update re-derives it then).
+struct BottomLevelDelta {
+  std::vector<std::size_t> pos;      ///< topo position per task
+  std::vector<std::uint32_t> mark;   ///< epoch stamp: bl moved this round
+  std::uint32_t epoch = 0;
+};
+
+/// Incremental form of bottom_levels_into after exactly one task's
+/// node cost changed (edge costs unchanged): walks the reverse
+/// topological order from `changed` towards the entries and recomputes
+/// a task only when its own cost changed or some successor's bottom
+/// level moved.  The recomputation is the same expression over the
+/// same successor order as the full pass, and untouched tasks keep
+/// their previous values, so the result is bitwise identical to
+/// recomputing from scratch — the CPA allocation loop (one +1
+/// allocation per iteration) leans on exactly that.
+template <typename NodeF, typename EdgeF>
+void bottom_levels_update(const TaskGraph& g, NodeF&& node_cost,
+                          EdgeF&& edge_cost, std::vector<double>& bl,
+                          TaskId changed, BottomLevelDelta& scratch) {
+  const std::vector<TaskId>& order = g.topo_order();
+  const auto n = static_cast<std::size_t>(g.num_tasks());
+  RATS_REQUIRE(bl.size() == n, "bottom levels not initialized");
+  if (scratch.pos.size() != n) {
+    scratch.pos.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      scratch.pos[static_cast<std::size_t>(order[i])] = i;
+    scratch.mark.assign(n, 0);
+    scratch.epoch = 0;
+  }
+  const std::uint32_t epoch = ++scratch.epoch;
+  for (std::size_t i = scratch.pos[static_cast<std::size_t>(changed)] + 1;
+       i-- > 0;) {
+    const TaskId t = order[i];
+    if (t != changed) {
+      bool affected = false;
+      for (EdgeId e : g.out_edges(t)) {
+        if (scratch.mark[static_cast<std::size_t>(g.edge(e).dst)] == epoch) {
+          affected = true;
+          break;
+        }
+      }
+      if (!affected) continue;
+    }
+    // Mirror bottom_levels_into's accumulation exactly (same edge
+    // order, same max/add sequence) so recomputed values match bitwise.
+    double tail = 0.0;
+    for (EdgeId e : g.out_edges(t)) {
+      const TaskId dst = g.edge(e).dst;
+      tail = std::max(tail, edge_cost(e) + bl[static_cast<std::size_t>(dst)]);
+    }
+    const double value = node_cost(t) + tail;
+    if (value != bl[static_cast<std::size_t>(t)]) {
+      bl[static_cast<std::size_t>(t)] = value;
+      scratch.mark[static_cast<std::size_t>(t)] = epoch;
+    }
+  }
+}
+
 /// Top level: longest weighted path from any entry to just before t.
 std::vector<double> top_levels(const TaskGraph& g, const NodeCostFn& node_cost,
                                const EdgeCostFn& edge_cost);
@@ -76,15 +137,15 @@ struct CriticalPath {
   std::vector<TaskId> tasks;  ///< tasks on that path, entry to exit
 };
 
-/// The critical path under the given weights; ties broken
-/// deterministically by task id.  `bl` is scratch for the bottom
-/// levels; `cp` is overwritten.  Reuses every buffer, so the
-/// allocation step's repeated per-iteration calls allocate nothing.
+/// The critical path read off already-computed bottom levels `bl`
+/// (ties broken deterministically by task id); `cp` is overwritten.
+/// Split out so the allocation loop can maintain `bl` incrementally
+/// (bottom_levels_update) and still extract the path each iteration.
 template <typename NodeF, typename EdgeF>
-void critical_path_into(const TaskGraph& g, NodeF&& node_cost,
-                        EdgeF&& edge_cost, std::vector<double>& bl,
-                        CriticalPath& cp) {
-  bottom_levels_into(g, node_cost, edge_cost, bl);
+void critical_path_from_levels(const TaskGraph& g, NodeF&& node_cost,
+                               EdgeF&& edge_cost,
+                               const std::vector<double>& bl,
+                               CriticalPath& cp) {
   cp.tasks.clear();
 
   // Start from the entry with the largest bottom level (ties: lowest
@@ -118,6 +179,17 @@ void critical_path_into(const TaskGraph& g, NodeF&& node_cost,
     }
     current = next;
   }
+}
+
+/// The critical path under the given weights.  `bl` is scratch for the
+/// bottom levels; `cp` is overwritten.  Reuses every buffer, so
+/// repeated calls allocate nothing.
+template <typename NodeF, typename EdgeF>
+void critical_path_into(const TaskGraph& g, NodeF&& node_cost,
+                        EdgeF&& edge_cost, std::vector<double>& bl,
+                        CriticalPath& cp) {
+  bottom_levels_into(g, node_cost, edge_cost, bl);
+  critical_path_from_levels(g, node_cost, edge_cost, bl, cp);
 }
 
 /// The critical path as a fresh result (convenience wrapper).

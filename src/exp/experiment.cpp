@@ -11,7 +11,7 @@ namespace rats {
 ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
                               const Cluster& cluster,
                               const std::vector<AlgoSpec>& algos,
-                              unsigned threads) {
+                              unsigned threads, RunSession* session) {
   RATS_REQUIRE(!corpus.empty() && !algos.empty(),
                "experiment needs a corpus and algorithms");
   ExperimentData data;
@@ -27,11 +27,17 @@ ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
                       std::vector<RunOutcome>(algos.size()));
 
   const std::size_t jobs = corpus.size() * algos.size();
+  if (session) session->begin_matrix(jobs);
   parallel_for(jobs, [&](std::size_t j) {
     const std::size_t e = j / algos.size();
     const std::size_t a = j % algos.size();
+    SimulatorOptions sim;
+    if (session)
+      sim.trace = session->begin_run(
+          j, RunMeta{corpus[e].name, algos[a].name, cluster.name()});
     data.outcome[e][a] =
-        run_scenario(corpus[e].graph, cluster, algos[a].options);
+        run_scenario(corpus[e].graph, cluster, algos[a].options, sim);
+    if (session) session->end_run(j, data.outcome[e][a]);
   }, threads);
   return data;
 }

@@ -9,6 +9,7 @@
 
 #include "daggen/corpus.hpp"
 #include "exp/runner.hpp"
+#include "exp/session.hpp"
 
 namespace rats {
 
@@ -33,11 +34,15 @@ struct ExperimentData {
 
 /// Runs the full cross product corpus x algos on `cluster`, in
 /// parallel over scenarios (`threads` workers, 0 = hardware
-/// concurrency).
+/// concurrency).  `session`, when given, observes every run (run index
+/// = entry * algos + algo) and may attach per-run trace sinks — this is
+/// how a traced scenario shares one simulation pass between report and
+/// trace (see exp/session.hpp).
 ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
                               const Cluster& cluster,
                               const std::vector<AlgoSpec>& algos,
-                              unsigned threads = 0);
+                              unsigned threads = 0,
+                              RunSession* session = nullptr);
 
 /// Per-entry ratio metric(algo) / metric(reference algo), e.g. the
 /// "makespan relative to HCPA" of Figures 2 and 6.  `metric` selects

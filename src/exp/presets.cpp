@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "common/error.hpp"
+#include "common/format.hpp"
 #include "common/table.hpp"
 #include "exp/parallel.hpp"
 
@@ -22,25 +23,30 @@ CorpusOptions corpus_options(const CorpusConfig& cfg) {
   return opt;
 }
 
-std::vector<CorpusEntry> make_corpus(const CorpusConfig& cfg) {
+std::vector<CorpusEntry> make_corpus(const CorpusConfig& cfg,
+                                     std::string* announce) {
   auto corpus = build_corpus(corpus_options(cfg));
-  std::printf("corpus: %zu configurations (%s)\n", corpus.size(),
-              cfg.full ? "paper scale" : "reduced scale; use --full for 557");
+  if (announce)
+    *announce += strf("corpus: %zu configurations (%s)\n", corpus.size(),
+                      cfg.full ? "paper scale"
+                               : "reduced scale; use --full for 557");
   return corpus;
 }
 
 std::vector<CorpusEntry> make_family(DagFamily family,
-                                     const CorpusConfig& cfg) {
+                                     const CorpusConfig& cfg,
+                                     std::string* announce) {
   auto corpus = build_family(family, corpus_options(cfg));
-  std::printf("corpus: %zu %s configurations (%s)\n", corpus.size(),
-              to_string(family).c_str(),
-              cfg.full ? "paper scale" : "reduced scale; use --full");
+  if (announce)
+    *announce += strf("corpus: %zu %s configurations (%s)\n", corpus.size(),
+                      to_string(family).c_str(),
+                      cfg.full ? "paper scale" : "reduced scale; use --full");
   return corpus;
 }
 
 std::vector<CorpusEntry> cap_per_family(std::vector<CorpusEntry> corpus,
                                         const CorpusConfig& cfg, int n,
-                                        bool announce) {
+                                        std::string* announce) {
   if (n <= 0 || cfg.full) return corpus;
   std::vector<CorpusEntry> capped;
   for (DagFamily family : {DagFamily::Layered, DagFamily::Irregular,
@@ -56,8 +62,8 @@ std::vector<CorpusEntry> cap_per_family(std::vector<CorpusEntry> corpus,
       capped.push_back(corpus[idx[k * idx.size() / keep]]);
   }
   if (announce && capped.size() < corpus.size())
-    std::printf("  (capped to %zu entries; --full runs all %zu)\n",
-                capped.size(), corpus.size());
+    *announce += strf("  (capped to %zu entries; --full runs all %zu)\n",
+                      capped.size(), corpus.size());
   return capped;
 }
 
@@ -123,13 +129,14 @@ std::vector<AlgoSpec> tuned_algos(DagFamily family,
 
 ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
                                     const Cluster& cluster,
-                                    unsigned threads) {
-  return run_tuned_experiments(corpus, {cluster}, threads).front();
+                                    unsigned threads, RunSession* session) {
+  return run_tuned_experiments(corpus, {cluster}, threads, session).front();
 }
 
 std::vector<ExperimentData> run_tuned_experiments(
     const std::vector<CorpusEntry>& corpus,
-    const std::vector<Cluster>& clusters, unsigned threads) {
+    const std::vector<Cluster>& clusters, unsigned threads,
+    RunSession* session) {
   constexpr DagFamily kFamilies[] = {DagFamily::Layered, DagFamily::Irregular,
                                      DagFamily::FFT, DagFamily::Strassen};
   const std::size_t num_algos = 3;
@@ -162,14 +169,20 @@ std::vector<ExperimentData> run_tuned_experiments(
   // One flat (cluster, entry, algo) batch: every scenario is an
   // independent job, each writing only its own outcome slot.
   const std::size_t per_cluster = corpus.size() * num_algos;
+  if (session) session->begin_matrix(clusters.size() * per_cluster);
   parallel_for(clusters.size() * per_cluster, [&](std::size_t j) {
     const std::size_t c = j / per_cluster;
     const std::size_t e = (j % per_cluster) / num_algos;
     const std::size_t a = j % num_algos;
     const AlgoSpec& spec =
         specs[c][family_index(corpus[e].family)][a];
+    SimulatorOptions sim;
+    if (session)
+      sim.trace = session->begin_run(
+          j, RunMeta{corpus[e].name, spec.name, clusters[c].name()});
     results[c].outcome[e][a] =
-        run_scenario(corpus[e].graph, clusters[c], spec.options);
+        run_scenario(corpus[e].graph, clusters[c], spec.options, sim);
+    if (session) session->end_run(j, results[c].outcome[e][a]);
   }, threads);
   return results;
 }

@@ -1,12 +1,27 @@
 #include "exp/runner.hpp"
 
+#include <atomic>
+
 namespace rats {
+
+namespace {
+std::atomic<std::uint64_t> g_simulated_runs{0};
+}  // namespace
+
+std::uint64_t simulated_run_count() {
+  return g_simulated_runs.load(std::memory_order_relaxed);
+}
+
+void note_simulated_run() {
+  g_simulated_runs.fetch_add(1, std::memory_order_relaxed);
+}
 
 RunOutcome run_scenario(const TaskGraph& graph, const Cluster& cluster,
                         const SchedulerOptions& scheduler,
                         const SimulatorOptions& sim) {
   const Schedule schedule = build_schedule(graph, cluster, scheduler);
   const SimulationResult result = simulate(graph, schedule, cluster, sim);
+  note_simulated_run();
   return RunOutcome{result.makespan, result.total_work};
 }
 

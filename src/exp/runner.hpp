@@ -3,6 +3,8 @@
 // report the two metrics of the paper: makespan and total work.
 #pragma once
 
+#include <cstdint>
+
 #include "platform/cluster.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
@@ -20,5 +22,14 @@ struct RunOutcome {
 RunOutcome run_scenario(const TaskGraph& graph, const Cluster& cluster,
                         const SchedulerOptions& scheduler,
                         const SimulatorOptions& sim = {});
+
+/// Process-wide count of schedule+simulate runs executed so far.  The
+/// one-pass CI gate snapshots it around `rats run --trace` to prove the
+/// traced run matrix was simulated exactly once.
+std::uint64_t simulated_run_count();
+
+/// Counts one run for paths that schedule+simulate without going
+/// through run_scenario (the per-task timeline of kind "single").
+void note_simulated_run();
 
 }  // namespace rats

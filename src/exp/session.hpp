@@ -1,0 +1,50 @@
+// Per-run sinks for experiment matrices — the execution side of the
+// experiment→report pipeline.
+//
+// A RunSession is handed to the matrix runners (exp/experiment.hpp,
+// exp/presets.hpp, exp/tuning.hpp) and observes every (entry,
+// algorithm) run as it executes: `begin_run` may attach a TraceSink so
+// the run's simulation is traced *in the same pass* that produces the
+// report data — a traced `rats run` simulates its run matrix exactly
+// once — and `end_run` delivers the outcome.  The streaming trace
+// writer (trace/writer.hpp) is the main implementation.
+//
+// Runs execute in parallel and complete out of order; implementations
+// must be thread-safe across begin_run/end_run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "exp/runner.hpp"
+
+namespace rats {
+
+class TraceSink;
+
+/// Identity of one run of an experiment matrix.
+struct RunMeta {
+  std::string entry;    ///< workload entry name
+  std::string algo;     ///< algorithm display name
+  std::string cluster;  ///< cluster name
+};
+
+/// Observer of an experiment matrix; see the header comment.
+class RunSession {
+ public:
+  virtual ~RunSession() = default;
+
+  /// Announces the matrix size before any run starts (called once,
+  /// from the thread launching the matrix).
+  virtual void begin_matrix(std::size_t runs) { (void)runs; }
+
+  /// Called as run `run` starts; the returned sink (nullptr = do not
+  /// trace) receives the run's simulation events and must stay valid
+  /// until the matching end_run.
+  virtual TraceSink* begin_run(std::size_t run, const RunMeta& meta) = 0;
+
+  /// Called when run `run` completes.
+  virtual void end_run(std::size_t run, const RunOutcome& outcome) = 0;
+};
+
+}  // namespace rats

@@ -44,7 +44,7 @@ double average_relative_makespan(const std::vector<CorpusEntry>& corpus,
 std::vector<double> sweep_grid(const std::vector<CorpusEntry>& corpus,
                                const Cluster& cluster,
                                const std::vector<SchedulerOptions>& points,
-                               unsigned threads) {
+                               unsigned threads, RunSession* session) {
   RATS_REQUIRE(!corpus.empty(), "sweep needs a corpus");
   // All grid points ride through the experiment runner as one batch:
   // algo 0 is the HCPA reference, the rest are the sweep points, and
@@ -58,7 +58,8 @@ std::vector<double> sweep_grid(const std::vector<CorpusEntry>& corpus,
   for (std::size_t p = 0; p < points.size(); ++p)
     algos.push_back(AlgoSpec{"point" + std::to_string(p), points[p]});
 
-  const ExperimentData data = run_experiment(corpus, cluster, algos, threads);
+  const ExperimentData data =
+      run_experiment(corpus, cluster, algos, threads, session);
 
   std::vector<double> averages;
   averages.reserve(points.size());
@@ -78,7 +79,7 @@ DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
                        const Cluster& cluster,
                        const std::vector<double>& mindeltas,
                        const std::vector<double>& maxdeltas,
-                       unsigned threads) {
+                       unsigned threads, RunSession* session) {
   DeltaSweep sweep;
   sweep.mindeltas = mindeltas.empty() ? tuning_mindeltas() : mindeltas;
   sweep.maxdeltas = maxdeltas.empty() ? tuning_maxdeltas() : maxdeltas;
@@ -93,7 +94,8 @@ DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
       points.push_back(options);
     }
   }
-  const std::vector<double> avg = sweep_grid(corpus, cluster, points, threads);
+  const std::vector<double> avg =
+      sweep_grid(corpus, cluster, points, threads, session);
 
   sweep.best_value = std::numeric_limits<double>::infinity();
   std::size_t k = 0;
@@ -120,7 +122,8 @@ RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
 
 RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
                    const Cluster& cluster,
-                   const std::vector<double>& minrhos, unsigned threads) {
+                   const std::vector<double>& minrhos, unsigned threads,
+                   RunSession* session) {
   RhoSweep sweep;
   sweep.minrhos = minrhos.empty() ? tuning_minrhos() : minrhos;
 
@@ -134,7 +137,8 @@ RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
       points.push_back(options);
     }
   }
-  const std::vector<double> avg = sweep_grid(corpus, cluster, points, threads);
+  const std::vector<double> avg =
+      sweep_grid(corpus, cluster, points, threads, session);
 
   sweep.best_value = std::numeric_limits<double>::infinity();
   std::size_t k = 0;

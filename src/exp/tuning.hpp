@@ -31,11 +31,15 @@ double average_relative_makespan(const std::vector<CorpusEntry>& corpus,
 
 /// Average relative makespan (vs a freshly computed HCPA reference) of
 /// every sweep point, batched through the experiment runner as one
-/// (points + reference) x corpus parallel job.
+/// (points + reference) x corpus parallel job.  `session` observes
+/// every run of that batch (run index = entry * (points + 1) + algo,
+/// algo 0 being the HCPA reference) — the hook that lets the generic
+/// sweep kind trace its whole grid in the pass that scores it.
 std::vector<double> sweep_grid(const std::vector<CorpusEntry>& corpus,
                                const Cluster& cluster,
                                const std::vector<SchedulerOptions>& points,
-                               unsigned threads = 0);
+                               unsigned threads = 0,
+                               RunSession* session = nullptr);
 
 /// The (mindelta, maxdelta) surface of Figure 4.
 struct DeltaSweep {
@@ -56,7 +60,7 @@ DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
                        const Cluster& cluster,
                        const std::vector<double>& mindeltas,
                        const std::vector<double>& maxdeltas,
-                       unsigned threads = 0);
+                       unsigned threads = 0, RunSession* session = nullptr);
 
 /// The minrho curves (packing on/off) of Figure 5.
 struct RhoSweep {
@@ -73,7 +77,8 @@ RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
 /// list falls back to the paper grid.
 RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
                    const Cluster& cluster,
-                   const std::vector<double>& minrhos, unsigned threads = 0);
+                   const std::vector<double>& minrhos, unsigned threads = 0,
+                   RunSession* session = nullptr);
 
 /// One Table IV cell: tuned (mindelta, maxdelta, minrho).
 struct TunedParams {

@@ -1,0 +1,71 @@
+#include "report/model.hpp"
+
+#include "common/format.hpp"
+
+namespace rats::report {
+
+void ReportModel::heading(std::string title) {
+  Item item;
+  item.kind = Item::Kind::Heading;
+  item.heading = std::move(title);
+  items.push_back(std::move(item));
+}
+
+void ReportModel::text(std::string exact) {
+  Item item;
+  item.kind = Item::Kind::Text;
+  item.text = std::move(exact);
+  items.push_back(std::move(item));
+}
+
+void ReportModel::textf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::string out = vstrf(fmt, args);
+  va_end(args);
+  text(std::move(out));
+}
+
+TableModel& ReportModel::table(std::string id, std::vector<Column> columns) {
+  Item item;
+  item.kind = Item::Kind::Table;
+  item.table.id = std::move(id);
+  item.table.columns = std::move(columns);
+  items.push_back(std::move(item));
+  return items.back().table;
+}
+
+void ReportModel::series(std::string id, std::string label,
+                         std::vector<double> values) {
+  Item item;
+  item.kind = Item::Kind::Series;
+  item.series = SeriesModel{std::move(id), std::move(label),
+                            std::move(values)};
+  items.push_back(std::move(item));
+}
+
+void ReportModel::scalar(std::string id, double value) {
+  Item item;
+  item.kind = Item::Kind::Scalar;
+  item.scalar.id = std::move(id);
+  item.scalar.num = value;
+  item.scalar.numeric = true;
+  items.push_back(std::move(item));
+}
+
+void ReportModel::scalar(std::string id, std::string text) {
+  Item item;
+  item.kind = Item::Kind::Scalar;
+  item.scalar.id = std::move(id);
+  item.scalar.text = std::move(text);
+  items.push_back(std::move(item));
+}
+
+const TableModel* ReportModel::find_table(const std::string& id) const {
+  for (const Item& item : items)
+    if (item.kind == Item::Kind::Table && item.table.id == id)
+      return &item.table;
+  return nullptr;
+}
+
+}  // namespace rats::report

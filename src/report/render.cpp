@@ -1,0 +1,174 @@
+#include "report/render.hpp"
+
+#include "common/table.hpp"
+#include "exp/experiment.hpp"
+#include "trace/trace.hpp"
+
+namespace rats::report {
+
+namespace {
+
+/// The legacy Table rendering of a model table (text + CSV share it).
+Table to_table(const TableModel& t) {
+  std::vector<std::string> header;
+  header.reserve(t.columns.size());
+  for (const Column& c : t.columns) header.push_back(c.name);
+  Table table(std::move(header));
+  for (const auto& row : t.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Cell& c : row) cells.push_back(c.text);
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+/// The sorted percentile curve a series renders as (21 points, the
+/// paper's figure sampling).
+std::vector<double> series_curve(const SeriesModel& s) {
+  return sorted_curve(s.values, 21);
+}
+
+}  // namespace
+
+std::string render_text(const ReportModel& model, bool csv_echo) {
+  std::string out;
+  for (const Item& item : model.items) {
+    switch (item.kind) {
+      case Item::Kind::Heading:
+        out += "\n" + item.heading + "\n";
+        out += std::string(item.heading.size(), '=') + "\n";
+        break;
+      case Item::Kind::Text:
+        out += item.text;
+        break;
+      case Item::Kind::Table: {
+        const bool echo = csv_echo && item.table.csv_echo;
+        if (item.table.preformatted.empty() || echo) {
+          const Table table = to_table(item.table);
+          out += item.table.preformatted.empty() ? table.to_text()
+                                                 : item.table.preformatted;
+          if (echo) out += table.to_csv();
+        } else {
+          out += item.table.preformatted;
+        }
+        break;
+      }
+      case Item::Kind::Series: {
+        out += "  " + item.series.label +
+               " (sorted, percentiles of the corpus):\n    ";
+        const auto curve = series_curve(item.series);
+        for (std::size_t i = 0; i < curve.size(); ++i)
+          out += fmt(curve[i], 2) + (i + 1 == curve.size() ? "\n" : " ");
+        break;
+      }
+      case Item::Kind::Scalar:
+        break;  // data-only
+    }
+  }
+  return out;
+}
+
+std::string render_csv(const ReportModel& model) {
+  std::string out;
+  bool first = true;
+  auto section = [&](const std::string& header) {
+    if (!first) out += "\n";
+    first = false;
+    out += header + "\n";
+  };
+  for (const Item& item : model.items) {
+    switch (item.kind) {
+      case Item::Kind::Table:
+        section("# table " + item.table.id);
+        out += to_table(item.table).to_csv();
+        break;
+      case Item::Kind::Series: {
+        section("# series " + item.series.id);
+        out += "percent,value\n";
+        const auto curve = series_curve(item.series);
+        for (std::size_t i = 0; i < curve.size(); ++i)
+          out += trace_double(100.0 * static_cast<double>(i) /
+                              static_cast<double>(curve.size() - 1)) +
+                 "," + trace_double(curve[i]) + "\n";
+        break;
+      }
+      case Item::Kind::Scalar:
+        section("# scalar " + item.scalar.id);
+        out += (item.scalar.numeric ? trace_double(item.scalar.num)
+                                    : item.scalar.text) +
+               "\n";
+        break;
+      default:
+        break;  // headings/notes are presentation-only
+    }
+  }
+  return out;
+}
+
+std::string render_json(const ReportModel& model) {
+  std::string out = "{\"rats_report\":1,\"name\":\"" +
+                    json_escape(model.name) + "\",\"kind\":\"" +
+                    json_escape(model.kind) + "\",\"items\":[";
+  bool first_item = true;
+  for (const Item& item : model.items) {
+    out += first_item ? "\n" : ",\n";
+    first_item = false;
+    switch (item.kind) {
+      case Item::Kind::Heading:
+        out += "{\"type\":\"heading\",\"title\":\"" +
+               json_escape(item.heading) + "\"}";
+        break;
+      case Item::Kind::Text:
+        out += "{\"type\":\"text\",\"text\":\"" + json_escape(item.text) +
+               "\"}";
+        break;
+      case Item::Kind::Table: {
+        out += "{\"type\":\"table\",\"id\":\"" + json_escape(item.table.id) +
+               "\",\"columns\":[";
+        for (std::size_t c = 0; c < item.table.columns.size(); ++c) {
+          const Column& col = item.table.columns[c];
+          out += std::string(c ? "," : "") + "{\"name\":\"" +
+                 json_escape(col.name) + "\",\"type\":\"" +
+                 (col.type == ColumnType::Number ? "number" : "text") +
+                 "\"}";
+        }
+        out += "],\"rows\":[";
+        for (std::size_t r = 0; r < item.table.rows.size(); ++r) {
+          out += r ? ",[" : "[";
+          const auto& row = item.table.rows[r];
+          for (std::size_t c = 0; c < row.size(); ++c) {
+            out += c ? "," : "";
+            out += row[c].numeric ? trace_double(row[c].num)
+                                  : "\"" + json_escape(row[c].text) + "\"";
+          }
+          out += "]";
+        }
+        out += "]}";
+        break;
+      }
+      case Item::Kind::Series: {
+        out += "{\"type\":\"series\",\"id\":\"" + json_escape(item.series.id) +
+               "\",\"label\":\"" + json_escape(item.series.label) +
+               "\",\"values\":[";
+        for (std::size_t i = 0; i < item.series.values.size(); ++i)
+          out += std::string(i ? "," : "") +
+                 trace_double(item.series.values[i]);
+        out += "]}";
+        break;
+      }
+      case Item::Kind::Scalar:
+        out += "{\"type\":\"scalar\",\"id\":\"" + json_escape(item.scalar.id) +
+               "\",\"value\":" +
+               (item.scalar.numeric
+                    ? trace_double(item.scalar.num)
+                    : "\"" + json_escape(item.scalar.text) + "\"") +
+               "}";
+        break;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace rats::report

@@ -1,0 +1,24 @@
+// Renderers over report models (see report/model.hpp for the pipeline
+// overview): one structured ReportModel in, one output format out.
+#pragma once
+
+#include <string>
+
+#include "report/model.hpp"
+
+namespace rats::report {
+
+/// The paper-style text report — byte-identical to the output the
+/// legacy bench binaries printed.  With `csv_echo`, every table's CSV
+/// form follows its text form (the legacy `--csv` flag).
+std::string render_text(const ReportModel& model, bool csv_echo = false);
+
+/// Machine-readable CSV: every table, series and scalar as its own
+/// `# <type> <id>` section, blank-line separated.
+std::string render_csv(const ReportModel& model);
+
+/// The full model as one JSON document (typed cells carry numbers,
+/// doubles printed with round-trip precision).
+std::string render_json(const ReportModel& model);
+
+}  // namespace rats::report

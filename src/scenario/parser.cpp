@@ -235,6 +235,18 @@ class Binder {
     }
     return out;
   }
+  std::vector<bool> booleans(const KeyVal& kv) const {
+    if (kv.value.type != Value::Type::Array)
+      fail(file_, kv.line, "'" + kv.key + "' must be an array of booleans");
+    std::vector<bool> out;
+    for (const Value& item : kv.value.items) {
+      if (item.type != Value::Type::Bool)
+        fail(file_, kv.line,
+             "'" + kv.key + "' must contain only true/false");
+      out.push_back(item.boolean);
+    }
+    return out;
+  }
   std::vector<std::string> strings(const KeyVal& kv) const {
     if (kv.value.type != Value::Type::Array)
       fail(file_, kv.line, "'" + kv.key + "' must be an array of strings");
@@ -428,7 +440,14 @@ void bind_sweep(const Binder& b, const Section& s, SweepSpec& sw) {
     if (kv.key == "mindelta") sw.mindeltas = b.numbers(kv);
     else if (kv.key == "maxdelta") sw.maxdeltas = b.numbers(kv);
     else if (kv.key == "minrho") sw.minrhos = b.numbers(kv);
-    else b.unknown_key(s, kv);
+    else if (kv.key == "packing") sw.packings = b.booleans(kv);
+    else if (kv.key == "base") {
+      const std::string v = b.string(kv);
+      if (v != "delta" && v != "time-cost")
+        fail(b.file(), kv.line,
+             "unknown sweep base '" + v + "' (expected delta or time-cost)");
+      sw.base = v;
+    } else b.unknown_key(s, kv);
   }
 }
 
@@ -436,6 +455,9 @@ void bind_output(const Binder& b, const Section& s, OutputSpec& o) {
   for (const KeyVal& kv : s.entries) {
     if (kv.key == "csv") o.csv = b.boolean(kv);
     else if (kv.key == "gantt") o.gantt = b.boolean(kv);
+    else if (kv.key == "report-csv") o.report_csv = b.string(kv);
+    else if (kv.key == "report-json") o.report_json = b.string(kv);
+    else if (kv.key == "trace") o.trace = b.string(kv);
     else b.unknown_key(s, kv);
   }
 }
@@ -447,7 +469,7 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& filename) {
   const std::vector<Section> sections = parse_document(in, filename);
   ScenarioSpec spec;
   bool have_scenario = false, have_algorithms = false;
-  int algorithms_line = 0;
+  int algorithms_line = 0, sweep_line = 0;
   // Non-repeatable sections seen so far (name -> first line).
   std::vector<std::pair<std::string, int>> seen;
   for (const Section& s : sections) {
@@ -473,6 +495,7 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& filename) {
     } else if (s.name == "algorithm") {
       bind_algorithm(b, s, spec.algorithms);
     } else if (s.name == "sweep") {
+      sweep_line = s.line;
       bind_sweep(b, s, spec.sweep);
     } else if (s.name == "output") {
       bind_output(b, s, spec.output);
@@ -489,6 +512,18 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& filename) {
   if (!have_scenario) fail(filename, 1, "missing [scenario] section");
   if (spec.kind.empty())
     fail(filename, 1, "[scenario] section is missing 'kind'");
+  if (spec.kind == "sweep") {
+    // The generic sweep kind crosses the [sweep] grids over the base
+    // algorithm; an all-empty section has nothing to sweep.
+    if (sweep_line == 0)
+      fail(filename, 1,
+           "kind \"sweep\" needs a [sweep] section with at least one "
+           "parameter grid");
+    if (spec.sweep.empty())
+      fail(filename, sweep_line,
+           "[sweep] must give at least one non-empty grid (mindelta, "
+           "maxdelta, minrho or packing) for kind \"sweep\"");
+  }
   if (spec.name.empty()) spec.name = spec.kind;
   return spec;
 }
@@ -653,18 +688,31 @@ std::string emit_scenario(const ScenarioSpec& spec) {
   }
 
   const SweepSpec& sw = spec.sweep;
-  if (!sw.mindeltas.empty() || !sw.maxdeltas.empty() || !sw.minrhos.empty()) {
+  if (!sw.empty()) {
     out += "\n[sweep]\n";
+    if (spec.kind == "sweep") out += "base = " + quote(sw.base) + "\n";
     if (!sw.mindeltas.empty())
       out += "mindelta = " + num_list(sw.mindeltas) + "\n";
     if (!sw.maxdeltas.empty())
       out += "maxdelta = " + num_list(sw.maxdeltas) + "\n";
     if (!sw.minrhos.empty()) out += "minrho = " + num_list(sw.minrhos) + "\n";
+    if (!sw.packings.empty()) {
+      out += "packing = [";
+      for (std::size_t i = 0; i < sw.packings.size(); ++i)
+        out += std::string(i ? ", " : "") + (sw.packings[i] ? "true" : "false");
+      out += "]\n";
+    }
   }
 
   out += "\n[output]\n";
   out += std::string("csv = ") + (spec.output.csv ? "true" : "false") + "\n";
   if (spec.output.gantt) out += "gantt = true\n";
+  if (!spec.output.report_csv.empty())
+    out += "report-csv = " + quote(spec.output.report_csv) + "\n";
+  if (!spec.output.report_json.empty())
+    out += "report-json = " + quote(spec.output.report_json) + "\n";
+  if (!spec.output.trace.empty())
+    out += "trace = " + quote(spec.output.trace) + "\n";
   return out;
 }
 

@@ -4,234 +4,392 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/format.hpp"
 #include "common/table.hpp"
 #include "dag/graph_algorithms.hpp"
-#include "exp/parallel.hpp"
 #include "exp/tuning.hpp"
 #include "redist/block_redistribution.hpp"
+#include "report/render.hpp"
 #include "scenario/parser.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
+#include "trace/writer.hpp"
 
 namespace rats::scenario {
 
 namespace {
 
-// ---- shared report fragments (ported verbatim from the benches) --------
+using report::Cell;
+using report::cell;
+using report::Column;
+using report::ColumnType;
+using report::ReportModel;
+using report::TableModel;
 
-/// Figures 2 and 6: relative-makespan summary + sorted curves.
-void makespan_report(const ExperimentData& data, bool csv) {
-  Table table({"strategy", "avg relative makespan", "avg improvement",
-               "shorter in", "equal in"});
+Column text_col(std::string name) {
+  return Column{std::move(name), ColumnType::Text};
+}
+Column num_col(std::string name) {
+  return Column{std::move(name), ColumnType::Number};
+}
+
+/// Captures the workload's announcement lines into the model.
+std::vector<CorpusEntry> resolve_workload(const ScenarioSpec& spec,
+                                          ReportModel& model) {
+  std::string notes;
+  auto corpus = spec.workload.resolve(&notes);
+  if (!notes.empty()) model.text(std::move(notes));
+  return corpus;
+}
+
+// ---- shared report fragments (byte-compatible with the benches) --------
+
+/// Figures 2 and 6: sorted curves followed by the relative-makespan
+/// summary table.
+void makespan_report(const ExperimentData& data, ReportModel& model) {
+  std::vector<std::vector<Cell>> rows;
   for (std::size_t algo = 1; algo < data.algos(); ++algo) {
     auto series = relative_series(data, algo, 0, /*makespan=*/true);
     auto s = summarize_relative(series);
-    table.add_row({data.algo_names[algo], fmt(s.mean_ratio, 3),
-                   fmt_percent(1.0 - s.mean_ratio, 1),
-                   fmt_percent(s.fraction_better, 1),
-                   fmt_percent(s.fraction_equal, 1)});
-    presets::print_sorted_curve(data.algo_names[algo], series);
+    rows.push_back({cell(data.algo_names[algo]),
+                    cell(s.mean_ratio, fmt(s.mean_ratio, 3)),
+                    cell(1.0 - s.mean_ratio, fmt_percent(1.0 - s.mean_ratio, 1)),
+                    cell(s.fraction_better, fmt_percent(s.fraction_better, 1)),
+                    cell(s.fraction_equal, fmt_percent(s.fraction_equal, 1))});
+    model.series("relative-makespan/" + data.algo_names[algo],
+                 data.algo_names[algo], std::move(series));
   }
-  std::printf("%s", table.to_text().c_str());
-  if (csv) std::printf("%s", table.to_csv().c_str());
+  TableModel& table = model.table(
+      "summary", {text_col("strategy"), num_col("avg relative makespan"),
+                  num_col("avg improvement"), num_col("shorter in"),
+                  num_col("equal in")});
+  table.rows = std::move(rows);
 }
 
-/// Figures 3 and 7: relative-work summary + sorted curves.
-void work_report(const ExperimentData& data, bool csv) {
-  Table table({"strategy", "avg relative work", "less work in", "equal in"});
+/// Figures 3 and 7: sorted curves followed by the relative-work table.
+void work_report(const ExperimentData& data, ReportModel& model) {
+  std::vector<std::vector<Cell>> rows;
   for (std::size_t algo = 1; algo < data.algos(); ++algo) {
     auto series = relative_series(data, algo, 0, /*makespan=*/false);
     auto s = summarize_relative(series);
-    table.add_row({data.algo_names[algo], fmt(s.mean_ratio, 3),
-                   fmt_percent(s.fraction_better, 1),
-                   fmt_percent(s.fraction_equal, 1)});
-    presets::print_sorted_curve(data.algo_names[algo], series);
+    rows.push_back({cell(data.algo_names[algo]),
+                    cell(s.mean_ratio, fmt(s.mean_ratio, 3)),
+                    cell(s.fraction_better, fmt_percent(s.fraction_better, 1)),
+                    cell(s.fraction_equal, fmt_percent(s.fraction_equal, 1))});
+    model.series("relative-work/" + data.algo_names[algo],
+                 data.algo_names[algo], std::move(series));
   }
-  std::printf("%s", table.to_text().c_str());
-  if (csv) std::printf("%s", table.to_csv().c_str());
+  TableModel& table = model.table(
+      "summary", {text_col("strategy"), num_col("avg relative work"),
+                  num_col("less work in"), num_col("equal in")});
+  table.rows = std::move(rows);
 }
 
 /// Corpus x algorithms on one cluster — the shared execution of the
 /// fig2/fig3/fig6/fig7 and generic kinds.  Tuned presets group by
 /// family (Table IV parameters), everything else runs one algo list.
+/// `session` observes every run: this is the single simulation pass a
+/// traced scenario shares between report and trace.
 ExperimentData run_matrix_experiment(const ScenarioSpec& spec,
                                      const std::vector<CorpusEntry>& entries,
-                                     const Cluster& cluster) {
+                                     const Cluster& cluster,
+                                     RunSession* session) {
   if (spec.algorithms.tuned())
-    return presets::run_tuned_experiment(entries, cluster, spec.threads);
+    return presets::run_tuned_experiment(entries, cluster, spec.threads,
+                                         session);
   return run_experiment(entries, cluster,
                         spec.algorithms.resolve(DagFamily::Irregular,
                                                 cluster.name()),
-                        spec.threads);
+                        spec.threads, session);
 }
 
-void run_fig2(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
+void run_fig2(const ScenarioSpec& spec, ReportModel& model,
+              RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
-  auto data = run_matrix_experiment(spec, corpus, cluster);
-  presets::heading(
-      "Figure 2: relative makespan vs HCPA, naive parameters, " +
-      cluster.name());
-  makespan_report(data, spec.output.csv);
-  std::printf(
-      "\n  paper: delta ~9%% shorter on average, better in 72%% of "
-      "scenarios;\n         time-cost ~16%% shorter, better in 80%%.\n");
+  auto data = run_matrix_experiment(spec, corpus, cluster, session);
+  model.heading("Figure 2: relative makespan vs HCPA, naive parameters, " +
+                cluster.name());
+  makespan_report(data, model);
+  model.text(
+      "\n  paper: delta ~9% shorter on average, better in 72% of "
+      "scenarios;\n         time-cost ~16% shorter, better in 80%.\n");
 }
 
-void run_fig3(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
+void run_fig3(const ScenarioSpec& spec, ReportModel& model,
+              RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
-  auto data = run_matrix_experiment(spec, corpus, cluster);
-  presets::heading("Figure 3: relative work vs HCPA, naive parameters, " +
-                   cluster.name());
-  work_report(data, spec.output.csv);
-  std::printf(
+  auto data = run_matrix_experiment(spec, corpus, cluster, session);
+  model.heading("Figure 3: relative work vs HCPA, naive parameters, " +
+                cluster.name());
+  work_report(data, model);
+  model.text(
       "\n  paper: both strategies stay close to HCPA's resource usage;\n"
       "         delta consumes less than time-cost.\n");
 }
 
-void run_fig4(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
+void run_fig4(const ScenarioSpec& spec, ReportModel& model,
+              RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
   // Empty [sweep] lists fall back to the paper grids inside sweep_delta.
   auto sweep = sweep_delta(corpus, cluster, spec.sweep.mindeltas,
-                           spec.sweep.maxdeltas, spec.threads);
-  presets::heading(
-      "Figure 4: avg makespan relative to HCPA, RATS-delta, FFT, " +
-      cluster.name());
-  std::vector<std::string> header{"mindelta \\ maxdelta"};
-  for (double mx : sweep.maxdeltas) header.push_back(fmt(mx, 2));
-  Table table(header);
+                           spec.sweep.maxdeltas, spec.threads, session);
+  model.heading("Figure 4: avg makespan relative to HCPA, RATS-delta, FFT, " +
+                cluster.name());
+  std::vector<Column> columns{text_col("mindelta \\ maxdelta")};
+  for (double mx : sweep.maxdeltas) columns.push_back(num_col(fmt(mx, 2)));
+  TableModel& table = model.table("delta-sweep", std::move(columns));
   for (std::size_t i = 0; i < sweep.mindeltas.size(); ++i) {
-    std::vector<std::string> row{fmt(sweep.mindeltas[i], 2)};
+    std::vector<Cell> row{cell(sweep.mindeltas[i], fmt(sweep.mindeltas[i], 2))};
     for (std::size_t j = 0; j < sweep.maxdeltas.size(); ++j)
-      row.push_back(fmt(sweep.avg_relative[i][j], 3));
-    table.add_row(row);
+      row.push_back(
+          cell(sweep.avg_relative[i][j], fmt(sweep.avg_relative[i][j], 3)));
+    table.rows.push_back(std::move(row));
   }
-  std::printf("%s", table.to_text().c_str());
-  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf("\n  best: mindelta=%s maxdelta=%s -> %s\n",
+  model.scalar("best/mindelta", sweep.best_mindelta);
+  model.scalar("best/maxdelta", sweep.best_maxdelta);
+  model.scalar("best/avg-relative-makespan", sweep.best_value);
+  model.textf("\n  best: mindelta=%s maxdelta=%s -> %s\n",
               fmt(sweep.best_mindelta, 2).c_str(),
               fmt(sweep.best_maxdelta, 2).c_str(),
               fmt(sweep.best_value, 3).c_str());
-  std::printf(
+  model.text(
       "  paper: larger maxdelta improves the relative makespan; lowering\n"
       "  mindelta helps only to a certain extent (Table IV picks (-.5, 1)).\n");
 }
 
-void run_fig5(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
+void run_fig5(const ScenarioSpec& spec, ReportModel& model,
+              RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
-  auto sweep = sweep_rho(corpus, cluster, spec.sweep.minrhos, spec.threads);
-  presets::heading(
+  auto sweep =
+      sweep_rho(corpus, cluster, spec.sweep.minrhos, spec.threads, session);
+  model.heading(
       "Figure 5: avg makespan relative to HCPA, RATS-time-cost, irregular, " +
       cluster.name());
-  Table table({"minrho", "packing allowed", "no packing"});
+  TableModel& table = model.table(
+      "rho-sweep",
+      {num_col("minrho"), num_col("packing allowed"), num_col("no packing")});
   for (std::size_t i = 0; i < sweep.minrhos.size(); ++i)
-    table.add_row({fmt(sweep.minrhos[i], 2), fmt(sweep.with_packing[i], 3),
-                   fmt(sweep.without_packing[i], 3)});
-  std::printf("%s", table.to_text().c_str());
-  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf("\n  best (packing allowed): minrho=%s -> %s\n",
+    table.rows.push_back(
+        {cell(sweep.minrhos[i], fmt(sweep.minrhos[i], 2)),
+         cell(sweep.with_packing[i], fmt(sweep.with_packing[i], 3)),
+         cell(sweep.without_packing[i], fmt(sweep.without_packing[i], 3))});
+  model.scalar("best/minrho", sweep.best_minrho);
+  model.scalar("best/avg-relative-makespan", sweep.best_value);
+  model.textf("\n  best (packing allowed): minrho=%s -> %s\n",
               fmt(sweep.best_minrho, 2).c_str(),
               fmt(sweep.best_value, 3).c_str());
-  std::printf(
+  model.text(
       "  paper: packing gives better performance at every minrho; the\n"
       "  curve flattens beyond a threshold (0.5 on grillon).\n");
 }
 
-void run_fig6(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
+void run_fig6(const ScenarioSpec& spec, ReportModel& model,
+              RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
-  auto data = run_matrix_experiment(spec, corpus, cluster);
-  presets::heading(
-      "Figure 6: relative makespan vs HCPA, tuned parameters, " +
-      cluster.name());
-  makespan_report(data, spec.output.csv);
-  std::printf(
-      "\n  paper: tuned delta ~13%% shorter than HCPA on grillon (9%% "
+  auto data = run_matrix_experiment(spec, corpus, cluster, session);
+  model.heading("Figure 6: relative makespan vs HCPA, tuned parameters, " +
+                cluster.name());
+  makespan_report(data, model);
+  model.text(
+      "\n  paper: tuned delta ~13% shorter than HCPA on grillon (9% "
       "naive);\n         time-cost improves only slightly over naive.\n");
 }
 
-void run_fig7(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
+void run_fig7(const ScenarioSpec& spec, ReportModel& model,
+              RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
-  auto data = run_matrix_experiment(spec, corpus, cluster);
-  presets::heading("Figure 7: relative work vs HCPA, tuned parameters, " +
-                   cluster.name());
-  work_report(data, spec.output.csv);
-  std::printf(
+  auto data = run_matrix_experiment(spec, corpus, cluster, session);
+  model.heading("Figure 7: relative work vs HCPA, tuned parameters, " +
+                cluster.name());
+  work_report(data, model);
+  model.text(
       "\n  paper: tuned RATS stays close to (mostly below) HCPA's resource "
       "usage.\n");
 }
 
-void print_redist_matrix(const Redistribution& r, Bytes unit) {
+/// The generic sweep kind: a grid over any RatsParams fields, applied
+/// to a base algorithm, scored against a fresh HCPA reference — fig4
+/// and fig5 are fixed-shape presets of this.
+void run_sweep(const ScenarioSpec& spec, ReportModel& model,
+               RunSession* session) {
+  struct Axis {
+    const char* field;
+    std::vector<double> values;
+    bool is_flag;  ///< packing: render true/false instead of numbers
+  };
+  std::vector<Axis> axes;
+  if (!spec.sweep.mindeltas.empty())
+    axes.push_back({"mindelta", spec.sweep.mindeltas, false});
+  if (!spec.sweep.maxdeltas.empty())
+    axes.push_back({"maxdelta", spec.sweep.maxdeltas, false});
+  if (!spec.sweep.minrhos.empty())
+    axes.push_back({"minrho", spec.sweep.minrhos, false});
+  if (!spec.sweep.packings.empty()) {
+    Axis packing{"packing", {}, true};
+    for (const bool p : spec.sweep.packings)
+      packing.values.push_back(p ? 1.0 : 0.0);
+    axes.push_back(std::move(packing));
+  }
+  RATS_REQUIRE(!axes.empty(),
+               "kind \"sweep\" needs at least one non-empty [sweep] grid");
+
+  auto corpus = resolve_workload(spec, model);
+  Cluster cluster = spec.platform.resolve_one();
+
+  // The base algorithm is the paper's naive preset of that strategy;
+  // each grid point overrides exactly the swept fields.
+  const auto naive = presets::naive_algos();
+  const SchedulerOptions& base =
+      spec.sweep.base == "time-cost" ? naive[2].options : naive[1].options;
+
+  std::size_t total = 1;
+  for (const Axis& axis : axes) total *= axis.values.size();
+  // Mixed-radix decode of point index -> per-axis value (last axis
+  // fastest); the single decoder keeps the simulated options, the
+  // table rows and the best-point report in lockstep.
+  std::vector<std::size_t> pick(axes.size(), 0);
+  const auto decode = [&](std::size_t p) {
+    std::size_t rest = p;
+    for (std::size_t k = axes.size(); k-- > 0;) {
+      pick[k] = rest % axes[k].values.size();
+      rest /= axes[k].values.size();
+    }
+  };
+  std::vector<SchedulerOptions> points;
+  points.reserve(total);
+  for (std::size_t p = 0; p < total; ++p) {
+    decode(p);
+    SchedulerOptions options = base;
+    for (std::size_t k = 0; k < axes.size(); ++k) {
+      const double v = axes[k].values[pick[k]];
+      const std::string field = axes[k].field;
+      if (field == "mindelta") options.rats.mindelta = v;
+      else if (field == "maxdelta") options.rats.maxdelta = v;
+      else if (field == "minrho") options.rats.minrho = v;
+      else options.rats.packing = v != 0.0;
+    }
+    points.push_back(options);
+  }
+  const std::vector<double> avg =
+      sweep_grid(corpus, cluster, points, spec.threads, session);
+
+  std::string fields;
+  for (std::size_t k = 0; k < axes.size(); ++k)
+    fields += std::string(k ? " x " : "") + axes[k].field;
+  model.heading(strf("Sweep '%s': %zu points over %s, RATS-%s, %s",
+                     spec.name.c_str(), total, fields.c_str(),
+                     spec.sweep.base.c_str(), cluster.name().c_str()));
+
+  std::vector<Column> columns;
+  for (const Axis& axis : axes)
+    columns.push_back(axis.is_flag ? text_col(axis.field)
+                                   : num_col(axis.field));
+  columns.push_back(num_col("avg relative makespan"));
+  TableModel& table = model.table("sweep", std::move(columns));
+  std::size_t best = 0;
+  for (std::size_t p = 0; p < total; ++p) {
+    decode(p);
+    std::vector<Cell> row;
+    for (std::size_t k = 0; k < axes.size(); ++k) {
+      const double v = axes[k].values[pick[k]];
+      row.push_back(axes[k].is_flag ? cell(v != 0.0 ? "true" : "false")
+                                    : cell(v, fmt(v, 2)));
+    }
+    row.push_back(cell(avg[p], fmt(avg[p], 3)));
+    table.rows.push_back(std::move(row));
+    if (avg[p] < avg[best]) best = p;
+  }
+
+  decode(best);
+  std::string best_text = "\n  best:";
+  for (std::size_t k = 0; k < axes.size(); ++k) {
+    const double v = axes[k].values[pick[k]];
+    model.scalar(std::string("best/") + axes[k].field, v);
+    best_text += std::string(" ") + axes[k].field + "=" +
+                 (axes[k].is_flag ? (v != 0.0 ? "true" : "false") : fmt(v, 2));
+  }
+  model.scalar("best/avg-relative-makespan", avg[best]);
+  best_text += " -> " + fmt(avg[best], 3) + "\n";
+  model.text(std::move(best_text));
+}
+
+void redist_matrix_table(const Redistribution& r, Bytes unit,
+                         const std::string& id, ReportModel& model) {
   auto m = r.matrix();
-  std::vector<std::string> header{""};
+  std::vector<Column> columns{text_col("")};
   for (int q = 0; q < r.receivers(); ++q)
-    header.push_back("q" + std::to_string(q + 1));
-  Table table(header);
+    columns.push_back(num_col("q" + std::to_string(q + 1)));
+  TableModel& table = model.table(id, std::move(columns));
+  table.csv_echo = false;  // the legacy binaries never echoed these
   for (int p = 0; p < r.senders(); ++p) {
-    std::vector<std::string> row{"p" + std::to_string(p + 1)};
+    std::vector<Cell> row{cell("p" + std::to_string(p + 1))};
     for (int q = 0; q < r.receivers(); ++q) {
       double units =
           m[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)] / unit;
-      row.push_back(units == 0 ? "" : fmt(units, 2));
+      row.push_back(units == 0 ? cell("") : cell(units, fmt(units, 2)));
     }
-    table.add_row(row);
+    table.rows.push_back(std::move(row));
   }
-  std::printf("%s", table.to_text().c_str());
 }
 
-void run_table1(const ScenarioSpec&) {
-  presets::heading(
+void run_table1(const ScenarioSpec&, ReportModel& model, RunSession*) {
+  model.heading(
       "Table I: communication matrix, 10 units, p=4 senders, q=5 receivers");
   const Bytes unit = 1024;  // any unit; the matrix scales linearly
   std::vector<NodeId> senders{0, 1, 2, 3};
   std::vector<NodeId> receivers{4, 5, 6, 7, 8};
   auto r = Redistribution::plan(10 * unit, senders, receivers);
-  print_redist_matrix(r, unit);
-  std::printf("  non-empty entries: %zu (expected p+q-1 = 8)\n",
+  redist_matrix_table(r, unit, "matrix-disjoint", model);
+  model.textf("  non-empty entries: %zu (expected p+q-1 = 8)\n",
               r.transfers().size());
-  std::printf("  self bytes: %s units, remote: %s units\n",
+  model.textf("  self bytes: %s units, remote: %s units\n",
               fmt(r.self_bytes() / unit, 2).c_str(),
               fmt(r.remote_bytes() / unit, 2).c_str());
 
-  presets::heading(
+  model.heading(
       "Overlapping sets: receiver order permuted to maximize self "
       "communication");
   std::vector<NodeId> overlap_recv{2, 3, 4, 5, 6};
   auto r2 = Redistribution::plan(10 * unit, senders, overlap_recv);
-  print_redist_matrix(r2, unit);
-  std::printf("  self bytes: %s units (stay on node), remote: %s units\n",
+  redist_matrix_table(r2, unit, "matrix-overlap", model);
+  model.textf("  self bytes: %s units (stay on node), remote: %s units\n",
               fmt(r2.self_bytes() / unit, 2).c_str(),
               fmt(r2.remote_bytes() / unit, 2).c_str());
 
-  presets::heading("Identical sets: redistribution cost is zero");
+  model.heading("Identical sets: redistribution cost is zero");
   auto r3 = Redistribution::plan(10 * unit, senders, senders);
-  std::printf("  remote bytes: %s (paper: zero when tasks share the same "
+  model.textf("  remote bytes: %s (paper: zero when tasks share the same "
               "processor set)\n",
               fmt(r3.remote_bytes(), 0).c_str());
 }
 
-void run_table2(const ScenarioSpec& spec) {
+void run_table2(const ScenarioSpec& spec, ReportModel& model, RunSession*) {
   const auto clusters = spec.platform.resolve();
-  presets::heading("Table II: cluster characteristics");
-  Table table({"Cluster", "#proc.", "GFlop/sec", "topology", "#links"});
+  model.heading("Table II: cluster characteristics");
+  TableModel& table = model.table(
+      "clusters", {text_col("Cluster"), num_col("#proc."),
+                   num_col("GFlop/sec"), text_col("topology"),
+                   num_col("#links")});
   for (const Cluster& c : clusters) {
-    table.add_row({c.name(), std::to_string(c.num_nodes()),
-                   fmt(c.node_speed() / 1e9, 3),
-                   c.hierarchical_topology()
-                       ? std::to_string(c.cabinets()) + " cabinets"
-                       : "flat switch",
-                   std::to_string(c.num_links())});
+    table.rows.push_back(
+        {cell(c.name()), cell(c.num_nodes(), std::to_string(c.num_nodes())),
+         cell(c.node_speed() / 1e9, fmt(c.node_speed() / 1e9, 3)),
+         cell(c.hierarchical_topology()
+                  ? std::to_string(c.cabinets()) + " cabinets"
+                  : "flat switch"),
+         cell(c.num_links(), std::to_string(c.num_links()))});
   }
-  std::printf("%s", table.to_text().c_str());
-  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
 
-  presets::heading("Derived network model (Section IV-A)");
+  model.heading("Derived network model (Section IV-A)");
   for (const Cluster& c : clusters) {
     NodeId far = static_cast<NodeId>(c.num_nodes() - 1);
     auto route = c.route(0, far);
@@ -239,7 +397,7 @@ void run_table2(const ScenarioSpec& spec) {
     Seconds rtt = 2 * lat;
     Rate beta = c.link(c.nic_up(0)).bandwidth;
     Rate beta_prime = std::min(beta, c.tcp_window() / rtt);
-    std::printf(
+    model.textf(
         "  %-8s route node0->node%-3d: %zu links, one-way latency %s us, "
         "beta' = min(beta, Wmax/RTT) = %s MB/s (beta = %s MB/s)\n",
         c.name().c_str(), far, route.size(), fmt(lat * 1e6, 1).c_str(),
@@ -247,11 +405,14 @@ void run_table2(const ScenarioSpec& spec) {
   }
 }
 
-void run_table3(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
-  presets::heading("Table III: corpus composition");
-  Table params({"family", "#configs", "tasks", "edges(min-max)",
-                "avg levels", "avg width"});
+void run_table3(const ScenarioSpec& spec, ReportModel& model, RunSession*) {
+  auto corpus = resolve_workload(spec, model);
+  model.heading("Table III: corpus composition");
+  TableModel& params = model.table(
+      "composition",
+      {text_col("family"), num_col("#configs"), text_col("tasks"),
+       text_col("edges(min-max)"), num_col("avg levels"),
+       num_col("avg width")});
   for (DagFamily family : {DagFamily::Layered, DagFamily::Irregular,
                            DagFamily::FFT, DagFamily::Strassen}) {
     int count = 0;
@@ -273,46 +434,49 @@ void run_table3(const ScenarioSpec& spec) {
       sum_width += *std::max_element(per_level.begin(), per_level.end());
     }
     if (count == 0) continue;
-    params.add_row({to_string(family), std::to_string(count),
-                    std::to_string(min_tasks) + "-" + std::to_string(max_tasks),
-                    std::to_string(min_edges) + "-" + std::to_string(max_edges),
-                    fmt(sum_levels / count, 1), fmt(sum_width / count, 1)});
+    params.rows.push_back(
+        {cell(to_string(family)), cell(count, std::to_string(count)),
+         cell(std::to_string(min_tasks) + "-" + std::to_string(max_tasks)),
+         cell(std::to_string(min_edges) + "-" + std::to_string(max_edges)),
+         cell(sum_levels / count, fmt(sum_levels / count, 1)),
+         cell(sum_width / count, fmt(sum_width / count, 1))});
   }
-  std::printf("%s", params.to_text().c_str());
-  if (spec.output.csv) std::printf("%s", params.to_csv().c_str());
-
-  std::printf(
+  model.textf(
       "\n  paper scale: 108 layered + 324 irregular + 100 FFT + 25 Strassen "
       "= 557\n  (this run: %zu; --full regenerates the paper corpus)\n",
       corpus.size());
 }
 
-void run_table4(const ScenarioSpec& spec) {
-  presets::heading("Table IV: tuned (mindelta, maxdelta, minrho)");
-  Table table({"family \\ cluster", "chti", "grillon", "grelon"});
+void run_table4(const ScenarioSpec& spec, ReportModel& model, RunSession*) {
+  model.heading("Table IV: tuned (mindelta, maxdelta, minrho)");
+  std::vector<std::vector<Cell>> rows;
   const int cap = spec.workload.cap_per_family > 0
                       ? spec.workload.cap_per_family
                       : 6;
   for (DagFamily family : {DagFamily::FFT, DagFamily::Strassen,
                            DagFamily::Layered, DagFamily::Irregular}) {
+    std::string notes;
     auto corpus = presets::cap_per_family(
-        presets::make_family(family, spec.workload.corpus),
-        spec.workload.corpus, cap);
-    std::vector<std::string> row{to_string(family)};
+        presets::make_family(family, spec.workload.corpus, &notes),
+        spec.workload.corpus, cap, &notes);
+    if (!notes.empty()) model.text(std::move(notes));
+    std::vector<Cell> row{cell(to_string(family))};
     for (const Cluster& cluster : spec.platform.resolve()) {
       TunedParams t = tune(corpus, cluster, spec.threads);
-      row.push_back("(" + fmt(t.mindelta, 2) + ", " + fmt(t.maxdelta, 2) +
-                    ", " + fmt(t.minrho, 2) + ")");
-      std::printf("  tuned %-9s on %-8s: mindelta=%s maxdelta=%s minrho=%s\n",
+      row.push_back(cell("(" + fmt(t.mindelta, 2) + ", " + fmt(t.maxdelta, 2) +
+                         ", " + fmt(t.minrho, 2) + ")"));
+      model.textf("  tuned %-9s on %-8s: mindelta=%s maxdelta=%s minrho=%s\n",
                   to_string(family).c_str(), cluster.name().c_str(),
                   fmt(t.mindelta, 2).c_str(), fmt(t.maxdelta, 2).c_str(),
                   fmt(t.minrho, 2).c_str());
     }
-    table.add_row(row);
+    rows.push_back(std::move(row));
   }
-  std::printf("%s", table.to_text().c_str());
-  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf(
+  TableModel& table = model.table(
+      "tuned-parameters", {text_col("family \\ cluster"), text_col("chti"),
+                           text_col("grillon"), text_col("grelon")});
+  table.rows = std::move(rows);
+  model.text(
       "\n  paper Table IV (chti/grillon/grelon):\n"
       "    FFT      (-.5,1,.2)   (-.5,1,.2)   (-.25,.75,.4)\n"
       "    Strassen (-.25,.5,.5) (0,1,.4)     (-.25,1,.5)\n"
@@ -322,33 +486,36 @@ void run_table4(const ScenarioSpec& spec) {
       "  check is maxdelta ~ 1, negative mindelta, small-to-mid minrho.\n");
 }
 
-void run_table5(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
+void run_table5(const ScenarioSpec& spec, ReportModel& model,
+                RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
   const auto clusters = spec.platform.resolve();
-  std::printf("  running corpus on %zu clusters...\n", clusters.size());
+  model.textf("  running corpus on %zu clusters...\n", clusters.size());
   const std::vector<ExperimentData> per_cluster =
-      presets::run_tuned_experiments(corpus, clusters, spec.threads);
+      presets::run_tuned_experiments(corpus, clusters, spec.threads, session);
   const auto& names = per_cluster.front().algo_names;
 
-  presets::heading("Table V: pairwise comparison (chti / grillon / grelon)");
-  Table table({"algorithm", "", "vs HCPA", "vs delta", "vs time-cost",
-               "combined (%)"});
+  model.heading("Table V: pairwise comparison (chti / grillon / grelon)");
+  TableModel& table = model.table(
+      "pairwise", {text_col("algorithm"), text_col(""), text_col("vs HCPA"),
+                   text_col("vs delta"), text_col("vs time-cost"),
+                   text_col("combined (%)")});
   for (std::size_t a = 0; a < names.size(); ++a) {
-    const char* rows[3] = {"better", "equal", "worse"};
+    const char* row_names[3] = {"better", "equal", "worse"};
     for (int r = 0; r < 3; ++r) {
-      std::vector<std::string> row{r == 0 ? names[a] : "", rows[r]};
+      std::vector<Cell> row{cell(r == 0 ? names[a] : ""), cell(row_names[r])};
       for (std::size_t b = 0; b < names.size(); ++b) {
         if (a == b) {
-          row.push_back("XXX");
+          row.push_back(cell("XXX"));
           continue;
         }
-        std::string cell;
+        std::string cell_text;
         for (const auto& data : per_cluster) {
           auto c = pairwise_compare(data, a, b);
           int v = r == 0 ? c.better : (r == 1 ? c.equal : c.worse);
-          cell += (cell.empty() ? "" : " / ") + std::to_string(v);
+          cell_text += (cell_text.empty() ? "" : " / ") + std::to_string(v);
         }
-        row.push_back(cell);
+        row.push_back(cell(std::move(cell_text)));
       }
       std::string comb;
       for (const auto& data : per_cluster) {
@@ -356,61 +523,70 @@ void run_table5(const ScenarioSpec& spec) {
         double v = r == 0 ? f.better : (r == 1 ? f.equal : f.worse);
         comb += (comb.empty() ? "" : " / ") + fmt(100 * v, 1);
       }
-      row.push_back(comb);
-      table.add_row(row);
+      row.push_back(cell(std::move(comb)));
+      table.rows.push_back(std::move(row));
     }
   }
-  std::printf("%s", table.to_text().c_str());
-  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf(
+  model.text(
       "\n  paper: ranking {time-cost, delta, HCPA} by best-result counts;\n"
       "  time-cost wins more as cluster size grows, delta is strongest on\n"
       "  small and medium clusters.\n");
 }
 
-void run_table6(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
-  presets::heading("Table VI: average degradation from best");
-  Table table({"cluster", "metric", "HCPA", "delta", "time-cost"});
+void run_table6(const ScenarioSpec& spec, ReportModel& model,
+                RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
+  model.heading("Table VI: average degradation from best");
   const auto clusters = spec.platform.resolve();
-  std::printf("  running corpus on %zu clusters...\n", clusters.size());
+  model.textf("  running corpus on %zu clusters...\n", clusters.size());
   const auto per_cluster =
-      presets::run_tuned_experiments(corpus, clusters, spec.threads);
+      presets::run_tuned_experiments(corpus, clusters, spec.threads, session);
+  TableModel& table = model.table(
+      "degradation", {text_col("cluster"), text_col("metric"),
+                      num_col("HCPA"), num_col("delta"),
+                      num_col("time-cost")});
   for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
     const Cluster& cluster = clusters[ci];
     const ExperimentData& data = per_cluster[ci];
     Degradation d[3];
     for (std::size_t a = 0; a < 3; ++a) d[a] = degradation_from_best(data, a);
-    table.add_row({cluster.name(), "avg over all exp.",
-                   fmt_percent(d[0].avg_over_all, 2),
-                   fmt_percent(d[1].avg_over_all, 2),
-                   fmt_percent(d[2].avg_over_all, 2)});
-    table.add_row({"", "# not best", std::to_string(d[0].not_best),
-                   std::to_string(d[1].not_best),
-                   std::to_string(d[2].not_best)});
-    table.add_row({"", "avg over # not best",
-                   fmt_percent(d[0].avg_over_not_best, 2),
-                   fmt_percent(d[1].avg_over_not_best, 2),
-                   fmt_percent(d[2].avg_over_not_best, 2)});
+    table.rows.push_back({cell(cluster.name()), cell("avg over all exp."),
+                          cell(d[0].avg_over_all,
+                               fmt_percent(d[0].avg_over_all, 2)),
+                          cell(d[1].avg_over_all,
+                               fmt_percent(d[1].avg_over_all, 2)),
+                          cell(d[2].avg_over_all,
+                               fmt_percent(d[2].avg_over_all, 2))});
+    table.rows.push_back({cell(""), cell("# not best"),
+                          cell(d[0].not_best, std::to_string(d[0].not_best)),
+                          cell(d[1].not_best, std::to_string(d[1].not_best)),
+                          cell(d[2].not_best, std::to_string(d[2].not_best))});
+    table.rows.push_back({cell(""), cell("avg over # not best"),
+                          cell(d[0].avg_over_not_best,
+                               fmt_percent(d[0].avg_over_not_best, 2)),
+                          cell(d[1].avg_over_not_best,
+                               fmt_percent(d[1].avg_over_not_best, 2)),
+                          cell(d[2].avg_over_not_best,
+                               fmt_percent(d[2].avg_over_not_best, 2))});
   }
-  std::printf("%s", table.to_text().c_str());
-  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
-  std::printf(
-      "\n  paper: time-cost stays closest to the best (< 6%% over all\n"
+  model.text(
+      "\n  paper: time-cost stays closest to the best (< 6% over all\n"
       "  experiments, improving with cluster size); delta degrades as the\n"
-      "  cluster grows; HCPA reaches > 100%% on large clusters.\n");
+      "  cluster grows; HCPA reaches > 100% on large clusters.\n");
 }
 
-void run_experiment_kind(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
+void run_experiment_kind(const ScenarioSpec& spec, ReportModel& model,
+                         RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
-  auto data = run_matrix_experiment(spec, corpus, cluster);
-  presets::heading("Scenario '" + spec.name + "': " + cluster.name() + ", " +
-                   std::to_string(data.entries()) + " workloads x " +
-                   std::to_string(data.algos()) + " algorithms");
+  auto data = run_matrix_experiment(spec, corpus, cluster, session);
+  model.heading("Scenario '" + spec.name + "': " + cluster.name() + ", " +
+                std::to_string(data.entries()) + " workloads x " +
+                std::to_string(data.algos()) + " algorithms");
   constexpr double kTolerance = 1e-6;
-  Table table({"algorithm", "avg makespan (s)", "avg work (proc*s)",
-               "best in"});
+  TableModel& table = model.table(
+      "summary", {text_col("algorithm"), num_col("avg makespan (s)"),
+                  num_col("avg work (proc*s)"), text_col("best in")});
   for (std::size_t a = 0; a < data.algos(); ++a) {
     double sum_makespan = 0, sum_work = 0;
     int best = 0;
@@ -424,68 +600,106 @@ void run_experiment_kind(const ScenarioSpec& spec) {
         ++best;
     }
     const auto n = static_cast<double>(data.entries());
-    table.add_row({data.algo_names[a], fmt(sum_makespan / n, 2),
-                   fmt(sum_work / n, 1),
-                   std::to_string(best) + "/" + std::to_string(data.entries())});
+    table.rows.push_back(
+        {cell(data.algo_names[a]),
+         cell(sum_makespan / n, fmt(sum_makespan / n, 2)),
+         cell(sum_work / n, fmt(sum_work / n, 1)),
+         cell(std::to_string(best) + "/" + std::to_string(data.entries()))});
   }
-  std::printf("%s", table.to_text().c_str());
-  if (spec.output.csv) std::printf("%s", table.to_csv().c_str());
   if (data.entries() <= 24) {
-    presets::heading("Per-workload makespans (s)");
-    std::vector<std::string> header{"workload"};
-    for (const auto& name : data.algo_names) header.push_back(name);
-    Table per_entry(header);
+    model.heading("Per-workload makespans (s)");
+    std::vector<Column> columns{text_col("workload")};
+    for (const auto& name : data.algo_names) columns.push_back(num_col(name));
+    TableModel& per_entry = model.table("per-workload", std::move(columns));
     for (std::size_t e = 0; e < data.entries(); ++e) {
-      std::vector<std::string> row{data.entry_names[e]};
+      std::vector<Cell> row{cell(data.entry_names[e])};
       for (std::size_t a = 0; a < data.algos(); ++a)
-        row.push_back(fmt(data.outcome[e][a].makespan, 2));
-      per_entry.add_row(row);
+        row.push_back(cell(data.outcome[e][a].makespan,
+                           fmt(data.outcome[e][a].makespan, 2)));
+      per_entry.rows.push_back(std::move(row));
     }
-    std::printf("%s", per_entry.to_text().c_str());
-    if (spec.output.csv) std::printf("%s", per_entry.to_csv().c_str());
   }
 }
 
-void run_single(const ScenarioSpec& spec) {
-  auto corpus = spec.workload.resolve(true);
+// Deliberately serial: the kind exists to print a per-task timeline of
+// a handful of runs, and the gantt table reads each run's sink before
+// end_run hands it to the writer.  Large matrices belong to the
+// "experiment" kind, whose runs go through the parallel worker pool.
+void run_single(const ScenarioSpec& spec, ReportModel& model,
+                RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
-  for (const CorpusEntry& entry : corpus) {
+  const std::size_t num_algos = spec.algorithms.names().size();
+  if (session) session->begin_matrix(corpus.size() * num_algos);
+  for (std::size_t e = 0; e < corpus.size(); ++e) {
+    const CorpusEntry& entry = corpus[e];
     const auto algos =
         spec.algorithms.resolve(entry.family, cluster.name());
-    for (const AlgoSpec& algo : algos) {
-      std::printf("\nworkflow %s: %d tasks, %d edges; platform %s (%d "
+    RATS_REQUIRE(algos.size() == num_algos,
+                 "algorithm list changed size across families");
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      const AlgoSpec& algo = algos[a];
+      const std::size_t run_index = e * num_algos + a;
+      model.textf("\nworkflow %s: %d tasks, %d edges; platform %s (%d "
                   "nodes)\n",
                   entry.name.c_str(), entry.graph.num_tasks(),
                   entry.graph.num_edges(), cluster.name().c_str(),
                   cluster.num_nodes());
       const Schedule schedule =
           build_schedule(entry.graph, cluster, algo.options);
-      TraceSink sink;
+      TraceSink local_sink;
+      TraceSink* sink = nullptr;
+      if (session)
+        sink = session->begin_run(
+            run_index, RunMeta{entry.name, algo.name, cluster.name()});
+      // A session may decline the run (nullptr sink); the Gantt table
+      // still needs events, so fall back to the local sink — attaching
+      // a session must never change the report's content.
+      if (sink == nullptr && spec.output.gantt) sink = &local_sink;
       SimulatorOptions sim_options;
-      if (spec.output.gantt) sim_options.trace = &sink;
+      sim_options.trace = sink;
       const SimulationResult result =
           simulate(entry.graph, schedule, cluster, sim_options);
-      std::printf(
+      note_simulated_run();
+      model.textf(
           "%s: makespan %.2f s (mapper estimate %.2f s), work %.1f proc*s, "
           "network %.1f MiB\n",
           algo.name.c_str(), result.makespan, schedule.estimated_makespan(),
           result.total_work, result.network_bytes / MiB);
-      std::printf("%-20s %5s %9s %9s %9s\n", "task", "procs", "ready",
-                  "start", "finish");
+      model.scalar("makespan/" + entry.name + "/" + algo.name,
+                   result.makespan);
+      model.scalar("work/" + entry.name + "/" + algo.name, result.total_work);
+      TableModel& timeline = model.table(
+          "timeline/" + entry.name + "/" + algo.name,
+          {text_col("task"), num_col("procs"), num_col("ready"),
+           num_col("start"), num_col("finish")});
+      timeline.csv_echo = false;
+      timeline.preformatted = strf("%-20s %5s %9s %9s %9s\n", "task", "procs",
+                                   "ready", "start", "finish");
       for (TaskId t = 0; t < entry.graph.num_tasks(); ++t) {
         const auto& tl = result.timeline[static_cast<std::size_t>(t)];
-        std::printf("%-20s %5zu %9.2f %9.2f %9.2f\n",
-                    entry.graph.task(t).name.c_str(),
-                    schedule.of(t).procs.size(), tl.data_ready, tl.start,
-                    tl.finish);
+        const std::size_t procs = schedule.of(t).procs.size();
+        timeline.preformatted +=
+            strf("%-20s %5zu %9.2f %9.2f %9.2f\n",
+                 entry.graph.task(t).name.c_str(), procs, tl.data_ready,
+                 tl.start, tl.finish);
+        timeline.rows.push_back(
+            {cell(entry.graph.task(t).name),
+             cell(static_cast<double>(procs), std::to_string(procs)),
+             cell(tl.data_ready, fmt(tl.data_ready, 2)),
+             cell(tl.start, fmt(tl.start, 2)),
+             cell(tl.finish, fmt(tl.finish, 2))});
       }
-      if (spec.output.gantt) {
+      if (spec.output.gantt && sink != nullptr) {
         std::vector<std::string> names;
         for (TaskId t = 0; t < entry.graph.num_tasks(); ++t)
           names.push_back(entry.graph.task(t).name);
-        presets::heading("Gantt (" + entry.name + ", " + algo.name + ")");
-        std::printf("%s", trace_gantt(sink.events(), &names).c_str());
+        model.heading("Gantt (" + entry.name + ", " + algo.name + ")");
+        model.text(trace_gantt(sink->events(), &names));
       }
+      if (session)
+        session->end_run(run_index,
+                         RunOutcome{result.makespan, result.total_work});
     }
   }
 }
@@ -494,25 +708,26 @@ void run_single(const ScenarioSpec& spec) {
 
 struct KindEntry {
   const char* name;
-  void (*fn)(const ScenarioSpec&);
+  void (*fn)(const ScenarioSpec&, ReportModel&, RunSession*);
   bool traceable;
 };
 
 constexpr KindEntry kKinds[] = {
     {"fig2", run_fig2, true},
     {"fig3", run_fig3, true},
-    {"fig4", run_fig4, false},
-    {"fig5", run_fig5, false},
+    {"fig4", run_fig4, true},
+    {"fig5", run_fig5, true},
     {"fig6", run_fig6, true},
     {"fig7", run_fig7, true},
     {"table1", run_table1, false},
     {"table2", run_table2, false},
     {"table3", run_table3, false},
     {"table4", run_table4, false},
-    {"table5", run_table5, false},
-    {"table6", run_table6, false},
+    {"table5", run_table5, true},
+    {"table6", run_table6, true},
     {"experiment", run_experiment_kind, true},
     {"single", run_single, true},
+    {"sweep", run_sweep, true},
 };
 
 const KindEntry* find_kind(const std::string& kind) {
@@ -533,31 +748,57 @@ const KindEntry& require_kind(const std::string& kind) {
   return *entry;
 }
 
-// ---- trace rendering ---------------------------------------------------
+// ---- trace session -----------------------------------------------------
 
-/// The run matrix of a traceable scenario: every (entry, algorithm)
-/// pair, with tuned presets resolved per entry family.
-struct TraceMatrix {
-  Cluster cluster;
-  std::vector<CorpusEntry> entries;
-  std::vector<std::string> algo_names;
-  std::vector<std::vector<SchedulerOptions>> options;  ///< [entry][algo]
+/// RunSession → TraceWriter bridge: every observed run becomes one
+/// streamed chunk.
+class TraceSession final : public RunSession {
+ public:
+  explicit TraceSession(TraceWriter& writer) : writer_(writer) {}
+  void begin_matrix(std::size_t runs) override { writer_.begin_matrix(runs); }
+  TraceSink* begin_run(std::size_t run, const RunMeta& meta) override {
+    return writer_.begin_run(run, meta.entry, meta.algo, meta.cluster);
+  }
+  void end_run(std::size_t run, const RunOutcome& outcome) override {
+    writer_.end_run(run, outcome.makespan);
+  }
+
+ private:
+  TraceWriter& writer_;
 };
 
-TraceMatrix trace_matrix(const ScenarioSpec& spec) {
-  TraceMatrix m{spec.platform.resolve_one(), spec.workload.resolve(false),
-                spec.algorithms.names(), {}};
-  m.options.reserve(m.entries.size());
-  for (const CorpusEntry& entry : m.entries) {
-    const auto algos =
-        spec.algorithms.resolve(entry.family, m.cluster.name());
-    RATS_REQUIRE(algos.size() == m.algo_names.size(),
-                 "algorithm list changed size across families");
-    std::vector<SchedulerOptions> row;
-    for (const AlgoSpec& algo : algos) row.push_back(algo.options);
-    m.options.push_back(std::move(row));
-  }
-  return m;
+/// The canonical scenario text embedded in trace headers: artefact
+/// paths are execution details (like `threads`), so the trace bytes do
+/// not depend on where reports or the trace itself are written.
+std::string canonical_spec_text(const ScenarioSpec& spec) {
+  ScenarioSpec canonical = spec;
+  canonical.output.report_csv.clear();
+  canonical.output.report_json.clear();
+  canonical.output.trace.clear();
+  return emit_scenario(canonical);
+}
+
+ReportModel build_with(const KindEntry& entry, const ScenarioSpec& spec,
+                       RunSession* session) {
+  ReportModel model;
+  model.name = spec.name;
+  model.kind = spec.kind;
+  entry.fn(spec, model, session);
+  return model;
+}
+
+void write_artifact(const std::string& path, const std::string& bytes,
+                    const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error(std::string("cannot write ") + what + " '" + path +
+                        "'");
+  out << bytes;
+  out.close();
+  // A full disk leaves the stream open-able but the write short; a
+  // truncated artefact must not be reported as success.
+  if (!out.good())
+    throw Error(std::string("failed writing ") + what + " '" + path + "'");
+  std::fprintf(stderr, "wrote %s %s\n", what, path.c_str());
 }
 
 }  // namespace
@@ -573,47 +814,27 @@ bool kind_supports_trace(const std::string& kind) {
   return entry != nullptr && entry->traceable;
 }
 
-std::string render_trace(const ScenarioSpec& spec, unsigned threads) {
-  RATS_REQUIRE(kind_supports_trace(spec.kind),
+report::ReportModel build_report(const ScenarioSpec& spec,
+                                 RunSession* session) {
+  const KindEntry& entry = require_kind(spec.kind);
+  RATS_REQUIRE(session == nullptr || entry.traceable,
                "scenario kind '" + spec.kind + "' does not support tracing");
-  const TraceMatrix m = trace_matrix(spec);
-  const std::size_t num_algos = m.algo_names.size();
-  const std::size_t runs = m.entries.size() * num_algos;
+  return build_with(entry, spec, session);
+}
 
-  std::string out = "{\"rats_trace\":1,\"name\":\"" + json_escape(spec.name) +
-                    "\",\"kind\":\"" + json_escape(spec.kind) +
-                    "\",\"runs\":" + std::to_string(runs) + ",\"spec\":\"" +
-                    json_escape(emit_scenario(spec)) + "\"}\n";
-
-  // Each run is independent: schedule + simulate with a private sink,
-  // serialize into its own chunk, concatenate in run order.
-  std::vector<std::string> chunks(runs);
-  parallel_for(runs, [&](std::size_t r) {
-    const std::size_t e = r / num_algos;
-    const std::size_t a = r % num_algos;
-    const CorpusEntry& entry = m.entries[e];
-    const Schedule schedule =
-        build_schedule(entry.graph, m.cluster, m.options[e][a]);
-    TraceSink sink;
-    SimulatorOptions sim_options;
-    sim_options.trace = &sink;
-    const SimulationResult result =
-        simulate(entry.graph, schedule, m.cluster, sim_options);
-    std::string chunk = "{\"run\":" + std::to_string(r) + ",\"entry\":\"" +
-                        json_escape(entry.name) + "\",\"algo\":\"" +
-                        json_escape(m.algo_names[a]) + "\",\"cluster\":\"" +
-                        json_escape(m.cluster.name()) + "\"}\n";
-    for (const TraceEvent& event : sink.events()) {
-      chunk += trace_event_line(event);
-      chunk += '\n';
-    }
-    chunk += "{\"run_end\":" + std::to_string(r) +
-             ",\"events\":" + std::to_string(sink.size()) +
-             ",\"makespan\":" + trace_double(result.makespan) + "}\n";
-    chunks[r] = std::move(chunk);
-  }, threads);
-  for (const std::string& chunk : chunks) out += chunk;
-  return out;
+std::string render_trace(const ScenarioSpec& spec, unsigned threads) {
+  const KindEntry& entry = require_kind(spec.kind);
+  RATS_REQUIRE(entry.traceable,
+               "scenario kind '" + spec.kind + "' does not support tracing");
+  ScenarioSpec effective = spec;
+  effective.threads = threads;
+  std::ostringstream out;
+  TraceWriter writer(out, effective.name, effective.kind,
+                     canonical_spec_text(effective));
+  TraceSession session(writer);
+  build_with(entry, effective, &session);  // the report model is discarded
+  writer.finish();
+  return out.str();
 }
 
 void run(const ScenarioSpec& spec, const RunOptions& options) {
@@ -621,20 +842,46 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
   if (options.has_threads) effective.threads = options.threads;
   if (options.csv) effective.output.csv = true;
   if (options.full) effective.workload.corpus.full = true;
+  if (!options.trace_path.empty()) effective.output.trace = options.trace_path;
+  if (!options.report_csv_path.empty())
+    effective.output.report_csv = options.report_csv_path;
+  if (!options.report_json_path.empty())
+    effective.output.report_json = options.report_json_path;
+
   const KindEntry& entry = require_kind(effective.kind);
-  // Reject an untraceable kind before spending the report run on it.
-  RATS_REQUIRE(options.trace_path.empty() || entry.traceable,
+  const std::string trace_path = effective.output.trace;
+  // Reject an untraceable kind before spending the run on it.
+  RATS_REQUIRE(trace_path.empty() || entry.traceable,
                "scenario kind '" + effective.kind +
                    "' does not support tracing");
-  entry.fn(effective);
-  if (!options.trace_path.empty()) {
-    const std::string text = render_trace(effective, effective.threads);
-    std::ofstream out(options.trace_path, std::ios::binary);
-    if (!out) throw Error("cannot write trace '" + options.trace_path + "'");
-    out << text;
+
+  // ONE simulation pass: the report model accumulates while the trace
+  // (when requested) streams through the per-run session hooks.
+  ReportModel model;
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) throw Error("cannot write trace '" + trace_path + "'");
+    TraceWriter writer(out, effective.name, effective.kind,
+                       canonical_spec_text(effective));
+    TraceSession session(writer);
+    model = build_with(entry, effective, &session);
+    writer.finish();
     out.close();
-    std::fprintf(stderr, "wrote trace %s\n", options.trace_path.c_str());
+    if (!out.good())
+      throw Error("failed writing trace '" + trace_path + "'");
+    std::fprintf(stderr, "wrote trace %s\n", trace_path.c_str());
+  } else {
+    model = build_with(entry, effective, nullptr);
   }
+
+  std::fputs(report::render_text(model, effective.output.csv).c_str(),
+             stdout);
+  if (!effective.output.report_csv.empty())
+    write_artifact(effective.output.report_csv, report::render_csv(model),
+                   "report");
+  if (!effective.output.report_json.empty())
+    write_artifact(effective.output.report_json, report::render_json(model),
+                   "report");
 }
 
 ScenarioSpec default_spec(const std::string& kind) {
@@ -677,6 +924,12 @@ ScenarioSpec default_spec(const std::string& kind) {
     spec.workload.fft_k = 8;
     spec.algorithms.preset.clear();
     spec.algorithms.algos = {presets::naive_algos().back()};
+  } else if (kind == "sweep") {
+    spec.workload.source = WorkloadSpec::Source::Family;
+    spec.workload.family = "fft";
+    spec.sweep.base = "delta";
+    spec.sweep.mindeltas = {-0.75, -0.5, -0.25, 0.0};
+    spec.sweep.maxdeltas = {0.5, 1.0};
   }
   return spec;
 }

@@ -1,27 +1,32 @@
 // Scenario kind registry: maps each scenario kind onto the src/exp/
-// runner machinery and renders the same reports the fig/table bench
-// binaries print.
+// runner machinery and builds the structured ReportModel the renderers
+// (report/render.hpp) turn into text/CSV/JSON.
 //
-// Kinds (one per paper artefact plus two generic ones):
+// Kinds (one per paper artefact plus three generic ones):
 //   fig2 fig3 fig6 fig7      corpus x algorithms on one cluster
-//   fig4 fig5                parameter sweep grids
+//   fig4 fig5                parameter sweep grids (paper presets)
 //   table1 table2 table3     static/structural reports
 //   table4                   full tuning sweeps (Table IV)
 //   table5 table6            tuned multi-cluster comparisons
 //   experiment               generic corpus x algorithms summary
 //   single                   per-task timeline of each workload entry
+//   sweep                    generic grid over any RatsParams field
 //
-// The corpus-x-algorithms kinds (fig2/fig3/fig6/fig7, experiment,
-// single) are *traceable*: `run` with a trace path — or `render_trace`
-// directly — re-simulates every (entry, algorithm) run with a
-// TraceSink attached and serializes the streams as JSON lines behind a
-// header that embeds the canonical scenario text, which is exactly
-// what trace/replay.hpp needs to re-simulate and diff.
+// Execution and rendering are separated: `build_report` executes the
+// scenario's run matrix exactly once and returns the model; `run`
+// renders the model to stdout (text) and to the [output] artefacts
+// (CSV/JSON report files, streamed trace).  The matrix kinds (fig2/3/
+// 6/7, experiment, single, sweep) are *traceable*: the RunSession hook
+// (exp/session.hpp) attaches a per-run TraceSink inside that single
+// pass, so `rats run --trace` never re-simulates — the trace streams
+// through trace/writer.hpp while the report data accumulates.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "exp/session.hpp"
+#include "report/model.hpp"
 #include "scenario/spec.hpp"
 
 namespace rats::scenario {
@@ -30,9 +35,12 @@ namespace rats::scenario {
 struct RunOptions {
   bool has_threads = false;
   unsigned threads = 0;
-  bool csv = false;        ///< force CSV emission on
-  bool full = false;       ///< force the paper-scale corpus
-  std::string trace_path;  ///< write a JSON-lines trace here (traceable kinds)
+  bool csv = false;   ///< force CSV emission on
+  bool full = false;  ///< force the paper-scale corpus
+  /// Artefact paths; each overrides the spec's [output] counterpart.
+  std::string trace_path;
+  std::string report_csv_path;
+  std::string report_json_path;
 };
 
 /// All registered kinds, in registry order.
@@ -41,16 +49,24 @@ std::vector<std::string> kinds();
 /// True when `kind` exists and supports trace capture.
 bool kind_supports_trace(const std::string& kind);
 
-/// Executes the scenario: prints the kind's report to stdout and, when
-/// `options.trace_path` is set, re-simulates the runs with tracing and
-/// writes the trace file (a note goes to stderr, keeping stdout
-/// byte-identical to the untraced run).  Throws rats::Error on unknown
-/// kinds, spec/kind mismatches, or tracing an untraceable kind.
+/// Executes the scenario's run matrix once and returns the structured
+/// report.  `session`, when given, observes every (entry, algorithm)
+/// run of a traceable kind — the single simulation pass serves report
+/// and trace.  Throws rats::Error on unknown kinds, spec/kind
+/// mismatches, or a session on an untraceable kind.
+report::ReportModel build_report(const ScenarioSpec& spec,
+                                 RunSession* session = nullptr);
+
+/// Executes the scenario (one pass) and renders: the text report to
+/// stdout, and any [output] / override artefacts — CSV report, JSON
+/// report, and a streaming simulation trace (a note per file goes to
+/// stderr, keeping stdout byte-identical to an artefact-free run).
 void run(const ScenarioSpec& spec, const RunOptions& options = {});
 
 /// Renders the complete trace text (header + runs) for a traceable
 /// kind without printing anything.  Deterministic for a given spec —
-/// the replay checker's whole contract.
+/// the replay checker's whole contract — and byte-identical to what
+/// `run` streams to the trace path.
 std::string render_trace(const ScenarioSpec& spec, unsigned threads);
 
 /// The spec the named fig/table bench binary runs by default — also

@@ -1,8 +1,7 @@
 #include "scenario/spec.hpp"
 
-#include <cstdio>
-
 #include "common/error.hpp"
+#include "common/format.hpp"
 #include "common/rng.hpp"
 #include "daggen/kernels.hpp"
 #include "io/workflow_io.hpp"
@@ -70,23 +69,24 @@ DagFamily family_from_name(const std::string& name) {
 
 }  // namespace
 
-std::vector<CorpusEntry> WorkloadSpec::resolve(bool announce) const {
+std::vector<CorpusEntry> WorkloadSpec::resolve(std::string* announce) const {
   std::vector<CorpusEntry> entries;
   switch (source) {
     case Source::Corpus:
       entries = build_corpus(presets::corpus_options(corpus));
       if (announce)
-        std::printf("corpus: %zu configurations (%s)\n", entries.size(),
-                    corpus.full ? "paper scale"
-                                : "reduced scale; use --full for 557");
+        *announce += strf("corpus: %zu configurations (%s)\n", entries.size(),
+                          corpus.full ? "paper scale"
+                                      : "reduced scale; use --full for 557");
       break;
     case Source::Family: {
       const DagFamily fam = family_from_name(family);
       entries = build_family(fam, presets::corpus_options(corpus));
       if (announce)
-        std::printf("corpus: %zu %s configurations (%s)\n", entries.size(),
-                    to_string(fam).c_str(),
-                    corpus.full ? "paper scale" : "reduced scale; use --full");
+        *announce +=
+            strf("corpus: %zu %s configurations (%s)\n", entries.size(),
+                 to_string(fam).c_str(),
+                 corpus.full ? "paper scale" : "reduced scale; use --full");
       break;
     }
     case Source::Generate: {
@@ -117,9 +117,9 @@ std::vector<CorpusEntry> WorkloadSpec::resolve(bool announce) const {
         entries.push_back(std::move(entry));
       }
       if (announce)
-        std::printf("workload: %d generated %s DAG%s (seed %llu)\n", count,
-                    generator.c_str(), count == 1 ? "" : "s",
-                    static_cast<unsigned long long>(generate_seed));
+        *announce += strf("workload: %d generated %s DAG%s (seed %llu)\n",
+                          count, generator.c_str(), count == 1 ? "" : "s",
+                          static_cast<unsigned long long>(generate_seed));
       break;
     }
     case Source::File: {
@@ -130,9 +130,9 @@ std::vector<CorpusEntry> WorkloadSpec::resolve(bool announce) const {
       entry.graph = load_workflow(path);
       entries.push_back(std::move(entry));
       if (announce)
-        std::printf("workload: %s (%d tasks, %d edges)\n", path.c_str(),
-                    entries.front().graph.num_tasks(),
-                    entries.front().graph.num_edges());
+        *announce += strf("workload: %s (%d tasks, %d edges)\n", path.c_str(),
+                          entries.front().graph.num_tasks(),
+                          entries.front().graph.num_edges());
       break;
     }
   }

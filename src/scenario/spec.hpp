@@ -69,9 +69,10 @@ struct WorkloadSpec {
   /// File source: a workflow file for src/io/workflow_io.hpp.
   std::string path;
 
-  /// Materializes the workload.  With `announce`, prints the same
-  /// corpus-size lines the bench binaries print.
-  std::vector<CorpusEntry> resolve(bool announce) const;
+  /// Materializes the workload.  `announce`, when given, receives the
+  /// corpus-size lines the legacy bench binaries printed (the report
+  /// models capture them as text items; nullptr stays silent).
+  std::vector<CorpusEntry> resolve(std::string* announce = nullptr) const;
 };
 
 /// Algorithms section: a named preset or an explicit ordered list.
@@ -90,18 +91,35 @@ struct AlgorithmsSpec {
   std::vector<std::string> names() const;
 };
 
-/// Sweep section: parameter grids for the sweep kinds (fig4/fig5).
-/// Empty lists fall back to the paper's grids.
+/// Sweep section: parameter grids for the sweep kinds.  fig4/fig5 read
+/// their grids from here (empty lists fall back to the paper's grids);
+/// the generic `kind = "sweep"` crosses every non-empty grid over
+/// `base` (any RatsParams field on any workload source — fig4 is the
+/// (mindelta, maxdelta) x delta preset of it, fig5 the (minrho,
+/// packing) x time-cost one).
 struct SweepSpec {
   std::vector<double> mindeltas;
   std::vector<double> maxdeltas;
   std::vector<double> minrhos;
+  std::vector<bool> packings;  ///< generic sweep only
+  /// Base algorithm the generic sweep perturbs: "delta" | "time-cost".
+  std::string base = "delta";
+
+  /// True when no grid is given (the generic sweep kind rejects this).
+  bool empty() const {
+    return mindeltas.empty() && maxdeltas.empty() && minrhos.empty() &&
+           packings.empty();
+  }
 };
 
-/// Output section.
+/// Output section.  The report always renders to stdout as text; the
+/// paths write additional artefacts of the same ReportModel / run.
 struct OutputSpec {
-  bool csv = false;    ///< also emit CSV after each table
+  bool csv = false;    ///< also emit CSV after each table on stdout
   bool gantt = false;  ///< print a Gantt table per run (kind "single")
+  std::string report_csv;   ///< write the CSV report rendering here
+  std::string report_json;  ///< write the JSON report rendering here
+  std::string trace;        ///< stream a simulation trace here (traceable kinds)
 };
 
 /// One fully-described scenario.

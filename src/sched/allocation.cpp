@@ -65,14 +65,22 @@ Allocation allocate(const TaskGraph& graph, const Cluster& cluster,
     return true;
   };
 
-  // The CPA loop recomputes the critical path under changing node
-  // weights every iteration; the `_into` form inlines the cost lambdas
-  // and reuses the bottom-level scratch and the graph's cached
-  // topological order, so one iteration allocates nothing.
+  // Each CPA iteration changes exactly one task's allocation (hence
+  // one node cost), so after the first full bottom-level pass the
+  // levels are maintained incrementally along the grown task's
+  // ancestors (bitwise identical to recomputing — see
+  // bottom_levels_update); only the path walk runs in full.
   std::vector<double> bl_scratch;
+  BottomLevelDelta bl_delta;
   CriticalPath cp;
+  TaskId grown = kInvalidTask;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    critical_path_into(graph, node_cost, edge_cost, bl_scratch, cp);
+    if (grown == kInvalidTask)
+      bottom_levels_into(graph, node_cost, edge_cost, bl_scratch);
+    else
+      bottom_levels_update(graph, node_cost, edge_cost, bl_scratch, grown,
+                           bl_delta);
+    critical_path_from_levels(graph, node_cost, edge_cost, bl_scratch, cp);
     const double area =
         average_area(graph, cluster, model, alloc, options.kind);
     if (cp.length <= area) break;  // C-infinity <= W: optimal trade-off
@@ -95,6 +103,7 @@ Allocation allocate(const TaskGraph& graph, const Cluster& cluster,
     if (best == kInvalidTask) break;  // every critical task is saturated
 
     ++alloc[static_cast<std::size_t>(best)];
+    grown = best;
     if (options.kind == AllocationKind::Mcpa)
       ++level_total[static_cast<std::size_t>(
           level[static_cast<std::size_t>(best)])];

@@ -80,8 +80,11 @@ ReplayReport verify_trace(const std::string& path, unsigned threads) {
   const std::string actual = buffer.str();
 
   const std::string header = line_at(actual, 0);
-  if (header.rfind("{\"rats_trace\":1,", 0) != 0) {
-    report.error = path + ":1: not a RATS trace (header line missing)";
+  if (header.rfind("{\"rats_trace\":2,", 0) != 0) {
+    report.error =
+        header.rfind("{\"rats_trace\":", 0) == 0
+            ? path + ":1: unsupported trace version (this build reads v2)"
+            : path + ":1: not a RATS trace (header line missing)";
     return report;
   }
   std::string spec_text;
@@ -128,7 +131,9 @@ ReplayReport verify_trace(const std::string& path, unsigned threads) {
       return report;
     }
     if (line_actual.rfind("{\"run\":", 0) == 0) ++report.runs;
-    else if (line_actual.rfind("{\"t\":", 0) == 0) ++report.events;
+    else if (line_actual.rfind("{\"t\":", 0) == 0 ||
+             line_actual.rfind("{\"r\":", 0) == 0)
+      ++report.events;
     pos_a += line_actual.size() + 1;
     pos_e += line_expected.size() + 1;
     ++line_no;

@@ -2,11 +2,22 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
 
 namespace rats {
+
+namespace {
+
+/// Bit equality (== would conflate +0/-0 and the formatter would not).
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+}  // namespace
 
 const char* to_string(TraceEventKind kind) {
   switch (kind) {
@@ -34,6 +45,155 @@ std::string trace_event_line(const TraceEvent& event) {
   line += ",\"b\":" + std::to_string(event.b);
   line += ",\"v\":" + trace_double(event.value) + "}";
   return line;
+}
+
+void TraceLineEncoder::reset() {
+  have_time_ = false;
+  have_rate_ = false;
+  time_ = 0;
+  rate_ = 0;
+}
+
+void TraceLineEncoder::append(const TraceEvent& event, std::string& out) {
+  if (event.kind != TraceEventKind::RateChange) {
+    out += trace_event_line(event);
+    out += '\n';
+    time_ = event.time;
+    have_time_ = true;
+    return;
+  }
+  out += "{\"r\":" + std::to_string(event.a);
+  if (!have_time_ || !same_bits(event.time, time_)) {
+    out += ",\"t\":" + trace_double(event.time);
+    time_ = event.time;
+    have_time_ = true;
+  }
+  if (!have_rate_ || !same_bits(event.value, rate_)) {
+    out += ",\"v\":" + trace_double(event.value);
+    rate_ = event.value;
+    have_rate_ = true;
+  }
+  out += "}\n";
+}
+
+void TraceLineDecoder::reset() {
+  have_time_ = false;
+  have_rate_ = false;
+  time_ = 0;
+  rate_ = 0;
+}
+
+namespace {
+
+/// Parses `"key":` at `at` followed by a number; advances `at` past it.
+bool parse_number_field(const std::string& line, const char* key,
+                        std::size_t& at, double& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  if (line.compare(at, needle.size(), needle) != 0) return false;
+  at += needle.size();
+  const char* start = line.c_str() + at;
+  char* end = nullptr;
+  out = std::strtod(start, &end);
+  if (end == start) return false;
+  at += static_cast<std::size_t>(end - start);
+  return true;
+}
+
+TraceEventKind kind_from_string(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "task_start") return TraceEventKind::TaskStart;
+  if (name == "task_finish") return TraceEventKind::TaskFinish;
+  if (name == "redist_start") return TraceEventKind::RedistStart;
+  if (name == "redist_done") return TraceEventKind::RedistDone;
+  if (name == "solve") return TraceEventKind::SolveComponent;
+  if (name == "rate") return TraceEventKind::RateChange;
+  ok = false;
+  return TraceEventKind::TaskStart;
+}
+
+}  // namespace
+
+bool TraceLineDecoder::decode(const std::string& line, TraceEvent& out) {
+  out = TraceEvent{};
+  if (line.rfind("{\"r\":", 0) == 0) {
+    // Delta-encoded rate change: inherit time/value unless present.
+    std::size_t at = 1;  // at the `"r"` key
+    double flow = 0;
+    if (!parse_number_field(line, "r", at, flow)) return false;
+    out.kind = TraceEventKind::RateChange;
+    out.a = static_cast<std::int32_t>(flow);
+    out.b = -1;
+    // Parse into locals and commit to the inherited state only once the
+    // whole line is accepted — a rejected line must not corrupt what
+    // later lines inherit.
+    double time = 0, rate = 0;
+    bool line_has_time = false, line_has_rate = false;
+    if (at < line.size() && line[at] == ',') {
+      std::size_t try_at = at + 1;
+      if (parse_number_field(line, "t", try_at, time)) {
+        line_has_time = true;
+        at = try_at;
+      }
+    }
+    if (at < line.size() && line[at] == ',') {
+      std::size_t try_at = at + 1;
+      if (parse_number_field(line, "v", try_at, rate)) {
+        line_has_rate = true;
+        at = try_at;
+      }
+    }
+    if (line.compare(at, std::string::npos, "}") != 0) return false;
+    if ((!line_has_time && !have_time_) || (!line_has_rate && !have_rate_))
+      return false;  // nothing to inherit
+    if (line_has_time) {
+      time_ = time;
+      have_time_ = true;
+    }
+    if (line_has_rate) {
+      rate_ = rate;
+      have_rate_ = true;
+    }
+    out.time = time_;
+    out.value = rate_;
+    return true;
+  }
+
+  // Self-contained form: {"t":..,"ev":"..","a":..,"b":..,"v":..}
+  if (line.rfind("{\"t\":", 0) != 0) return false;
+  std::size_t at = 1;
+  double time = 0;
+  if (!parse_number_field(line, "t", at, time)) return false;
+  const std::string ev_needle = ",\"ev\":\"";
+  if (line.compare(at, ev_needle.size(), ev_needle) != 0) return false;
+  at += ev_needle.size();
+  const std::size_t name_end = line.find('"', at);
+  if (name_end == std::string::npos) return false;
+  bool ok = false;
+  out.kind = kind_from_string(line.substr(at, name_end - at), ok);
+  if (!ok) return false;
+  at = name_end + 1;
+  double a = 0, b = 0, v = 0;
+  if (line.compare(at, 1, ",") != 0) return false;
+  ++at;
+  if (!parse_number_field(line, "a", at, a)) return false;
+  if (line.compare(at, 1, ",") != 0) return false;
+  ++at;
+  if (!parse_number_field(line, "b", at, b)) return false;
+  if (line.compare(at, 1, ",") != 0) return false;
+  ++at;
+  if (!parse_number_field(line, "v", at, v)) return false;
+  if (line.compare(at, std::string::npos, "}") != 0) return false;
+  out.time = time;
+  out.a = static_cast<std::int32_t>(a);
+  out.b = static_cast<std::int32_t>(b);
+  out.value = v;
+  time_ = time;
+  have_time_ = true;
+  if (out.kind == TraceEventKind::RateChange) {
+    rate_ = v;
+    have_rate_ = true;
+  }
+  return true;
 }
 
 std::string json_escape(const std::string& text) {

@@ -72,11 +72,53 @@ class TraceSink {
   std::vector<TraceEvent> events_;
 };
 
-/// One event as a JSON-lines object, e.g.
+/// One event as a self-contained JSON-lines object, e.g.
 ///   {"t":0.10000000000000001,"ev":"task_start","a":3,"b":2,"v":0}
 /// Doubles use `trace_double` so parsing the line recovers the exact
 /// bits.
 std::string trace_event_line(const TraceEvent& event);
+
+/// Stateful delta-encoding line writer for one run's event stream.
+///
+/// Rate-change records dominate trace size, and their fields repeat
+/// heavily: one Max-Min solve assigns many rates at a single timestamp,
+/// and fair sharing hands whole components the same rate value.  Rate
+/// events therefore encode as
+///   {"r":<flow>[,"t":<time>][,"v":<rate>]}
+/// with "t"/"v" omitted when bit-identical to the running values (the
+/// time of the previous event of any kind; the value of the previous
+/// rate event).  Every other kind uses the self-contained
+/// trace_event_line form.  TraceLineDecoder reverses the encoding
+/// exactly — encode→decode round-trips every event bit for bit, which
+/// is what keeps the replay checker byte-exact on the decoded stream.
+/// State is per run: reset both sides at each run boundary.
+class TraceLineEncoder {
+ public:
+  void reset();
+  /// Appends the encoded line for `event`, newline included.
+  void append(const TraceEvent& event, std::string& out);
+
+ private:
+  bool have_time_ = false;
+  bool have_rate_ = false;
+  double time_ = 0;
+  double rate_ = 0;
+};
+
+/// Reverses TraceLineEncoder (see above).
+class TraceLineDecoder {
+ public:
+  void reset();
+  /// Decodes one line (no trailing newline) into `out`; returns false
+  /// on malformed input.
+  bool decode(const std::string& line, TraceEvent& out);
+
+ private:
+  bool have_time_ = false;
+  bool have_rate_ = false;
+  double time_ = 0;
+  double rate_ = 0;
+};
 
 /// Round-trip double formatting (%.17g) shared by every trace field —
 /// writer and replay checker must agree byte for byte, so this is the

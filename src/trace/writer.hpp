@@ -1,0 +1,87 @@
+// Streaming JSON-lines trace writer.
+//
+// TraceWriter serializes an experiment matrix's trace to an ostream
+// *while it runs*: the header line goes out when the matrix is
+// announced, each run records into its own TraceSink, and at run
+// completion the run's chunk (meta line, delta-encoded event lines, end
+// line — see trace/trace.hpp for the line formats) is encoded and
+// flushed as soon as every earlier run has been flushed.  Runs execute
+// in parallel and complete out of order; peak memory is therefore
+// bounded by the encoded chunks of completed-but-not-yet-flushable runs
+// (in practice a few worker threads' worth), never by the whole trace —
+// the property that keeps paper-scale traced runs in bounded memory.
+//
+// The byte stream is identical for any completion order and any worker
+// count, which is what the replay checker (trace/replay.hpp) relies on.
+//
+// File layout (version 2 — rate records are delta-encoded):
+//   {"rats_trace":2,"name":...,"kind":...,"runs":N,"spec":"..."}
+//   {"run":0,"entry":...,"algo":...,"cluster":...}
+//   <event lines>
+//   {"run_end":0,"events":E,"makespan":M}
+//   {"run":1,...}
+//   ...
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace rats {
+
+class TraceWriter {
+ public:
+  /// Binds the writer to `out` (which must outlive it).  Nothing is
+  /// written until begin_matrix announces the run count.
+  TraceWriter(std::ostream& out, std::string name, std::string kind,
+              std::string spec_text);
+
+  /// Writes the header line.  Must be called exactly once, before any
+  /// begin_run.
+  void begin_matrix(std::size_t runs);
+
+  /// Registers run `run` and returns its sink (valid until end_run).
+  /// Thread-safe.
+  TraceSink* begin_run(std::size_t run, const std::string& entry,
+                       const std::string& algo, const std::string& cluster);
+
+  /// Encodes run `run`'s chunk, then flushes every chunk whose
+  /// predecessors are all flushed.  Thread-safe.
+  void end_run(std::size_t run, double makespan);
+
+  /// Verifies every announced run was flushed.  Throws rats::Error on
+  /// missing runs (a run that never began or never ended).
+  void finish();
+
+  /// Events encoded so far.  Safe to poll while the matrix runs.
+  std::size_t total_events() const {
+    return total_events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PendingRun {
+    std::unique_ptr<TraceSink> sink;
+    std::string meta_line;  ///< pre-built {"run":...} line
+    std::string encoded;    ///< full chunk once the run ended
+    bool done = false;
+  };
+
+  void flush_ready_locked();
+
+  std::ostream& out_;
+  std::string name_, kind_, spec_text_;
+  std::size_t runs_ = 0;
+  bool header_written_ = false;
+  std::size_t next_flush_ = 0;
+  std::atomic<std::size_t> total_events_{0};
+  std::map<std::size_t, PendingRun> pending_;
+  std::mutex mu_;
+};
+
+}  // namespace rats

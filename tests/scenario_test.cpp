@@ -180,6 +180,51 @@ TEST(ScenarioErrors, NonPositivePlatformNumbers) {
       5, "'uplink-bandwidth-gbps' must be positive");
 }
 
+TEST(ScenarioErrors, SweepKindValidation) {
+  // No [sweep] section at all.
+  expect_parse_error(
+      "[scenario]\nkind = \"sweep\"\n[platform]\ncluster = \"grillon\"\n", 1,
+      "needs a [sweep] section");
+  // A [sweep] section with nothing to sweep.
+  expect_parse_error(
+      "[scenario]\nkind = \"sweep\"\n[sweep]\nbase = \"delta\"\n", 3,
+      "at least one non-empty grid");
+  // An unknown base algorithm.
+  expect_parse_error(
+      "[scenario]\nkind = \"sweep\"\n[sweep]\nmindelta = [0]\n"
+      "base = \"hcpa\"\n",
+      5, "unknown sweep base 'hcpa' (expected delta or time-cost)");
+  // A packing grid that is not boolean.
+  expect_parse_error(
+      "[scenario]\nkind = \"sweep\"\n[sweep]\npacking = [1, 0]\n", 4,
+      "'packing' must contain only true/false");
+  expect_parse_error(
+      "[scenario]\nkind = \"sweep\"\n[sweep]\npacking = true\n", 4,
+      "'packing' must be an array of booleans");
+}
+
+TEST(ScenarioRoundTrip, SweepAndOutputSectionsAreByteStable) {
+  const std::string text =
+      "[scenario]\nkind = \"sweep\"\nname = \"s\"\n"
+      "[platform]\ncluster = \"grillon\"\n"
+      "[workload]\nsource = \"family\"\nfamily = \"fft\"\n"
+      "[sweep]\nbase = \"time-cost\"\nminrho = [0.2, 0.4]\n"
+      "packing = [true, false]\n"
+      "[output]\nreport-csv = \"out.csv\"\nreport-json = \"out.json\"\n"
+      "trace = \"out.jsonl\"\n";
+  const ScenarioSpec spec = parse_scenario_string(text);
+  EXPECT_EQ(spec.sweep.base, "time-cost");
+  EXPECT_EQ(spec.sweep.packings, (std::vector<bool>{true, false}));
+  EXPECT_EQ(spec.output.report_csv, "out.csv");
+  EXPECT_EQ(spec.output.report_json, "out.json");
+  EXPECT_EQ(spec.output.trace, "out.jsonl");
+  const std::string once = emit_scenario(spec);
+  EXPECT_NE(once.find("base = \"time-cost\""), std::string::npos);
+  EXPECT_NE(once.find("packing = [true, false]"), std::string::npos);
+  EXPECT_NE(once.find("trace = \"out.jsonl\""), std::string::npos);
+  EXPECT_EQ(once, emit_scenario(parse_scenario_string(once)));
+}
+
 TEST(ScenarioErrors, MixedPlatformForms) {
   expect_parse_error(
       "[scenario]\nkind = \"fig2\"\n[platform]\ncluster = \"grillon\"\n"
@@ -256,8 +301,8 @@ TEST(ScenarioResolve, GeneratedWorkloadIsDeterministic) {
   w.generator = "fft";
   w.fft_k = 4;
   w.count = 2;
-  const auto a = w.resolve(false);
-  const auto b = w.resolve(false);
+  const auto a = w.resolve();
+  const auto b = w.resolve();
   ASSERT_EQ(a.size(), 2u);
   EXPECT_EQ(a[0].name, "fft/s0");
   EXPECT_EQ(a[0].graph.num_tasks(), 15);  // 2k-1 + k log2 k for k=4
@@ -270,8 +315,11 @@ TEST(ScenarioResolve, QuietAndAnnouncedCapPickTheSameEntries) {
   w.corpus.samples_random = 0;
   w.corpus.samples_kernel = 2;
   w.cap_per_family = 1;
-  const auto loud = w.resolve(true);
-  const auto quiet = w.resolve(false);
+  std::string notes;
+  const auto loud = w.resolve(&notes);
+  const auto quiet = w.resolve();
+  EXPECT_NE(notes.find("corpus:"), std::string::npos);
+  EXPECT_NE(notes.find("capped"), std::string::npos);
   ASSERT_EQ(loud.size(), quiet.size());
   for (std::size_t i = 0; i < loud.size(); ++i)
     EXPECT_EQ(loud[i].name, quiet[i].name);
@@ -292,12 +340,18 @@ TEST(ScenarioResolve, AlgorithmPresets) {
 
 TEST(ScenarioRegistry, KindsAndTraceability) {
   const auto all = kinds();
-  EXPECT_EQ(all.size(), 14u);
+  EXPECT_EQ(all.size(), 15u);
   EXPECT_TRUE(kind_supports_trace("fig2"));
   EXPECT_TRUE(kind_supports_trace("experiment"));
   EXPECT_TRUE(kind_supports_trace("single"));
-  EXPECT_FALSE(kind_supports_trace("fig4"));
-  EXPECT_FALSE(kind_supports_trace("table5"));
+  EXPECT_TRUE(kind_supports_trace("sweep"));
+  // Every kind that executes one run matrix traces through the same
+  // session hook — sweeps and the tuned multi-cluster tables included.
+  EXPECT_TRUE(kind_supports_trace("fig4"));
+  EXPECT_TRUE(kind_supports_trace("table5"));
+  // Static reports and table4's repeated tuning matrices do not trace.
+  EXPECT_FALSE(kind_supports_trace("table1"));
+  EXPECT_FALSE(kind_supports_trace("table4"));
   EXPECT_FALSE(kind_supports_trace("nope"));
   EXPECT_THROW(default_spec("nope"), Error);
 }

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/error.hpp"
@@ -15,6 +17,7 @@
 #include "sim/simulator.hpp"
 #include "trace/replay.hpp"
 #include "trace/trace.hpp"
+#include "trace/writer.hpp"
 
 namespace rats {
 namespace {
@@ -86,6 +89,129 @@ TEST(TraceSinkTest, EventLineFormat) {
 
 TEST(TraceSinkTest, JsonEscaping) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// ---- delta encoding ----------------------------------------------------
+
+TEST(TraceEncodingTest, RateRecordsDropRepeatedFields) {
+  TraceLineEncoder encoder;
+  std::string out;
+  TraceEvent solve;
+  solve.time = 1.5;
+  solve.kind = TraceEventKind::SolveComponent;
+  solve.a = 0;
+  solve.b = 4;
+  encoder.append(solve, out);
+
+  TraceEvent rate;
+  rate.kind = TraceEventKind::RateChange;
+  rate.time = 1.5;  // same instant as the solve
+  rate.a = 7;
+  rate.value = 125e6;
+  encoder.append(rate, out);
+  rate.a = 8;  // same time, same fair share
+  encoder.append(rate, out);
+  rate.a = 9;
+  rate.time = 2.0;  // rate flush at a later event
+  rate.value = 62.5e6;
+  encoder.append(rate, out);
+
+  const std::string expected_tail =
+      "{\"r\":7,\"v\":125000000}\n"
+      "{\"r\":8}\n"
+      "{\"r\":9,\"t\":2,\"v\":62500000}\n";
+  EXPECT_NE(out.find(expected_tail), std::string::npos) << out;
+}
+
+TEST(TraceEncodingTest, EncodeDecodeRoundTripsARealRunBitExactly) {
+  const Traced t = traced_fft_run();
+  TraceLineEncoder encoder;
+  std::string encoded;
+  std::string plain;
+  for (const TraceEvent& e : t.sink.events()) {
+    encoder.append(e, encoded);
+    plain += trace_event_line(e);
+    plain += '\n';
+  }
+  // The stream that dominates trace size shrinks.
+  EXPECT_LT(encoded.size(), plain.size());
+
+  TraceLineDecoder decoder;
+  std::size_t index = 0;
+  std::size_t at = 0;
+  while (at < encoded.size()) {
+    const std::size_t end = encoded.find('\n', at);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = encoded.substr(at, end - at);
+    at = end + 1;
+    TraceEvent decoded;
+    ASSERT_TRUE(decoder.decode(line, decoded)) << line;
+    ASSERT_LT(index, t.sink.events().size());
+    const TraceEvent& original = t.sink.events()[index++];
+    EXPECT_EQ(std::memcmp(&decoded.time, &original.time, sizeof(double)), 0);
+    EXPECT_EQ(decoded.kind, original.kind);
+    EXPECT_EQ(decoded.a, original.a);
+    EXPECT_EQ(decoded.b, original.b);
+    EXPECT_EQ(std::memcmp(&decoded.value, &original.value, sizeof(double)),
+              0);
+  }
+  EXPECT_EQ(index, t.sink.events().size());
+}
+
+TEST(TraceEncodingTest, DecoderRejectsMalformedAndOrphanLines) {
+  TraceLineDecoder decoder;
+  TraceEvent out;
+  // A bare {"r":...} with no prior time/value has nothing to inherit.
+  EXPECT_FALSE(decoder.decode("{\"r\":3}", out));
+  EXPECT_FALSE(decoder.decode("{\"r\":3,\"v\":1}", out));  // still no time
+  EXPECT_FALSE(decoder.decode("not json", out));
+  EXPECT_FALSE(decoder.decode("{\"t\":1,\"ev\":\"nope\",\"a\":1,\"b\":1,\"v\":0}",
+                              out));
+  EXPECT_TRUE(
+      decoder.decode("{\"t\":1,\"ev\":\"rate\",\"a\":1,\"b\":-1,\"v\":5}", out));
+  EXPECT_TRUE(decoder.decode("{\"r\":3}", out));  // now it inherits
+  EXPECT_EQ(out.a, 3);
+  EXPECT_EQ(out.time, 1.0);
+  EXPECT_EQ(out.value, 5.0);
+}
+
+// ---- streaming writer --------------------------------------------------
+
+TEST(TraceWriterTest, OutOfOrderCompletionsFlushInRunOrder) {
+  std::ostringstream out;
+  TraceWriter writer(out, "w", "experiment", "[scenario]\nkind=...\n");
+  writer.begin_matrix(3);
+  TraceSink* s0 = writer.begin_run(0, "e0", "HCPA", "c");
+  TraceSink* s1 = writer.begin_run(1, "e0", "delta", "c");
+  TraceSink* s2 = writer.begin_run(2, "e0", "time-cost", "c");
+  s0->record(0.5, TraceEventKind::TaskStart, 0, 1);
+  s1->record(1.5, TraceEventKind::TaskStart, 0, 1);
+  s2->record(2.5, TraceEventKind::TaskStart, 0, 1);
+  // Complete out of order: nothing before run 0 ends may flush.
+  writer.end_run(2, 30.0);
+  writer.end_run(0, 10.0);
+  writer.end_run(1, 20.0);
+  writer.finish();
+  const std::string text = out.str();
+  const std::size_t r0 = text.find("{\"run\":0,");
+  const std::size_t r1 = text.find("{\"run\":1,");
+  const std::size_t r2 = text.find("{\"run\":2,");
+  ASSERT_NE(r0, std::string::npos);
+  ASSERT_NE(r1, std::string::npos);
+  ASSERT_NE(r2, std::string::npos);
+  EXPECT_LT(r0, r1);
+  EXPECT_LT(r1, r2);
+  EXPECT_EQ(writer.total_events(), 3u);
+  EXPECT_NE(text.find("\"makespan\":30"), std::string::npos);
+  EXPECT_EQ(text.rfind("{\"rats_trace\":2,", 0), 0u);
+}
+
+TEST(TraceWriterTest, FinishRejectsUnendedRuns) {
+  std::ostringstream out;
+  TraceWriter writer(out, "w", "experiment", "spec");
+  writer.begin_matrix(1);
+  writer.begin_run(0, "e", "a", "c");
+  EXPECT_THROW(writer.finish(), Error);
 }
 
 TEST(TraceGanttTest, RendersSortedIntervals) {
@@ -190,7 +316,7 @@ TEST(TraceReplayTest, RejectsNonTraces) {
 }
 
 TEST(TraceReplayTest, UntraceableKindsRefuse) {
-  auto spec = scenario::default_spec("fig4");
+  auto spec = scenario::default_spec("table4");
   EXPECT_THROW(scenario::render_trace(spec, 1), Error);
 }
 
