@@ -1,7 +1,7 @@
 // `rats` — the command-line driver for the scenario engine.
 //
 //   rats run <scenario.rats> [--trace out.jsonl] [--threads N]
-//                            [--csv] [--full]
+//                            [--csv] [--full] [--check N]
 //   rats verify <trace.jsonl> [--threads N]
 //   rats emit (<scenario.rats> | --kind <kind>)
 //   rats kinds
@@ -54,6 +54,8 @@ namespace {
       "      --threads N         worker threads (0 = hardware)\n"
       "      --csv               also emit CSV after each table\n"
       "      --full              paper-scale corpus\n"
+      "      --check N           run the scenario N times and fail if\n"
+      "                          any output byte differs\n"
       "  verify <trace.jsonl>    re-simulate a trace and byte-diff it\n"
       "      --threads N         worker threads for the replay\n"
       "  emit <scenario.rats>    print the canonical form of a scenario\n"
@@ -147,7 +149,12 @@ int cmd_run(int argc, char** argv) {
       options.threads = parse_threads(next());
     } else if (a == "--csv") options.csv = true;
     else if (a == "--full") options.full = true;
-    else if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--check") {
+      char* end = nullptr;
+      const long v = std::strtol(next(), &end, 10);
+      if (end == nullptr || *end != '\0' || v < 1) usage(2);
+      options.check = static_cast<int>(v);
+    } else if (a == "--help" || a == "-h") usage(0);
     else if (!a.empty() && a[0] == '-') usage(2);
     else if (file.empty()) file = a;
     else usage(2);

@@ -11,7 +11,8 @@ namespace rats {
 ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
                               const Cluster& cluster,
                               const std::vector<AlgoSpec>& algos,
-                              unsigned threads, RunSession* session) {
+                              unsigned threads, RunSession* session,
+                              const SimulatorOptions* base_sim) {
   RATS_REQUIRE(!corpus.empty() && !algos.empty(),
                "experiment needs a corpus and algorithms");
   ExperimentData data;
@@ -31,7 +32,7 @@ ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
   parallel_for(jobs, [&](std::size_t j) {
     const std::size_t e = j / algos.size();
     const std::size_t a = j % algos.size();
-    SimulatorOptions sim;
+    SimulatorOptions sim = base_sim ? *base_sim : SimulatorOptions{};
     if (session)
       sim.trace = session->begin_run(
           j, RunMeta{corpus[e].name, algos[a].name, cluster.name()});

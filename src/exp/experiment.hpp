@@ -37,12 +37,15 @@ struct ExperimentData {
 /// concurrency).  `session`, when given, observes every run (run index
 /// = entry * algos + algo) and may attach per-run trace sinks — this is
 /// how a traced scenario shares one simulation pass between report and
-/// trace (see exp/session.hpp).
+/// trace (see exp/session.hpp).  `base_sim`, when given, seeds every
+/// run's SimulatorOptions (per-run trace sinks are layered on top) —
+/// the hook a platform event timeline rides in on.
 ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
                               const Cluster& cluster,
                               const std::vector<AlgoSpec>& algos,
                               unsigned threads = 0,
-                              RunSession* session = nullptr);
+                              RunSession* session = nullptr,
+                              const SimulatorOptions* base_sim = nullptr);
 
 /// Per-entry ratio metric(algo) / metric(reference algo), e.g. the
 /// "makespan relative to HCPA" of Figures 2 and 6.  `metric` selects

@@ -129,14 +129,16 @@ std::vector<AlgoSpec> tuned_algos(DagFamily family,
 
 ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
                                     const Cluster& cluster,
-                                    unsigned threads, RunSession* session) {
-  return run_tuned_experiments(corpus, {cluster}, threads, session).front();
+                                    unsigned threads, RunSession* session,
+                                    const SimulatorOptions* base_sim) {
+  return run_tuned_experiments(corpus, {cluster}, threads, session, base_sim)
+      .front();
 }
 
 std::vector<ExperimentData> run_tuned_experiments(
     const std::vector<CorpusEntry>& corpus,
     const std::vector<Cluster>& clusters, unsigned threads,
-    RunSession* session) {
+    RunSession* session, const SimulatorOptions* base_sim) {
   constexpr DagFamily kFamilies[] = {DagFamily::Layered, DagFamily::Irregular,
                                      DagFamily::FFT, DagFamily::Strassen};
   const std::size_t num_algos = 3;
@@ -176,7 +178,7 @@ std::vector<ExperimentData> run_tuned_experiments(
     const std::size_t a = j % num_algos;
     const AlgoSpec& spec =
         specs[c][family_index(corpus[e].family)][a];
-    SimulatorOptions sim;
+    SimulatorOptions sim = base_sim ? *base_sim : SimulatorOptions{};
     if (session)
       sim.trace = session->begin_run(
           j, RunMeta{corpus[e].name, spec.name, clusters[c].name()});

@@ -75,11 +75,13 @@ std::vector<AlgoSpec> tuned_algos(DagFamily family,
 /// family (each family uses its Table IV parameters for `cluster`) and
 /// returns the merged outcomes in corpus order.  Algorithm order:
 /// {HCPA, delta, time-cost}.  `session` observes every run (see
-/// exp/session.hpp); run index = entry * 3 + algo.
+/// exp/session.hpp); run index = entry * 3 + algo.  `base_sim` seeds
+/// every run's SimulatorOptions (see run_experiment).
 ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
                                     const Cluster& cluster,
                                     unsigned threads = 0,
-                                    RunSession* session = nullptr);
+                                    RunSession* session = nullptr,
+                                    const SimulatorOptions* base_sim = nullptr);
 
 /// Multi-cluster form of `run_tuned_experiment`: every (cluster, corpus
 /// entry, algorithm) scenario becomes one job in a single batch through
@@ -91,7 +93,8 @@ ExperimentData run_tuned_experiment(const std::vector<CorpusEntry>& corpus,
 std::vector<ExperimentData> run_tuned_experiments(
     const std::vector<CorpusEntry>& corpus,
     const std::vector<Cluster>& clusters, unsigned threads = 0,
-    RunSession* session = nullptr);
+    RunSession* session = nullptr,
+    const SimulatorOptions* base_sim = nullptr);
 
 /// Prints a heading followed by an underline.
 void heading(const std::string& title);

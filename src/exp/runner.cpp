@@ -22,7 +22,7 @@ RunOutcome run_scenario(const TaskGraph& graph, const Cluster& cluster,
   const Schedule schedule = build_schedule(graph, cluster, scheduler);
   const SimulationResult result = simulate(graph, schedule, cluster, sim);
   note_simulated_run();
-  return RunOutcome{result.makespan, result.total_work};
+  return RunOutcome{result.makespan, result.total_work, result.faults};
 }
 
 }  // namespace rats

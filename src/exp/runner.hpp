@@ -11,10 +11,12 @@
 
 namespace rats {
 
-/// The paper's two metrics for one (DAG, cluster, algorithm) run.
+/// The paper's two metrics for one (DAG, cluster, algorithm) run, plus
+/// the fault accounting of the platform timeline (zero when healthy).
 struct RunOutcome {
   Seconds makespan{};  ///< simulated, with contention
   double work{};       ///< processor-time area of the schedule
+  FaultStats faults;   ///< see sim/simulator.hpp
 };
 
 /// Schedules `graph` on `cluster` with `scheduler` and simulates the

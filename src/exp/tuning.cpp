@@ -44,7 +44,8 @@ double average_relative_makespan(const std::vector<CorpusEntry>& corpus,
 std::vector<double> sweep_grid(const std::vector<CorpusEntry>& corpus,
                                const Cluster& cluster,
                                const std::vector<SchedulerOptions>& points,
-                               unsigned threads, RunSession* session) {
+                               unsigned threads, RunSession* session,
+                               const SimulatorOptions* base_sim) {
   RATS_REQUIRE(!corpus.empty(), "sweep needs a corpus");
   // All grid points ride through the experiment runner as one batch:
   // algo 0 is the HCPA reference, the rest are the sweep points, and
@@ -59,7 +60,7 @@ std::vector<double> sweep_grid(const std::vector<CorpusEntry>& corpus,
     algos.push_back(AlgoSpec{"point" + std::to_string(p), points[p]});
 
   const ExperimentData data =
-      run_experiment(corpus, cluster, algos, threads, session);
+      run_experiment(corpus, cluster, algos, threads, session, base_sim);
 
   std::vector<double> averages;
   averages.reserve(points.size());
@@ -79,7 +80,8 @@ DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
                        const Cluster& cluster,
                        const std::vector<double>& mindeltas,
                        const std::vector<double>& maxdeltas,
-                       unsigned threads, RunSession* session) {
+                       unsigned threads, RunSession* session,
+                       const SimulatorOptions* base_sim) {
   DeltaSweep sweep;
   sweep.mindeltas = mindeltas.empty() ? tuning_mindeltas() : mindeltas;
   sweep.maxdeltas = maxdeltas.empty() ? tuning_maxdeltas() : maxdeltas;
@@ -95,7 +97,7 @@ DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
     }
   }
   const std::vector<double> avg =
-      sweep_grid(corpus, cluster, points, threads, session);
+      sweep_grid(corpus, cluster, points, threads, session, base_sim);
 
   sweep.best_value = std::numeric_limits<double>::infinity();
   std::size_t k = 0;
@@ -123,7 +125,7 @@ RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
 RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
                    const Cluster& cluster,
                    const std::vector<double>& minrhos, unsigned threads,
-                   RunSession* session) {
+                   RunSession* session, const SimulatorOptions* base_sim) {
   RhoSweep sweep;
   sweep.minrhos = minrhos.empty() ? tuning_minrhos() : minrhos;
 
@@ -138,7 +140,7 @@ RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
     }
   }
   const std::vector<double> avg =
-      sweep_grid(corpus, cluster, points, threads, session);
+      sweep_grid(corpus, cluster, points, threads, session, base_sim);
 
   sweep.best_value = std::numeric_limits<double>::infinity();
   std::size_t k = 0;

@@ -35,11 +35,14 @@ double average_relative_makespan(const std::vector<CorpusEntry>& corpus,
 /// every run of that batch (run index = entry * (points + 1) + algo,
 /// algo 0 being the HCPA reference) — the hook that lets the generic
 /// sweep kind trace its whole grid in the pass that scores it.
+/// `base_sim` seeds every run's SimulatorOptions (see run_experiment)
+/// — how a platform event timeline degrades a whole sweep.
 std::vector<double> sweep_grid(const std::vector<CorpusEntry>& corpus,
                                const Cluster& cluster,
                                const std::vector<SchedulerOptions>& points,
                                unsigned threads = 0,
-                               RunSession* session = nullptr);
+                               RunSession* session = nullptr,
+                               const SimulatorOptions* base_sim = nullptr);
 
 /// The (mindelta, maxdelta) surface of Figure 4.
 struct DeltaSweep {
@@ -60,7 +63,8 @@ DeltaSweep sweep_delta(const std::vector<CorpusEntry>& corpus,
                        const Cluster& cluster,
                        const std::vector<double>& mindeltas,
                        const std::vector<double>& maxdeltas,
-                       unsigned threads = 0, RunSession* session = nullptr);
+                       unsigned threads = 0, RunSession* session = nullptr,
+                       const SimulatorOptions* base_sim = nullptr);
 
 /// The minrho curves (packing on/off) of Figure 5.
 struct RhoSweep {
@@ -78,7 +82,8 @@ RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
 RhoSweep sweep_rho(const std::vector<CorpusEntry>& corpus,
                    const Cluster& cluster,
                    const std::vector<double>& minrhos, unsigned threads = 0,
-                   RunSession* session = nullptr);
+                   RunSession* session = nullptr,
+                   const SimulatorOptions* base_sim = nullptr);
 
 /// One Table IV cell: tuned (mindelta, maxdelta, minrho).
 struct TunedParams {

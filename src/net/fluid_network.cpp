@@ -302,7 +302,7 @@ void FluidNetwork::activate(FlowId id, FlowState& f) {
   }
 }
 
-void FluidNetwork::complete(FlowId id, FlowState& f) {
+void FluidNetwork::retire(FlowId id, FlowState& f) {
   f.remaining = 0;
   f.done = true;
   f.finish = now_;
@@ -313,6 +313,7 @@ void FluidNetwork::complete(FlowId id, FlowState& f) {
   active_pos_[static_cast<std::size_t>(moved)] = pos;
   active_ids_.pop_back();
   active_pos_[static_cast<std::size_t>(id)] = -1;
+  if (!f.released) return;  // latent: no link/component membership yet
   for (std::size_t i = 0; i < f.links.size(); ++i) {
     const LinkId l = f.links[i];
     auto& members = link_members_[static_cast<std::size_t>(l)];
@@ -356,7 +357,57 @@ void FluidNetwork::complete(FlowId id, FlowState& f) {
     comp.maybe_split = true;
     mark_dirty(c);
   }
+}
+
+void FluidNetwork::complete(FlowId id, FlowState& f) {
+  retire(id, f);
   completed_.push_back(id);
+}
+
+void FluidNetwork::cancel_flow(FlowId id) {
+  RATS_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < flows_.size(),
+               "cancel of unknown flow");
+  auto& f = flows_[static_cast<std::size_t>(id)];
+  if (f.done) return;
+  // Unlike completion (whose heap entry was popped to get here), a
+  // cancelled flow still has its prediction queued.
+  events_.remove(id);
+  retire(id, f);
+}
+
+Rate FluidNetwork::link_capacity(LinkId link) const {
+  RATS_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < capacity_.size(),
+               "link id out of range");
+  return capacity_[static_cast<std::size_t>(link)];
+}
+
+void FluidNetwork::set_link_capacity(LinkId link, Rate capacity) {
+  RATS_REQUIRE(link >= 0 && static_cast<std::size_t>(link) < capacity_.size(),
+               "link id out of range");
+  RATS_REQUIRE(capacity >= 0 && std::isfinite(capacity),
+               "link capacity must be finite and non-negative");
+  auto& slot = capacity_[static_cast<std::size_t>(link)];
+  if (slot == capacity) return;
+  slot = capacity;
+  // Every released flow crossing the link shares one component (that is
+  // what a sharing component is), so the first member identifies it.
+  const auto& members = link_members_[static_cast<std::size_t>(link)];
+  if (!members.empty()) {
+    const std::int32_t c =
+        component_of_[static_cast<std::size_t>(members.front())];
+    components_[static_cast<std::size_t>(c)].reset_warm();
+    mark_dirty(c);
+  }
+  ensure_rates();
+}
+
+void FluidNetwork::invalidate_all_rates() {
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    if (!components_[c].live) continue;
+    components_[c].reset_warm();
+    mark_dirty(static_cast<std::int32_t>(c));
+  }
+  ensure_rates();
 }
 
 void FluidNetwork::advance_to(Seconds t) {

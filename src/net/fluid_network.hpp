@@ -137,6 +137,30 @@ class FluidNetwork {
   /// Sum over all completed and in-flight flows of bytes injected.
   Bytes total_bytes_opened() const { return total_bytes_; }
 
+  /// Updates a link's capacity mid-simulation (background traffic, a
+  /// degraded switch, a failed NIC).  Marks the sharing component whose
+  /// flows cross the link dirty and drops its warm state — a capacity
+  /// change is outside the warm re-solve's delta vocabulary — then
+  /// flushes, so rates after the call are bitwise identical to a
+  /// from-scratch Max-Min solve of the same released population.
+  void set_link_capacity(LinkId link, Rate capacity);
+
+  /// Current capacity of `link` (the cluster's bandwidth unless
+  /// changed by set_link_capacity).
+  Rate link_capacity(LinkId link) const;
+
+  /// Aborts an in-flight flow: it is retired immediately — its link
+  /// shares are released and survivors re-solved — but it never
+  /// reports completion (it will not appear in drain_completed()).
+  /// flow_finish_time() of a cancelled flow is the cancel instant.
+  /// No-op when the flow already completed.
+  void cancel_flow(FlowId id);
+
+  /// Test hook: drops every live component's warm state and re-solves
+  /// the whole population cold — the oracle side of the capacity-change
+  /// differential tests (targeted invalidation must match this bitwise).
+  void invalidate_all_rates();
+
   /// Opt-in structured tracing: when set, every component solve (with
   /// the strategy the dispatch picked) and every rate assignment is
   /// recorded.  Pass nullptr to disable (the default); the sink must
@@ -260,7 +284,10 @@ class FluidNetwork {
   void apply_rekeys();
   /// Latency-phase exit: the flow starts competing for bandwidth.
   void activate(FlowId id, FlowState& f);
-  /// Payload exhausted: record finish, free links, queue for drain.
+  /// Retires a flow (done, off the active list, link shares released,
+  /// component updated) without reporting completion.
+  void retire(FlowId id, FlowState& f);
+  /// Payload exhausted: retire + queue for drain.
   void complete(FlowId id, FlowState& f);
 
   // Partition maintenance.

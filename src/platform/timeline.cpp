@@ -1,0 +1,106 @@
+#include "platform/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rats {
+
+const char* to_string(PlatformEventKind kind) {
+  switch (kind) {
+    case PlatformEventKind::LinkCapacity: return "link-capacity";
+    case PlatformEventKind::NodeSlowdown: return "node-slowdown";
+    case PlatformEventKind::NodeFail: return "node-fail";
+    case PlatformEventKind::NodeRestart: return "node-restart";
+  }
+  return "?";
+}
+
+PlatformEventKind platform_event_kind_from(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "link-capacity") return PlatformEventKind::LinkCapacity;
+  if (name == "node-slowdown") return PlatformEventKind::NodeSlowdown;
+  if (name == "node-fail") return PlatformEventKind::NodeFail;
+  if (name == "node-restart") return PlatformEventKind::NodeRestart;
+  ok = false;
+  return PlatformEventKind::LinkCapacity;
+}
+
+const char* to_string(FailPolicy policy) {
+  switch (policy) {
+    case FailPolicy::Reschedule: return "reschedule";
+    case FailPolicy::Hold: return "hold";
+  }
+  return "?";
+}
+
+void PlatformTimeline::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const PlatformEvent& a, const PlatformEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+void PlatformTimeline::validate(const Cluster& cluster,
+                                const std::string& context) const {
+  const auto fail = [&](const std::string& msg) {
+    throw Error(context.empty() ? msg : context + ": " + msg);
+  };
+  for (const PlatformEvent& e : events) {
+    const std::string what = std::string(to_string(e.kind)) + " event";
+    if (!(e.at >= 0) || !std::isfinite(e.at))
+      fail(what + " time must be finite and non-negative");
+    if (e.node >= 0 && e.node >= cluster.num_nodes())
+      fail(what + " names node " + std::to_string(e.node) + " but cluster '" +
+           cluster.name() + "' has " + std::to_string(cluster.num_nodes()) +
+           " nodes");
+    if (e.cabinet >= 0) {
+      if (!cluster.hierarchical_topology())
+        fail(what + " names a cabinet but cluster '" + cluster.name() +
+             "' has a flat topology");
+      if (e.cabinet >= cluster.cabinets())
+        fail(what + " names cabinet " + std::to_string(e.cabinet) +
+             " but cluster '" + cluster.name() + "' has " +
+             std::to_string(cluster.cabinets()) + " cabinets");
+    }
+    switch (e.kind) {
+      case PlatformEventKind::LinkCapacity:
+        if ((e.node >= 0) == (e.cabinet >= 0))
+          fail(what + " needs exactly one of node/cabinet");
+        if (!(e.factor > 0) || !std::isfinite(e.factor))
+          fail(what + " factor must be finite and positive");
+        break;
+      case PlatformEventKind::NodeSlowdown:
+        if (e.node < 0 || e.cabinet >= 0)
+          fail(what + " needs a node selector");
+        if (!(e.factor > 0) || !std::isfinite(e.factor))
+          fail(what + " factor must be finite and positive");
+        break;
+      case PlatformEventKind::NodeFail:
+      case PlatformEventKind::NodeRestart:
+        if (e.node < 0 || e.cabinet >= 0)
+          fail(what + " needs a node selector");
+        break;
+    }
+  }
+  // Fail/restart pairing: a node must alternate down/up in time order.
+  PlatformTimeline sorted = *this;
+  sorted.sort();
+  std::vector<char> down(static_cast<std::size_t>(cluster.num_nodes()), 0);
+  for (const PlatformEvent& e : sorted.events) {
+    if (e.kind == PlatformEventKind::NodeFail) {
+      if (down[static_cast<std::size_t>(e.node)])
+        fail("node " + std::to_string(e.node) +
+             " fails twice without a restart in between");
+      down[static_cast<std::size_t>(e.node)] = 1;
+    } else if (e.kind == PlatformEventKind::NodeRestart) {
+      if (!down[static_cast<std::size_t>(e.node)])
+        fail("node " + std::to_string(e.node) +
+             " restarts without a preceding failure");
+      down[static_cast<std::size_t>(e.node)] = 0;
+    }
+  }
+}
+
+}  // namespace rats

@@ -1,0 +1,82 @@
+// Platform event timeline: time-varying cluster conditions.
+//
+// The paper's experiments run on static, healthy clusters; the
+// degradation study (Table VI) only measures how far schedules fall
+// from the best achievable result.  A PlatformTimeline makes the
+// degradation itself simulatable: a sorted list of timestamped events
+// — background traffic scaling a link's capacity, a node slowing down,
+// failing, or restarting — that the simulator consumes through its
+// event queue.  Scenario specs describe timelines in an `[events]`
+// section (see scenario/parser.cpp); the simulator applies them via
+// SimulatorOptions::timeline.
+//
+// Semantics (fail-stop model):
+//  * completed task outputs and fully delivered inputs are durable —
+//    they survive a failure of the node that holds them, but are
+//    unreachable while that node is down;
+//  * running computation and in-flight transfers are volatile — a
+//    failure loses all their progress;
+//  * events at the same timestamp apply as one batch of state changes
+//    before any consequence (kill, re-plan) is drawn, so a fail +
+//    restart pair at the same instant is a no-op.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "platform/cluster.hpp"
+
+namespace rats {
+
+enum class PlatformEventKind : std::uint8_t {
+  LinkCapacity,  ///< scale link capacity (background traffic), factor > 0
+  NodeSlowdown,  ///< scale a node's compute speed by factor > 0
+  NodeFail,      ///< fail-stop: the node goes down
+  NodeRestart,   ///< the node comes back up
+};
+
+/// Stable spec/wire name ("link-capacity", "node-fail", ...).
+const char* to_string(PlatformEventKind kind);
+
+/// Inverse of to_string; sets `ok` to false on unknown names.
+PlatformEventKind platform_event_kind_from(const std::string& name, bool& ok);
+
+/// One timestamped platform event.  Selector fields are -1 when unused:
+/// node events name a node; link-capacity names either a node (its NIC
+/// up+down links) or a cabinet (its uplink pair).
+struct PlatformEvent {
+  Seconds at = 0;
+  PlatformEventKind kind = PlatformEventKind::LinkCapacity;
+  NodeId node = -1;
+  int cabinet = -1;
+  double factor = 1.0;  ///< capacity / speed scale (unused for fail/restart)
+};
+
+/// What happens to work stranded on a failed node.
+enum class FailPolicy : std::uint8_t {
+  Reschedule,  ///< remap onto surviving nodes, re-deliver inputs
+  Hold,        ///< keep the placement, wait for the node to restart
+};
+
+const char* to_string(FailPolicy policy);
+
+/// A validated, time-sorted event list plus the failure policy.
+struct PlatformTimeline {
+  FailPolicy on_fail = FailPolicy::Reschedule;
+  std::vector<PlatformEvent> events;  ///< sorted by `at` (stable)
+
+  bool empty() const { return events.empty(); }
+
+  /// Stable-sorts events by time (same-instant events keep spec order,
+  /// which fixes the batch application order).
+  void sort();
+
+  /// Checks selectors against a concrete cluster: node/cabinet ids in
+  /// range, cabinet selectors only on hierarchical topologies, factors
+  /// positive and finite, times non-negative.  `context` prefixes the
+  /// error (typically the spec's file:line).  Throws rats::Error.
+  void validate(const Cluster& cluster, const std::string& context = "") const;
+};
+
+}  // namespace rats

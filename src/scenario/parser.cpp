@@ -441,7 +441,19 @@ void bind_sweep(const Binder& b, const Section& s, SweepSpec& sw) {
     else if (kv.key == "maxdelta") sw.maxdeltas = b.numbers(kv);
     else if (kv.key == "minrho") sw.minrhos = b.numbers(kv);
     else if (kv.key == "packing") sw.packings = b.booleans(kv);
-    else if (kv.key == "base") {
+    else if (kv.key == "event-factor") {
+      sw.event_factors = b.numbers(kv);
+      for (const double f : sw.event_factors)
+        if (!(f > 0) || !std::isfinite(f))
+          fail(b.file(), kv.line,
+               "'event-factor' values must be finite and positive");
+    } else if (kv.key == "event-at") {
+      sw.event_ats = b.numbers(kv);
+      for (const double t : sw.event_ats)
+        if (!(t >= 0) || !std::isfinite(t))
+          fail(b.file(), kv.line,
+               "'event-at' values must be finite and >= 0");
+    } else if (kv.key == "base") {
       const std::string v = b.string(kv);
       if (v != "delta" && v != "time-cost")
         fail(b.file(), kv.line,
@@ -455,11 +467,96 @@ void bind_output(const Binder& b, const Section& s, OutputSpec& o) {
   for (const KeyVal& kv : s.entries) {
     if (kv.key == "csv") o.csv = b.boolean(kv);
     else if (kv.key == "gantt") o.gantt = b.boolean(kv);
-    else if (kv.key == "report-csv") o.report_csv = b.string(kv);
-    else if (kv.key == "report-json") o.report_json = b.string(kv);
-    else if (kv.key == "trace") o.trace = b.string(kv);
-    else b.unknown_key(s, kv);
+    else if (kv.key == "report-csv") {
+      o.report_csv = b.string(kv);
+      o.report_csv_line = kv.line;
+    } else if (kv.key == "report-json") {
+      o.report_json = b.string(kv);
+      o.report_json_line = kv.line;
+    } else if (kv.key == "trace") {
+      o.trace = b.string(kv);
+      o.trace_line = kv.line;
+    } else b.unknown_key(s, kv);
   }
+}
+
+void bind_events(const Binder& b, const Section& s, EventsSpec& ev) {
+  for (const KeyVal& kv : s.entries) {
+    if (kv.key == "on-fail") {
+      const std::string v = b.string(kv);
+      if (v == "reschedule") ev.timeline.on_fail = FailPolicy::Reschedule;
+      else if (v == "hold") ev.timeline.on_fail = FailPolicy::Hold;
+      else
+        fail(b.file(), kv.line,
+             "unknown on-fail policy '" + v +
+                 "' (expected reschedule or hold)");
+    } else b.unknown_key(s, kv);
+  }
+}
+
+void bind_event(const Binder& b, const Section& s, EventsSpec& ev) {
+  PlatformEvent e;
+  bool have_kind = false, have_at = false, have_factor = false;
+  int kind_line = s.line;
+  for (const KeyVal& kv : s.entries) {
+    if (kv.key == "at") {
+      e.at = b.number(kv);
+      have_at = true;
+      if (!(e.at >= 0) || !std::isfinite(e.at))
+        fail(b.file(), kv.line, "'at' must be finite and >= 0");
+    } else if (kv.key == "kind") {
+      const std::string v = b.string(kv);
+      bool ok = false;
+      e.kind = platform_event_kind_from(v, ok);
+      if (!ok)
+        fail(b.file(), kv.line,
+             "unknown event kind '" + v +
+                 "' (expected link-capacity, node-slowdown, node-fail or "
+                 "node-restart)");
+      have_kind = true;
+      kind_line = kv.line;
+    } else if (kv.key == "node") {
+      e.node = static_cast<NodeId>(b.integer(kv));
+      if (e.node < 0) fail(b.file(), kv.line, "'node' must be >= 0");
+    } else if (kv.key == "cabinet") {
+      e.cabinet = static_cast<int>(b.integer(kv));
+      if (e.cabinet < 0) fail(b.file(), kv.line, "'cabinet' must be >= 0");
+    } else if (kv.key == "factor") {
+      e.factor = b.number(kv);
+      have_factor = true;
+      if (!(e.factor > 0) || !std::isfinite(e.factor))
+        fail(b.file(), kv.line, "'factor' must be finite and positive");
+    } else b.unknown_key(s, kv);
+  }
+  if (!have_kind) fail(b.file(), s.line, "[event] section is missing 'kind'");
+  if (!have_at) fail(b.file(), s.line, "[event] section is missing 'at'");
+  switch (e.kind) {
+    case PlatformEventKind::LinkCapacity:
+      if ((e.node >= 0) == (e.cabinet >= 0))
+        fail(b.file(), kind_line,
+             "link-capacity event needs exactly one of 'node' or 'cabinet'");
+      if (!have_factor)
+        fail(b.file(), kind_line, "link-capacity event is missing 'factor'");
+      break;
+    case PlatformEventKind::NodeSlowdown:
+      if (e.node < 0)
+        fail(b.file(), kind_line, "node-slowdown event is missing 'node'");
+      if (e.cabinet >= 0)
+        fail(b.file(), kind_line, "node-slowdown event does not take 'cabinet'");
+      if (!have_factor)
+        fail(b.file(), kind_line, "node-slowdown event is missing 'factor'");
+      break;
+    case PlatformEventKind::NodeFail:
+    case PlatformEventKind::NodeRestart:
+      if (e.node < 0)
+        fail(b.file(), kind_line, std::string(to_string(e.kind)) +
+                                      " event is missing 'node'");
+      if (e.cabinet >= 0 || have_factor)
+        fail(b.file(), kind_line, std::string(to_string(e.kind)) +
+                                      " event takes only 'at' and 'node'");
+      break;
+  }
+  ev.timeline.events.push_back(e);
 }
 
 }  // namespace
@@ -473,7 +570,7 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& filename) {
   // Non-repeatable sections seen so far (name -> first line).
   std::vector<std::pair<std::string, int>> seen;
   for (const Section& s : sections) {
-    if (s.name != "algorithm") {
+    if (s.name != "algorithm" && s.name != "event") {
       for (const auto& [name, line] : seen)
         if (name == s.name)
           fail(filename, s.line,
@@ -497,13 +594,17 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& filename) {
     } else if (s.name == "sweep") {
       sweep_line = s.line;
       bind_sweep(b, s, spec.sweep);
+    } else if (s.name == "events") {
+      bind_events(b, s, spec.events);
+    } else if (s.name == "event") {
+      bind_event(b, s, spec.events);
     } else if (s.name == "output") {
       bind_output(b, s, spec.output);
     } else {
       fail(filename, s.line,
            "unknown section [" + s.name +
                "] (expected scenario, platform, workload, algorithms, "
-               "algorithm, sweep or output)");
+               "algorithm, events, event, sweep or output)");
     }
   }
   if (have_algorithms && !spec.algorithms.algos.empty())
@@ -522,9 +623,15 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& filename) {
     if (spec.sweep.empty())
       fail(filename, sweep_line,
            "[sweep] must give at least one non-empty grid (mindelta, "
-           "maxdelta, minrho or packing) for kind \"sweep\"");
+           "maxdelta, minrho, packing, event-factor or event-at) for kind "
+           "\"sweep\"");
   }
+  if (spec.sweep.sweeps_events() && spec.events.empty())
+    fail(filename, sweep_line != 0 ? sweep_line : 1,
+         "[sweep] has an event axis but the scenario has no [event] "
+         "sections to sweep");
   if (spec.name.empty()) spec.name = spec.kind;
+  spec.origin = filename;
   return spec;
 }
 
@@ -536,7 +643,9 @@ ScenarioSpec parse_scenario_string(const std::string& text,
 
 ScenarioSpec load_scenario(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw Error("cannot open scenario file '" + path + "'");
+  if (!in)
+    throw Error(path + ": cannot open scenario file (no such file or "
+                       "unreadable)");
   return parse_scenario(in, path);
 }
 
@@ -687,6 +796,26 @@ std::string emit_scenario(const ScenarioSpec& spec) {
     }
   }
 
+  // An empty timeline emits nothing: a spec with a bare [events]
+  // section stays byte-identical to one without it, so healthy specs
+  // (and the trace headers derived from them) never change.
+  const EventsSpec& ev = spec.events;
+  if (!ev.empty()) {
+    out += "\n[events]\n";
+    out += "on-fail = " + quote(to_string(ev.timeline.on_fail)) + "\n";
+    for (const PlatformEvent& e : ev.timeline.events) {
+      out += "\n[event]\n";
+      out += "at = " + num(e.at) + "\n";
+      out += "kind = " + quote(to_string(e.kind)) + "\n";
+      if (e.node >= 0) out += "node = " + std::to_string(e.node) + "\n";
+      if (e.cabinet >= 0)
+        out += "cabinet = " + std::to_string(e.cabinet) + "\n";
+      if (e.kind == PlatformEventKind::LinkCapacity ||
+          e.kind == PlatformEventKind::NodeSlowdown)
+        out += "factor = " + num(e.factor) + "\n";
+    }
+  }
+
   const SweepSpec& sw = spec.sweep;
   if (!sw.empty()) {
     out += "\n[sweep]\n";
@@ -702,6 +831,10 @@ std::string emit_scenario(const ScenarioSpec& spec) {
         out += std::string(i ? ", " : "") + (sw.packings[i] ? "true" : "false");
       out += "]\n";
     }
+    if (!sw.event_factors.empty())
+      out += "event-factor = " + num_list(sw.event_factors) + "\n";
+    if (!sw.event_ats.empty())
+      out += "event-at = " + num_list(sw.event_ats) + "\n";
   }
 
   out += "\n[output]\n";

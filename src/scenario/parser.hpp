@@ -25,7 +25,13 @@
 //   [algorithm]  (repeatable; an explicit algorithm list, in order)
 //                name, kind = "cpa"|"mcpa"|"hcpa"|"delta"|"time-cost",
 //                mindelta, maxdelta, minrho, packing, secondary-sort
-//   [sweep]      mindelta = [...], maxdelta = [...], minrho = [...]
+//   [events]     on-fail = "reschedule" | "hold"
+//   [event]      (repeatable; one timestamped platform event)
+//                at, kind = "link-capacity"|"node-slowdown"|
+//                           "node-fail"|"node-restart",
+//                node | cabinet, factor
+//   [sweep]      mindelta = [...], maxdelta = [...], minrho = [...],
+//                event-factor = [...], event-at = [...]
 //   [output]     csv, gantt
 //
 // Every error (syntax, unknown section/key, wrong type, bad value)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -44,6 +45,51 @@ std::vector<CorpusEntry> resolve_workload(const ScenarioSpec& spec,
   if (!notes.empty()) model.text(std::move(notes));
   return corpus;
 }
+
+/// The spec's [events] timeline resolved against every cluster the
+/// scenario touches, bound into the SimulatorOptions the run matrix is
+/// seeded with.  `base_sim` stays nullptr for healthy scenarios, so
+/// their runs take the exact code path they took before timelines
+/// existed.  Owns the storage `base_sim` points into — keep it alive
+/// for the duration of the matrix (not copyable for that reason).
+struct TimelineBinding {
+  PlatformTimeline timeline;
+  SimulatorOptions sim;
+  const SimulatorOptions* base_sim = nullptr;
+
+  TimelineBinding(const ScenarioSpec& spec,
+                  const std::vector<Cluster>& clusters) {
+    if (spec.events.empty()) return;
+    timeline = spec.events.resolve(clusters.front(), spec.origin);
+    for (std::size_t c = 1; c < clusters.size(); ++c)
+      timeline.validate(clusters[c], spec.origin);
+    sim.timeline = &timeline;
+    base_sim = &sim;
+  }
+  TimelineBinding(const TimelineBinding&) = delete;
+  TimelineBinding& operator=(const TimelineBinding&) = delete;
+};
+
+/// Forwards run hooks to an inner session with a fixed run-index
+/// offset, swallowing begin_matrix — used when one logical matrix is
+/// executed as several batches (robustness halves, per-event-point
+/// sweep grids); the caller sizes the matrix once up front.
+class OffsetSession final : public RunSession {
+ public:
+  OffsetSession(RunSession* inner, std::size_t offset)
+      : inner_(inner), offset_(offset) {}
+  void begin_matrix(std::size_t) override {}
+  TraceSink* begin_run(std::size_t run, const RunMeta& meta) override {
+    return inner_ ? inner_->begin_run(run + offset_, meta) : nullptr;
+  }
+  void end_run(std::size_t run, const RunOutcome& outcome) override {
+    if (inner_) inner_->end_run(run + offset_, outcome);
+  }
+
+ private:
+  RunSession* inner_;
+  std::size_t offset_;
+};
 
 // ---- shared report fragments (byte-compatible with the benches) --------
 
@@ -97,13 +143,14 @@ ExperimentData run_matrix_experiment(const ScenarioSpec& spec,
                                      const std::vector<CorpusEntry>& entries,
                                      const Cluster& cluster,
                                      RunSession* session) {
+  const TimelineBinding events(spec, {cluster});
   if (spec.algorithms.tuned())
     return presets::run_tuned_experiment(entries, cluster, spec.threads,
-                                         session);
+                                         session, events.base_sim);
   return run_experiment(entries, cluster,
                         spec.algorithms.resolve(DagFamily::Irregular,
                                                 cluster.name()),
-                        spec.threads, session);
+                        spec.threads, session, events.base_sim);
 }
 
 void run_fig2(const ScenarioSpec& spec, ReportModel& model,
@@ -136,9 +183,11 @@ void run_fig4(const ScenarioSpec& spec, ReportModel& model,
               RunSession* session) {
   auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
+  const TimelineBinding events(spec, {cluster});
   // Empty [sweep] lists fall back to the paper grids inside sweep_delta.
   auto sweep = sweep_delta(corpus, cluster, spec.sweep.mindeltas,
-                           spec.sweep.maxdeltas, spec.threads, session);
+                           spec.sweep.maxdeltas, spec.threads, session,
+                           events.base_sim);
   model.heading("Figure 4: avg makespan relative to HCPA, RATS-delta, FFT, " +
                 cluster.name());
   std::vector<Column> columns{text_col("mindelta \\ maxdelta")};
@@ -167,8 +216,9 @@ void run_fig5(const ScenarioSpec& spec, ReportModel& model,
               RunSession* session) {
   auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
-  auto sweep =
-      sweep_rho(corpus, cluster, spec.sweep.minrhos, spec.threads, session);
+  const TimelineBinding events(spec, {cluster});
+  auto sweep = sweep_rho(corpus, cluster, spec.sweep.minrhos, spec.threads,
+                         session, events.base_sim);
   model.heading(
       "Figure 5: avg makespan relative to HCPA, RATS-time-cost, irregular, " +
       cluster.name());
@@ -224,17 +274,26 @@ void run_sweep(const ScenarioSpec& spec, ReportModel& model,
   struct Axis {
     const char* field;
     std::vector<double> values;
-    bool is_flag;  ///< packing: render true/false instead of numbers
+    bool is_flag;   ///< packing: render true/false instead of numbers
+    bool is_event;  ///< rewrites the [events] timeline, not RatsParams
   };
+  // Event axes first: they vary slowest in the mixed-radix decode, so
+  // each event point runs the whole scheduler grid as one batch.
   std::vector<Axis> axes;
+  if (!spec.sweep.event_factors.empty())
+    axes.push_back({"event-factor", spec.sweep.event_factors, false, true});
+  if (!spec.sweep.event_ats.empty())
+    axes.push_back({"event-at", spec.sweep.event_ats, false, true});
+  RATS_REQUIRE(!spec.sweep.sweeps_events() || !spec.events.empty(),
+               "[sweep] event axes need a non-empty [events] timeline");
   if (!spec.sweep.mindeltas.empty())
-    axes.push_back({"mindelta", spec.sweep.mindeltas, false});
+    axes.push_back({"mindelta", spec.sweep.mindeltas, false, false});
   if (!spec.sweep.maxdeltas.empty())
-    axes.push_back({"maxdelta", spec.sweep.maxdeltas, false});
+    axes.push_back({"maxdelta", spec.sweep.maxdeltas, false, false});
   if (!spec.sweep.minrhos.empty())
-    axes.push_back({"minrho", spec.sweep.minrhos, false});
+    axes.push_back({"minrho", spec.sweep.minrhos, false, false});
   if (!spec.sweep.packings.empty()) {
-    Axis packing{"packing", {}, true};
+    Axis packing{"packing", {}, true, false};
     for (const bool p : spec.sweep.packings)
       packing.values.push_back(p ? 1.0 : 0.0);
     axes.push_back(std::move(packing));
@@ -253,6 +312,11 @@ void run_sweep(const ScenarioSpec& spec, ReportModel& model,
 
   std::size_t total = 1;
   for (const Axis& axis : axes) total *= axis.values.size();
+  std::size_t event_total = 1;
+  for (const Axis& axis : axes)
+    if (axis.is_event) event_total *= axis.values.size();
+  const std::size_t sched_total = total / event_total;
+
   // Mixed-radix decode of point index -> per-axis value (last axis
   // fastest); the single decoder keeps the simulated options, the
   // table rows and the best-point report in lockstep.
@@ -264,12 +328,16 @@ void run_sweep(const ScenarioSpec& spec, ReportModel& model,
       rest /= axes[k].values.size();
     }
   };
+  // Scheduler points only: decoding p < sched_total keeps every event
+  // axis at index 0 while walking the scheduler axes in full-grid
+  // order, so one point list serves every event point.
   std::vector<SchedulerOptions> points;
-  points.reserve(total);
-  for (std::size_t p = 0; p < total; ++p) {
+  points.reserve(sched_total);
+  for (std::size_t p = 0; p < sched_total; ++p) {
     decode(p);
     SchedulerOptions options = base;
     for (std::size_t k = 0; k < axes.size(); ++k) {
+      if (axes[k].is_event) continue;
       const double v = axes[k].values[pick[k]];
       const std::string field = axes[k].field;
       if (field == "mindelta") options.rats.mindelta = v;
@@ -279,8 +347,48 @@ void run_sweep(const ScenarioSpec& spec, ReportModel& model,
     }
     points.push_back(options);
   }
-  const std::vector<double> avg =
-      sweep_grid(corpus, cluster, points, spec.threads, session);
+
+  std::vector<double> avg;
+  avg.reserve(total);
+  if (event_total == 1) {
+    // No event axes: a fixed timeline (when [events] is present) seeds
+    // every run; healthy sweeps take the pre-timeline path verbatim.
+    const TimelineBinding events(spec, {cluster});
+    avg = sweep_grid(corpus, cluster, points, spec.threads, session,
+                     events.base_sim);
+  } else {
+    // One grid batch per event point under one outer matrix.  Each
+    // event-axis value rewrites the whole timeline — event-factor the
+    // factor of every capacity/slowdown event, event-at the time of
+    // every event — then the rewritten timeline degrades sweep point
+    // and HCPA reference alike.
+    if (session)
+      session->begin_matrix(event_total * corpus.size() * (sched_total + 1));
+    for (std::size_t ev = 0; ev < event_total; ++ev) {
+      decode(ev * sched_total);
+      PlatformTimeline tl = spec.events.resolve(cluster, spec.origin);
+      for (std::size_t k = 0; k < axes.size(); ++k) {
+        if (!axes[k].is_event) continue;
+        const double v = axes[k].values[pick[k]];
+        if (std::string(axes[k].field) == "event-factor") {
+          for (PlatformEvent& e : tl.events)
+            if (e.kind == PlatformEventKind::LinkCapacity ||
+                e.kind == PlatformEventKind::NodeSlowdown)
+              e.factor = v;
+        } else {
+          for (PlatformEvent& e : tl.events) e.at = v;
+        }
+      }
+      tl.sort();
+      tl.validate(cluster, spec.origin);
+      SimulatorOptions sim;
+      sim.timeline = &tl;
+      OffsetSession offset(session, ev * corpus.size() * (sched_total + 1));
+      const auto part = sweep_grid(corpus, cluster, points, spec.threads,
+                                   session ? &offset : nullptr, &sim);
+      avg.insert(avg.end(), part.begin(), part.end());
+    }
+  }
 
   std::string fields;
   for (std::size_t k = 0; k < axes.size(); ++k)
@@ -490,9 +598,11 @@ void run_table5(const ScenarioSpec& spec, ReportModel& model,
                 RunSession* session) {
   auto corpus = resolve_workload(spec, model);
   const auto clusters = spec.platform.resolve();
+  const TimelineBinding events(spec, clusters);
   model.textf("  running corpus on %zu clusters...\n", clusters.size());
   const std::vector<ExperimentData> per_cluster =
-      presets::run_tuned_experiments(corpus, clusters, spec.threads, session);
+      presets::run_tuned_experiments(corpus, clusters, spec.threads, session,
+                                     events.base_sim);
   const auto& names = per_cluster.front().algo_names;
 
   model.heading("Table V: pairwise comparison (chti / grillon / grelon)");
@@ -533,14 +643,13 @@ void run_table5(const ScenarioSpec& spec, ReportModel& model,
       "  small and medium clusters.\n");
 }
 
-void run_table6(const ScenarioSpec& spec, ReportModel& model,
-                RunSession* session) {
-  auto corpus = resolve_workload(spec, model);
-  model.heading("Table VI: average degradation from best");
-  const auto clusters = spec.platform.resolve();
-  model.textf("  running corpus on %zu clusters...\n", clusters.size());
-  const auto per_cluster =
-      presets::run_tuned_experiments(corpus, clusters, spec.threads, session);
+/// The Table VI degradation-from-best table, shared verbatim by the
+/// table6 kind and the healthy half of the robustness kind — the
+/// paper's degradation numbers stay reproducible as a preset of the
+/// robustness report family.
+void degradation_table(const std::vector<Cluster>& clusters,
+                       const std::vector<ExperimentData>& per_cluster,
+                       ReportModel& model) {
   TableModel& table = model.table(
       "degradation", {text_col("cluster"), text_col("metric"),
                       num_col("HCPA"), num_col("delta"),
@@ -569,10 +678,121 @@ void run_table6(const ScenarioSpec& spec, ReportModel& model,
                           cell(d[2].avg_over_not_best,
                                fmt_percent(d[2].avg_over_not_best, 2))});
   }
+}
+
+void run_table6(const ScenarioSpec& spec, ReportModel& model,
+                RunSession* session) {
+  auto corpus = resolve_workload(spec, model);
+  model.heading("Table VI: average degradation from best");
+  const auto clusters = spec.platform.resolve();
+  const TimelineBinding events(spec, clusters);
+  model.textf("  running corpus on %zu clusters...\n", clusters.size());
+  const auto per_cluster =
+      presets::run_tuned_experiments(corpus, clusters, spec.threads, session,
+                                     events.base_sim);
+  degradation_table(clusters, per_cluster, model);
   model.text(
       "\n  paper: time-cost stays closest to the best (< 6% over all\n"
       "  experiments, improving with cluster size); delta degrades as the\n"
       "  cluster grows; HCPA reaches > 100% on large clusters.\n");
+}
+
+/// The robustness kind: the tuned multi-cluster matrix (table5/table6
+/// machinery) runs twice — healthy, then with the [events] timeline
+/// injected — and the report compares the halves.  The healthy half
+/// renders Table VI's degradation table through the shared helper, so
+/// the paper's numbers are a preset of this family; the degraded half
+/// adds makespan inflation and fault accounting per (cluster, algo).
+void run_robustness(const ScenarioSpec& spec, ReportModel& model,
+                    RunSession* session) {
+  RATS_REQUIRE(!spec.events.empty(),
+               "kind \"robustness\" needs a non-empty [events] timeline");
+  auto corpus = resolve_workload(spec, model);
+  const auto clusters = spec.platform.resolve();
+  const TimelineBinding events(spec, clusters);
+
+  // One matrix, two halves: run r of the degraded half is the injected
+  // twin of run r of the healthy half.
+  const std::size_t half = clusters.size() * corpus.size() * 3;
+  if (session) session->begin_matrix(2 * half);
+  model.textf("  running corpus on %zu clusters, healthy then degraded...\n",
+              clusters.size());
+  OffsetSession healthy_session(session, 0);
+  const auto healthy = presets::run_tuned_experiments(
+      corpus, clusters, spec.threads, session ? &healthy_session : nullptr,
+      nullptr);
+  OffsetSession degraded_session(session, half);
+  const auto degraded = presets::run_tuned_experiments(
+      corpus, clusters, spec.threads, session ? &degraded_session : nullptr,
+      events.base_sim);
+
+  model.heading("Degradation from best (healthy baseline, Table VI)");
+  degradation_table(clusters, healthy, model);
+
+  model.heading("Robustness under the [events] timeline");
+  TableModel& table = model.table(
+      "robustness", {text_col("cluster"), text_col("metric"),
+                     num_col("HCPA"), num_col("delta"),
+                     num_col("time-cost")});
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    const ExperimentData& h = degraded[ci];  // same shape as healthy[ci]
+    double mean_inflation[3] = {0, 0, 0};
+    double max_inflation[3] = {0, 0, 0};
+    std::int64_t killed[3] = {0, 0, 0};
+    std::int64_t remapped[3] = {0, 0, 0};
+    std::int64_t aborted[3] = {0, 0, 0};
+    double lost[3] = {0, 0, 0};
+    const auto n = static_cast<double>(corpus.size());
+    for (std::size_t a = 0; a < 3; ++a) {
+      for (std::size_t e = 0; e < corpus.size(); ++e) {
+        const RunOutcome& base = healthy[ci].outcome[e][a];
+        const RunOutcome& hit = degraded[ci].outcome[e][a];
+        const double inflation = hit.makespan / base.makespan - 1.0;
+        mean_inflation[a] += inflation / n;
+        max_inflation[a] = std::max(max_inflation[a], inflation);
+        killed[a] += hit.faults.tasks_killed;
+        remapped[a] += hit.faults.tasks_remapped;
+        aborted[a] += hit.faults.redists_aborted;
+        lost[a] += hit.faults.capacity_seconds_lost / 1e9 / n;
+      }
+      const std::string algo = h.algo_names[a];
+      const std::string cname = clusters[ci].name();
+      model.scalar("robustness/" + cname + "/" + algo + "/avg-inflation",
+                   mean_inflation[a]);
+      model.scalar("robustness/" + cname + "/" + algo + "/tasks-killed",
+                   static_cast<double>(killed[a]));
+    }
+    const auto pct_row = [&](const char* metric, const double v[3],
+                             const char* head) {
+      table.rows.push_back({cell(head), cell(metric),
+                            cell(v[0], fmt_percent(v[0], 2)),
+                            cell(v[1], fmt_percent(v[1], 2)),
+                            cell(v[2], fmt_percent(v[2], 2))});
+    };
+    const auto count_row = [&](const char* metric, const std::int64_t v[3]) {
+      table.rows.push_back({cell(""), cell(metric),
+                            cell(static_cast<double>(v[0]),
+                                 std::to_string(v[0])),
+                            cell(static_cast<double>(v[1]),
+                                 std::to_string(v[1])),
+                            cell(static_cast<double>(v[2]),
+                                 std::to_string(v[2]))});
+    };
+    pct_row("avg makespan inflation", mean_inflation,
+            clusters[ci].name().c_str());
+    pct_row("max makespan inflation", max_inflation, "");
+    count_row("# tasks killed", killed);
+    count_row("# tasks remapped", remapped);
+    count_row("# redists aborted", aborted);
+    table.rows.push_back({cell(""), cell("avg capacity lost (GB)"),
+                          cell(lost[0], fmt(lost[0], 2)),
+                          cell(lost[1], fmt(lost[1], 2)),
+                          cell(lost[2], fmt(lost[2], 2))});
+  }
+  model.text(
+      "\n  inflation compares each degraded run against its healthy twin\n"
+      "  (same workload, algorithm and cluster); fault counts are summed\n"
+      "  over the corpus, capacity lost averaged per run.\n");
 }
 
 void run_experiment_kind(const ScenarioSpec& spec, ReportModel& model,
@@ -629,6 +849,7 @@ void run_single(const ScenarioSpec& spec, ReportModel& model,
                 RunSession* session) {
   auto corpus = resolve_workload(spec, model);
   Cluster cluster = spec.platform.resolve_one();
+  const TimelineBinding events(spec, {cluster});
   const std::size_t num_algos = spec.algorithms.names().size();
   if (session) session->begin_matrix(corpus.size() * num_algos);
   for (std::size_t e = 0; e < corpus.size(); ++e) {
@@ -656,7 +877,8 @@ void run_single(const ScenarioSpec& spec, ReportModel& model,
       // still needs events, so fall back to the local sink — attaching
       // a session must never change the report's content.
       if (sink == nullptr && spec.output.gantt) sink = &local_sink;
-      SimulatorOptions sim_options;
+      SimulatorOptions sim_options =
+          events.base_sim ? *events.base_sim : SimulatorOptions{};
       sim_options.trace = sink;
       const SimulationResult result =
           simulate(entry.graph, schedule, cluster, sim_options);
@@ -666,6 +888,13 @@ void run_single(const ScenarioSpec& spec, ReportModel& model,
           "network %.1f MiB\n",
           algo.name.c_str(), result.makespan, schedule.estimated_makespan(),
           result.total_work, result.network_bytes / MiB);
+      if (events.base_sim)
+        model.textf(
+            "   faults: %d killed, %d remapped, %d redists aborted, "
+            "%.2f GB capacity lost\n",
+            result.faults.tasks_killed, result.faults.tasks_remapped,
+            result.faults.redists_aborted,
+            result.faults.capacity_seconds_lost / 1e9);
       model.scalar("makespan/" + entry.name + "/" + algo.name,
                    result.makespan);
       model.scalar("work/" + entry.name + "/" + algo.name, result.total_work);
@@ -698,8 +927,9 @@ void run_single(const ScenarioSpec& spec, ReportModel& model,
         model.text(trace_gantt(sink->events(), &names));
       }
       if (session)
-        session->end_run(run_index,
-                         RunOutcome{result.makespan, result.total_work});
+        session->end_run(run_index, RunOutcome{result.makespan,
+                                               result.total_work,
+                                               result.faults});
     }
   }
 }
@@ -710,24 +940,30 @@ struct KindEntry {
   const char* name;
   void (*fn)(const ScenarioSpec&, ReportModel&, RunSession*);
   bool traceable;
+  /// Whether the kind feeds a spec's [events] timeline into its runs.
+  /// Kinds that never simulate (or tune, where a degraded optimum is
+  /// meaningless) reject specs carrying one instead of silently
+  /// reporting healthy numbers for a degraded scenario.
+  bool consumes_events;
 };
 
 constexpr KindEntry kKinds[] = {
-    {"fig2", run_fig2, true},
-    {"fig3", run_fig3, true},
-    {"fig4", run_fig4, true},
-    {"fig5", run_fig5, true},
-    {"fig6", run_fig6, true},
-    {"fig7", run_fig7, true},
-    {"table1", run_table1, false},
-    {"table2", run_table2, false},
-    {"table3", run_table3, false},
-    {"table4", run_table4, false},
-    {"table5", run_table5, true},
-    {"table6", run_table6, true},
-    {"experiment", run_experiment_kind, true},
-    {"single", run_single, true},
-    {"sweep", run_sweep, true},
+    {"fig2", run_fig2, true, true},
+    {"fig3", run_fig3, true, true},
+    {"fig4", run_fig4, true, true},
+    {"fig5", run_fig5, true, true},
+    {"fig6", run_fig6, true, true},
+    {"fig7", run_fig7, true, true},
+    {"table1", run_table1, false, false},
+    {"table2", run_table2, false, false},
+    {"table3", run_table3, false, false},
+    {"table4", run_table4, false, false},
+    {"table5", run_table5, true, true},
+    {"table6", run_table6, true, true},
+    {"experiment", run_experiment_kind, true, true},
+    {"single", run_single, true, true},
+    {"sweep", run_sweep, true, true},
+    {"robustness", run_robustness, true, true},
 };
 
 const KindEntry* find_kind(const std::string& kind) {
@@ -780,11 +1016,36 @@ std::string canonical_spec_text(const ScenarioSpec& spec) {
 
 ReportModel build_with(const KindEntry& entry, const ScenarioSpec& spec,
                        RunSession* session) {
+  RATS_REQUIRE(spec.events.empty() || entry.consumes_events,
+               "scenario kind '" + spec.kind +
+                   "' does not consume an [events] timeline");
   ReportModel model;
   model.name = spec.name;
   model.kind = spec.kind;
   entry.fn(spec, model, session);
   return model;
+}
+
+/// Probes every [output] destination for writability before any
+/// simulation runs, so a bad path fails in milliseconds with the
+/// spec's file:line instead of after the whole matrix.
+void preflight_output(const ScenarioSpec& spec) {
+  const auto probe = [&](const std::string& path, int line,
+                         const char* what) {
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) {
+      const std::string where =
+          spec.origin.empty() || line <= 0
+              ? std::string()
+              : spec.origin + ":" + std::to_string(line) + ": ";
+      throw Error(where + "cannot write " + what + " '" + path + "'");
+    }
+    std::fclose(f);
+  };
+  probe(spec.output.trace, spec.output.trace_line, "trace");
+  probe(spec.output.report_csv, spec.output.report_csv_line, "report");
+  probe(spec.output.report_json, spec.output.report_json_line, "report");
 }
 
 void write_artifact(const std::string& path, const std::string& bytes,
@@ -842,11 +1103,19 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
   if (options.has_threads) effective.threads = options.threads;
   if (options.csv) effective.output.csv = true;
   if (options.full) effective.workload.corpus.full = true;
-  if (!options.trace_path.empty()) effective.output.trace = options.trace_path;
-  if (!options.report_csv_path.empty())
+  // Command-line paths have no spec line to point diagnostics at.
+  if (!options.trace_path.empty()) {
+    effective.output.trace = options.trace_path;
+    effective.output.trace_line = 0;
+  }
+  if (!options.report_csv_path.empty()) {
     effective.output.report_csv = options.report_csv_path;
-  if (!options.report_json_path.empty())
+    effective.output.report_csv_line = 0;
+  }
+  if (!options.report_json_path.empty()) {
     effective.output.report_json = options.report_json_path;
+    effective.output.report_json_line = 0;
+  }
 
   const KindEntry& entry = require_kind(effective.kind);
   const std::string trace_path = effective.output.trace;
@@ -854,11 +1123,34 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
   RATS_REQUIRE(trace_path.empty() || entry.traceable,
                "scenario kind '" + effective.kind +
                    "' does not support tracing");
+  RATS_REQUIRE(options.check >= 1, "--check needs a repetition count >= 1");
+  preflight_output(effective);
 
   // ONE simulation pass: the report model accumulates while the trace
-  // (when requested) streams through the per-run session hooks.
+  // (when requested) streams through the per-run session hooks.  Under
+  // --check the trace is buffered instead so repetitions can compare
+  // its bytes.
+  const bool compare = options.check > 1;
+  const auto build_once = [&](std::string* trace_out) {
+    if (trace_out == nullptr) return build_with(entry, effective, nullptr);
+    std::ostringstream out;
+    TraceWriter writer(out, effective.name, effective.kind,
+                       canonical_spec_text(effective));
+    TraceSession session(writer);
+    ReportModel m = build_with(entry, effective, &session);
+    writer.finish();
+    *trace_out = out.str();
+    return m;
+  };
+
   ReportModel model;
-  if (!trace_path.empty()) {
+  std::string trace_bytes;
+  if (trace_path.empty()) {
+    model = build_once(nullptr);
+  } else if (compare) {
+    model = build_once(&trace_bytes);
+    write_artifact(trace_path, trace_bytes, "trace");
+  } else {
     std::ofstream out(trace_path, std::ios::binary);
     if (!out) throw Error("cannot write trace '" + trace_path + "'");
     TraceWriter writer(out, effective.name, effective.kind,
@@ -870,18 +1162,40 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
     if (!out.good())
       throw Error("failed writing trace '" + trace_path + "'");
     std::fprintf(stderr, "wrote trace %s\n", trace_path.c_str());
-  } else {
-    model = build_with(entry, effective, nullptr);
   }
 
-  std::fputs(report::render_text(model, effective.output.csv).c_str(),
-             stdout);
+  const std::string text = report::render_text(model, effective.output.csv);
+  std::fputs(text.c_str(), stdout);
   if (!effective.output.report_csv.empty())
     write_artifact(effective.output.report_csv, report::render_csv(model),
                    "report");
   if (!effective.output.report_json.empty())
     write_artifact(effective.output.report_json, report::render_json(model),
                    "report");
+
+  // --check N: repeat the whole pass and require every rendering — the
+  // bytes a user could observe — to come back identical.
+  for (int rep = 2; rep <= options.check; ++rep) {
+    std::string trace2;
+    const ReportModel again =
+        build_once(trace_path.empty() ? nullptr : &trace2);
+    const auto differs = [&](const char* what) {
+      throw Error(strf("--check: %s differs between repetition 1 and %d",
+                       what, rep));
+    };
+    if (report::render_text(again, effective.output.csv) != text)
+      differs("text report");
+    if (!trace_path.empty() && trace2 != trace_bytes) differs("trace");
+    if (!effective.output.report_csv.empty() &&
+        report::render_csv(again) != report::render_csv(model))
+      differs("CSV report");
+    if (!effective.output.report_json.empty() &&
+        report::render_json(again) != report::render_json(model))
+      differs("JSON report");
+  }
+  if (compare)
+    std::fprintf(stderr, "check: %d repetitions produced identical output\n",
+                 options.check);
 }
 
 ScenarioSpec default_spec(const std::string& kind) {
@@ -909,6 +1223,33 @@ ScenarioSpec default_spec(const std::string& kind) {
     spec.platform.presets = {"chti", "grillon", "grelon"};
     spec.workload.cap_per_family = 12;
     spec.algorithms.preset = "tuned";
+  } else if (kind == "robustness") {
+    // Table VI's setting plus a representative timeline: background
+    // traffic on node 1's NIC, node 0 at half speed, node 2 failing
+    // and restarting.  Node ids 0-2 are valid on every preset cluster.
+    spec.platform.presets = {"chti", "grillon", "grelon"};
+    spec.workload.cap_per_family = 12;
+    spec.algorithms.preset = "tuned";
+    spec.events.timeline.on_fail = FailPolicy::Reschedule;
+    PlatformEvent slow;
+    slow.at = 1.0;
+    slow.kind = PlatformEventKind::NodeSlowdown;
+    slow.node = 0;
+    slow.factor = 0.5;
+    PlatformEvent traffic;
+    traffic.at = 2.0;
+    traffic.kind = PlatformEventKind::LinkCapacity;
+    traffic.node = 1;
+    traffic.factor = 0.25;
+    PlatformEvent fail;
+    fail.at = 3.0;
+    fail.kind = PlatformEventKind::NodeFail;
+    fail.node = 2;
+    PlatformEvent restart;
+    restart.at = 6.0;
+    restart.kind = PlatformEventKind::NodeRestart;
+    restart.node = 2;
+    spec.events.timeline.events = {slow, traffic, fail, restart};
   } else if (kind == "experiment") {
     spec.workload.source = WorkloadSpec::Source::Generate;
     spec.workload.generator = "layered";

@@ -11,6 +11,7 @@
 //   experiment               generic corpus x algorithms summary
 //   single                   per-task timeline of each workload entry
 //   sweep                    generic grid over any RatsParams field
+//   robustness               healthy vs [events]-degraded comparison
 //
 // Execution and rendering are separated: `build_report` executes the
 // scenario's run matrix exactly once and returns the model; `run`
@@ -37,6 +38,10 @@ struct RunOptions {
   unsigned threads = 0;
   bool csv = false;   ///< force CSV emission on
   bool full = false;  ///< force the paper-scale corpus
+  /// Repeat the whole scenario this many times and fail (rats::Error)
+  /// if any rendered output byte — text, CSV, JSON or trace — differs
+  /// between repetitions.  1 = run once, no comparison.
+  int check = 1;
   /// Artefact paths; each overrides the spec's [output] counterpart.
   std::string trace_path;
   std::string report_csv_path;

@@ -162,4 +162,12 @@ std::vector<std::string> AlgorithmsSpec::names() const {
   return names;
 }
 
+PlatformTimeline EventsSpec::resolve(const Cluster& cluster,
+                                     const std::string& context) const {
+  PlatformTimeline resolved = timeline;
+  resolved.validate(cluster, context);
+  resolved.sort();
+  return resolved;
+}
+
 }  // namespace rats::scenario

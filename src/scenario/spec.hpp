@@ -21,6 +21,7 @@
 #include "exp/experiment.hpp"
 #include "exp/presets.hpp"
 #include "platform/cluster.hpp"
+#include "platform/timeline.hpp"
 
 namespace rats::scenario {
 
@@ -104,12 +105,35 @@ struct SweepSpec {
   std::vector<bool> packings;  ///< generic sweep only
   /// Base algorithm the generic sweep perturbs: "delta" | "time-cost".
   std::string base = "delta";
+  /// Platform-event axes (generic sweep only): each grid value rewrites
+  /// the factor / time of *every* `[event]` in the spec's timeline, so
+  /// any event parameter sweeps like a scheduler parameter.
+  std::vector<double> event_factors;
+  std::vector<double> event_ats;
 
   /// True when no grid is given (the generic sweep kind rejects this).
   bool empty() const {
     return mindeltas.empty() && maxdeltas.empty() && minrhos.empty() &&
-           packings.empty();
+           packings.empty() && event_factors.empty() && event_ats.empty();
   }
+  /// True when an event axis is present (needs a non-empty [events]).
+  bool sweeps_events() const {
+    return !event_factors.empty() || !event_ats.empty();
+  }
+};
+
+/// Events section: the fault-injection timeline ([events] policy plus
+/// repeated [event] sections).  An empty timeline is byte-identical to
+/// no section at all — canonical emission drops it, so healthy specs
+/// keep their trace headers (and goldens) stable.
+struct EventsSpec {
+  PlatformTimeline timeline;
+
+  bool empty() const { return timeline.empty(); }
+  /// Time-sorted, cluster-validated timeline ready for the simulator.
+  /// `context` prefixes validation errors (typically file:line).
+  PlatformTimeline resolve(const Cluster& cluster,
+                           const std::string& context = "") const;
 };
 
 /// Output section.  The report always renders to stdout as text; the
@@ -120,6 +144,11 @@ struct OutputSpec {
   std::string report_csv;   ///< write the CSV report rendering here
   std::string report_json;  ///< write the JSON report rendering here
   std::string trace;        ///< stream a simulation trace here (traceable kinds)
+  /// Source line of each path key (0 = not from a spec file) — lets the
+  /// runner report unwritable paths as file:line diagnostics up front.
+  int report_csv_line = 0;
+  int report_json_line = 0;
+  int trace_line = 0;
 };
 
 /// One fully-described scenario.
@@ -131,7 +160,11 @@ struct ScenarioSpec {
   WorkloadSpec workload;
   AlgorithmsSpec algorithms;
   SweepSpec sweep;
+  EventsSpec events;
   OutputSpec output;
+  /// Path of the spec file this came from ("" for built specs) — used
+  /// only for diagnostics, never emitted.
+  std::string origin;
 };
 
 }  // namespace rats::scenario

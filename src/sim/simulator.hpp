@@ -19,10 +19,12 @@
 // the schedulers' internal estimates ignore, exactly as in the paper.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "model/amdahl.hpp"
 #include "net/fluid_network.hpp"
+#include "platform/timeline.hpp"
 #include "sim/schedule.hpp"
 
 namespace rats {
@@ -34,12 +36,26 @@ struct TaskTiming {
   Seconds finish{};      ///< execution completed
 };
 
+/// Fault/degradation accounting of one run; all zero on a healthy
+/// (event-free) timeline.
+struct FaultStats {
+  std::int32_t tasks_killed = 0;     ///< executions aborted by node failures
+  std::int32_t tasks_remapped = 0;   ///< placement slots moved (reschedule)
+  std::int32_t redists_aborted = 0;  ///< redistributions rolled back
+  /// Integral over [0, makespan] of (base - effective) capacity summed
+  /// over links — bytes of transfer capacity lost to events/failures.
+  double capacity_seconds_lost = 0;
+  /// Integral of #down nodes over [0, makespan].
+  double node_seconds_down = 0;
+};
+
 /// Outcome of simulating one schedule.
 struct SimulationResult {
   Seconds makespan{};                ///< max task finish time
   double total_work{};               ///< sum of np(t) * T(t, np(t))
   Bytes network_bytes{};             ///< bytes that crossed the network
   std::vector<TaskTiming> timeline;  ///< indexed by TaskId
+  FaultStats faults;                 ///< platform-event accounting
 };
 
 /// Simulation knobs.
@@ -52,6 +68,23 @@ struct SimulatorOptions {
   /// redistribution intervals, component solves and rate changes are
   /// recorded into the sink.  Must outlive the simulate() call.
   TraceSink* trace = nullptr;
+  /// Platform event timeline (see platform/timeline.hpp): background
+  /// traffic, slowdowns, node failures/restarts applied mid-simulation.
+  /// nullptr (or an empty timeline) simulates the healthy platform and
+  /// is bit-identical to the pre-timeline simulator.  Must outlive the
+  /// simulate() call.  Fail-stop semantics:
+  ///  * a running task with a failed processor is killed and re-run
+  ///    (FailPolicy::Hold: same placement, after the node restarts;
+  ///    FailPolicy::Reschedule: failed slots are remapped onto the
+  ///    least-loaded surviving nodes and all inputs re-delivered);
+  ///  * in-flight redistributions touching a failed node roll back
+  ///    entirely and re-send once their endpoints are all up;
+  ///  * completed outputs and staged inputs are durable but
+  ///    unreachable while their node is down — a consumer that needs
+  ///    data from a node that never restarts stalls with an error;
+  ///  * events at one timestamp are one atomic batch (fail + restart
+  ///    at the same instant is a no-op).
+  const PlatformTimeline* timeline = nullptr;
 };
 
 /// Simulates `schedule` for `graph` on `cluster`; throws on invalid

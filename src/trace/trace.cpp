@@ -27,6 +27,13 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::RedistDone: return "redist_done";
     case TraceEventKind::SolveComponent: return "solve";
     case TraceEventKind::RateChange: return "rate";
+    case TraceEventKind::LinkCapacity: return "link_cap";
+    case TraceEventKind::NodeSlowdown: return "node_slow";
+    case TraceEventKind::NodeFail: return "node_fail";
+    case TraceEventKind::NodeRestart: return "node_restart";
+    case TraceEventKind::TaskKill: return "task_kill";
+    case TraceEventKind::TaskRemap: return "task_remap";
+    case TraceEventKind::RedistAbort: return "redist_abort";
   }
   return "?";
 }
@@ -107,6 +114,13 @@ TraceEventKind kind_from_string(const std::string& name, bool& ok) {
   if (name == "redist_done") return TraceEventKind::RedistDone;
   if (name == "solve") return TraceEventKind::SolveComponent;
   if (name == "rate") return TraceEventKind::RateChange;
+  if (name == "link_cap") return TraceEventKind::LinkCapacity;
+  if (name == "node_slow") return TraceEventKind::NodeSlowdown;
+  if (name == "node_fail") return TraceEventKind::NodeFail;
+  if (name == "node_restart") return TraceEventKind::NodeRestart;
+  if (name == "task_kill") return TraceEventKind::TaskKill;
+  if (name == "task_remap") return TraceEventKind::TaskRemap;
+  if (name == "redist_abort") return TraceEventKind::RedistAbort;
   ok = false;
   return TraceEventKind::TaskStart;
 }
@@ -246,9 +260,14 @@ std::string trace_gantt(const std::vector<TraceEvent>& events,
         intervals.push_back(Interval{false, e.a, e.time, e.time});
         break;
       case TraceEventKind::TaskFinish:
-      case TraceEventKind::RedistDone: {
+      case TraceEventKind::TaskKill:
+      case TraceEventKind::RedistDone:
+      case TraceEventKind::RedistAbort: {
+        // A kill/abort truncates the interval it interrupts.
         Interval* open =
-            open_index(e.kind == TraceEventKind::TaskFinish, e.a);
+            open_index(e.kind == TraceEventKind::TaskFinish ||
+                           e.kind == TraceEventKind::TaskKill,
+                       e.a);
         RATS_REQUIRE(open != nullptr, "trace closes an interval it never opened");
         open->finish = e.time;
         open->closed = true;

@@ -34,6 +34,14 @@ enum class TraceEventKind : std::uint8_t {
   RedistDone,      ///< a = edge id
   SolveComponent,  ///< a = component id, b = #members, value = strategy
   RateChange,      ///< a = flow id, value = new rate (bytes/s)
+  // Platform timeline events (see platform/timeline.hpp).
+  LinkCapacity,    ///< a = link id, value = new capacity (bytes/s)
+  NodeSlowdown,    ///< a = node id, value = speed factor
+  NodeFail,        ///< a = node id
+  NodeRestart,     ///< a = node id
+  TaskKill,        ///< a = task id, b = failed node
+  TaskRemap,       ///< a = task id, b = old proc, value = new proc
+  RedistAbort,     ///< a = edge id
 };
 
 /// Stable wire name of an event kind ("task_start", "rate_change", ...).

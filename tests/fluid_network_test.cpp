@@ -372,6 +372,93 @@ TEST(FluidNetworkWarm, RandomTrafficRatesMatchFullSolveBitwise) {
   }
 }
 
+// ------------------------------------------- capacity-update exactness
+// set_link_capacity (the platform-timeline entry point) must leave the
+// network in exactly the state a full invalidation would: 200 random
+// interleavings of traffic and capacity changes, one network updating
+// incrementally, its twin invalidated from scratch after every change.
+// Rates and finish times must agree bit for bit throughout.
+
+TEST(FluidNetworkCapacity, TargetedUpdateMatchesFullInvalidationBitwise) {
+  const std::vector<Cluster> clusters = {
+      test_cluster(6),
+      Cluster::hierarchical("h-test", 3, 4, 1e9, 100e-6, 125e6, 100e-6,
+                            125e6)};
+  for (const Cluster& c : clusters) {
+    FluidNetwork incremental(c);
+    FluidNetwork oracle(c);
+    const int nodes = c.num_nodes();
+    std::uint64_t state = 2718281828;
+    const auto next_u32 = [&state]() {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<std::uint32_t>(state >> 33);
+    };
+    std::vector<FlowId> flows;
+    Seconds t = 0;
+    for (int step = 0; step < 200; ++step) {
+      switch (next_u32() % 3) {
+        case 0: {  // open a flow on both networks
+          const int src = static_cast<int>(next_u32() % nodes);
+          int dst = static_cast<int>(next_u32() % nodes);
+          if (dst == src) dst = (dst + 1) % nodes;
+          const Bytes bytes = 1e6 * (1 + next_u32() % 200);
+          const FlowId a = incremental.open_flow(src, dst, bytes);
+          const FlowId b = oracle.open_flow(src, dst, bytes);
+          ASSERT_EQ(a, b);
+          flows.push_back(a);
+          break;
+        }
+        case 1: {  // scale a random link's capacity
+          const LinkId link =
+              static_cast<LinkId>(next_u32() % c.num_links());
+          static const double kFactors[] = {0.25, 0.5, 0.75, 1.0};
+          const Rate cap = c.link(link).bandwidth * kFactors[next_u32() % 4];
+          incremental.set_link_capacity(link, cap);
+          oracle.set_link_capacity(link, cap);
+          oracle.invalidate_all_rates();
+          oracle.ensure_rates();
+          break;
+        }
+        default: {  // let time pass
+          t += 0.001 * (1 + next_u32() % 40);
+          incremental.advance_to(t);
+          oracle.advance_to(t);
+          break;
+        }
+      }
+      for (LinkId l = 0; l < c.num_links(); ++l)
+        ASSERT_EQ(incremental.link_capacity(l), oracle.link_capacity(l));
+      for (FlowId f : flows) {
+        ASSERT_EQ(incremental.flow_done(f), oracle.flow_done(f))
+            << "step " << step << " flow " << f << " on " << c.name();
+        if (incremental.flow_done(f)) {
+          EXPECT_EQ(incremental.flow_finish_time(f),
+                    oracle.flow_finish_time(f))
+              << "step " << step << " flow " << f << " on " << c.name();
+        } else {
+          EXPECT_EQ(incremental.flow(f).rate, oracle.flow(f).rate)
+              << "step " << step << " flow " << f << " on " << c.name();
+        }
+      }
+    }
+    // Restore full capacity and drain: finish order and times agree.
+    for (LinkId l = 0; l < c.num_links(); ++l) {
+      incremental.set_link_capacity(l, c.link(l).bandwidth);
+      oracle.set_link_capacity(l, c.link(l).bandwidth);
+    }
+    oracle.invalidate_all_rates();
+    while (incremental.active_flows() > 0 || oracle.active_flows() > 0) {
+      t += 0.05;
+      incremental.advance_to(t);
+      oracle.advance_to(t);
+    }
+    for (FlowId f : flows) {
+      ASSERT_TRUE(incremental.flow_done(f));
+      EXPECT_EQ(incremental.flow_finish_time(f), oracle.flow_finish_time(f));
+    }
+  }
+}
+
 TEST(FluidNetworkComponents, RandomTrafficKeepsPartitionExact) {
   const Cluster c = test_cluster(8);
   FluidNetwork net(c);

@@ -55,7 +55,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, ReportGolden,
                          testing::Values("fig2", "fig3", "fig4", "fig5",
                                          "fig6", "fig7", "table1", "table2",
                                          "table3", "table4", "table5",
-                                         "table6", "experiment", "single"),
+                                         "table6", "experiment", "single",
+                                         "robustness"),
                          [](const auto& info) {
                            return std::string(info.param);
                          });

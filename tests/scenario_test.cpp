@@ -340,8 +340,9 @@ TEST(ScenarioResolve, AlgorithmPresets) {
 
 TEST(ScenarioRegistry, KindsAndTraceability) {
   const auto all = kinds();
-  EXPECT_EQ(all.size(), 15u);
+  EXPECT_EQ(all.size(), 16u);
   EXPECT_TRUE(kind_supports_trace("fig2"));
+  EXPECT_TRUE(kind_supports_trace("robustness"));
   EXPECT_TRUE(kind_supports_trace("experiment"));
   EXPECT_TRUE(kind_supports_trace("single"));
   EXPECT_TRUE(kind_supports_trace("sweep"));
