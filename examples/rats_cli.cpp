@@ -1,10 +1,12 @@
 // `rats` — the command-line driver for the scenario engine.
 //
 //   rats run <scenario.rats> [--trace out.jsonl] [--threads N]
-//                            [--csv] [--full] [--check N]
+//                            [--csv] [--full] [--check N] [--timeout SECS]
 //   rats verify <trace.jsonl> [--threads N]
 //   rats emit (<scenario.rats> | --kind <kind>)
 //   rats kinds
+//   rats fuzz [--quick] [--count N] [--seed S] [--timeout SECS]
+//             [--regress-dir DIR] [--index I] [--emit] [--no-minimize]
 //   rats sched [legacy options]      (the original one-shot scheduler CLI)
 //
 // `run` executes a declarative scenario file (grammar in
@@ -18,14 +20,20 @@
 // subcommand (also used by examples/docs):
 //   rats sched --generate fft:8 --platform flat:64:3.0 --algo delta \
 //              --mindelta -0.5 --maxdelta 1 --dot fft.dot
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/error.hpp"
+#include "fuzz/driver.hpp"
 #include "common/rng.hpp"
 #include "daggen/kernels.hpp"
 #include "daggen/random_dag.hpp"
@@ -56,11 +64,24 @@ namespace {
       "      --full              paper-scale corpus\n"
       "      --check N           run the scenario N times and fail if\n"
       "                          any output byte differs\n"
+      "      --timeout SECS      abort (exit 124) past this wall clock\n"
       "  verify <trace.jsonl>    re-simulate a trace and byte-diff it\n"
       "      --threads N         worker threads for the replay\n"
       "  emit <scenario.rats>    print the canonical form of a scenario\n"
       "  emit --kind <kind>      print a registry kind's default scenario\n"
       "  kinds                   list registered scenario kinds\n"
+      "  fuzz                    randomized validation campaign: generate\n"
+      "                          seeded specs, run the invariant oracle\n"
+      "                          battery on each in an isolated child,\n"
+      "                          minimize failures into scenarios/regress/\n"
+      "      --quick             100-spec CI tier (default 250)\n"
+      "      --count N           specs to run\n"
+      "      --seed S            campaign seed (default 1)\n"
+      "      --timeout SECS      per-spec watchdog (default 30)\n"
+      "      --regress-dir DIR   where failing repros are written\n"
+      "      --index I           run only spec I of the campaign\n"
+      "      --emit              print the generated specs, run nothing\n"
+      "      --no-minimize       write repros without delta-debugging\n"
       "  sched [options]         one-shot scheduling (rats sched --help)\n");
   std::exit(code);
 }
@@ -132,9 +153,44 @@ unsigned parse_threads(const char* text) {
   return static_cast<unsigned>(v);
 }
 
+/// Wall-clock watchdog for `rats run --timeout`: a detached thread
+/// that force-exits the process (status 124, timeout(1) convention)
+/// unless disarmed before the deadline.  A detached thread rather than
+/// a joined one so a hung simulation cannot block the exit path.
+class Watchdog {
+ public:
+  explicit Watchdog(double seconds) {
+    if (seconds <= 0) return;
+    std::thread([seconds] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(seconds);
+      if (cv_.wait_until(lock, deadline, [] { return disarmed_; })) return;
+      std::fprintf(stderr, "rats run: timed out after %gs\n", seconds);
+      std::_Exit(124);
+    }).detach();
+  }
+  ~Watchdog() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    disarmed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  // Static: the detached thread may outlive the Watchdog object.
+  static std::mutex mutex_;
+  static std::condition_variable cv_;
+  static bool disarmed_;
+};
+
+std::mutex Watchdog::mutex_;
+std::condition_variable Watchdog::cv_;
+bool Watchdog::disarmed_ = false;
+
 int cmd_run(int argc, char** argv) {
   std::string file;
   scenario::RunOptions options;
+  double timeout = 0;
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -154,6 +210,10 @@ int cmd_run(int argc, char** argv) {
       const long v = std::strtol(next(), &end, 10);
       if (end == nullptr || *end != '\0' || v < 1) usage(2);
       options.check = static_cast<int>(v);
+    } else if (a == "--timeout") {
+      char* end = nullptr;
+      timeout = std::strtod(next(), &end);
+      if (end == nullptr || *end != '\0' || timeout <= 0) usage(2);
     } else if (a == "--help" || a == "-h") usage(0);
     else if (!a.empty() && a[0] == '-') usage(2);
     else if (file.empty()) file = a;
@@ -163,6 +223,7 @@ int cmd_run(int argc, char** argv) {
     std::fprintf(stderr, "rats run: missing scenario file\n");
     usage(2);
   }
+  const Watchdog watchdog(timeout);
   // RATS_RUN_STATS=1 prints how many schedule+simulate runs the
   // scenario cost — the CI gate that a traced run's matrix was
   // simulated exactly once (report and trace share the pass).
@@ -233,6 +294,40 @@ int cmd_kinds() {
     std::printf("%s%s\n", kind.c_str(), traced);
   }
   return 0;
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  fuzz::FuzzOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    auto next_long = [&](long min) {
+      char* end = nullptr;
+      const long v = std::strtol(next(), &end, 10);
+      if (end == nullptr || *end != '\0' || v < min) usage(2);
+      return v;
+    };
+    if (a == "--quick") options.count = 100;
+    else if (a == "--count") options.count = static_cast<int>(next_long(1));
+    else if (a == "--seed")
+      options.seed = std::strtoull(next(), nullptr, 10);
+    else if (a == "--timeout") {
+      char* end = nullptr;
+      options.timeout_secs = std::strtod(next(), &end);
+      if (end == nullptr || *end != '\0' || options.timeout_secs < 0)
+        usage(2);
+    } else if (a == "--regress-dir") options.regress_dir = next();
+    else if (a == "--index") options.index = static_cast<int>(next_long(0));
+    else if (a == "--emit") options.emit_only = true;
+    else if (a == "--no-minimize") options.minimize = false;
+    else if (a == "--help" || a == "-h") usage(0);
+    else usage(2);
+  }
+  const fuzz::FuzzResult result = fuzz::run_fuzz(options, std::cout);
+  return result.failed == 0 ? 0 : 1;
 }
 
 int cmd_sched(int argc, char** argv) {
@@ -344,6 +439,7 @@ int main(int argc, char** argv) try {
   if (command == "verify") return cmd_verify(argc - 2, argv + 2);
   if (command == "emit") return cmd_emit(argc - 2, argv + 2);
   if (command == "kinds") return cmd_kinds();
+  if (command == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
   if (command == "sched") return cmd_sched(argc - 2, argv + 2);
   if (command == "--help" || command == "-h") usage(0);
   // Backwards compatibility: the pre-subcommand CLI started with "--".

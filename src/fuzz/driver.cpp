@@ -1,0 +1,189 @@
+#include "fuzz/driver.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <thread>
+
+#include "common/format.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/oracles.hpp"
+#include "scenario/parser.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RATS_FUZZ_FORK 1
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace rats::fuzz {
+
+namespace {
+
+std::string one_line(std::string s) {
+  for (char& c : s)
+    if (c == '\n' || c == '\r') c = ' ';
+  return s;
+}
+
+#ifdef RATS_FUZZ_FORK
+
+SpecOutcome run_forked(const scenario::ScenarioSpec& spec,
+                       double timeout_secs) {
+  int fds[2];
+  if (pipe(fds) != 0) return {SpecOutcome::Crash, "pipe() failed"};
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return {SpecOutcome::Crash, "fork() failed"};
+  }
+  if (pid == 0) {
+    // Child: run the battery, report the diagnosis over the pipe.
+    // _exit (not exit) — no flushing of inherited stdio buffers.
+    close(fds[0]);
+    const OracleReport report = run_battery(spec);
+    if (!report.ok) {
+      const std::string& d = report.diagnosis;
+      std::size_t off = 0;
+      while (off < d.size()) {
+        const ssize_t n = write(fds[1], d.data() + off, d.size() - off);
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+      }
+    }
+    close(fds[1]);
+    _exit(report.ok ? 0 : 1);
+  }
+  close(fds[1]);
+
+  // Watchdog: poll for exit, SIGKILL past the deadline.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_secs);
+  int status = 0;
+  bool timed_out = false;
+  for (;;) {
+    const pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    if (r < 0) {
+      close(fds[0]);
+      return {SpecOutcome::Crash, "waitpid() failed"};
+    }
+    if (timeout_secs > 0 && std::chrono::steady_clock::now() >= deadline) {
+      if (!timed_out) {
+        kill(pid, SIGKILL);
+        timed_out = true;
+      }
+      waitpid(pid, &status, 0);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // The child is gone; its one-line diagnosis (if any) sits in the
+  // pipe buffer.
+  std::string diagnosis;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fds[0], buf, sizeof buf);
+    if (n <= 0) break;
+    diagnosis.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+
+  if (timed_out)
+    return {SpecOutcome::Timeout,
+            strf("watchdog: spec exceeded %gs wall clock", timeout_secs)};
+  if (WIFSIGNALED(status))
+    return {SpecOutcome::Crash,
+            "crash: child terminated by signal " +
+                std::to_string(WTERMSIG(status))};
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) return {};
+  if (diagnosis.empty())
+    diagnosis = "crash: child exited with status " +
+                std::to_string(WEXITSTATUS(status));
+  return {SpecOutcome::OracleFail, one_line(diagnosis)};
+}
+
+#endif  // RATS_FUZZ_FORK
+
+std::string write_repro(const FuzzOptions& options, int index,
+                        std::uint64_t seed,
+                        const scenario::ScenarioSpec& spec,
+                        const std::string& diagnosis) {
+  std::filesystem::create_directories(options.regress_dir);
+  const std::string path = options.regress_dir + "/fuzz-" +
+                           std::to_string(index) + "-s" +
+                           std::to_string(seed) + ".rats";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "# fuzz repro: " << diagnosis << "\n";
+  out << "# reproduce: rats fuzz --seed " << options.seed << " --index "
+      << index << "\n";
+  out << scenario::emit_scenario(spec);
+  return path;
+}
+
+}  // namespace
+
+SpecOutcome run_spec_isolated(const scenario::ScenarioSpec& spec,
+                              double timeout_secs) {
+#ifdef RATS_FUZZ_FORK
+  return run_forked(spec, timeout_secs);
+#else
+  (void)timeout_secs;  // no process isolation: best effort, no watchdog
+  const OracleReport report = run_battery(spec);
+  if (report.ok) return {};
+  return {SpecOutcome::OracleFail, one_line(report.diagnosis)};
+#endif
+}
+
+FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& out) {
+  FuzzResult result;
+  const int first = options.index >= 0 ? options.index : 0;
+  const int last = options.index >= 0 ? options.index + 1 : options.count;
+  for (int i = first; i < last; ++i) {
+    const std::uint64_t seed = spec_seed(options.seed, i);
+    const scenario::ScenarioSpec spec = generate_spec(seed);
+    if (options.emit_only) {
+      out << scenario::emit_scenario(spec) << "\n";
+      continue;
+    }
+    ++result.ran;
+    const SpecOutcome outcome = run_spec_isolated(spec, options.timeout_secs);
+    if (outcome.kind == SpecOutcome::Pass) {
+      ++result.passed;
+      continue;
+    }
+    ++result.failed;
+    out << "fuzz: FAIL index " << i << " (seed " << seed << ") — "
+        << outcome.diagnosis << "\n";
+    scenario::ScenarioSpec minimal = spec;
+    // Timeouts are not minimized: every probe would cost the full
+    // watchdog budget.  Oracle failures and crashes re-probe fast.
+    if (options.minimize && outcome.kind != SpecOutcome::Timeout) {
+      minimal = minimize_spec(
+          spec, [&](const scenario::ScenarioSpec& candidate) {
+            return run_spec_isolated(candidate, options.timeout_secs).kind !=
+                   SpecOutcome::Pass;
+          });
+      out << "fuzz: minimized " << spec.events.timeline.events.size()
+          << " events / " << spec.workload.count << " graphs down to "
+          << minimal.events.timeline.events.size() << " / "
+          << minimal.workload.count << "\n";
+    }
+    const std::string path =
+        write_repro(options, i, seed, minimal, outcome.diagnosis);
+    out << "fuzz: repro written to " << path << "\n";
+    result.repro_paths.push_back(path);
+  }
+  if (!options.emit_only)
+    out << "fuzz: " << result.ran << " specs, " << result.passed
+        << " passed, " << result.failed << " failed (seed " << options.seed
+        << ")\n";
+  return result;
+}
+
+}  // namespace rats::fuzz

@@ -1,0 +1,54 @@
+// The `rats fuzz` campaign driver.
+//
+// Generates `count` specs from a campaign seed, runs the oracle battery
+// on each in an isolated forked child under a wall-clock watchdog (so a
+// crash, sanitizer trip or hang in one spec never takes the campaign
+// down), and on any failure delta-debugs the spec to a minimal repro
+// and writes it — diagnosis header included — into the regression
+// corpus directory.  All output is deterministic for a given seed and
+// healthy build: same specs, same order, same summary line.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace rats::fuzz {
+
+struct FuzzOptions {
+  int count = 250;               ///< specs per campaign (--quick: 100)
+  std::uint64_t seed = 1;        ///< campaign seed
+  double timeout_secs = 30.0;    ///< per-spec watchdog (0 = none)
+  std::string regress_dir = "scenarios/regress";  ///< repro output
+  bool emit_only = false;        ///< print generated specs, run nothing
+  int index = -1;                ///< >= 0: run only this spec index
+  bool minimize = true;          ///< delta-debug failures before writing
+};
+
+/// How one isolated spec run ended.
+struct SpecOutcome {
+  enum Kind { Pass, OracleFail, Crash, Timeout } kind = Pass;
+  std::string diagnosis;  ///< one line (empty on Pass)
+};
+
+/// Runs the battery on `spec` in a forked child killed after
+/// `timeout_secs` (POSIX; elsewhere falls back to in-process, no
+/// watchdog).
+SpecOutcome run_spec_isolated(const scenario::ScenarioSpec& spec,
+                              double timeout_secs);
+
+struct FuzzResult {
+  int ran = 0;
+  int passed = 0;
+  int failed = 0;
+  std::vector<std::string> repro_paths;  ///< one per failure
+};
+
+/// Runs the whole campaign; per-failure lines and a final summary go to
+/// `out`.  Returns the tally (failed == 0 means a clean campaign).
+FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& out);
+
+}  // namespace rats::fuzz

@@ -1,0 +1,33 @@
+// Randomized scenario generation for `rats fuzz`.
+//
+// Every spec is derived deterministically from one 64-bit seed and is
+// valid by construction: it parses, emits canonically, resolves, and —
+// crucially — its fault timeline never strands work forever (every
+// node-fail is paired with a later restart, and the number of
+// concurrently-down nodes is capped), so a generated spec that stalls
+// or crashes is always a simulator bug, never a bad input.
+//
+// The generator deliberately spans the whole input space the paper's
+// artefacts exercise: flat, uniform-hierarchical and heterogeneous
+// multi-cabinet platforms; all four DAG families at random sizes;
+// preset and explicit algorithm mixes; and stochastic Poisson-style
+// event timelines (background traffic, slowdowns, fail/restart pairs).
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/spec.hpp"
+
+namespace rats::fuzz {
+
+/// Deterministically builds a random valid scenario from `seed`.  The
+/// spec's name embeds the seed ("fuzz-s<seed>") so a failing repro is
+/// traceable back to its generator draw.
+scenario::ScenarioSpec generate_spec(std::uint64_t seed);
+
+/// The per-index seed of a fuzz campaign: mixes the campaign seed with
+/// the spec index (splitmix64-style) so `--seed S --index I` names one
+/// reproducible spec.
+std::uint64_t spec_seed(std::uint64_t campaign_seed, int index);
+
+}  // namespace rats::fuzz

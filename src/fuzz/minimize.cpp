@@ -1,0 +1,183 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "scenario/parser.hpp"
+
+namespace rats::fuzz {
+
+namespace {
+
+/// A candidate must be a well-formed spec before it is worth a battery
+/// run: byte-stable through emit→parse, resolvable platform, and a
+/// timeline that validates against every cluster.  Without this probe
+/// the minimizer would happily "reduce" into specs that fail for a
+/// *different* reason (e.g. an event naming a node the shrunken
+/// platform no longer has) and pin the wrong repro.
+bool valid(const scenario::ScenarioSpec& spec) {
+  try {
+    const std::string text = scenario::emit_scenario(spec);
+    const scenario::ScenarioSpec reparsed =
+        scenario::parse_scenario_string(text, "<minimize>");
+    if (scenario::emit_scenario(reparsed) != text) return false;
+    for (const Cluster& cluster : spec.platform.resolve())
+      if (!spec.events.empty()) spec.events.resolve(cluster);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+struct Reducer {
+  scenario::ScenarioSpec spec;
+  const StillFails& still_fails;
+  bool progress = false;
+
+  bool accept(const scenario::ScenarioSpec& candidate) {
+    if (!valid(candidate) || !still_fails(candidate)) return false;
+    spec = candidate;
+    progress = true;
+    return true;
+  }
+
+  /// ddmin over the event list: remove chunks of shrinking size.
+  void events() {
+    for (std::size_t chunk = std::max<std::size_t>(
+             1, spec.events.timeline.events.size() / 2);
+         ; chunk /= 2) {
+      for (std::size_t at = 0;
+           at + chunk <= spec.events.timeline.events.size();) {
+        scenario::ScenarioSpec candidate = spec;
+        auto& ev = candidate.events.timeline.events;
+        ev.erase(ev.begin() + static_cast<std::ptrdiff_t>(at),
+                 ev.begin() + static_cast<std::ptrdiff_t>(at + chunk));
+        if (!accept(candidate)) at += chunk;
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  void algorithms() {
+    while (spec.algorithms.algos.size() > 1) {
+      bool dropped = false;
+      for (std::size_t i = 0; i < spec.algorithms.algos.size(); ++i) {
+        scenario::ScenarioSpec candidate = spec;
+        candidate.algorithms.algos.erase(candidate.algorithms.algos.begin() +
+                                         static_cast<std::ptrdiff_t>(i));
+        if (accept(candidate)) {
+          dropped = true;
+          break;
+        }
+      }
+      if (!dropped) break;
+    }
+    if (!spec.algorithms.preset.empty()) {
+      // A preset stands for several schedulers; one explicit HCPA is
+      // strictly simpler when it still reproduces.
+      scenario::ScenarioSpec candidate = spec;
+      candidate.algorithms.preset.clear();
+      AlgoSpec hcpa;
+      hcpa.name = "HCPA";
+      hcpa.options.kind = SchedulerKind::Hcpa;
+      candidate.algorithms.algos = {hcpa};
+      accept(candidate);
+    }
+  }
+
+  /// Shrinks one integer field towards `floor` by halving the distance.
+  template <typename Set>
+  void shrink_int(int current, int floor, const Set& set) {
+    while (current > floor) {
+      const int next = floor + (current - floor) / 2;
+      scenario::ScenarioSpec candidate = spec;
+      set(candidate, next);
+      if (!accept(candidate)) break;
+      current = next;
+    }
+  }
+
+  void workload() {
+    auto& w = spec.workload;
+    if (w.source != scenario::WorkloadSpec::Source::Generate) return;
+    shrink_int(w.count, 1, [](scenario::ScenarioSpec& s, int v) {
+      s.workload.count = v;
+    });
+    if (spec.workload.generator == "fft" && w.fft_k > 2) {
+      // fft-k must stay a power of two: halve instead of bisecting.
+      scenario::ScenarioSpec candidate = spec;
+      candidate.workload.fft_k = w.fft_k / 2;
+      accept(candidate);
+    }
+    if (spec.workload.generator == "layered" ||
+        spec.workload.generator == "irregular")
+      shrink_int(w.dag.num_tasks, 1, [](scenario::ScenarioSpec& s, int v) {
+        s.workload.dag.num_tasks = v;
+      });
+  }
+
+  void platform() {
+    auto& p = spec.platform;
+    if (!p.is_custom()) return;
+    if (p.cabinet_nodes.empty()) {
+      shrink_int(p.nodes, 1, [](scenario::ScenarioSpec& s, int v) {
+        s.platform.nodes = v;
+      });
+      return;
+    }
+    // Drop whole cabinets, then shrink the per-cabinet node counts.
+    while (spec.platform.cabinet_nodes.size() > 1) {
+      bool dropped = false;
+      for (std::size_t i = 0; i < spec.platform.cabinet_nodes.size(); ++i) {
+        scenario::ScenarioSpec candidate = spec;
+        auto& cs = candidate.platform.cabinet_nodes;
+        cs.erase(cs.begin() + static_cast<std::ptrdiff_t>(i));
+        if (accept(candidate)) {
+          dropped = true;
+          break;
+        }
+      }
+      if (!dropped) break;
+    }
+    for (std::size_t i = 0; i < spec.platform.cabinet_nodes.size(); ++i)
+      shrink_int(spec.platform.cabinet_nodes[i], 1,
+                 [i](scenario::ScenarioSpec& s, int v) {
+                   s.platform.cabinet_nodes[i] = v;
+                 });
+  }
+
+  void sweep_grids() {
+    const auto drop_points = [this](auto member) {
+      for (std::size_t i = 0; i < (spec.sweep.*member).size();) {
+        scenario::ScenarioSpec candidate = spec;
+        auto& grid = candidate.sweep.*member;
+        grid.erase(grid.begin() + static_cast<std::ptrdiff_t>(i));
+        if (!accept(candidate)) ++i;
+      }
+    };
+    drop_points(&scenario::SweepSpec::mindeltas);
+    drop_points(&scenario::SweepSpec::maxdeltas);
+    drop_points(&scenario::SweepSpec::minrhos);
+    drop_points(&scenario::SweepSpec::packings);
+    drop_points(&scenario::SweepSpec::event_factors);
+    drop_points(&scenario::SweepSpec::event_ats);
+  }
+};
+
+}  // namespace
+
+scenario::ScenarioSpec minimize_spec(scenario::ScenarioSpec spec,
+                                     const StillFails& still_fails) {
+  Reducer r{std::move(spec), still_fails};
+  do {
+    r.progress = false;
+    r.events();
+    r.algorithms();
+    r.workload();
+    r.platform();
+    r.sweep_grids();
+  } while (r.progress);
+  return r.spec;
+}
+
+}  // namespace rats::fuzz

@@ -1,0 +1,28 @@
+// Delta-debugging spec minimizer for `rats fuzz`.
+//
+// Given a failing spec and a predicate that re-checks a candidate
+// ("does this still fail?"), the minimizer greedily shrinks every
+// dimension of the spec — events (ddmin over the timeline), the
+// algorithm list, workload size (count, tasks, fft-k), platform size
+// (nodes, cabinets) and sweep grid points — until no single reduction
+// step reproduces the failure.  Candidates are validity-probed first
+// (they must survive an emit→parse round trip), so the minimized spec
+// is always a well-formed `.rats` file ready for scenarios/regress/.
+#pragma once
+
+#include <functional>
+
+#include "scenario/spec.hpp"
+
+namespace rats::fuzz {
+
+/// True when the candidate still reproduces the original failure.
+/// Typically forks and re-runs the oracle battery under a watchdog.
+using StillFails = std::function<bool(const scenario::ScenarioSpec&)>;
+
+/// Greedy fixpoint reduction of `spec` under `still_fails`; the input
+/// spec itself is assumed failing.  Returns the smallest spec found.
+scenario::ScenarioSpec minimize_spec(scenario::ScenarioSpec spec,
+                                     const StillFails& still_fails);
+
+}  // namespace rats::fuzz

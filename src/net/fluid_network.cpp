@@ -481,6 +481,52 @@ void FluidNetwork::ensure_rates() {
   dirty_scratch_.clear();
   // One heap pass for the whole flush (see set_rate).
   apply_rekeys();
+  if (validate_ && !validating_) run_validation_checks();
+}
+
+void FluidNetwork::run_validation_checks() {
+  validating_ = true;
+  struct Guard {
+    bool* flag;
+    ~Guard() { *flag = false; }
+  } guard{&validating_};
+  // Conservation: the released flows sharing a link never exceed its
+  // capacity.  1e-9 relative slack absorbs the waterfilling round-off
+  // of summing n equal shares of capacity/n.
+  for (std::size_t l = 0; l < capacity_.size(); ++l) {
+    const Rate cap = capacity_[l];
+    Rate sum = 0;
+    for (const FlowId id : link_members_[l])
+      sum += flows_[static_cast<std::size_t>(id)].rate;
+    RATS_REQUIRE(sum <= cap + cap * 1e-9 + 1e-6,
+                 "link " + std::to_string(l) + " oversubscribed at t=" +
+                     std::to_string(now_) + ": member rates sum to " +
+                     std::to_string(sum) + " B/s, capacity " +
+                     std::to_string(cap) + " B/s");
+  }
+  validation_snapshot_.clear();
+  for (const FlowId id : active_ids_) {
+    const FlowState& f = flows_[static_cast<std::size_t>(id)];
+    if (!f.released) continue;
+    RATS_REQUIRE(f.rate >= 0 && f.rate <= f.cap + f.cap * 1e-9,
+                 "flow " + std::to_string(id) + " rate " +
+                     std::to_string(f.rate) + " outside [0, cap=" +
+                     std::to_string(f.cap) + "]");
+    validation_snapshot_.emplace_back(id, f.rate);
+  }
+  // Warm ≡ cold: drop every component's warm state and re-solve the
+  // whole population from scratch; the incremental rates must match bit
+  // for bit.  The re-solve leaves freshly recorded traces behind, so
+  // warm paths keep being exercised on the next flush.
+  invalidate_all_rates();
+  for (const auto& [id, incremental] : validation_snapshot_) {
+    const Rate cold = flows_[static_cast<std::size_t>(id)].rate;
+    RATS_REQUIRE(cold == incremental,
+                 "warm/cold divergence on flow " + std::to_string(id) +
+                     " at t=" + std::to_string(now_) + ": incremental rate " +
+                     std::to_string(incremental) + " B/s, cold re-solve " +
+                     std::to_string(cold) + " B/s");
+  }
 }
 
 void FluidNetwork::repartition_and_solve(std::int32_t c) {

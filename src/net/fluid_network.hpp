@@ -167,6 +167,17 @@ class FluidNetwork {
   /// outlive the network.
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
+  /// Opt-in invariant validation (the `rats fuzz` network oracle).
+  /// When on, every rate flush is followed by two checks over the
+  /// released population: Max-Min conservation (no link's member rates
+  /// sum past its capacity, no flow exceeds its cap) and warm ≡ cold
+  /// equivalence (a from-scratch cold re-solve of every component must
+  /// reproduce the incrementally-maintained rates bit for bit).  Throws
+  /// rats::Error on the first violation.  Off by default: the hot path
+  /// pays one branch per flush, and results are unchanged because the
+  /// cold re-solve is the rate the invariant already requires.
+  void set_validation(bool on) { validate_ = on; }
+
   // ---- sharing-component observers (tests / diagnostics) -------------
 
   /// Component id of a released, not-yet-done flow; -1 otherwise.  Ids
@@ -289,6 +300,9 @@ class FluidNetwork {
   void retire(FlowId id, FlowState& f);
   /// Payload exhausted: retire + queue for drain.
   void complete(FlowId id, FlowState& f);
+  /// The set_validation(true) checks; runs after a flush that solved
+  /// at least one component.
+  void run_validation_checks();
 
   // Partition maintenance.
   std::int32_t alloc_component();
@@ -360,6 +374,9 @@ class FluidNetwork {
   Seconds now_ = 0;
   Bytes total_bytes_ = 0;
   TraceSink* trace_ = nullptr;
+  bool validate_ = false;    ///< set_validation: check after every flush
+  bool validating_ = false;  ///< re-entrancy guard (the check re-solves)
+  std::vector<std::pair<FlowId, Rate>> validation_snapshot_;
 };
 
 }  // namespace rats

@@ -145,6 +145,13 @@ Value parse_scalar(const std::string& file, int line,
     fail(file, line,
          "cannot parse value '" + text +
              "' (expected \"string\", number, true/false or [array])");
+  // strtod accepts "nan", "inf" and overflowing literals like 1e999;
+  // none of them is a meaningful scenario parameter, and a NaN slips
+  // through every `x <= 0` validation downstream.
+  if (!std::isfinite(v.num))
+    fail(file, line,
+         "numeric value '" + text + "' is not finite (NaN, infinity or "
+         "out of double range)");
   return v;
 }
 
@@ -324,6 +331,9 @@ void bind_platform(const Binder& b, const Section& s, PlatformSpec& p) {
       custom_line = kv.line;
     } else if (kv.key == "cabinets") {
       p.cabinet_nodes = b.integers(kv);
+      if (p.cabinet_nodes.empty())
+        fail(b.file(), kv.line,
+             "'cabinets' must not be empty (a cluster needs nodes)");
       for (const int n : p.cabinet_nodes)
         if (n <= 0)
           fail(b.file(), kv.line, "'cabinets' entries must be positive");
@@ -374,27 +384,59 @@ void bind_workload(const Binder& b, const Section& s, WorkloadSpec& w) {
              "unknown workload source '" + v +
                  "' (expected corpus, family, generate or file)");
     } else if (kv.key == "full") w.corpus.full = b.boolean(kv);
-    else if (kv.key == "samples-random")
+    else if (kv.key == "samples-random") {
       w.corpus.samples_random = static_cast<int>(b.integer(kv));
-    else if (kv.key == "samples-kernel")
+      if (w.corpus.samples_random < 0)
+        fail(b.file(), kv.line, "'samples-random' must be >= 0");
+    } else if (kv.key == "samples-kernel") {
       w.corpus.samples_kernel = static_cast<int>(b.integer(kv));
-    else if (kv.key == "seed")
-      w.corpus.seed = static_cast<std::uint64_t>(b.integer(kv));
-    else if (kv.key == "family") w.family = b.string(kv);
-    else if (kv.key == "cap-per-family")
+      if (w.corpus.samples_kernel < 0)
+        fail(b.file(), kv.line, "'samples-kernel' must be >= 0");
+    } else if (kv.key == "seed") {
+      const long long v = b.integer(kv);
+      if (v < 0) fail(b.file(), kv.line, "'seed' must be >= 0");
+      w.corpus.seed = static_cast<std::uint64_t>(v);
+    } else if (kv.key == "family") w.family = b.string(kv);
+    else if (kv.key == "cap-per-family") {
       w.cap_per_family = static_cast<int>(b.integer(kv));
-    else if (kv.key == "generator") w.generator = b.string(kv);
-    else if (kv.key == "count") w.count = static_cast<int>(b.integer(kv));
-    else if (kv.key == "fft-k") w.fft_k = static_cast<int>(b.integer(kv));
-    else if (kv.key == "tasks")
+      if (w.cap_per_family < 0)
+        fail(b.file(), kv.line, "'cap-per-family' must be >= 0");
+    } else if (kv.key == "generator") w.generator = b.string(kv);
+    else if (kv.key == "count") {
+      w.count = static_cast<int>(b.integer(kv));
+      if (w.count < 1) fail(b.file(), kv.line, "'count' must be >= 1");
+    } else if (kv.key == "fft-k") {
+      w.fft_k = static_cast<int>(b.integer(kv));
+      // The FFT kernel generator requires a power of two (found by
+      // fuzzing: the old [1, 16] range let k=3 through to a raw
+      // requirement failure deep in daggen).
+      if (w.fft_k < 2 || w.fft_k > 16 || (w.fft_k & (w.fft_k - 1)) != 0)
+        fail(b.file(), kv.line,
+             "'fft-k' must be a power of two in [2, 16]");
+    } else if (kv.key == "tasks") {
       w.dag.num_tasks = static_cast<int>(b.integer(kv));
-    else if (kv.key == "width") w.dag.width = b.number(kv);
-    else if (kv.key == "density") w.dag.density = b.number(kv);
-    else if (kv.key == "regularity") w.dag.regularity = b.number(kv);
-    else if (kv.key == "jump") w.dag.jump = static_cast<int>(b.integer(kv));
-    else if (kv.key == "generate-seed")
-      w.generate_seed = static_cast<std::uint64_t>(b.integer(kv));
-    else if (kv.key == "path") w.path = b.string(kv);
+      if (w.dag.num_tasks < 1 || w.dag.num_tasks > 1000000)
+        fail(b.file(), kv.line, "'tasks' must be in [1, 1000000]");
+    } else if (kv.key == "width") {
+      w.dag.width = b.number(kv);
+      if (!(w.dag.width > 0) || w.dag.width > 1)
+        fail(b.file(), kv.line, "'width' must be in (0, 1]");
+    } else if (kv.key == "density") {
+      w.dag.density = b.number(kv);
+      if (!(w.dag.density > 0) || w.dag.density > 1)
+        fail(b.file(), kv.line, "'density' must be in (0, 1]");
+    } else if (kv.key == "regularity") {
+      w.dag.regularity = b.number(kv);
+      if (!(w.dag.regularity > 0) || w.dag.regularity > 1)
+        fail(b.file(), kv.line, "'regularity' must be in (0, 1]");
+    } else if (kv.key == "jump") {
+      w.dag.jump = static_cast<int>(b.integer(kv));
+      if (w.dag.jump < 1) fail(b.file(), kv.line, "'jump' must be >= 1");
+    } else if (kv.key == "generate-seed") {
+      const long long v = b.integer(kv);
+      if (v < 0) fail(b.file(), kv.line, "'generate-seed' must be >= 0");
+      w.generate_seed = static_cast<std::uint64_t>(v);
+    } else if (kv.key == "path") w.path = b.string(kv);
     else b.unknown_key(s, kv);
   }
 }
@@ -436,19 +478,35 @@ void bind_algorithm(const Binder& b, const Section& s, AlgorithmsSpec& a) {
 }
 
 void bind_sweep(const Binder& b, const Section& s, SweepSpec& sw) {
+  // An explicitly written empty grid ([]) is always a mistake: the axis
+  // would silently vanish from the sweep cross product (or leave fig4/
+  // fig5 on their paper grids), which is indistinguishable from a typo.
+  const auto grid = [&](const KeyVal& kv) {
+    auto values = b.numbers(kv);
+    if (values.empty())
+      fail(b.file(), kv.line,
+           "'" + kv.key + "' grid must not be empty (omit the key to use "
+           "the default grid)");
+    return values;
+  };
   for (const KeyVal& kv : s.entries) {
-    if (kv.key == "mindelta") sw.mindeltas = b.numbers(kv);
-    else if (kv.key == "maxdelta") sw.maxdeltas = b.numbers(kv);
-    else if (kv.key == "minrho") sw.minrhos = b.numbers(kv);
-    else if (kv.key == "packing") sw.packings = b.booleans(kv);
-    else if (kv.key == "event-factor") {
-      sw.event_factors = b.numbers(kv);
+    if (kv.key == "mindelta") sw.mindeltas = grid(kv);
+    else if (kv.key == "maxdelta") sw.maxdeltas = grid(kv);
+    else if (kv.key == "minrho") sw.minrhos = grid(kv);
+    else if (kv.key == "packing") {
+      sw.packings = b.booleans(kv);
+      if (sw.packings.empty())
+        fail(b.file(), kv.line,
+             "'packing' grid must not be empty (omit the key to use the "
+             "default grid)");
+    } else if (kv.key == "event-factor") {
+      sw.event_factors = grid(kv);
       for (const double f : sw.event_factors)
         if (!(f > 0) || !std::isfinite(f))
           fail(b.file(), kv.line,
                "'event-factor' values must be finite and positive");
     } else if (kv.key == "event-at") {
-      sw.event_ats = b.numbers(kv);
+      sw.event_ats = grid(kv);
       for (const double t : sw.event_ats)
         if (!(t >= 0) || !std::isfinite(t))
           fail(b.file(), kv.line,
@@ -494,8 +552,25 @@ void bind_events(const Binder& b, const Section& s, EventsSpec& ev) {
   }
 }
 
-void bind_event(const Binder& b, const Section& s, EventsSpec& ev) {
-  PlatformEvent e;
+/// One parsed [event] section before node-set expansion.  `nodes` and
+/// cabinet node groups are parse-time sugar: they expand into one
+/// PlatformEvent per selected node (in selector order), so downstream —
+/// the timeline, the simulator, canonical emission — only ever sees
+/// per-node events and parse→emit stays byte-stable by construction.
+struct ProtoEvent {
+  PlatformEvent event;
+  std::vector<int> nodes;  ///< nodes = [...] selector (empty: not given)
+  /// True when `cabinet` selects the cabinet's *nodes* (node-event
+  /// kinds) rather than its uplink pair (link-capacity).
+  bool cabinet_group = false;
+  int line = 0;  ///< section line, for expansion-time diagnostics
+};
+
+void bind_event(const Binder& b, const Section& s,
+                std::vector<ProtoEvent>& protos) {
+  ProtoEvent pe;
+  pe.line = s.line;
+  PlatformEvent& e = pe.event;
   bool have_kind = false, have_at = false, have_factor = false;
   int kind_line = s.line;
   for (const KeyVal& kv : s.entries) {
@@ -518,6 +593,12 @@ void bind_event(const Binder& b, const Section& s, EventsSpec& ev) {
     } else if (kv.key == "node") {
       e.node = static_cast<NodeId>(b.integer(kv));
       if (e.node < 0) fail(b.file(), kv.line, "'node' must be >= 0");
+    } else if (kv.key == "nodes") {
+      pe.nodes = b.integers(kv);
+      if (pe.nodes.empty())
+        fail(b.file(), kv.line, "'nodes' must not be empty");
+      for (const int n : pe.nodes)
+        if (n < 0) fail(b.file(), kv.line, "'nodes' entries must be >= 0");
     } else if (kv.key == "cabinet") {
       e.cabinet = static_cast<int>(b.integer(kv));
       if (e.cabinet < 0) fail(b.file(), kv.line, "'cabinet' must be >= 0");
@@ -530,33 +611,89 @@ void bind_event(const Binder& b, const Section& s, EventsSpec& ev) {
   }
   if (!have_kind) fail(b.file(), s.line, "[event] section is missing 'kind'");
   if (!have_at) fail(b.file(), s.line, "[event] section is missing 'at'");
+  const int selectors =
+      (e.node >= 0 ? 1 : 0) + (!pe.nodes.empty() ? 1 : 0) +
+      (e.cabinet >= 0 ? 1 : 0);
+  const std::string what = std::string(to_string(e.kind)) + " event";
+  if (selectors != 1)
+    fail(b.file(), kind_line,
+         what + " needs exactly one of 'node', 'nodes' or 'cabinet'");
   switch (e.kind) {
     case PlatformEventKind::LinkCapacity:
-      if ((e.node >= 0) == (e.cabinet >= 0))
-        fail(b.file(), kind_line,
-             "link-capacity event needs exactly one of 'node' or 'cabinet'");
+      // `cabinet` here keeps its link meaning: the cabinet's uplink
+      // pair.  `nodes` expands to per-node NIC-pair events.
       if (!have_factor)
-        fail(b.file(), kind_line, "link-capacity event is missing 'factor'");
+        fail(b.file(), kind_line, what + " is missing 'factor'");
       break;
     case PlatformEventKind::NodeSlowdown:
-      if (e.node < 0)
-        fail(b.file(), kind_line, "node-slowdown event is missing 'node'");
-      if (e.cabinet >= 0)
-        fail(b.file(), kind_line, "node-slowdown event does not take 'cabinet'");
       if (!have_factor)
-        fail(b.file(), kind_line, "node-slowdown event is missing 'factor'");
+        fail(b.file(), kind_line, what + " is missing 'factor'");
+      pe.cabinet_group = e.cabinet >= 0;
       break;
     case PlatformEventKind::NodeFail:
     case PlatformEventKind::NodeRestart:
-      if (e.node < 0)
-        fail(b.file(), kind_line, std::string(to_string(e.kind)) +
-                                      " event is missing 'node'");
-      if (e.cabinet >= 0 || have_factor)
-        fail(b.file(), kind_line, std::string(to_string(e.kind)) +
-                                      " event takes only 'at' and 'node'");
+      if (have_factor)
+        fail(b.file(), kind_line, what + " does not take 'factor'");
+      pe.cabinet_group = e.cabinet >= 0;
       break;
   }
-  ev.timeline.events.push_back(e);
+  protos.push_back(std::move(pe));
+}
+
+/// Expands the node-set sugar of every [event] into per-node events, in
+/// spec order (so same-instant batches apply exactly as written).
+/// Cabinet node groups need the concrete cluster, which is why this
+/// runs after all sections are bound.
+void expand_events(const std::string& filename,
+                   const std::vector<ProtoEvent>& protos, ScenarioSpec& spec) {
+  std::vector<Cluster> clusters;
+  bool resolved = false;
+  auto& out = spec.events.timeline.events;
+  for (const ProtoEvent& pe : protos) {
+    if (!pe.nodes.empty()) {
+      for (const int n : pe.nodes) {
+        PlatformEvent e = pe.event;
+        e.node = static_cast<NodeId>(n);
+        out.push_back(e);
+      }
+      continue;
+    }
+    if (pe.cabinet_group) {
+      if (!resolved) {
+        try {
+          clusters = spec.platform.resolve();
+        } catch (const Error& err) {
+          fail(filename, pe.line,
+               std::string("cannot expand 'cabinet' into nodes: ") +
+                   err.what());
+        }
+        resolved = true;
+      }
+      if (clusters.size() != 1)
+        fail(filename, pe.line,
+             "'cabinet' node groups need a single-cluster [platform]");
+      const Cluster& cluster = clusters.front();
+      const std::string what = std::string(to_string(pe.event.kind)) + " event";
+      if (!cluster.hierarchical_topology())
+        fail(filename, pe.line,
+             what + " names cabinet " + std::to_string(pe.event.cabinet) +
+                 " but cluster '" + cluster.name() + "' has a flat topology");
+      if (pe.event.cabinet >= cluster.cabinets())
+        fail(filename, pe.line,
+             what + " names cabinet " + std::to_string(pe.event.cabinet) +
+                 " but cluster '" + cluster.name() + "' has " +
+                 std::to_string(cluster.cabinets()) + " cabinets");
+      for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+        if (cluster.cabinet_of(n) != pe.event.cabinet) continue;
+        PlatformEvent e = pe.event;
+        e.cabinet = -1;
+        e.node = n;
+        out.push_back(e);
+      }
+      continue;
+    }
+    out.push_back(pe.event);
+  }
 }
 
 }  // namespace
@@ -565,6 +702,7 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& filename) {
   const Binder b(filename);
   const std::vector<Section> sections = parse_document(in, filename);
   ScenarioSpec spec;
+  std::vector<ProtoEvent> protos;
   bool have_scenario = false, have_algorithms = false;
   int algorithms_line = 0, sweep_line = 0;
   // Non-repeatable sections seen so far (name -> first line).
@@ -597,7 +735,7 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& filename) {
     } else if (s.name == "events") {
       bind_events(b, s, spec.events);
     } else if (s.name == "event") {
-      bind_event(b, s, spec.events);
+      bind_event(b, s, protos);
     } else if (s.name == "output") {
       bind_output(b, s, spec.output);
     } else {
@@ -607,6 +745,7 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& filename) {
                "algorithm, events, event, sweep or output)");
     }
   }
+  expand_events(filename, protos, spec);
   if (have_algorithms && !spec.algorithms.algos.empty())
     fail(filename, algorithms_line,
          "[algorithms] preset conflicts with explicit [algorithm] sections");

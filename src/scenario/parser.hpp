@@ -29,7 +29,11 @@
 //   [event]      (repeatable; one timestamped platform event)
 //                at, kind = "link-capacity"|"node-slowdown"|
 //                           "node-fail"|"node-restart",
-//                node | cabinet, factor
+//                node | nodes = [1, 3, 7] | cabinet, factor
+//                (nodes — and, for node-event kinds, cabinet = k,
+//                which selects the cabinet's nodes — are parse-time
+//                sugar expanding to one event per node; for
+//                link-capacity, cabinet keeps its uplink meaning)
 //   [sweep]      mindelta = [...], maxdelta = [...], minrho = [...],
 //                event-factor = [...], event-at = [...]
 //   [output]     csv, gantt

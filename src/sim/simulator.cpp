@@ -42,6 +42,7 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
   FluidNetwork net(cluster);
   TraceSink* const trace = options.trace;
   net.set_trace(trace);
+  net.set_validation(options.validate);
 
   // An empty timeline must be indistinguishable from no timeline at
   // all, so normalize it away up front.

@@ -85,6 +85,12 @@ struct SimulatorOptions {
   ///  * events at one timestamp are one atomic batch (fail + restart
   ///    at the same instant is a no-op).
   const PlatformTimeline* timeline = nullptr;
+  /// Opt-in invariant validation (the `rats fuzz` oracle hook): the
+  /// fluid network checks Max-Min rate conservation and warm ≡ cold
+  /// solver equivalence after every rate flush, throwing rats::Error on
+  /// the first violation.  Off by default — results are byte-identical
+  /// either way, validation only adds the checks (and their cost).
+  bool validate = false;
 };
 
 /// Simulates `schedule` for `graph` on `cluster`; throws on invalid

@@ -69,16 +69,20 @@ std::string truncate(std::string s, std::size_t limit = 160) {
 }  // namespace
 
 ReplayReport verify_trace(const std::string& path, unsigned threads) {
-  ReplayReport report;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
+    ReplayReport report;
     report.error = "cannot open trace file '" + path + "'";
     return report;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string actual = buffer.str();
+  return verify_trace_text(buffer.str(), path, threads);
+}
 
+ReplayReport verify_trace_text(const std::string& actual,
+                               const std::string& path, unsigned threads) {
+  ReplayReport report;
   const std::string header = line_at(actual, 0);
   if (header.rfind("{\"rats_trace\":2,", 0) != 0) {
     report.error =

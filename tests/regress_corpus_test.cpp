@@ -1,0 +1,53 @@
+// The self-minimizing regression corpus runner: every `.rats` repro
+// checked into scenarios/regress/ replays through the full fuzz oracle
+// battery.  A repro lands there when `rats fuzz` minimizes a failure;
+// once the underlying bug is fixed the battery passes and the file
+// pins the fix forever.  An empty (or absent) directory passes —
+// that's the healthy steady state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+#include "scenario/parser.hpp"
+
+namespace rats::fuzz {
+namespace {
+
+std::vector<std::string> regress_specs() {
+  const std::string dir = std::string(RATS_SOURCE_DIR) + "/scenarios/regress";
+  std::vector<std::string> files;
+  if (std::filesystem::is_directory(dir))
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+      if (entry.path().extension() == ".rats")
+        files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(RegressCorpus, EveryCheckedInReproPassesTheBattery) {
+  for (const std::string& file : regress_specs()) {
+    SCOPED_TRACE(file);
+    const scenario::ScenarioSpec spec = scenario::load_scenario(file);
+    const OracleReport report = run_battery(spec);
+    EXPECT_TRUE(report.ok) << file << ": " << report.diagnosis;
+  }
+}
+
+TEST(RegressCorpus, ReprosRoundTripByteStable) {
+  // Repro files are written in canonical form (below their diagnosis
+  // header comments), so emit(parse(file)) must be byte-stable.
+  for (const std::string& file : regress_specs()) {
+    SCOPED_TRACE(file);
+    const std::string e1 =
+        scenario::emit_scenario(scenario::load_scenario(file));
+    EXPECT_EQ(scenario::emit_scenario(scenario::parse_scenario_string(e1)),
+              e1);
+  }
+}
+
+}  // namespace
+}  // namespace rats::fuzz

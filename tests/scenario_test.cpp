@@ -357,5 +357,169 @@ TEST(ScenarioRegistry, KindsAndTraceability) {
   EXPECT_THROW(default_spec("nope"), Error);
 }
 
+// ---- [event] node-set selectors ----------------------------------------
+
+/// Minimal experiment preamble shared by the selector tests.
+const char* kEventPreamble =
+    "[scenario]\n"
+    "kind = \"experiment\"\n"
+    "[workload]\n"
+    "source = \"generate\"\n"
+    "generator = \"layered\"\n"
+    "count = 1\n"
+    "tasks = 10\n";
+
+TEST(ScenarioEvents, NodesListExpandsPerNodeInOrder) {
+  const std::string text = std::string(kEventPreamble) +
+                           "[platform]\n"
+                           "nodes = 6\n"
+                           "[event]\n"
+                           "at = 1\n"
+                           "kind = \"node-slowdown\"\n"
+                           "nodes = [1, 3, 5]\n"
+                           "factor = 0.5\n";
+  const ScenarioSpec spec = parse_scenario_string(text);
+  const auto& ev = spec.events.timeline.events;
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0].node, 1);
+  EXPECT_EQ(ev[1].node, 3);
+  EXPECT_EQ(ev[2].node, 5);
+  for (const PlatformEvent& e : ev) {
+    EXPECT_EQ(e.kind, PlatformEventKind::NodeSlowdown);
+    EXPECT_EQ(e.at, 1.0);
+    EXPECT_EQ(e.factor, 0.5);
+    EXPECT_EQ(e.cabinet, -1);
+  }
+  // The sugar is resolved at parse time, so the emitted form (one
+  // [event] per node) must round-trip byte-stable.
+  const std::string emitted = emit_scenario(spec);
+  EXPECT_EQ(emit_scenario(parse_scenario_string(emitted)), emitted);
+}
+
+TEST(ScenarioEvents, CabinetGroupExpandsToItsNodes) {
+  const std::string text = std::string(kEventPreamble) +
+                           "[platform]\n"
+                           "name = \"twocab\"\n"
+                           "cabinets = [2, 3]\n"
+                           "[event]\n"
+                           "at = 2\n"
+                           "kind = \"node-fail\"\n"
+                           "cabinet = 1\n"
+                           "[event]\n"
+                           "at = 4\n"
+                           "kind = \"node-restart\"\n"
+                           "cabinet = 1\n";
+  const ScenarioSpec spec = parse_scenario_string(text);
+  const auto& ev = spec.events.timeline.events;
+  // Cabinet 1 of [2, 3] holds nodes 2, 3, 4; fail then restart.
+  ASSERT_EQ(ev.size(), 6u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ev[i].kind, PlatformEventKind::NodeFail);
+    EXPECT_EQ(ev[i].node, 2 + i);
+    EXPECT_EQ(ev[i].cabinet, -1);
+    EXPECT_EQ(ev[3 + i].kind, PlatformEventKind::NodeRestart);
+    EXPECT_EQ(ev[3 + i].node, 2 + i);
+  }
+  const std::string emitted = emit_scenario(spec);
+  EXPECT_EQ(emit_scenario(parse_scenario_string(emitted)), emitted);
+}
+
+TEST(ScenarioEvents, LinkCapacityCabinetKeepsItsUplinkMeaning) {
+  // On a link-capacity event `cabinet` selects the cabinet's uplink
+  // pair, not its nodes: no expansion happens.
+  const std::string text = std::string(kEventPreamble) +
+                           "[platform]\n"
+                           "name = \"twocab\"\n"
+                           "cabinets = [2, 3]\n"
+                           "[event]\n"
+                           "at = 1\n"
+                           "kind = \"link-capacity\"\n"
+                           "cabinet = 1\n"
+                           "factor = 0.25\n";
+  const ScenarioSpec spec = parse_scenario_string(text);
+  ASSERT_EQ(spec.events.timeline.events.size(), 1u);
+  EXPECT_EQ(spec.events.timeline.events[0].cabinet, 1);
+  EXPECT_EQ(spec.events.timeline.events[0].node, -1);
+}
+
+TEST(ScenarioEvents, SelectorsAreMutuallyExclusive) {
+  expect_parse_error(std::string(kEventPreamble) +
+                         "[platform]\n"
+                         "nodes = 4\n"
+                         "[event]\n"
+                         "at = 1\n"
+                         "kind = \"node-fail\"\n"
+                         "node = 1\n"
+                         "nodes = [2, 3]\n",
+                     12, "needs exactly one of 'node', 'nodes' or 'cabinet'");
+  expect_parse_error(std::string(kEventPreamble) +
+                         "[platform]\n"
+                         "nodes = 4\n"
+                         "[event]\n"
+                         "at = 1\n"
+                         "kind = \"node-fail\"\n",
+                     12, "needs exactly one of 'node', 'nodes' or 'cabinet'");
+  expect_parse_error(std::string(kEventPreamble) +
+                         "[platform]\n"
+                         "nodes = 4\n"
+                         "[event]\n"
+                         "at = 1\n"
+                         "kind = \"node-slowdown\"\n"
+                         "nodes = []\n"
+                         "factor = 0.5\n",
+                     13, "'nodes' must not be empty");
+}
+
+TEST(ScenarioEvents, CabinetGroupNeedsAHierarchicalPlatform) {
+  expect_parse_error(std::string(kEventPreamble) +
+                         "[platform]\n"
+                         "nodes = 4\n"
+                         "[event]\n"
+                         "at = 1\n"
+                         "kind = \"node-fail\"\n"
+                         "cabinet = 0\n",
+                     10, "has a flat topology");
+  expect_parse_error(std::string(kEventPreamble) +
+                         "[platform]\n"
+                         "name = \"twocab\"\n"
+                         "cabinets = [2, 3]\n"
+                         "[event]\n"
+                         "at = 1\n"
+                         "kind = \"node-fail\"\n"
+                         "cabinet = 2\n",
+                     11, "has 2 cabinets");
+}
+
+// ---- parser hardening ---------------------------------------------------
+
+TEST(ScenarioErrors, NonFiniteNumbersAreRejected) {
+  expect_parse_error("[scenario]\nkind = \"fig2\"\n[platform]\ngflops = nan\n",
+                     4, "not finite");
+  expect_parse_error("[scenario]\nkind = \"fig2\"\n[platform]\ngflops = inf\n",
+                     4, "not finite");
+  expect_parse_error(
+      "[scenario]\nkind = \"fig2\"\n[platform]\ngflops = 1e999\n", 4,
+      "not finite");
+}
+
+TEST(ScenarioErrors, EmptyCabinetListIsRejected) {
+  expect_parse_error(
+      "[scenario]\nkind = \"fig2\"\n[platform]\ncabinets = []\n", 4,
+      "'cabinets' must not be empty");
+}
+
+TEST(ScenarioErrors, EmptySweepGridIsRejected) {
+  expect_parse_error(
+      "[scenario]\nkind = \"sweep\"\n[sweep]\nmindelta = []\n", 4,
+      "grid must not be empty");
+}
+
+TEST(ScenarioErrors, FftKMustBeAPowerOfTwo) {
+  expect_parse_error("[scenario]\nkind = \"fig2\"\n[workload]\n"
+                     "source = \"generate\"\ngenerator = \"fft\"\n"
+                     "fft-k = 3\n",
+                     6, "power of two in [2, 16]");
+}
+
 }  // namespace
 }  // namespace rats::scenario

@@ -326,5 +326,97 @@ TEST(TimelineScenario, RobustnessRequiresEvents) {
   EXPECT_THROW(scenario::build_report(spec), Error);
 }
 
+// ---- fault accounting invariants ---------------------------------------
+
+// Hand-computed capacity·s and node·s integrals.  cluster4's links all
+// carry 125e6 B/s; events on unused nodes never perturb the makespan,
+// so the integration window is the healthy makespan.
+TEST(TimelineFaults, IntegralsMatchHandComputedWindows) {
+  const TaskGraph g = chain_graph();
+  const Cluster c = cluster4();
+  const Schedule s = place({{0}, {1}});
+  const double m = simulate(g, s, c).makespan;
+  PlatformTimeline tl;
+  // Overlapping windows on distinct resources: node 3's NIC pair at
+  // factor 0.5 from t=1, node 2 down over [0.5, 1.5).
+  tl.events = {event(1.0, PlatformEventKind::LinkCapacity, 3, 0.5),
+               event(0.5, PlatformEventKind::NodeFail, 2),
+               event(1.5, PlatformEventKind::NodeRestart, 2)};
+  tl.sort();
+  const auto r = sim_with(g, s, c, &tl);
+  EXPECT_EQ(r.makespan, m);  // events touch only idle nodes
+  EXPECT_NEAR(r.faults.node_seconds_down, 1.0, 1e-9);
+  const double link = 125e6;
+  const double want = 2 * link * 0.5 * (m - 1.0)  // traffic on node 3
+                      + 2 * link * 1.0;           // node 2 down for 1 s
+  EXPECT_NEAR(r.faults.capacity_seconds_lost, want, want * 1e-9);
+}
+
+TEST(TimelineFaults, DownOverridesTrafficOnTheSameLink) {
+  // Node 2 carries background traffic (factor 0.25) from t=0 and is
+  // down over [1, 2): while down the lost capacity is the full link,
+  // not the 75% the traffic factor alone would account for.
+  const TaskGraph g = chain_graph();
+  const Cluster c = cluster4();
+  const Schedule s = place({{0}, {1}});
+  const double m = simulate(g, s, c).makespan;
+  PlatformTimeline tl;
+  tl.events = {event(0.0, PlatformEventKind::LinkCapacity, 2, 0.25),
+               event(1.0, PlatformEventKind::NodeFail, 2),
+               event(2.0, PlatformEventKind::NodeRestart, 2)};
+  const auto r = sim_with(g, s, c, &tl);
+  const double link = 125e6;
+  const double want = 2 * link * (0.75 * (m - 1.0) + 1.0 * 1.0);
+  EXPECT_NEAR(r.faults.capacity_seconds_lost, want, want * 1e-9);
+  EXPECT_NEAR(r.faults.node_seconds_down, 1.0, 1e-9);
+}
+
+TEST(TimelineFaults, AccountingIsBitIdenticalAcrossRepeats) {
+  // The invariant `rats run --check N` leans on: repeated simulation
+  // reproduces the fault counters bit-exactly, not just approximately.
+  const TaskGraph g = chain_graph();
+  const Cluster c = cluster4();
+  const Schedule s = place({{0}, {1}});
+  PlatformTimeline tl;
+  tl.on_fail = FailPolicy::Hold;
+  tl.events = {event(0.25, PlatformEventKind::LinkCapacity, 3, 0.5),
+               event(0.5, PlatformEventKind::NodeFail, 0),
+               event(2.0, PlatformEventKind::NodeRestart, 0)};
+  const auto first = sim_with(g, s, c, &tl);
+  for (int i = 0; i < 3; ++i) {
+    const auto again = sim_with(g, s, c, &tl);
+    EXPECT_EQ(first.makespan, again.makespan);
+    EXPECT_EQ(first.faults.tasks_killed, again.faults.tasks_killed);
+    EXPECT_EQ(first.faults.capacity_seconds_lost,
+              again.faults.capacity_seconds_lost);
+    EXPECT_EQ(first.faults.node_seconds_down, again.faults.node_seconds_down);
+  }
+}
+
+TEST(TimelineFaults, ValidationHooksKeepResultsByteIdentical) {
+  // SimulatorOptions::validate adds the fluid network's conservation
+  // and warm≡cold checks but must never change a result byte — the
+  // healthy goldens depend on it.
+  const TaskGraph g = chain_graph();
+  const Cluster c = cluster4();
+  const Schedule s = place({{0}, {1}});
+  PlatformTimeline tl;
+  tl.events = {event(0.25, PlatformEventKind::LinkCapacity, 1, 0.5),
+               event(0.5, PlatformEventKind::NodeFail, 3),
+               event(1.0, PlatformEventKind::NodeRestart, 3)};
+  const PlatformTimeline* const timelines[] = {nullptr, &tl};
+  for (const PlatformTimeline* timeline : timelines) {
+    SimulatorOptions plain, checked;
+    plain.timeline = checked.timeline = timeline;
+    checked.validate = true;
+    const auto a = simulate(g, s, c, plain);
+    const auto b = simulate(g, s, c, checked);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.total_work, b.total_work);
+    EXPECT_EQ(a.network_bytes, b.network_bytes);
+    EXPECT_EQ(a.faults.capacity_seconds_lost, b.faults.capacity_seconds_lost);
+  }
+}
+
 }  // namespace
 }  // namespace rats
