@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "net/solver_stats.hpp"
 
 namespace rats {
 
@@ -118,18 +120,25 @@ FlowId FluidNetwork::open_flow(NodeId src, NodeId dst, Bytes bytes) {
   f.src = src;
   f.dst = dst;
   f.total_bytes = bytes;
-  f.remaining = bytes;
   f.start = now_;
-  f.last_update = now_;
-  f.links = cluster_->route(src, dst);
   total_bytes_ += bytes;
 
   const auto id = static_cast<FlowId>(flows_.size());
-  if (f.links.empty() || bytes == 0) {
+  if (route_off_.empty()) route_off_.push_back(0);
+  cluster_->route_into(src, dst, route_links_);
+  route_off_.push_back(static_cast<std::int32_t>(route_links_.size()));
+  route_pos_.resize(route_links_.size(), -1);  // filled at activation
+  const bool loopback =
+      route_off_[static_cast<std::size_t>(id)] ==
+      route_off_[static_cast<std::size_t>(id) + 1];
+  flow_rate_.push_back(0);
+  flow_remaining_.push_back(bytes);
+  flow_settled_.push_back(now_);
+  if (loopback || bytes == 0) {
     // Loopback transfers are free (the paper's zero-cost
     // self-communication); zero-byte flows only carry a dependence.
     f.release = now_;
-    f.finish = f.links.empty() ? now_ : now_ + cluster_->route_latency(src, dst);
+    f.finish = loopback ? now_ : now_ + cluster_->route_latency(src, dst);
     f.done = true;
     flows_.push_back(std::move(f));
     completed_.push_back(id);
@@ -138,7 +147,6 @@ FlowId FluidNetwork::open_flow(NodeId src, NodeId dst, Bytes bytes) {
 
   const Seconds one_way = cluster_->route_latency(src, dst);
   f.release = now_ + one_way;
-  f.link_pos.assign(f.links.size(), -1);  // filled at activation
   // Empirical TCP bound: beta' = min(beta, W_max / RTT), RTT = 2 x one-way.
   const Seconds rtt = 2.0 * one_way;
   if (rtt > 0) f.cap = cluster_->tcp_window() / rtt;
@@ -158,15 +166,19 @@ FlowId FluidNetwork::open_flow(NodeId src, NodeId dst, Bytes bytes) {
   return id;
 }
 
-void FluidNetwork::settle(FlowState& f) {
-  if (f.rate > 0 && now_ > f.last_update)
-    f.remaining = std::max(0.0, f.remaining - f.rate * (now_ - f.last_update));
-  f.last_update = now_;
+void FluidNetwork::settle(FlowId id) {
+  const auto fi = static_cast<std::size_t>(id);
+  const Rate rate = flow_rate_[fi];
+  if (rate > 0 && now_ > flow_settled_[fi])
+    flow_remaining_[fi] =
+        std::max(0.0, flow_remaining_[fi] - rate * (now_ - flow_settled_[fi]));
+  flow_settled_[fi] = now_;
 }
 
-void FluidNetwork::set_rate(FlowId id, FlowState& f, Rate r) {
-  settle(f);
-  f.rate = r;
+void FluidNetwork::set_rate(FlowId id, Rate r) {
+  settle(id);
+  const auto fi = static_cast<std::size_t>(id);
+  flow_rate_[fi] = r;
   if (trace_) trace_->record(now_, TraceEventKind::RateChange, id, -1, r);
   // The heap re-key is queued, not applied: one component solve changes
   // many rates, and batching lets the whole flush touch the heap once
@@ -174,7 +186,8 @@ void FluidNetwork::set_rate(FlowId id, FlowState& f, Rate r) {
   // the eager scheme's tie-break order exactly).
   if (r > 0) {
     rekey_buffer_.push_back(PendingRekey{
-        id, false, std::max(now_ + f.remaining / r, now_), next_seq_++});
+        id, false, std::max(now_ + flow_remaining_[fi] / r, now_),
+        next_seq_++});
   } else {
     // A flow starved to rate 0 (degenerate exactly-saturated instance)
     // has no completion to predict; its old prediction must not fire.
@@ -274,14 +287,19 @@ std::int32_t FluidNetwork::merge_components(std::int32_t a, std::int32_t b) {
 
 void FluidNetwork::activate(FlowId id, FlowState& f) {
   f.released = true;
-  f.last_update = now_;
+  flow_settled_[static_cast<std::size_t>(id)] = now_;
+  const auto r_begin = static_cast<std::size_t>(
+      route_off_[static_cast<std::size_t>(id)]);
+  const auto r_end = static_cast<std::size_t>(
+      route_off_[static_cast<std::size_t>(id) + 1]);
   // Merge the sharing components of every route link.  All released
   // flows on one link already share a component, so one representative
   // per link suffices.  The merged result stays connected — the new
   // flow is the bridge — so no split flag is raised here.
   std::int32_t target = -1;
-  for (const LinkId l : f.links) {
-    const auto& members = link_members_[static_cast<std::size_t>(l)];
+  for (std::size_t i = r_begin; i < r_end; ++i) {
+    const auto& members =
+        link_members_[static_cast<std::size_t>(route_links_[i])];
     if (members.empty()) continue;
     const std::int32_t c = component_of_[static_cast<std::size_t>(
         members.front())];
@@ -295,18 +313,19 @@ void FluidNetwork::activate(FlowId id, FlowState& f) {
   if (components_[static_cast<std::size_t>(target)].warm.valid)
     components_[static_cast<std::size_t>(target)].pending_add.push_back(id);
   mark_dirty(target);
-  for (std::size_t i = 0; i < f.links.size(); ++i) {
-    auto& members = link_members_[static_cast<std::size_t>(f.links[i])];
-    f.link_pos[i] = static_cast<std::int32_t>(members.size());
+  for (std::size_t i = r_begin; i < r_end; ++i) {
+    auto& members =
+        link_members_[static_cast<std::size_t>(route_links_[i])];
+    route_pos_[i] = static_cast<std::int32_t>(members.size());
     members.push_back(id);
   }
 }
 
 void FluidNetwork::retire(FlowId id, FlowState& f) {
-  f.remaining = 0;
+  flow_remaining_[static_cast<std::size_t>(id)] = 0;
   f.done = true;
   f.finish = now_;
-  f.rate = 0;
+  flow_rate_[static_cast<std::size_t>(id)] = 0;
   const auto pos = active_pos_[static_cast<std::size_t>(id)];
   const FlowId moved = active_ids_.back();
   active_ids_[static_cast<std::size_t>(pos)] = moved;
@@ -314,20 +333,27 @@ void FluidNetwork::retire(FlowId id, FlowState& f) {
   active_ids_.pop_back();
   active_pos_[static_cast<std::size_t>(id)] = -1;
   if (!f.released) return;  // latent: no link/component membership yet
-  for (std::size_t i = 0; i < f.links.size(); ++i) {
-    const LinkId l = f.links[i];
+  const auto r_begin = static_cast<std::size_t>(
+      route_off_[static_cast<std::size_t>(id)]);
+  const auto r_end = static_cast<std::size_t>(
+      route_off_[static_cast<std::size_t>(id) + 1]);
+  for (std::size_t i = r_begin; i < r_end; ++i) {
+    const LinkId l = route_links_[i];
     auto& members = link_members_[static_cast<std::size_t>(l)];
-    const auto pos = static_cast<std::size_t>(f.link_pos[i]);
+    const auto pos = static_cast<std::size_t>(route_pos_[i]);
     const FlowId moved = members.back();
     members[pos] = moved;
     members.pop_back();
     if (moved != id) {
       // Point the displaced flow's back-pointer for link l at its new
       // slot; its route is a handful of links, so this scan is O(1)-ish.
-      auto& mf = flows_[static_cast<std::size_t>(moved)];
-      for (std::size_t j = 0; j < mf.links.size(); ++j)
-        if (mf.links[j] == l) {
-          mf.link_pos[j] = static_cast<std::int32_t>(pos);
+      const auto m_begin = static_cast<std::size_t>(
+          route_off_[static_cast<std::size_t>(moved)]);
+      const auto m_end = static_cast<std::size_t>(
+          route_off_[static_cast<std::size_t>(moved) + 1]);
+      for (std::size_t j = m_begin; j < m_end; ++j)
+        if (route_links_[j] == l) {
+          route_pos_[j] = static_cast<std::int32_t>(pos);
           break;
         }
     }
@@ -497,7 +523,7 @@ void FluidNetwork::run_validation_checks() {
     const Rate cap = capacity_[l];
     Rate sum = 0;
     for (const FlowId id : link_members_[l])
-      sum += flows_[static_cast<std::size_t>(id)].rate;
+      sum += flow_rate_[static_cast<std::size_t>(id)];
     RATS_REQUIRE(sum <= cap + cap * 1e-9 + 1e-6,
                  "link " + std::to_string(l) + " oversubscribed at t=" +
                      std::to_string(now_) + ": member rates sum to " +
@@ -508,11 +534,12 @@ void FluidNetwork::run_validation_checks() {
   for (const FlowId id : active_ids_) {
     const FlowState& f = flows_[static_cast<std::size_t>(id)];
     if (!f.released) continue;
-    RATS_REQUIRE(f.rate >= 0 && f.rate <= f.cap + f.cap * 1e-9,
+    const Rate rate = flow_rate_[static_cast<std::size_t>(id)];
+    RATS_REQUIRE(rate >= 0 && rate <= f.cap + f.cap * 1e-9,
                  "flow " + std::to_string(id) + " rate " +
-                     std::to_string(f.rate) + " outside [0, cap=" +
+                     std::to_string(rate) + " outside [0, cap=" +
                      std::to_string(f.cap) + "]");
-    validation_snapshot_.emplace_back(id, f.rate);
+    validation_snapshot_.emplace_back(id, rate);
   }
   // Warm ≡ cold: drop every component's warm state and re-solve the
   // whole population from scratch; the incremental rates must match bit
@@ -520,7 +547,7 @@ void FluidNetwork::run_validation_checks() {
   // warm paths keep being exercised on the next flush.
   invalidate_all_rates();
   for (const auto& [id, incremental] : validation_snapshot_) {
-    const Rate cold = flows_[static_cast<std::size_t>(id)].rate;
+    const Rate cold = flow_rate_[static_cast<std::size_t>(id)];
     RATS_REQUIRE(cold == incremental,
                  "warm/cold divergence on flow " + std::to_string(id) +
                      " at t=" + std::to_string(now_) + ": incremental rate " +
@@ -571,8 +598,12 @@ void FluidNetwork::repartition_and_solve(std::int32_t c) {
       // All released flows on any of `cur`'s links belong to this
       // component (the partition refines link sharing), so the walk
       // never escapes c.
-      for (const LinkId l : flows_[static_cast<std::size_t>(cur)].links) {
-        const auto li = static_cast<std::size_t>(l);
+      const auto c_begin = static_cast<std::size_t>(
+          route_off_[static_cast<std::size_t>(cur)]);
+      const auto c_end = static_cast<std::size_t>(
+          route_off_[static_cast<std::size_t>(cur) + 1]);
+      for (std::size_t ri = c_begin; ri < c_end; ++ri) {
+        const auto li = static_cast<std::size_t>(route_links_[ri]);
         if (link_stamp_[li] == visit_epoch_) continue;
         link_stamp_[li] = visit_epoch_;
         for (const FlowId nb : link_members_[li])
@@ -620,13 +651,18 @@ void FluidNetwork::solve_component(std::int32_t c) {
     if (trace_)
       trace_->record(now_, TraceEventKind::SolveComponent, c, 1,
                      kSolveSingleton);
+    solver_stats().bump(solver_stats().singleton);
     comp.reset_warm();
     const FlowId id = comp.members.front();
-    auto& f = flows_[static_cast<std::size_t>(id)];
-    Rate r = f.cap;
-    for (const LinkId l : f.links)
-      r = std::min(r, capacity_[static_cast<std::size_t>(l)]);
-    if (r != f.rate) set_rate(id, f, r);
+    Rate r = flows_[static_cast<std::size_t>(id)].cap;
+    const auto r_begin = static_cast<std::size_t>(
+        route_off_[static_cast<std::size_t>(id)]);
+    const auto r_end = static_cast<std::size_t>(
+        route_off_[static_cast<std::size_t>(id) + 1]);
+    for (std::size_t i = r_begin; i < r_end; ++i)
+      r = std::min(r,
+                   capacity_[static_cast<std::size_t>(route_links_[i])]);
+    if (r != flow_rate_[static_cast<std::size_t>(id)]) set_rate(id, r);
     return;
   }
   if (comp.warm.valid) {
@@ -637,25 +673,36 @@ void FluidNetwork::solve_component(std::int32_t c) {
     }
     arrivals_scratch_.clear();
     for (const FlowId id : comp.pending_add) {
-      const FlowState& f = flows_[static_cast<std::size_t>(id)];
+      const auto off = route_off_[static_cast<std::size_t>(id)];
       arrivals_scratch_.push_back(FlowArrival{
-          id, f.links.data(), static_cast<std::int32_t>(f.links.size()),
-          f.cap});
+          id, route_links_.data() + off,
+          route_off_[static_cast<std::size_t>(id) + 1] - off,
+          flows_[static_cast<std::size_t>(id)].cap});
     }
     changed_.clear();
-    if (solver_.solve_warm(capacity_, comp.warm, arrivals_scratch_.data(),
-                           arrivals_scratch_.size(),
-                           comp.pending_remove.data(),
-                           comp.pending_remove.size(), changed_)) {
+    SolverStats& stats = solver_stats();
+    const auto t0 = stats.enabled() ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
+    const bool warm_ok = solver_.solve_warm(
+        capacity_, comp.warm, arrivals_scratch_.data(),
+        arrivals_scratch_.size(), comp.pending_remove.data(),
+        comp.pending_remove.size(), changed_);
+    if (stats.enabled())
+      stats.add(stats.ns_warm,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()));
+    if (warm_ok) {
       if (trace_)
         trace_->record(now_, TraceEventKind::SolveComponent, c,
                        static_cast<std::int32_t>(comp.members.size()),
                        kSolveWarm);
+      solver_stats().bump(solver_stats().warm);
       for (const auto& [id, r] : changed_) {
-        auto& f = flows_[static_cast<std::size_t>(id)];
         // Unchanged rates keep their completion prediction; re-keying
         // would just churn the event heap.
-        if (r != f.rate) set_rate(id, f, r);
+        if (r != flow_rate_[static_cast<std::size_t>(id)]) set_rate(id, r);
       }
       comp.clear_pending();
       return;
@@ -673,18 +720,23 @@ void FluidNetwork::solve_cold(std::int32_t c) {
   if (local_index_.size() < flows_.size()) local_index_.resize(flows_.size());
   bool two_link = true;
   for (std::size_t k = 0; k < n; ++k) {
-    const FlowState& f = flows_[static_cast<std::size_t>(ids[k])];
-    demand_views_.push_back(FlowDemandView{
-        f.links.data(), static_cast<std::int32_t>(f.links.size()), f.cap});
-    two_link = two_link && f.links.size() == 2;
-    local_index_[static_cast<std::size_t>(ids[k])] =
-        static_cast<std::int32_t>(k);
+    const auto fi = static_cast<std::size_t>(ids[k]);
+    const std::int32_t off = route_off_[fi];
+    const std::int32_t len = route_off_[fi + 1] - off;
+    demand_views_.push_back(FlowDemandView{route_links_.data() + off, len,
+                                           flows_[fi].cap});
+    two_link = two_link && len == 2;
+    local_index_[fi] = static_cast<std::int32_t>(k);
   }
   group_rates_.resize(n);
   if (trace_)
     trace_->record(now_, TraceEventKind::SolveComponent, c,
                    static_cast<std::int32_t>(n),
                    two_link ? kSolveBipartite : kSolveGeneral);
+  SolverStats& stats = solver_stats();
+  stats.bump(two_link ? stats.bipartite : stats.general);
+  const auto t0 = stats.enabled() ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
   if (two_link) {
     // Flat-cluster component ({src uplink, dst downlink} routes): the
     // bipartite waterfilling specialization.
@@ -696,12 +748,18 @@ void FluidNetwork::solve_cold(std::int32_t c) {
     solver_.solve(capacity_, demand_views_.data(), n, group_rates_.data(),
                   link_members_, local_index_, &comp.warm, ids);
   }
+  if (stats.enabled())
+    stats.add(stats.ns_cold,
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count()));
   for (std::size_t k = 0; k < n; ++k) {
     const FlowId id = ids[k];
-    auto& f = flows_[static_cast<std::size_t>(id)];
     // Unchanged rates keep their completion prediction; re-keying would
     // just churn the event heap.
-    if (group_rates_[k] != f.rate) set_rate(id, f, group_rates_[k]);
+    if (group_rates_[k] != flow_rate_[static_cast<std::size_t>(id)])
+      set_rate(id, group_rates_[k]);
   }
 }
 

@@ -73,25 +73,32 @@ namespace rats {
 
 using FlowId = std::int32_t;
 
-/// State of one flow inside the fluid simulation.
+/// Per-flow metadata of the fluid simulation.  The hot per-flow state
+/// the rate-application kernels iterate — current rate, payload left,
+/// settle timestamp, route links — lives in flat parallel arrays
+/// inside FluidNetwork (indexed by flow id) so solver flushes and
+/// settle sweeps walk dense memory instead of hopping between
+/// per-flow heap blocks; see flow_rate()/flow_remaining()/flow_route().
 struct FlowState {
   NodeId src{};
   NodeId dst{};
   Bytes total_bytes{};
-  Bytes remaining{};     ///< payload bytes left as of `last_update`
   Seconds start{};       ///< time the flow was opened
   Seconds release{};     ///< start + route latency: payload begins here
   Seconds finish{};      ///< completion time (valid once done)
-  Seconds last_update{}; ///< instant `remaining` was last settled at
-  Rate rate{};           ///< current Max-Min rate (0 while latent/done)
   bool released = false; ///< past the latency phase, competing for rate
   bool done = false;
-  std::vector<LinkId> links;
-  /// Position of this flow in link_members_[links[i]] while released —
-  /// lets a departure swap-remove itself from each member list in
-  /// O(route length) instead of scanning the link's population.
-  std::vector<std::int32_t> link_pos;
   Rate cap = std::numeric_limits<Rate>::infinity();
+};
+
+/// Non-owning view of one flow's route inside the flat route arena.
+struct RouteView {
+  const LinkId* data;
+  std::int32_t count;
+  const LinkId* begin() const { return data; }
+  const LinkId* end() const { return data + count; }
+  std::size_t size() const { return static_cast<std::size_t>(count); }
+  LinkId operator[](std::size_t i) const { return data[i]; }
 };
 
 /// Fluid network simulation over a cluster's links.
@@ -131,6 +138,23 @@ class FluidNetwork {
   bool flow_done(FlowId id) const { return flow(id).done; }
   Seconds flow_finish_time(FlowId id) const;
   const FlowState& flow(FlowId id) const;
+  /// Current Max-Min rate (0 while latent/done).
+  Rate flow_rate(FlowId id) const {
+    flow(id);  // range check
+    return flow_rate_[static_cast<std::size_t>(id)];
+  }
+  /// Payload bytes left as of the flow's last settle.
+  Bytes flow_remaining(FlowId id) const {
+    flow(id);  // range check
+    return flow_remaining_[static_cast<std::size_t>(id)];
+  }
+  /// Ordered link ids the flow traverses (empty for loopback).
+  RouteView flow_route(FlowId id) const {
+    flow(id);  // range check
+    const auto b = route_off_[static_cast<std::size_t>(id)];
+    const auto e = route_off_[static_cast<std::size_t>(id) + 1];
+    return RouteView{route_links_.data() + b, e - b};
+  }
   std::size_t num_flows() const { return flows_.size(); }
   std::size_t active_flows() const { return active_ids_.size(); }
 
@@ -283,13 +307,13 @@ class FluidNetwork {
   };
 
   /// Settles `remaining` up to now() at the current rate.
-  void settle(FlowState& f);
+  void settle(FlowId id);
   /// Assigns a (new) rate and queues the completion-prediction re-key.
   /// Only called while `ensure_rates()` flushes dirty components; the
   /// queued re-keys are applied in one batch after all component
   /// solves (`apply_rekeys`), so a solve touches the event heap zero
   /// times instead of once per changed rate.
-  void set_rate(FlowId id, FlowState& f, Rate r);
+  void set_rate(FlowId id, Rate r);
   /// Applies the re-keys queued by `set_rate` since the last batch, in
   /// call order (preserving the eager scheme's seq assignment).
   void apply_rekeys();
@@ -328,6 +352,18 @@ class FluidNetwork {
   const Cluster* cluster_;
   std::vector<Rate> capacity_;
   std::vector<FlowState> flows_;
+  // Hot per-flow state as structure-of-arrays, indexed by flow id (the
+  // solver-flush and settle kernels stream these).
+  std::vector<Rate> flow_rate_;        ///< current Max-Min rate
+  std::vector<Bytes> flow_remaining_;  ///< payload left at last settle
+  std::vector<Seconds> flow_settled_;  ///< instant of the last settle
+  // Immutable routes in one flat arena: flow id -> [route_off_[id],
+  // route_off_[id+1]) into route_links_.  `route_pos_` (same layout) is
+  // this flow's slot in link_members_[link] while released, so a
+  // departure swap-removes itself in O(route length).
+  std::vector<std::int32_t> route_off_;
+  std::vector<LinkId> route_links_;
+  std::vector<std::int32_t> route_pos_;
   std::vector<FlowId> active_ids_;       ///< not-yet-done flows
   std::vector<std::int32_t> active_pos_; ///< flow id -> index in active_ids_
   EventHeap events_;

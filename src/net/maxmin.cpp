@@ -6,15 +6,30 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "net/solver_stats.hpp"
 
 namespace rats {
 
 namespace {
-// A heap entry is considered stale when the link's current fair share
-// has grown past the keyed value by more than this relative slack
-// (shares are non-decreasing as flows are fixed, so stale entries are
-// always under-keyed, never over-keyed).
-constexpr double kShareSlack = 1e-12;
+// A heap entry is stale when the link's current fair share has grown
+// past the keyed value (shares are non-decreasing as flows are fixed,
+// so stale entries are always under-keyed, never over-keyed).  Stale
+// entries must be re-keyed, never fired: zero slack makes the fired
+// sequence a pure function of solver state — "(smallest current
+// share, smallest link id) fires next" — independent of heap-key
+// history.  The warm splice engine relies on that property to replay
+// recorded rounds interleaved with cone re-solves bitwise identically
+// to a cold solve; any tolerance here would make firing order depend
+// on when each key was last refreshed, which a spliced replay cannot
+// reconstruct.
+constexpr double kShareSlack = 0.0;
+
+// Dip detection divides remaining by active on every link touch; this
+// multiply filter in front of the exact divide over-admits (every true
+// dip satisfies remaining < key*active*(1+slack), since the slack
+// dwarfs the rounding of the product) so the division still decides —
+// but most touches are filtered out for the cost of one multiply.
+constexpr double kDipFilterSlack = 1e-9;
 
 // A warm re-solve undoes the trace back to the first round whose
 // binding share reaches the delta's divergence bound; the bound is
@@ -176,13 +191,18 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
 
   const auto heap_greater = std::greater<HeapEntry>();
   for (const std::int32_t l : touched_) {
-    const LinkSlot& slot = slots_[static_cast<std::size_t>(l)];
-    heap_.push_back(HeapEntry{slot.remaining / slot.active, l});
+    LinkSlot& slot = slots_[static_cast<std::size_t>(l)];
+    slot.key = slot.remaining / slot.active;
+    heap_.push_back(HeapEntry{slot.key, l, slot.index});
   }
   std::make_heap(heap_.begin(), heap_.end(), heap_greater);
 
   // A fixed flow releases the capacity it leaves unused on each of its
-  // links and stops counting toward their fair shares.
+  // links and stops counting toward their fair shares.  Settling at a
+  // share at-or-above a link's own can lower that link's share an ulp
+  // or two below its (frozen) heap key; the cold event order among
+  // near-ties depends on those keys, so traced solves record the dips
+  // for warm replays (see MaxMinWarmState::Dip).
   const auto settle_flow = [&](std::int32_t f, Rate r) {
     rates[static_cast<std::size_t>(f)] = r;
     fixed_[static_cast<std::size_t>(f)] = 1;
@@ -200,6 +220,12 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
             MaxMinWarmState::LogEntry{slot.index, slot.remaining});
       slot.remaining = std::max(0.0, slot.remaining - r);
       --slot.active;
+      if (trace && slot.active > 0 &&
+          slot.remaining < slot.key * slot.active * (1 + kDipFilterSlack) &&
+          slot.remaining / slot.active < slot.key)
+        trace->dips.push_back(MaxMinWarmState::Dip{
+            static_cast<std::int32_t>(trace->rounds.size()) - 1, slot.index,
+            slot.key});
     }
   };
 
@@ -209,6 +235,7 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
   while (unfixed > 0) {
     // Tightest link fair share; lazily discard/re-key stale entries.
     Rate link_share = std::numeric_limits<Rate>::infinity();
+    Rate link_key = std::numeric_limits<Rate>::infinity();
     std::int32_t link = -1;
     while (!heap_.empty()) {
       const HeapEntry top = heap_.front();
@@ -222,10 +249,12 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
       if (cur > top.share * (1 + kShareSlack)) {
         std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
         heap_.back().share = cur;
+        slots_[static_cast<std::size_t>(top.link)].key = cur;
         std::push_heap(heap_.begin(), heap_.end(), heap_greater);
         continue;
       }
       link_share = cur;
+      link_key = top.share;
       link = top.link;
       break;
     }
@@ -240,7 +269,7 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
       if (trace)
         trace->rounds.push_back(MaxMinWarmState::Round{
             static_cast<std::int32_t>(trace->settles.size()),
-            caps_[cap_ptr].first});
+            caps_[cap_ptr].first, -1, caps_[cap_ptr].first});
       settle_flow(caps_[cap_ptr].second, caps_[cap_ptr].first);
       ++cap_ptr;
       continue;
@@ -254,7 +283,8 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
     // leaves a tied link's share exactly invariant.
     if (trace)
       trace->rounds.push_back(MaxMinWarmState::Round{
-          static_cast<std::int32_t>(trace->settles.size()), link_share});
+          static_cast<std::int32_t>(trace->settles.size()), link_share,
+          slots_[static_cast<std::size_t>(link)].index, link_key});
     std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
     heap_.pop_back();
     if (ext) {
@@ -284,6 +314,19 @@ void MaxMinSolver::solve_impl(const std::vector<Rate>& capacity,
 }
 
 // ---- warm re-solve -----------------------------------------------------
+//
+// Undo the recorded trace back to the divergence round, then *splice*:
+// recorded rounds whose binding link stayed outside the delta's
+// dependency cone are committed verbatim (same settles, same recorded
+// rates — bit-identical by construction, since every input to their
+// arithmetic is unchanged), and only the cone is re-solved through a
+// share heap.  The cone is tracked dynamically: it seeds with the
+// departures' and arrivals' links and grows whenever a cone-fixed or
+// transferred flow crosses a link whose residual/active history now
+// diverges from the record.  Kept rounds and cone rounds merge by the
+// cold solver's event order — (share, link id), caps first on ties —
+// which is what keeps the merged round sequence bit-identical to a
+// from-scratch solve of the new population.  See maxmin.hpp.
 
 bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
                               MaxMinWarmState& state,
@@ -291,12 +334,19 @@ bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
                               std::size_t num_arrivals,
                               const std::int32_t* departures,
                               std::size_t num_departures,
-                              std::vector<std::pair<std::int32_t, Rate>>& changed) {
-  if (!state.valid) return false;
+                              std::vector<std::pair<std::int32_t, Rate>>& changed,
+                              WarmMode mode) {
+  SolverStats& stats = solver_stats();
+  stats.bump(stats.warm_attempts);
+  const auto decline = [&stats] {
+    stats.bump(stats.warm_declined);
+    return false;
+  };
+  if (!state.valid) return decline();
   // Loopback arrivals need no cascade but would sit outside the round
   // structure; the (rare) caller cold-solves instead.
   for (std::size_t a = 0; a < num_arrivals; ++a) {
-    if (arrivals[a].count <= 0) return false;
+    if (arrivals[a].count <= 0) return decline();
     for (std::int32_t i = 0; i < arrivals[a].count; ++i) {
       const std::int32_t l = arrivals[a].links[static_cast<std::size_t>(i)];
       RATS_REQUIRE(l >= 0 && static_cast<std::size_t>(l) < capacity.size(),
@@ -308,6 +358,7 @@ bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
 
   const std::size_t num_known = state.links.size();
   const std::size_t num_settles = state.settles.size();
+  const std::size_t num_rounds = state.rounds.size();
 
   // Dense mapping of the state's link table via the epoch-stamped slots.
   if (slots_.size() < capacity.size()) slots_.resize(capacity.size());
@@ -345,7 +396,7 @@ bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
     }
     if (found != num_departures) {
       assert(false && "warm departure not present in trace");
-      return false;
+      return decline();
     }
   }
 
@@ -385,11 +436,11 @@ bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
 
   // Divergence round: the earliest of any departure's fix round and the
   // first round whose share reaches the arrival bound.
-  std::size_t k = state.rounds.size();
+  std::size_t k = num_rounds;
   if (!dep_settles.empty()) {
     // dep_settles is in settle order; the first one decides.
     const std::int32_t s0 = dep_settles.front();
-    std::size_t lo = 0, hi = state.rounds.size();
+    std::size_t lo = 0, hi = num_rounds;
     while (lo + 1 < hi) {  // last round with first_settle <= s0
       const std::size_t mid = (lo + hi) / 2;
       if (state.rounds[mid].first_settle <= s0)
@@ -410,41 +461,44 @@ bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
   }
 
   const std::size_t first_undone =
-      k < state.rounds.size()
-          ? static_cast<std::size_t>(state.rounds[k].first_settle)
-          : num_settles;
+      k < num_rounds ? static_cast<std::size_t>(state.rounds[k].first_settle)
+                     : num_settles;
   const std::size_t undone = num_settles - first_undone;
-  // When the cascade covers most of the trace a cold solve is cheaper:
-  // the warm path pays the undo replay on top of re-filling, so it
-  // needs a clear majority of the trace intact to win.
-  if (undone * 5 > num_settles * 3 && undone > 16) return false;
+  const bool prefix = mode == WarmMode::kPrefix;
+  // Prefix mode re-solves every undone settle, so when the suffix
+  // covers most of the trace a cold solve is cheaper.  Cone mode
+  // commits untouched rounds verbatim — O(1) per settle, no heap — so
+  // even a full-trace undo beats a cold solve and there is no
+  // trace-fraction decline.
+  if (prefix && undone * 5 > num_settles * 3 && undone > 16) return decline();
 
   // ---- committed: everything below mutates `state` -------------------
 
-  // Undo: replay the log suffix backwards, restoring each link's
-  // residual to its pre-settle value and re-counting its unfixed flow.
+  // Undo + work-list build in one forward pass over the log suffix.
+  // A link's pre-splice residual is the `before` of its EARLIEST undone
+  // log entry, so restoring on first touch (forward) reproduces the
+  // backward replay; the same entry visit re-counts the link's unfixed
+  // flows and collects the suffix work list (departures excluded, their
+  // link counts removed and their links seeding the cone).
+  // `warm_suffix_work_` maps settle indices to work indices so the
+  // recorded rounds can be re-expressed as work ranges.
   const std::size_t log_first =
       first_undone < num_settles
           ? static_cast<std::size_t>(state.settles[first_undone].link_off)
           : state.log.size();
   warm_active_.assign(num_known + num_new_links, 0);
   warm_touched_.assign(num_known + num_new_links, 0);
-  for (std::size_t e = state.log.size(); e > log_first; --e) {
-    const MaxMinWarmState::LogEntry& entry = state.log[e - 1];
-    const auto d = static_cast<std::size_t>(entry.link);
-    state.remaining[d] = entry.before;
-    ++warm_active_[d];
-    warm_touched_[d] = 1;
-  }
-
-  // Cascade work list: the undone flows (departures excluded, their
-  // link counts removed) plus the arrivals.
+  warm_affected_.assign(num_known + num_new_links, 0);
   work_ids_.clear();
   work_caps_.clear();
+  work_rates_.clear();
   work_off_.clear();
   work_flow_links_.clear();
+  warm_suffix_work_.assign(undone + 1, 0);
   std::size_t dep_ptr = 0;
   for (std::size_t s = first_undone; s < num_settles; ++s) {
+    warm_suffix_work_[s - first_undone] =
+        static_cast<std::int32_t>(work_ids_.size());
     const MaxMinWarmState::Settle& st = state.settles[s];
     const auto begin = static_cast<std::size_t>(st.link_off);
     const auto end = s + 1 < num_settles
@@ -455,25 +509,40 @@ bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
       ++dep_ptr;
       for (std::size_t e = begin; e < end; ++e) {
         const auto d = static_cast<std::size_t>(state.log[e].link);
-        --warm_active_[d];
+        if (!warm_touched_[d]) {
+          warm_touched_[d] = 1;
+          state.remaining[d] = state.log[e].before;
+        }
         --state.act0[d];
+        warm_affected_[d] = 1;
       }
       continue;
     }
     work_ids_.push_back(st.id);
     work_caps_.push_back(st.cap);
+    work_rates_.push_back(st.rate);
     work_off_.push_back(static_cast<std::int32_t>(work_flow_links_.size()));
-    for (std::size_t e = begin; e < end; ++e)
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto d = static_cast<std::size_t>(state.log[e].link);
+      if (!warm_touched_[d]) {
+        warm_touched_[d] = 1;
+        state.remaining[d] = state.log[e].before;
+      }
+      ++warm_active_[d];
       work_flow_links_.push_back(state.log[e].link);
+    }
   }
+  warm_suffix_work_[undone] = static_cast<std::int32_t>(work_ids_.size());
   assert(dep_ptr == dep_settles.size() &&
          "departure fixed before the divergence round");
+  const std::size_t num_recorded_work = work_ids_.size();
 
   // Arrivals: grow the link table for unseen links, then count the new
-  // flows in.
+  // flows in.  Their links seed the cone.
   for (std::size_t a = 0; a < num_arrivals; ++a) {
     work_ids_.push_back(arrivals[a].id);
     work_caps_.push_back(arrivals[a].cap);
+    work_rates_.push_back(0);  // never kept-committed
     work_off_.push_back(static_cast<std::int32_t>(work_flow_links_.size()));
     for (std::int32_t i = 0; i < arrivals[a].count; ++i) {
       const auto l = static_cast<std::size_t>(
@@ -489,22 +558,47 @@ bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
       ++warm_active_[d];
       ++state.act0[d];
       warm_touched_[d] = 1;
+      warm_affected_[d] = 1;
       work_flow_links_.push_back(static_cast<std::int32_t>(d));
     }
   }
   work_off_.push_back(static_cast<std::int32_t>(work_flow_links_.size()));
 
-  // Truncate the undone tail of the trace; the continuation re-records.
+  // Kept schedule: the recorded suffix rounds as work ranges, consumed
+  // in order by the merge.  Prefix mode replays everything through the
+  // cone instead.
+  warm_kept_.clear();
+  if (!prefix) {
+    warm_kept_.reserve(num_rounds - k);
+    for (std::size_t r = k; r < num_rounds; ++r) {
+      const auto s_begin =
+          static_cast<std::size_t>(state.rounds[r].first_settle);
+      const std::size_t s_end =
+          r + 1 < num_rounds
+              ? static_cast<std::size_t>(state.rounds[r + 1].first_settle)
+              : num_settles;
+      warm_kept_.push_back(
+          WarmKeptRound{state.rounds[r].share, state.rounds[r].key,
+                        state.rounds[r].link,
+                        warm_suffix_work_[s_begin - first_undone],
+                        warm_suffix_work_[s_end - first_undone]});
+    }
+  }
+
+  // Truncate the undone tail of the trace; the merge re-records.
   state.settles.resize(first_undone);
   state.log.resize(log_first);
   state.rounds.resize(k);
+  while (!state.dips.empty() &&
+         state.dips.back().round >= static_cast<std::int32_t>(k))
+    state.dips.pop_back();
 
   const std::size_t num_work = work_ids_.size();
   std::size_t unfixed = num_work;
+  std::size_t cone_fixed = 0;
   if (num_work > 0) {
-    // Mini-CSR over the cascade links and a fresh share heap (pop order
-    // matches the cold solve's lazy heap: both yield the minimum
-    // current share, ties by link id).
+    // Mini-CSR link -> work item over every suffix link, so cone
+    // rounds can fix (and steal) any unfixed flow crossing their link.
     std::vector<std::int32_t>& clinks = warm_links_;  // dep_settles done
     clinks.clear();
     const std::size_t total = num_known + num_new_links;
@@ -535,55 +629,196 @@ bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
     work_csr_off_[0] = 0;
 
     fixed_.assign(num_work, 0);
-    caps_.clear();
-    Rate min_cap = std::numeric_limits<Rate>::infinity();
-    for (std::size_t w = 0; w < num_work; ++w)
-      if (std::isfinite(work_caps_[w])) {
-        caps_.emplace_back(work_caps_[w], static_cast<std::int32_t>(w));
-        min_cap = std::min(min_cap, work_caps_[w]);
-      }
-    // Same reachability cut as the cold solve; `max_capacity` is the
-    // monotone over-approximation, which can only keep extra
-    // never-binding caps.
-    if (min_cap > state.max_capacity) caps_.clear();
-    std::sort(caps_.begin(), caps_.end());
 
+    // Mirror the cold solver's heap keys.  At the splice a link's cold
+    // key is its current share unless a recorded dip from the kept
+    // prefix froze it higher (keys never decrease; a dip is the only
+    // way a key exceeds the current share).  From here on the mirror
+    // is maintained exactly: churn raises it to the current share, and
+    // a round with ordering key K touching a link whose mirror is
+    // below K implies the cold heap churned that link to its
+    // pre-subtraction share before K fired.
+    if (warm_key_.size() < total) {
+      warm_key_.resize(total);
+      warm_last_touch_.resize(total);
+    }
+    for (const std::int32_t cl : clinks) {
+      const auto d = static_cast<std::size_t>(cl);
+      warm_key_[d] =
+          warm_active_[d] > 0 ? state.remaining[d] / warm_active_[d] : 0.0;
+      warm_last_touch_[d] = -1;
+    }
+    for (const MaxMinWarmState::Dip& dip : state.dips) {
+      const auto d = static_cast<std::size_t>(dip.link);
+      if (d < total && warm_touched_[d] && dip.key > warm_key_[d])
+        warm_key_[d] = dip.key;
+    }
+
+    // Cone cap min-heap: (cap, work index) pops in the cold solve's
+    // sorted-cap order; a heap (not a sorted array) because transfers
+    // insert caps mid-replay.  Caps above `max_capacity` can never be
+    // the tightest constraint (same reachability cut as the cold
+    // solve's min_cap check) and are not pushed.
+    warm_cap_heap_.clear();
+    const auto cap_greater = std::greater<std::pair<Rate, std::int32_t>>();
+    const auto push_cap = [&](std::size_t w) {
+      const Rate c = work_caps_[w];
+      if (std::isfinite(c) && c <= state.max_capacity) {
+        warm_cap_heap_.emplace_back(c, static_cast<std::int32_t>(w));
+        std::push_heap(warm_cap_heap_.begin(), warm_cap_heap_.end(),
+                       cap_greater);
+      }
+    };
+    if (prefix) {
+      for (const std::int32_t d : clinks)
+        warm_affected_[static_cast<std::size_t>(d)] = 1;
+      for (std::size_t w = 0; w < num_work; ++w) push_cap(w);
+    } else {
+      for (std::size_t w = num_recorded_work; w < num_work; ++w) push_cap(w);
+    }
+
+    // Share heap over the cone links only; kept rounds supply the
+    // clean links' binding events in recorded order.  Pop order
+    // matches the cold solve's lazy heap: both yield the minimum
+    // current share, ties by link id.
     heap_.clear();
     const auto heap_greater = std::greater<HeapEntry>();
     for (const std::int32_t d : clinks)
-      if (warm_active_[static_cast<std::size_t>(d)] > 0)
-        heap_.push_back(
-            HeapEntry{state.remaining[static_cast<std::size_t>(d)] /
-                          warm_active_[static_cast<std::size_t>(d)],
-                      state.links[static_cast<std::size_t>(d)]});
+      if (warm_affected_[static_cast<std::size_t>(d)] &&
+          warm_active_[static_cast<std::size_t>(d)] > 0)
+        heap_.push_back(HeapEntry{warm_key_[static_cast<std::size_t>(d)],
+                                  state.links[static_cast<std::size_t>(d)],
+                                  d});
     std::make_heap(heap_.begin(), heap_.end(), heap_greater);
 
-    const auto settle_work = [&](std::int32_t w, Rate r) {
-      changed.emplace_back(work_ids_[static_cast<std::size_t>(w)], r);
-      state.settles.push_back(MaxMinWarmState::Settle{
-          work_ids_[static_cast<std::size_t>(w)],
-          static_cast<std::int32_t>(state.log.size()), r,
-          work_caps_[static_cast<std::size_t>(w)]});
-      for (auto i = static_cast<std::size_t>(work_off_[w]);
-           i < static_cast<std::size_t>(work_off_[w + 1]); ++i) {
-        const auto d = static_cast<std::size_t>(work_flow_links_[i]);
-        state.log.push_back(MaxMinWarmState::LogEntry{
-            static_cast<std::int32_t>(d), state.remaining[d]});
-        state.remaining[d] = std::max(0.0, state.remaining[d] - r);
-        --warm_active_[d];
+    // A link enters the cone the moment its arithmetic diverges from
+    // the record: a cone-fixed flow crossing it, or a transferred
+    // (still unfixed where the record had it fixed) flow crossing it.
+    const auto mark_affected = [&](std::size_t d) {
+      if (warm_affected_[d]) return;
+      warm_affected_[d] = 1;
+      if (warm_active_[d] > 0) {
+        const Rate cur = state.remaining[d] / warm_active_[d];
+        if (warm_key_[d] < cur) warm_key_[d] = cur;
+        heap_.push_back(HeapEntry{warm_key_[d], state.links[d],
+                                  static_cast<std::int32_t>(d)});
+        std::push_heap(heap_.begin(), heap_.end(), heap_greater);
       }
-      fixed_[static_cast<std::size_t>(w)] = 1;
+    };
+
+    // Commit a kept settle at its recorded rate.  Every input to the
+    // subtraction on a clean link is unchanged from the record, so the
+    // trace it re-records is bitwise the old one; on a cone link the
+    // live residual is used (and the flow's rate is still the recorded
+    // one — the merge order guarantees no cone link could have bound
+    // it earlier).
+    Rate round_key = 0;  // ordering key of the merge round in flight
+    const auto touch_link = [&](std::size_t d, Rate r) {
+      const std::int32_t rtag =
+          static_cast<std::int32_t>(state.rounds.size()) - 1;
+      if (warm_last_touch_[d] != rtag) {
+        warm_last_touch_[d] = rtag;
+        if (warm_key_[d] < round_key && warm_active_[d] > 0)
+          warm_key_[d] = state.remaining[d] / warm_active_[d];
+      }
+      state.log.push_back(MaxMinWarmState::LogEntry{
+          static_cast<std::int32_t>(d), state.remaining[d]});
+      state.remaining[d] = std::max(0.0, state.remaining[d] - r);
+      --warm_active_[d];
+      if (warm_active_[d] > 0 &&
+          state.remaining[d] <
+              warm_key_[d] * warm_active_[d] * (1 + kDipFilterSlack) &&
+          state.remaining[d] / warm_active_[d] < warm_key_[d])
+        state.dips.push_back(MaxMinWarmState::Dip{
+            rtag, static_cast<std::int32_t>(d), warm_key_[d]});
+    };
+
+    const auto settle_kept = [&](std::size_t w) {
+      assert(!fixed_[w]);
+      const Rate r = work_rates_[w];
+      state.settles.push_back(MaxMinWarmState::Settle{
+          work_ids_[w], static_cast<std::int32_t>(state.log.size()), r,
+          work_caps_[w]});
+      for (auto i = static_cast<std::size_t>(work_off_[w]);
+           i < static_cast<std::size_t>(work_off_[w + 1]); ++i)
+        touch_link(static_cast<std::size_t>(work_flow_links_[i]), r);
+      fixed_[w] = 1;
       --unfixed;
     };
 
-    std::size_t cap_ptr = 0;
+    // Fix a cone flow at a re-solved rate; its links join the cone.
+    const auto settle_cone = [&](std::size_t w, Rate r) {
+      changed.emplace_back(work_ids_[w], r);
+      state.settles.push_back(MaxMinWarmState::Settle{
+          work_ids_[w], static_cast<std::int32_t>(state.log.size()), r,
+          work_caps_[w]});
+      for (auto i = static_cast<std::size_t>(work_off_[w]);
+           i < static_cast<std::size_t>(work_off_[w + 1]); ++i)
+        touch_link(static_cast<std::size_t>(work_flow_links_[i]), r);
+      for (auto i = static_cast<std::size_t>(work_off_[w]);
+           i < static_cast<std::size_t>(work_off_[w + 1]); ++i)
+        mark_affected(static_cast<std::size_t>(work_flow_links_[i]));
+      fixed_[w] = 1;
+      --unfixed;
+      ++cone_fixed;
+    };
+
+    const Rate inf = std::numeric_limits<Rate>::infinity();
+    std::size_t rp = 0;
     while (unfixed > 0) {
-      Rate link_share = std::numeric_limits<Rate>::infinity();
-      std::int32_t link = -1;
+      // Advance the kept pointer: transfer rounds whose binding link
+      // entered the cone (their settles re-solve; their flows' links
+      // diverge from the record and join the cone), skip cap rounds
+      // whose flow departed or was stolen.
+      while (rp < warm_kept_.size()) {
+        const WarmKeptRound& kr = warm_kept_[rp];
+        if (kr.link >= 0 &&
+            warm_affected_[static_cast<std::size_t>(kr.link)]) {
+          for (auto w = static_cast<std::size_t>(kr.work_begin);
+               w < static_cast<std::size_t>(kr.work_end); ++w) {
+            if (fixed_[w]) continue;
+            push_cap(w);
+            for (auto i = static_cast<std::size_t>(work_off_[w]);
+                 i < static_cast<std::size_t>(work_off_[w + 1]); ++i)
+              mark_affected(static_cast<std::size_t>(work_flow_links_[i]));
+          }
+          ++rp;
+          continue;
+        }
+        if (kr.link < 0 &&
+            (kr.work_begin == kr.work_end ||
+             fixed_[static_cast<std::size_t>(kr.work_begin)])) {
+          ++rp;  // cap round whose flow departed or was stolen
+          continue;
+        }
+        break;
+      }
+
+      Rate kept_link_share = inf;
+      Rate kept_link_key = inf;
+      std::int32_t kept_link_gl = 0;
+      Rate kept_cap = inf;
+      if (rp < warm_kept_.size()) {
+        const WarmKeptRound& kr = warm_kept_[rp];
+        if (kr.link >= 0) {
+          kept_link_share = kr.share;
+          kept_link_key = kr.key;
+          kept_link_gl = state.links[static_cast<std::size_t>(kr.link)];
+        } else {
+          kept_cap = kr.share;
+        }
+      }
+
+      // Tightest cone entry; lazily discard/re-key stale entries,
+      // keeping the key mirror in step.  The surviving head may carry
+      // a key frozen above its current share (a dip) — cold orders
+      // events by those frozen keys, so the merge must too.
+      Rate cone_share = inf;
+      Rate cone_key = inf;
+      std::int32_t cone_gl = 0;
       while (!heap_.empty()) {
         const HeapEntry top = heap_.front();
-        const auto d = static_cast<std::size_t>(
-            slots_[static_cast<std::size_t>(top.link)].index);
+        const auto d = static_cast<std::size_t>(top.dense);
         if (warm_active_[d] == 0) {
           std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
           heap_.pop_back();
@@ -593,39 +828,88 @@ bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
         if (cur > top.share * (1 + kShareSlack)) {
           std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
           heap_.back().share = cur;
+          warm_key_[d] = cur;
           std::push_heap(heap_.begin(), heap_.end(), heap_greater);
           continue;
         }
-        link_share = cur;
-        link = top.link;
+        cone_share = cur;
+        cone_key = top.share;
+        cone_gl = top.link;
         break;
       }
 
-      while (cap_ptr < caps_.size() &&
-             fixed_[static_cast<std::size_t>(caps_[cap_ptr].second)])
-        ++cap_ptr;
-      if (cap_ptr < caps_.size() && caps_[cap_ptr].first <= link_share) {
+      // Tightest cone cap, skipping stolen flows.
+      while (!warm_cap_heap_.empty() &&
+             fixed_[static_cast<std::size_t>(warm_cap_heap_.front().second)]) {
+        std::pop_heap(warm_cap_heap_.begin(), warm_cap_heap_.end(),
+                      cap_greater);
+        warm_cap_heap_.pop_back();
+      }
+      const Rate cone_cap =
+          warm_cap_heap_.empty() ? inf : warm_cap_heap_.front().first;
+
+      // Event selection in the cold solver's order: compare heap KEYS
+      // (ties by global link id), then fire at current VALUES — cold's
+      // lazy heap pops by key but settles at the live share.  The kept
+      // head is the minimum over clean links (their keys evolve
+      // exactly as recorded), the cone heap the minimum over cone
+      // links; a kept *cap* head guarantees every clean share is at or
+      // above it, so comparing it against the cone alone is exact.
+      const bool kept_link_first =
+          kept_link_key < cone_key ||
+          (kept_link_key == cone_key && kept_link_gl < cone_gl);
+      const Rate link_share = kept_link_first ? kept_link_share : cone_share;
+
+      const Rate cap_val = std::min(kept_cap, cone_cap);
+      if (std::isfinite(cap_val) && cap_val <= link_share) {
+        round_key = cap_val;
         state.rounds.push_back(MaxMinWarmState::Round{
-            static_cast<std::int32_t>(state.settles.size()),
-            caps_[cap_ptr].first});
-        settle_work(caps_[cap_ptr].second, caps_[cap_ptr].first);
-        ++cap_ptr;
+            static_cast<std::int32_t>(state.settles.size()), cap_val, -1,
+            cap_val});
+        if (kept_cap <= cone_cap) {
+          // Equal caps are order-independent: both settle back to back
+          // at their own value, so committing the kept one first stays
+          // bitwise identical to any cold-solve cap order.
+          settle_kept(static_cast<std::size_t>(warm_kept_[rp].work_begin));
+          ++rp;
+        } else {
+          const auto w =
+              static_cast<std::size_t>(warm_cap_heap_.front().second);
+          std::pop_heap(warm_cap_heap_.begin(), warm_cap_heap_.end(),
+                        cap_greater);
+          warm_cap_heap_.pop_back();
+          settle_cone(w, cone_cap);
+        }
         continue;
       }
 
-      RATS_REQUIRE(link >= 0 && std::isfinite(link_share),
+      RATS_REQUIRE(std::isfinite(link_share),
                    "no constraining link for active flows");
-      state.rounds.push_back(MaxMinWarmState::Round{
-          static_cast<std::int32_t>(state.settles.size()), link_share});
-      std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
-      heap_.pop_back();
-      const auto c = static_cast<std::size_t>(csr_slot_[static_cast<std::size_t>(
-          slots_[static_cast<std::size_t>(link)].index)]);
-      for (auto i = static_cast<std::size_t>(work_csr_off_[c]);
-           i < static_cast<std::size_t>(work_csr_off_[c + 1]); ++i) {
-        const std::int32_t w = work_csr_[i];
-        if (fixed_[static_cast<std::size_t>(w)]) continue;
-        settle_work(w, link_share);
+      if (kept_link_first) {
+        const WarmKeptRound& kr = warm_kept_[rp];
+        round_key = kr.key;
+        state.rounds.push_back(MaxMinWarmState::Round{
+            static_cast<std::int32_t>(state.settles.size()), kr.share,
+            kr.link, kr.key});
+        for (auto w = static_cast<std::size_t>(kr.work_begin);
+             w < static_cast<std::size_t>(kr.work_end); ++w)
+          settle_kept(w);
+        ++rp;
+      } else {
+        const auto d = static_cast<std::size_t>(heap_.front().dense);
+        std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+        heap_.pop_back();
+        round_key = cone_key;
+        state.rounds.push_back(MaxMinWarmState::Round{
+            static_cast<std::int32_t>(state.settles.size()), cone_share,
+            static_cast<std::int32_t>(d), cone_key});
+        const auto c = static_cast<std::size_t>(csr_slot_[d]);
+        for (auto i = static_cast<std::size_t>(work_csr_off_[c]);
+             i < static_cast<std::size_t>(work_csr_off_[c + 1]); ++i) {
+          const auto w = static_cast<std::size_t>(work_csr_[i]);
+          if (fixed_[w]) continue;
+          settle_cone(w, cone_share);
+        }
       }
     }
   }
@@ -646,6 +930,9 @@ bool MaxMinSolver::solve_warm(const std::vector<Rate>& capacity,
     for (MaxMinWarmState::Round& r : state.rounds)
       r.first_settle -= static_cast<std::int32_t>(rm);
   }
+  stats.bump(stats.warm_hits);
+  if (num_work > 0)
+    stats.record_warm_replay(cone_fixed, num_work);
   return true;
 }
 
@@ -731,8 +1018,9 @@ void BipartiteWaterfillSolver::solve(const std::vector<Rate>& capacity,
 
   const auto heap_greater = std::greater<HeapEntry>();
   for (const std::int32_t l : touched_) {
-    const LinkSlot& slot = slots_[static_cast<std::size_t>(l)];
-    heap_.push_back(HeapEntry{slot.remaining / slot.active, l});
+    LinkSlot& slot = slots_[static_cast<std::size_t>(l)];
+    slot.key = slot.remaining / slot.active;
+    heap_.push_back(HeapEntry{slot.key, l, slot.index});
   }
   std::make_heap(heap_.begin(), heap_.end(), heap_greater);
 
@@ -753,12 +1041,19 @@ void BipartiteWaterfillSolver::solve(const std::vector<Rate>& capacity,
             MaxMinWarmState::LogEntry{slot.index, slot.remaining});
       slot.remaining = std::max(0.0, slot.remaining - r);
       --slot.active;
+      if (trace && slot.active > 0 &&
+          slot.remaining < slot.key * slot.active * (1 + kDipFilterSlack) &&
+          slot.remaining / slot.active < slot.key)
+        trace->dips.push_back(MaxMinWarmState::Dip{
+            static_cast<std::int32_t>(trace->rounds.size()) - 1, slot.index,
+            slot.key});
     }
   };
 
   std::size_t cap_ptr = 0;
   while (unfixed > 0) {
     Rate link_share = std::numeric_limits<Rate>::infinity();
+    Rate link_key = std::numeric_limits<Rate>::infinity();
     std::int32_t link = -1;
     while (!heap_.empty()) {
       const HeapEntry top = heap_.front();
@@ -772,10 +1067,12 @@ void BipartiteWaterfillSolver::solve(const std::vector<Rate>& capacity,
       if (cur > top.share * (1 + kShareSlack)) {
         std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
         heap_.back().share = cur;
+        slots_[static_cast<std::size_t>(top.link)].key = cur;
         std::push_heap(heap_.begin(), heap_.end(), heap_greater);
         continue;
       }
       link_share = cur;
+      link_key = top.share;
       link = top.link;
       break;
     }
@@ -787,7 +1084,7 @@ void BipartiteWaterfillSolver::solve(const std::vector<Rate>& capacity,
       if (trace)
         trace->rounds.push_back(MaxMinWarmState::Round{
             static_cast<std::int32_t>(trace->settles.size()),
-            caps_[cap_ptr].first});
+            caps_[cap_ptr].first, -1, caps_[cap_ptr].first});
       settle_flow(caps_[cap_ptr].second, caps_[cap_ptr].first);
       ++cap_ptr;
       continue;
@@ -797,7 +1094,8 @@ void BipartiteWaterfillSolver::solve(const std::vector<Rate>& capacity,
                  "no constraining link for active flows");
     if (trace)
       trace->rounds.push_back(MaxMinWarmState::Round{
-          static_cast<std::int32_t>(trace->settles.size()), link_share});
+          static_cast<std::int32_t>(trace->settles.size()), link_share,
+          slots_[static_cast<std::size_t>(link)].index, link_key});
     std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
     heap_.pop_back();
     const auto q =

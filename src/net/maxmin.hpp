@@ -19,15 +19,32 @@
 //     round before the changed flows' first participation bitwise
 //     untouched.  Each traced solve therefore records its *saturation
 //     trace* into a caller-owned `MaxMinWarmState`: the rounds (binding
-//     share each), the flows fixed per round, a per-settle undo log of
-//     prior link residuals, and the final residuals.  A warm re-solve
-//     finds the divergence round (a departed flow's fix round; for an
-//     arrival, the first round whose share reaches the arrival's
-//     initial link shares or cap), undoes the trace back to it by
-//     replaying the log in reverse, applies the delta, and re-runs the
-//     filling only over the undone "cascade" — O(cascade), not
-//     O(component).  It declines (returns false, caller cold-solves)
-//     when the cascade covers most of the trace or the state is stale.
+//     share and binding link each), the flows fixed per round, a
+//     per-settle undo log of prior link residuals, and the final
+//     residuals.  A warm re-solve finds the divergence round (a
+//     departed flow's fix round; for an arrival, the first round whose
+//     share reaches the arrival's initial link shares or cap) and
+//     undoes the trace back to it by replaying the log in reverse.
+//     The replay then *splices* rather than re-solving the whole
+//     suffix: recorded rounds are consumed in order as a "kept
+//     schedule", and a round is committed straight from the record —
+//     same settles, same recorded rates, bit-identical by construction
+//     — as long as its binding link is outside the *dependency cone*
+//     of the delta.  The cone is tracked dynamically as the set of
+//     links whose residual/active history diverged: it seeds with the
+//     departures' and arrivals' links and grows when a cone-fixed (or
+//     transferred) flow crosses new links.  A kept round whose binding
+//     link entered the cone transfers its settles into the cone
+//     instead; cone flows are re-solved through a share heap + cap
+//     heap merged against the kept schedule by the cold solver's
+//     (share, link id) order, caps first on ties — which is exactly
+//     what keeps the merged round order bit-identical to a cold solve.
+//     Cost is O(undone suffix) for the undo/splice plus O(cone) heap
+//     work; only structurally stale states decline (returns false,
+//     caller cold-solves).  `WarmMode::kPrefix` disables the splice
+//     (every undone settle re-solves through the cone, with the old
+//     60%-of-trace decline heuristic) and is kept for the microbench
+//     cone-vs-prefix comparison.
 //  2. Bipartite waterfilling (`BipartiteWaterfillSolver`).  On flat
 //     clusters every route is exactly {src uplink, dst downlink}; with
 //     two links per flow the adjacency is a pair of flat arrays, pass 1
@@ -48,8 +65,24 @@
 // All three produce bitwise-identical rates: the heap orders ties by
 // link id, settle arithmetic is order-invariant, and the warm
 // continuation rebuilds a fresh share heap whose pop order matches the
-// lazy heap's (stale entries re-key until the top is fresh, so both pop
-// the minimum current share).  Max-Min rates decompose exactly over
+// lazy heap's.  One subtlety makes that order reproducible: the cold
+// solver *fires at the heap key but settles at the current share*, and
+// a settle can drop a link's current share a few ULPs below its own
+// frozen key (a "dip").  Each traced round therefore records its fire
+// key alongside the settled share, and every key-above-share moment is
+// logged as a `Dip`; the warm merge mirrors those keys (seeding from
+// the spliced residuals, max-merged with surviving dips, refreshed on
+// first touch per round) so the merged (key, link id) order — and the
+// cap-vs-link tie-breaks — replay the cold solve's event sequence
+// exactly.
+//
+// Hot state is laid out struct-of-arrays: link slots, the share heap
+// (share + global/dense link ids in 16 bytes), the warm engine's
+// per-dense-link key/touch/active/remaining scratch, and the fluid
+// network's per-flow rate/remaining/settled arrays plus a flat route
+// arena (`route_off_`/`route_links_`) are all flat indexed vectors, so
+// settle loops, rate flushes and event-heap re-keys run over
+// contiguous memory.  Max-Min rates decompose exactly over
 // connected components of the flow/link sharing graph, so a
 // component-scoped solve — by any strategy — reproduces the full
 // solve's per-flow rates bit for bit.  The differential test suite
@@ -123,14 +156,36 @@ struct MaxMinWarmState {
     Rate before;        ///< link residual before the settle
   };
   /// One filling round: a link saturation or a cap fix; `share` is the
-  /// binding value (non-decreasing over rounds up to rounding).
+  /// binding value (non-decreasing over rounds up to rounding) and
+  /// `link` the binding link (dense index; -1 for cap rounds).  The
+  /// binding link is what lets a warm re-solve decide whether a
+  /// recorded round is inside the delta's dependency cone.  `key` is
+  /// the solver's heap key when the round fired: normally equal to
+  /// `share`, but frozen one or two ulps *above* it when the binding
+  /// link's share dipped after a tied settle (see the dip log below).
+  /// The solver orders events by key and fires at `share`, so a warm
+  /// splice needs both to reproduce the cold event order bitwise.
   struct Round {
     std::int32_t first_settle;
     Rate share;
+    std::int32_t link;
+    Rate key;
+  };
+  /// Heap-key freeze: settling a flow at a share at-or-above a link's
+  /// own share can lower that link's share by an ulp or two below its
+  /// heap key, and the key then stays frozen until the link fires.
+  /// Cold event order among near-ties depends on these frozen keys, so
+  /// they are recorded (they are rare, pure-rounding events) and
+  /// replayed when a warm re-solve seeds its cone heap.
+  struct Dip {
+    std::int32_t round;  ///< round whose settles caused the dip
+    std::int32_t link;   ///< dense link index
+    Rate key;            ///< the frozen heap key (> current share)
   };
   std::vector<Settle> settles;
   std::vector<LogEntry> log;
   std::vector<Round> rounds;
+  std::vector<Dip> dips;
 
   void invalidate() {
     valid = false;
@@ -141,7 +196,20 @@ struct MaxMinWarmState {
     settles.clear();
     log.clear();
     rounds.clear();
+    dips.clear();
   }
+};
+
+/// Warm re-solve replay policy (see the strategy overview above).
+enum class WarmMode {
+  /// Re-solve every undone settle through the cone machinery and
+  /// decline when the suffix covers most of the trace — the historical
+  /// behavior, kept for the microbench cone-vs-prefix comparison.
+  kPrefix,
+  /// Splice: commit recorded rounds outside the delta's dependency
+  /// cone straight from the trace, re-solve only the cone.  No
+  /// trace-fraction decline.  The default.
+  kCone,
 };
 
 /// Reusable Max-Min solver.  Keeps adjacency/heap/scratch storage
@@ -198,17 +266,19 @@ class MaxMinSolver {
   /// Warm re-solve of the population recorded in `state` after removing
   /// the flows in `departures` and adding those in `arrivals` (see the
   /// strategy overview in the header comment).  On success, appends
-  /// (id, rate) for every flow whose rate was recomputed — the
-  /// "cascade", a superset of the flows whose rate actually changed —
-  /// to `changed`, updates `state` to the new population's trace, and
+  /// (id, rate) for every flow whose rate was re-solved through the
+  /// cone — a superset of the flows whose rate actually changed; flows
+  /// committed from the kept schedule retain their recorded rates — to
+  /// `changed`, updates `state` to the new population's trace, and
   /// returns true.  Returns false (leaving `state` untouched) when the
-  /// state is invalid, a departure is unknown, an arrival has no links,
-  /// or the cascade would cover most of the trace (a cold solve is
-  /// cheaper); the caller must then run a traced cold solve.
+  /// state is invalid, a departure is unknown, an arrival has no
+  /// links, or — in `WarmMode::kPrefix` only — the suffix covers most
+  /// of the trace; the caller must then run a traced cold solve.
   bool solve_warm(const std::vector<Rate>& capacity, MaxMinWarmState& state,
                   const FlowArrival* arrivals, std::size_t num_arrivals,
                   const std::int32_t* departures, std::size_t num_departures,
-                  std::vector<std::pair<std::int32_t, Rate>>& changed);
+                  std::vector<std::pair<std::int32_t, Rate>>& changed,
+                  WarmMode mode = WarmMode::kCone);
 
  private:
   friend class BipartiteWaterfillSolver;
@@ -228,7 +298,8 @@ class MaxMinSolver {
   // whether it is solved alone or interleaved with other components.
   struct HeapEntry {
     Rate share;
-    std::int32_t link;
+    std::int32_t link;   ///< global link id (the cold tie-break order)
+    std::int32_t dense;  ///< index into the trace's dense link table
     bool operator>(const HeapEntry& o) const {
       if (share != o.share) return share > o.share;
       return link > o.link;
@@ -243,6 +314,7 @@ class MaxMinSolver {
     Rate remaining = 0;        ///< unallocated capacity
     std::int32_t active = 0;   ///< unfixed flows crossing the link
     std::int32_t index = 0;    ///< dense index among touched links
+    Rate key = 0;              ///< shadow of the link's heap key
   };
   std::vector<LinkSlot> slots_;
   std::vector<std::int32_t> touched_;  ///< distinct links of this solve
@@ -260,18 +332,38 @@ class MaxMinSolver {
 
   // ---- warm re-solve scratch (dense over the state's link table) ----
   std::vector<std::int32_t> warm_active_;   ///< unfixed flows per link
+  std::vector<Rate> warm_key_;              ///< mirrored cold heap keys
+  std::vector<std::int32_t> warm_last_touch_;  ///< round of last settle
   std::vector<std::int32_t> warm_extra_;    ///< arriving flows per link
-  std::vector<char> warm_touched_;          ///< link in the cascade?
-  std::vector<std::int32_t> warm_links_;    ///< cascade links (dense)
-  // Cascade work list: flow w has links in
-  // work_links_[work_off_[w] .. work_off_[w + 1]).
+  std::vector<char> warm_touched_;          ///< link touched by the suffix?
+  std::vector<char> warm_affected_;         ///< link in the dependency cone?
+  std::vector<std::int32_t> warm_links_;    ///< suffix links (dense)
+  // Suffix work list (SoA): flow w has links in
+  // work_flow_links_[work_off_[w] .. work_off_[w + 1]).
   std::vector<std::int32_t> work_ids_;
   std::vector<Rate> work_caps_;
+  std::vector<Rate> work_rates_;            ///< recorded rate (kept commits)
   std::vector<std::int32_t> work_off_;
   std::vector<std::int32_t> work_flow_links_;
-  std::vector<std::int32_t> work_csr_off_;  ///< per cascade link
+  std::vector<std::int32_t> work_csr_off_;  ///< per suffix link
   std::vector<std::int32_t> work_csr_;
-  std::vector<std::int32_t> csr_slot_;      ///< dense link -> cascade index
+  std::vector<std::int32_t> csr_slot_;      ///< dense link -> suffix index
+  /// Work-index prefix counts per suffix settle (maps recorded rounds
+  /// to work ranges).
+  std::vector<std::int32_t> warm_suffix_work_;
+  /// The kept schedule: recorded suffix rounds, consumed in order and
+  /// either committed verbatim or transferred into the cone.
+  struct WarmKeptRound {
+    Rate share;
+    Rate key;           ///< recorded heap key (ordering value)
+    std::int32_t link;  ///< dense binding link; -1 for cap rounds
+    std::int32_t work_begin;
+    std::int32_t work_end;
+  };
+  std::vector<WarmKeptRound> warm_kept_;
+  /// Cone cap min-heap (cap, work index): the sorted cap array of the
+  /// cold solve, as a heap so transfers can insert mid-replay.
+  std::vector<std::pair<Rate, std::int32_t>> warm_cap_heap_;
 };
 
 /// Waterfilling specialization for populations where every flow crosses

@@ -1,0 +1,75 @@
+#include "net/solver_stats.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rats {
+
+SolverStats::SolverStats()
+    : enabled_(std::getenv("RATS_SOLVER_STATS") != nullptr) {}
+
+void SolverStats::record_warm_replay(std::uint64_t cone,
+                                     std::uint64_t undone) {
+  if (!enabled_)
+    return;
+  settles_cone.fetch_add(cone, std::memory_order_relaxed);
+  settles_kept.fetch_add(undone - cone, std::memory_order_relaxed);
+  std::size_t bucket = 9;
+  if (undone > 0 && cone < undone)
+    bucket = static_cast<std::size_t>((cone * 10) / undone);
+  cone_fraction[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+SolverStats::~SolverStats() {
+  if (!enabled_)
+    return;
+  const auto u = [](const std::atomic<std::uint64_t>& a) {
+    return static_cast<unsigned long long>(a.load(std::memory_order_relaxed));
+  };
+  const std::uint64_t solves =
+      singleton.load() + warm.load() + bipartite.load() + general.load();
+  if (solves + warm_attempts.load() == 0)
+    return;
+  std::fprintf(stderr,
+               "MaxMinSolver strategies: %llu solves (%llu singleton, %llu "
+               "warm, %llu bipartite, %llu general)\n",
+               static_cast<unsigned long long>(solves), u(singleton), u(warm),
+               u(bipartite), u(general));
+  const std::uint64_t attempts = warm_attempts.load();
+  if (attempts > 0) {
+    std::fprintf(stderr,
+                 "MaxMinSolver warm coverage: %llu hits / %llu attempts "
+                 "(%.1f%%), %llu cold fallbacks\n",
+                 u(warm_hits), u(warm_attempts),
+                 100.0 * static_cast<double>(warm_hits.load()) /
+                     static_cast<double>(attempts),
+                 u(warm_declined));
+  }
+  const std::uint64_t undone = settles_kept.load() + settles_cone.load();
+  if (undone > 0) {
+    std::fprintf(stderr,
+                 "MaxMinSolver warm replay: %llu settles undone, %llu "
+                 "re-solved via cone (%.1f%%), %llu committed from trace\n",
+                 static_cast<unsigned long long>(undone), u(settles_cone),
+                 100.0 * static_cast<double>(settles_cone.load()) /
+                     static_cast<double>(undone),
+                 u(settles_kept));
+    std::fprintf(stderr, "MaxMinSolver cone/undone deciles:");
+    for (int b = 0; b < 10; ++b)
+      std::fprintf(stderr, " %llu", u(cone_fraction[b]));
+    std::fprintf(stderr, "\n");
+  }
+  if (ns_warm.load() + ns_cold.load() > 0)
+    std::fprintf(stderr,
+                 "MaxMinSolver time: %.3f s in warm solves, %.3f s in cold "
+                 "solves\n",
+                 static_cast<double>(ns_warm.load()) * 1e-9,
+                 static_cast<double>(ns_cold.load()) * 1e-9);
+}
+
+SolverStats& solver_stats() {
+  static SolverStats stats;
+  return stats;
+}
+
+}  // namespace rats

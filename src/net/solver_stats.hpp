@@ -1,0 +1,81 @@
+// Process-wide Max-Min solver statistics, printed at exit when the
+// RATS_SOLVER_STATS environment variable is set (mirrors the
+// RATS_REDIST_STATS counters of redist/block_redistribution.cpp).
+//
+// Counters are bumped live on every solve with relaxed atomics — and
+// only when the env var is set, so the hot path pays one predictable
+// branch.  They are the measurement side of the solver-strategy layer:
+//
+//   * per-strategy solve counts (singleton short-circuit, warm
+//     re-solve, bipartite waterfilling, general lazy-heap) as picked by
+//     the fluid network's dispatch;
+//   * warm re-solve attempts / hits / declines (cold fallbacks), i.e.
+//     the *warm coverage* the dependency-cone undo is supposed to
+//     raise;
+//   * per-warm-solve replay composition: settles committed from the
+//     recorded trace ("kept") vs re-solved through the cone, plus a
+//     decile histogram of cone-size / undone-trace-size — small cones
+//     on deep undos are exactly the cases the prefix undo used to
+//     surrender to a cold solve.
+//
+// See README.md ("Reading RATS_SOLVER_STATS output") for how to
+// interpret the report.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rats {
+
+struct SolverStats {
+  // Strategy dispatch (fluid-network component solves).
+  std::atomic<std::uint64_t> singleton{0};
+  std::atomic<std::uint64_t> warm{0};
+  std::atomic<std::uint64_t> bipartite{0};
+  std::atomic<std::uint64_t> general{0};
+
+  // Warm re-solve outcomes (solver-level, all callers).
+  std::atomic<std::uint64_t> warm_attempts{0};
+  std::atomic<std::uint64_t> warm_hits{0};
+  std::atomic<std::uint64_t> warm_declined{0};  ///< returned false
+
+  // Replay composition across successful warm solves.
+  std::atomic<std::uint64_t> settles_kept{0};  ///< committed from trace
+  std::atomic<std::uint64_t> settles_cone{0};  ///< re-solved (cascade)
+  /// Decile histogram of cone settles / undone settles per warm solve
+  /// (bucket 9 also catches the ==100% case).
+  std::atomic<std::uint64_t> cone_fraction[10]{};
+
+  // Wall time inside component solves, by strategy (only accumulated
+  // while stats are enabled; the timer itself costs ~2 clock reads per
+  // solve).
+  std::atomic<std::uint64_t> ns_warm{0};
+  std::atomic<std::uint64_t> ns_cold{0};
+
+  bool enabled() const { return enabled_; }
+
+  void bump(std::atomic<std::uint64_t>& counter) {
+    if (enabled_)
+      counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
+    if (enabled_)
+      counter.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Records one successful warm replay: `cone` settles re-solved out
+  /// of `undone` undone (kept = undone - cone).
+  void record_warm_replay(std::uint64_t cone, std::uint64_t undone);
+
+  ~SolverStats();
+
+ private:
+  const bool enabled_;
+  SolverStats();
+  friend SolverStats& solver_stats();
+};
+
+/// The process-wide instance (constructed on first use, reported at
+/// exit).
+SolverStats& solver_stats();
+
+}  // namespace rats

@@ -118,21 +118,26 @@ LinkId Cluster::cabinet_down(int cabinet) const {
 }
 
 std::vector<LinkId> Cluster::route(NodeId src, NodeId dst) const {
+  std::vector<LinkId> path;
+  route_into(src, dst, path);
+  return path;
+}
+
+void Cluster::route_into(NodeId src, NodeId dst,
+                         std::vector<LinkId>& out) const {
   check_node(src);
   check_node(dst);
-  if (src == dst) return {};
-  std::vector<LinkId> path;
-  path.push_back(nic_up(src));
+  if (src == dst) return;
+  out.push_back(nic_up(src));
   if (hierarchical_topology()) {
     const int cs = cabinet_of(src);
     const int cd = cabinet_of(dst);
     if (cs != cd) {
-      path.push_back(cabinet_up(cs));
-      path.push_back(cabinet_down(cd));
+      out.push_back(cabinet_up(cs));
+      out.push_back(cabinet_down(cd));
     }
   }
-  path.push_back(nic_down(dst));
-  return path;
+  out.push_back(nic_down(dst));
 }
 
 Seconds Cluster::route_latency(NodeId src, NodeId dst) const {

@@ -92,6 +92,10 @@ class Cluster {
   /// Empty when src == dst (loopback is free, cf. self-communication).
   std::vector<LinkId> route(NodeId src, NodeId dst) const;
 
+  /// Appends the route's link ids to `out` without allocating a
+  /// temporary — the fluid network stores routes in one flat arena.
+  void route_into(NodeId src, NodeId dst, std::vector<LinkId>& out) const;
+
   /// One-way latency of the route (sum of link latencies).
   Seconds route_latency(NodeId src, NodeId dst) const;
 

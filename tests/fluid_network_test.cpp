@@ -153,6 +153,36 @@ TEST(FluidNetwork, HierarchicalUplinkIsTheBottleneck) {
   EXPECT_NEAR(net.flow_finish_time(f2), 2.0 + 4e-4, 1e-6);
 }
 
+// Merge-then-depart churn on a hierarchical cluster with validation
+// on: every rate flush re-solves the whole population cold and
+// requires bitwise equality with the incremental (cone-warm) rates.
+// Staggered sizes make finishes (departures) interleave with arrivals
+// while cross-cabinet flows keep merging and splitting the sharing
+// components over the uplinks — the deep-cone regime of solve_warm.
+TEST(FluidNetwork, HierarchicalMergeThenDepartWarmEqualsCold) {
+  const Cluster c = Cluster::hierarchical("h3", 3, 4, 1e9, 100e-6, 125e6,
+                                          100e-6, 250e6);
+  FluidNetwork net(c);
+  net.set_validation(true);
+  // Intra-cabinet flows: three separate sharing components.
+  net.open_flow(0, 1, 30e6);
+  net.open_flow(1, 2, 90e6);
+  net.open_flow(4, 5, 45e6);
+  net.open_flow(6, 7, 120e6);
+  net.open_flow(8, 9, 60e6);
+  net.advance_to(0.1);
+  // Cross-cabinet bridges merge the components over the uplinks.
+  net.open_flow(0, 4, 200e6);
+  net.open_flow(4, 8, 150e6);
+  net.advance_to(0.4);  // the small intra-cabinet flows finish (depart)
+  net.open_flow(1, 9, 80e6);
+  net.open_flow(10, 11, 25e6);
+  net.advance_to(1.1);
+  net.open_flow(9, 2, 50e6);  // re-merge after earlier finishes
+  net.advance_to(30.0);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
 TEST(FluidNetwork, ByteAccountingMatchesOpenedVolume) {
   const Cluster c = test_cluster();
   FluidNetwork net(c);
@@ -204,8 +234,8 @@ void expect_exact_partition(const FluidNetwork& net,
   };
   for (std::size_t i = 0; i < alive.size(); ++i)
     for (std::size_t j = i + 1; j < alive.size(); ++j) {
-      const auto& a = net.flow(alive[i]).links;
-      const auto& b = net.flow(alive[j]).links;
+      const RouteView a = net.flow_route(alive[i]);
+      const RouteView b = net.flow_route(alive[j]);
       const bool share = std::any_of(a.begin(), a.end(), [&](LinkId l) {
         return std::find(b.begin(), b.end(), l) != b.end();
       });
@@ -312,13 +342,15 @@ void expect_rates_match_full_solve(const Cluster& c, const FluidNetwork& net,
     const FlowState& f = net.flow(id);
     if (!f.released || f.done) continue;
     released.push_back(id);
-    demands.push_back(FlowDemand{f.links, f.cap});
+    const RouteView route = net.flow_route(id);
+    demands.push_back(
+        FlowDemand{std::vector<LinkId>(route.begin(), route.end()), f.cap});
   }
   std::vector<Rate> expected;
   MaxMinSolver solver;
   solver.solve(capacity, demands, expected);
   for (std::size_t k = 0; k < released.size(); ++k)
-    EXPECT_EQ(net.flow(released[k]).rate, expected[k])
+    EXPECT_EQ(net.flow_rate(released[k]), expected[k])
         << "step " << step << " flow " << released[k] << " on " << c.name();
 }
 
@@ -436,7 +468,7 @@ TEST(FluidNetworkCapacity, TargetedUpdateMatchesFullInvalidationBitwise) {
                     oracle.flow_finish_time(f))
               << "step " << step << " flow " << f << " on " << c.name();
         } else {
-          EXPECT_EQ(incremental.flow(f).rate, oracle.flow(f).rate)
+          EXPECT_EQ(incremental.flow_rate(f), oracle.flow_rate(f))
               << "step " << step << " flow " << f << " on " << c.name();
         }
       }

@@ -537,6 +537,178 @@ TEST(MaxMinDifferential, WarmResolveMatchesColdBitwise) {
   EXPECT_GT(warm_successes, 400);
 }
 
+// ------------------------------------------------- deep-cone deltas
+// Deltas whose divergence round is at (or near) the very start of the
+// recorded trace: the historical prefix policy must undo essentially
+// the whole trace and hits its decline cap, while the cone policy
+// splices the rounds outside the delta's dependency cone straight from
+// the record and must still match a cold solve bit for bit.
+
+TEST(MaxMinDifferential, ConeSurvivesEarlyFixedDeparture) {
+  MaxMinSolver solver;
+  MaxMinSolver cold_solver;
+  // Link 0 is a tiny dedicated bottleneck: its flow fixes in round 0,
+  // so departing it diverges every later round under the prefix undo.
+  std::vector<Rate> capacity{1.0};
+  std::vector<FlowDemand> flows{flow({0})};
+  for (std::int32_t l = 1; l <= 20; ++l) {
+    capacity.push_back(100.0);
+    flows.push_back(flow({l}));
+    flows.push_back(flow({l}));
+  }
+  std::vector<std::int32_t> ids(flows.size());
+  for (std::size_t f = 0; f < ids.size(); ++f)
+    ids[f] = static_cast<std::int32_t>(f);
+  std::vector<FlowDemandView> views;
+  for (const auto& d : flows)
+    views.push_back(FlowDemandView{
+        d.links.data(), static_cast<std::int32_t>(d.links.size()), d.cap});
+  MaxMinWarmState prefix_state;
+  std::vector<Rate> rates(flows.size());
+  solver.solve(capacity, views.data(), views.size(), rates.data(),
+               &prefix_state, ids.data());
+  MaxMinWarmState cone_state = prefix_state;
+
+  const std::int32_t departing = 0;
+  std::vector<std::pair<std::int32_t, Rate>> changed;
+  EXPECT_FALSE(solver.solve_warm(capacity, prefix_state, nullptr, 0,
+                                 &departing, 1, changed, WarmMode::kPrefix));
+  changed.clear();
+  ASSERT_TRUE(solver.solve_warm(capacity, cone_state, nullptr, 0, &departing,
+                                1, changed, WarmMode::kCone));
+
+  std::map<std::int32_t, Rate> rate_of;
+  for (std::size_t f = 1; f < flows.size(); ++f) rate_of[ids[f]] = rates[f];
+  for (const auto& [id, r] : changed) rate_of[id] = r;
+  std::vector<Rate> expected(flows.size() - 1);
+  cold_solver.solve(capacity, views.data() + 1, views.size() - 1,
+                    expected.data());
+  for (std::size_t f = 1; f < flows.size(); ++f)
+    EXPECT_EQ(rate_of[ids[f]], expected[f - 1]) << "flow id " << ids[f];
+}
+
+// Randomized deep-cone battery: every instance plants an early-fixed
+// flow on a private tiny link, loads half the population with binding
+// caps (whose early cap rounds used to cascade the prefix undo), and
+// replays merge-then-depart sequences — an arrival bridging two link
+// groups, departed again two events later.  The cone policy must take
+// every delta (it has no trace-fraction decline) and reproduce a cold
+// solve of the new population bit for bit.
+
+TEST(MaxMinDifferential, ConeDeepCascadesMatchColdBitwise) {
+  Rng rng(0x51CEu);
+  MaxMinSolver warm_solver;
+  MaxMinSolver cold_solver;
+  for (int instance = 0; instance < 100; ++instance) {
+    const int num_links = static_cast<int>(rng.uniform_int(6, 30));
+    std::vector<Rate> capacity{rng.uniform(0.5, 2.0)};  // the early link
+    for (int l = 1; l < num_links; ++l)
+      capacity.push_back(rng.bernoulli(0.4) ? 100.0 : rng.uniform(50.0, 200.0));
+
+    std::vector<FlowDemand> flows{flow({0})};  // fixes in round 0
+    std::vector<std::int32_t> ids{0};
+    std::int32_t next_id = 1;
+    const auto random_flow = [&] {
+      FlowDemand d;
+      const int route_len = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < route_len; ++i) {
+        const auto link =
+            static_cast<std::int32_t>(rng.uniform_int(1, num_links - 1));
+        if (std::find(d.links.begin(), d.links.end(), link) == d.links.end())
+          d.links.push_back(link);
+      }
+      if (rng.bernoulli(0.5)) d.cap = rng.uniform(0.5, 30.0);  // binding-ish
+      return d;
+    };
+    const int num_flows = static_cast<int>(rng.uniform_int(20, 60));
+    for (int f = 0; f < num_flows; ++f) {
+      flows.push_back(random_flow());
+      ids.push_back(next_id++);
+    }
+
+    const auto make_views = [&](const std::vector<FlowDemand>& population) {
+      std::vector<FlowDemandView> views;
+      for (const auto& d : population)
+        views.push_back(FlowDemandView{
+            d.links.data(), static_cast<std::int32_t>(d.links.size()), d.cap});
+      return views;
+    };
+
+    MaxMinWarmState state;
+    std::map<std::int32_t, Rate> rate_of;
+    {
+      auto views = make_views(flows);
+      std::vector<Rate> rates(flows.size());
+      warm_solver.solve(capacity, views.data(), views.size(), rates.data(),
+                        &state, ids.data());
+      for (std::size_t f = 0; f < flows.size(); ++f)
+        rate_of[ids[f]] = rates[f];
+    }
+
+    std::vector<std::pair<std::int32_t, Rate>> changed;
+    std::int32_t bridge_id = -1;  // merge-then-depart in flight
+    for (int event = 0; event < 6; ++event) {
+      std::vector<std::int32_t> deps;
+      std::vector<FlowDemand> arriving;
+      std::vector<std::int32_t> arriving_ids;
+      if (event == 0) {
+        deps.push_back(0);  // the early-fixed flow: deepest cascade
+      } else if (bridge_id >= 0 && event % 2 == 0) {
+        deps.push_back(bridge_id);  // depart the bridge two events later
+        bridge_id = -1;
+      } else {
+        // Arrival bridging two random links ("merge"), possibly capped.
+        FlowDemand d;
+        d.links.push_back(
+            static_cast<std::int32_t>(rng.uniform_int(1, num_links - 1)));
+        auto other =
+            static_cast<std::int32_t>(rng.uniform_int(1, num_links - 1));
+        if (other == d.links.front()) other = 1 + other % (num_links - 1);
+        d.links.push_back(other);
+        if (rng.bernoulli(0.5)) d.cap = rng.uniform(0.5, 30.0);
+        arriving.push_back(std::move(d));
+        arriving_ids.push_back(next_id);
+        bridge_id = next_id++;
+      }
+
+      for (const std::int32_t dep : deps) {
+        const auto it = std::find(ids.begin(), ids.end(), dep);
+        ASSERT_NE(it, ids.end());
+        const auto at = static_cast<std::size_t>(it - ids.begin());
+        flows.erase(flows.begin() + static_cast<std::ptrdiff_t>(at));
+        ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(at));
+        rate_of.erase(dep);
+      }
+      std::vector<FlowArrival> arrivals;
+      for (std::size_t a = 0; a < arriving.size(); ++a)
+        arrivals.push_back(FlowArrival{
+            arriving_ids[a], arriving[a].links.data(),
+            static_cast<std::int32_t>(arriving[a].links.size()),
+            arriving[a].cap});
+
+      changed.clear();
+      ASSERT_TRUE(warm_solver.solve_warm(
+          capacity, state, arrivals.data(), arrivals.size(), deps.data(),
+          deps.size(), changed, WarmMode::kCone))
+          << "instance " << instance << " event " << event;
+      for (std::size_t a = 0; a < arriving.size(); ++a) {
+        flows.push_back(std::move(arriving[a]));
+        ids.push_back(arriving_ids[a]);
+      }
+      for (const auto& [id, r] : changed) rate_of[id] = r;
+
+      auto views = make_views(flows);
+      std::vector<Rate> expected(flows.size());
+      cold_solver.solve(capacity, views.data(), views.size(), expected.data());
+      ASSERT_EQ(rate_of.size(), flows.size());
+      for (std::size_t f = 0; f < flows.size(); ++f)
+        EXPECT_EQ(rate_of[ids[f]], expected[f])
+            << "instance " << instance << " event " << event << " flow id "
+            << ids[f];
+    }
+  }
+}
+
 // The seed solver's bottleneck test read remaining/active while the
 // same pass mutated them, so which flows counted as bottlenecked could
 // depend on flow index order.  The snapshot fix makes the result a
