@@ -2,6 +2,8 @@
 //
 //   rats run <scenario.rats> [--trace out.jsonl] [--threads N]
 //                            [--csv] [--full] [--check N] [--timeout SECS]
+//                            [--metrics m.json] [--profile spans.json]
+//                            [--progress]
 //   rats verify <trace.jsonl> [--threads N]
 //   rats emit (<scenario.rats> | --kind <kind>)
 //   rats kinds
@@ -40,6 +42,8 @@
 #include "exp/autotune.hpp"
 #include "exp/runner.hpp"
 #include "io/workflow_io.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "platform/grid5000.hpp"
 #include "scenario/parser.hpp"
 #include "scenario/registry.hpp"
@@ -65,6 +69,11 @@ namespace {
       "      --check N           run the scenario N times and fail if\n"
       "                          any output byte differs\n"
       "      --timeout SECS      abort (exit 124) past this wall clock\n"
+      "      --metrics FILE      write a machine-readable metrics snapshot\n"
+      "                          (and embed counters in report artefacts)\n"
+      "      --profile FILE      write pipeline phase spans as Chrome\n"
+      "                          trace-event JSON (chrome://tracing)\n"
+      "      --progress          live stderr heartbeat (runs, rate, ETA)\n"
       "  verify <trace.jsonl>    re-simulate a trace and byte-diff it\n"
       "      --threads N         worker threads for the replay\n"
       "  emit <scenario.rats>    print the canonical form of a scenario\n"
@@ -82,6 +91,8 @@ namespace {
       "      --index I           run only spec I of the campaign\n"
       "      --emit              print the generated specs, run nothing\n"
       "      --no-minimize       write repros without delta-debugging\n"
+      "      --progress          live stderr heartbeat (specs, rate, ETA)\n"
+      "      --metrics FILE      write a campaign metrics snapshot\n"
       "  sched [options]         one-shot scheduling (rats sched --help)\n");
   std::exit(code);
 }
@@ -200,6 +211,9 @@ int cmd_run(int argc, char** argv) {
     if (a == "--trace") options.trace_path = next();
     else if (a == "--report-csv") options.report_csv_path = next();
     else if (a == "--report-json") options.report_json_path = next();
+    else if (a == "--metrics") options.metrics_path = next();
+    else if (a == "--profile") options.profile_path = next();
+    else if (a == "--progress") options.progress = true;
     else if (a == "--threads") {
       options.has_threads = true;
       options.threads = parse_threads(next());
@@ -224,6 +238,11 @@ int cmd_run(int argc, char** argv) {
     usage(2);
   }
   const Watchdog watchdog(timeout);
+  // Turn observability on before the spec parse so the "parse" span
+  // and its counters are captured; scenario::run would only flip the
+  // switches after parsing.
+  if (!options.metrics_path.empty()) obs::set_metrics_enabled(true);
+  if (!options.profile_path.empty()) obs::set_profiling_enabled(true);
   // RATS_RUN_STATS=1 prints how many schedule+simulate runs the
   // scenario cost — the CI gate that a traced run's matrix was
   // simulated exactly once (report and trace share the pass).
@@ -323,6 +342,8 @@ int cmd_fuzz(int argc, char** argv) {
     else if (a == "--index") options.index = static_cast<int>(next_long(0));
     else if (a == "--emit") options.emit_only = true;
     else if (a == "--no-minimize") options.minimize = false;
+    else if (a == "--progress") options.progress = true;
+    else if (a == "--metrics") options.metrics_path = next();
     else if (a == "--help" || a == "-h") usage(0);
     else usage(2);
   }

@@ -1,26 +1,35 @@
 #include "exp/runner.hpp"
 
-#include <atomic>
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace rats {
 
 namespace {
-std::atomic<std::uint64_t> g_simulated_runs{0};
+/// Counts with add_always: simulated_run_count() is a public API
+/// contract (tests, the CLI's run-stats line) and must never miss a
+/// run just because metrics are off.
+obs::Counter& runs_counter() {
+  static obs::Counter& c = obs::counter("exp/runs_simulated");
+  return c;
+}
 }  // namespace
 
-std::uint64_t simulated_run_count() {
-  return g_simulated_runs.load(std::memory_order_relaxed);
-}
+std::uint64_t simulated_run_count() { return runs_counter().value(); }
 
-void note_simulated_run() {
-  g_simulated_runs.fetch_add(1, std::memory_order_relaxed);
-}
+void note_simulated_run() { runs_counter().add_always(1); }
 
 RunOutcome run_scenario(const TaskGraph& graph, const Cluster& cluster,
                         const SchedulerOptions& scheduler,
                         const SimulatorOptions& sim) {
-  const Schedule schedule = build_schedule(graph, cluster, scheduler);
-  const SimulationResult result = simulate(graph, schedule, cluster, sim);
+  Schedule schedule = [&] {
+    obs::PhaseTimer span("schedule");
+    return build_schedule(graph, cluster, scheduler);
+  }();
+  const SimulationResult result = [&] {
+    obs::PhaseTimer span("simulate");
+    return simulate(graph, schedule, cluster, sim);
+  }();
   note_simulated_run();
   return RunOutcome{result.makespan, result.total_work, result.faults};
 }

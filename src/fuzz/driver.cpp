@@ -3,6 +3,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <thread>
 
@@ -10,6 +11,8 @@
 #include "fuzz/generator.hpp"
 #include "fuzz/minimize.hpp"
 #include "fuzz/oracles.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
 #include "scenario/parser.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -144,6 +147,27 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& out) {
   FuzzResult result;
   const int first = options.index >= 0 ? options.index : 0;
   const int last = options.index >= 0 ? options.index + 1 : options.count;
+
+  // Campaign-level registry counters.  Oracle work happens in forked
+  // children, so only the parent's view of each outcome is counted —
+  // exactly what a nightly snapshot wants.  Volatile: a re-run of a
+  // failing campaign after a fix tallies differently by design.
+  if (!options.metrics_path.empty()) obs::set_metrics_enabled(true);
+  obs::Counter& c_run = obs::counter("fuzz/specs_run");
+  obs::Counter& c_passed = obs::counter("fuzz/specs_passed");
+  obs::Counter& c_failed =
+      obs::counter("fuzz/specs_failed", obs::Stability::Volatile);
+  obs::Counter& c_timeouts =
+      obs::counter("fuzz/timeouts", obs::Stability::Volatile);
+  obs::Counter& c_crashes =
+      obs::counter("fuzz/crashes", obs::Stability::Volatile);
+  obs::Counter& c_repros =
+      obs::counter("fuzz/repros_written", obs::Stability::Volatile);
+
+  std::optional<obs::ProgressMeter> meter;
+  if (options.progress && !options.emit_only)
+    meter.emplace("specs", static_cast<std::uint64_t>(last - first));
+
   for (int i = first; i < last; ++i) {
     const std::uint64_t seed = spec_seed(options.seed, i);
     const scenario::ScenarioSpec spec = generate_spec(seed);
@@ -152,12 +176,18 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& out) {
       continue;
     }
     ++result.ran;
+    c_run.inc();
     const SpecOutcome outcome = run_spec_isolated(spec, options.timeout_secs);
     if (outcome.kind == SpecOutcome::Pass) {
       ++result.passed;
+      c_passed.inc();
+      if (meter) meter->tick();
       continue;
     }
     ++result.failed;
+    c_failed.inc();
+    if (outcome.kind == SpecOutcome::Timeout) c_timeouts.inc();
+    if (outcome.kind == SpecOutcome::Crash) c_crashes.inc();
     out << "fuzz: FAIL index " << i << " (seed " << seed << ") — "
         << outcome.diagnosis << "\n";
     scenario::ScenarioSpec minimal = spec;
@@ -178,6 +208,16 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& out) {
         write_repro(options, i, seed, minimal, outcome.diagnosis);
     out << "fuzz: repro written to " << path << "\n";
     result.repro_paths.push_back(path);
+    c_repros.inc();
+    if (meter) meter->tick();
+  }
+  if (meter) meter->finish();
+  if (!options.metrics_path.empty()) {
+    std::ofstream snap(options.metrics_path,
+                       std::ios::binary | std::ios::trunc);
+    snap << obs::snapshot_json(obs::snapshot(),
+                               "fuzz-seed-" + std::to_string(options.seed),
+                               "fuzz");
   }
   if (!options.emit_only)
     out << "fuzz: " << result.ran << " specs, " << result.passed

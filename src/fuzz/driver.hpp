@@ -26,6 +26,10 @@ struct FuzzOptions {
   bool emit_only = false;        ///< print generated specs, run nothing
   int index = -1;                ///< >= 0: run only this spec index
   bool minimize = true;          ///< delta-debug failures before writing
+  bool progress = false;         ///< live stderr heartbeat (specs/s, ETA)
+  /// When non-empty, enables the obs:: metrics registry and writes a
+  /// final campaign snapshot (fuzz/* counters) to this path.
+  std::string metrics_path;
 };
 
 /// How one isolated spec run ended.

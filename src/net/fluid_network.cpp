@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "net/solver_stats.hpp"
+#include "obs/span.hpp"
 
 namespace rats {
 
@@ -681,6 +682,7 @@ void FluidNetwork::solve_component(std::int32_t c) {
     }
     changed_.clear();
     SolverStats& stats = solver_stats();
+    obs::PhaseTimer span("solve/warm");
     const auto t0 = stats.enabled() ? std::chrono::steady_clock::now()
                                     : std::chrono::steady_clock::time_point{};
     const bool warm_ok = solver_.solve_warm(
@@ -735,6 +737,7 @@ void FluidNetwork::solve_cold(std::int32_t c) {
                    two_link ? kSolveBipartite : kSolveGeneral);
   SolverStats& stats = solver_stats();
   stats.bump(two_link ? stats.bipartite : stats.general);
+  obs::PhaseTimer span(two_link ? "solve/bipartite" : "solve/general");
   const auto t0 = stats.enabled() ? std::chrono::steady_clock::now()
                                   : std::chrono::steady_clock::time_point{};
   if (two_link) {

@@ -6,65 +6,78 @@
 namespace rats {
 
 SolverStats::SolverStats()
-    : enabled_(std::getenv("RATS_SOLVER_STATS") != nullptr) {}
+    : singleton(obs::counter("net/solve/singleton")),
+      warm(obs::counter("net/solve/warm")),
+      bipartite(obs::counter("net/solve/bipartite")),
+      general(obs::counter("net/solve/general")),
+      warm_attempts(obs::counter("net/warm/attempts")),
+      warm_hits(obs::counter("net/warm/hits")),
+      warm_declined(obs::counter("net/warm/declined")),
+      settles_kept(obs::counter("net/warm/settles_kept")),
+      settles_cone(obs::counter("net/warm/settles_cone")),
+      cone_fraction(obs::histogram("net/warm/cone_fraction", 10)),
+      ns_warm(obs::timer("net/solve/warm_time")),
+      ns_cold(obs::timer("net/solve/cold_time")) {}
 
 void SolverStats::record_warm_replay(std::uint64_t cone,
                                      std::uint64_t undone) {
-  if (!enabled_)
+  if (!obs::metrics_enabled())
     return;
-  settles_cone.fetch_add(cone, std::memory_order_relaxed);
-  settles_kept.fetch_add(undone - cone, std::memory_order_relaxed);
+  settles_cone.add(cone);
+  settles_kept.add(undone - cone);
   std::size_t bucket = 9;
   if (undone > 0 && cone < undone)
     bucket = static_cast<std::size_t>((cone * 10) / undone);
-  cone_fraction[bucket].fetch_add(1, std::memory_order_relaxed);
+  cone_fraction.record(bucket);
 }
 
 SolverStats::~SolverStats() {
-  if (!enabled_)
+  // The classic stderr report stays behind its own env var: enabling
+  // metrics for a snapshot must not start spamming stderr at exit.
+  if (std::getenv("RATS_SOLVER_STATS") == nullptr)
     return;
-  const auto u = [](const std::atomic<std::uint64_t>& a) {
-    return static_cast<unsigned long long>(a.load(std::memory_order_relaxed));
-  };
   const std::uint64_t solves =
-      singleton.load() + warm.load() + bipartite.load() + general.load();
-  if (solves + warm_attempts.load() == 0)
+      singleton.value() + warm.value() + bipartite.value() + general.value();
+  if (solves + warm_attempts.value() == 0)
     return;
+  const auto u = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
   std::fprintf(stderr,
                "MaxMinSolver strategies: %llu solves (%llu singleton, %llu "
                "warm, %llu bipartite, %llu general)\n",
-               static_cast<unsigned long long>(solves), u(singleton), u(warm),
-               u(bipartite), u(general));
-  const std::uint64_t attempts = warm_attempts.load();
+               u(solves), u(singleton.value()), u(warm.value()),
+               u(bipartite.value()), u(general.value()));
+  const std::uint64_t attempts = warm_attempts.value();
   if (attempts > 0) {
     std::fprintf(stderr,
                  "MaxMinSolver warm coverage: %llu hits / %llu attempts "
                  "(%.1f%%), %llu cold fallbacks\n",
-                 u(warm_hits), u(warm_attempts),
-                 100.0 * static_cast<double>(warm_hits.load()) /
+                 u(warm_hits.value()), u(attempts),
+                 100.0 * static_cast<double>(warm_hits.value()) /
                      static_cast<double>(attempts),
-                 u(warm_declined));
+                 u(warm_declined.value()));
   }
-  const std::uint64_t undone = settles_kept.load() + settles_cone.load();
+  const std::uint64_t undone = settles_kept.value() + settles_cone.value();
   if (undone > 0) {
     std::fprintf(stderr,
                  "MaxMinSolver warm replay: %llu settles undone, %llu "
                  "re-solved via cone (%.1f%%), %llu committed from trace\n",
-                 static_cast<unsigned long long>(undone), u(settles_cone),
-                 100.0 * static_cast<double>(settles_cone.load()) /
+                 u(undone), u(settles_cone.value()),
+                 100.0 * static_cast<double>(settles_cone.value()) /
                      static_cast<double>(undone),
-                 u(settles_kept));
+                 u(settles_kept.value()));
     std::fprintf(stderr, "MaxMinSolver cone/undone deciles:");
-    for (int b = 0; b < 10; ++b)
-      std::fprintf(stderr, " %llu", u(cone_fraction[b]));
+    for (std::size_t b = 0; b < 10; ++b)
+      std::fprintf(stderr, " %llu", u(cone_fraction.bucket(b)));
     std::fprintf(stderr, "\n");
   }
-  if (ns_warm.load() + ns_cold.load() > 0)
+  if (ns_warm.total_ns() + ns_cold.total_ns() > 0)
     std::fprintf(stderr,
                  "MaxMinSolver time: %.3f s in warm solves, %.3f s in cold "
                  "solves\n",
-                 static_cast<double>(ns_warm.load()) * 1e-9,
-                 static_cast<double>(ns_cold.load()) * 1e-9);
+                 static_cast<double>(ns_warm.total_ns()) * 1e-9,
+                 static_cast<double>(ns_cold.total_ns()) * 1e-9);
 }
 
 SolverStats& solver_stats() {

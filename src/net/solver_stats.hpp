@@ -1,10 +1,16 @@
-// Process-wide Max-Min solver statistics, printed at exit when the
-// RATS_SOLVER_STATS environment variable is set (mirrors the
-// RATS_REDIST_STATS counters of redist/block_redistribution.cpp).
+// Process-wide Max-Min solver statistics, registry-backed.
 //
-// Counters are bumped live on every solve with relaxed atomics — and
-// only when the env var is set, so the hot path pays one predictable
-// branch.  They are the measurement side of the solver-strategy layer:
+// The counters live in the obs:: metrics registry under `net/...`
+// names, so they show up in `rats run --metrics` snapshots and in the
+// report's metrics section; this struct is the solver-side façade that
+// keeps the call sites one-liner cheap (`stats.bump(stats.warm)`).
+// Bumps are gated on obs::metrics_enabled() — one predictable branch
+// when off, a relaxed fetch_add when on.  Setting the legacy
+// RATS_SOLVER_STATS environment variable still (a) enables recording,
+// as an alias of RATS_METRICS, and (b) prints the classic exit report
+// to stderr, reproduced from registry state.
+//
+// The counters measure the solver-strategy layer:
 //
 //   * per-strategy solve counts (singleton short-circuit, warm
 //     re-solve, bipartite waterfilling, general lazy-heap) as picked by
@@ -18,50 +24,45 @@
 //     on deep undos are exactly the cases the prefix undo used to
 //     surrender to a cold solve.
 //
-// See README.md ("Reading RATS_SOLVER_STATS output") for how to
-// interpret the report.
+// See README.md ("Observability") for how to interpret the report.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+
+#include "obs/registry.hpp"
 
 namespace rats {
 
 struct SolverStats {
   // Strategy dispatch (fluid-network component solves).
-  std::atomic<std::uint64_t> singleton{0};
-  std::atomic<std::uint64_t> warm{0};
-  std::atomic<std::uint64_t> bipartite{0};
-  std::atomic<std::uint64_t> general{0};
+  obs::Counter& singleton;
+  obs::Counter& warm;
+  obs::Counter& bipartite;
+  obs::Counter& general;
 
   // Warm re-solve outcomes (solver-level, all callers).
-  std::atomic<std::uint64_t> warm_attempts{0};
-  std::atomic<std::uint64_t> warm_hits{0};
-  std::atomic<std::uint64_t> warm_declined{0};  ///< returned false
+  obs::Counter& warm_attempts;
+  obs::Counter& warm_hits;
+  obs::Counter& warm_declined;  ///< returned false
 
   // Replay composition across successful warm solves.
-  std::atomic<std::uint64_t> settles_kept{0};  ///< committed from trace
-  std::atomic<std::uint64_t> settles_cone{0};  ///< re-solved (cascade)
+  obs::Counter& settles_kept;  ///< committed from trace
+  obs::Counter& settles_cone;  ///< re-solved (cascade)
   /// Decile histogram of cone settles / undone settles per warm solve
   /// (bucket 9 also catches the ==100% case).
-  std::atomic<std::uint64_t> cone_fraction[10]{};
+  obs::Histogram& cone_fraction;
 
   // Wall time inside component solves, by strategy (only accumulated
   // while stats are enabled; the timer itself costs ~2 clock reads per
   // solve).
-  std::atomic<std::uint64_t> ns_warm{0};
-  std::atomic<std::uint64_t> ns_cold{0};
+  obs::Timer& ns_warm;
+  obs::Timer& ns_cold;
 
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return obs::metrics_enabled(); }
 
-  void bump(std::atomic<std::uint64_t>& counter) {
-    if (enabled_)
-      counter.fetch_add(1, std::memory_order_relaxed);
-  }
-  void add(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
-    if (enabled_)
-      counter.fetch_add(n, std::memory_order_relaxed);
-  }
+  void bump(obs::Counter& counter) { counter.inc(); }
+  void add(obs::Counter& counter, std::uint64_t n) { counter.add(n); }
+  void add(obs::Timer& timer, std::uint64_t ns) { timer.add_ns(ns); }
   /// Records one successful warm replay: `cone` settles re-solved out
   /// of `undone` undone (kept = undone - cone).
   void record_warm_replay(std::uint64_t cone, std::uint64_t undone);
@@ -69,13 +70,12 @@ struct SolverStats {
   ~SolverStats();
 
  private:
-  const bool enabled_;
   SolverStats();
   friend SolverStats& solver_stats();
 };
 
-/// The process-wide instance (constructed on first use, reported at
-/// exit).
+/// The process-wide instance (constructed on first use; when
+/// RATS_SOLVER_STATS is set, prints the classic report at exit).
 SolverStats& solver_stats();
 
 }  // namespace rats

@@ -1,0 +1,76 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+
+#include "common/format.hpp"
+
+namespace rats::obs {
+
+namespace {
+
+std::string format_eta(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto s = static_cast<std::uint64_t>(seconds + 0.5);
+  if (s < 60) return strf("%llus", static_cast<unsigned long long>(s));
+  if (s < 3600)
+    return strf("%llum%02llus", static_cast<unsigned long long>(s / 60),
+                static_cast<unsigned long long>(s % 60));
+  return strf("%lluh%02llum", static_cast<unsigned long long>(s / 3600),
+              static_cast<unsigned long long>(s % 3600 / 60));
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total,
+                             std::chrono::milliseconds interval)
+    : label_(std::move(label)),
+      total_(total),
+      interval_(interval),
+      start_(std::chrono::steady_clock::now()),
+      last_paint_(start_ - interval) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::tick(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  done_ += n;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_paint_ < interval_) return;
+  last_paint_ = now;
+  paint_locked();
+}
+
+void ProgressMeter::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  paint_locked();
+  if (painted_) std::fputc('\n', stderr);
+}
+
+void ProgressMeter::paint_locked() {
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::fprintf(stderr, "\r%s", line(label_, done_, total_, elapsed_s).c_str());
+  std::fflush(stderr);
+  painted_ = true;
+}
+
+std::string ProgressMeter::line(const std::string& label, std::uint64_t done,
+                                std::uint64_t total, double elapsed_s) {
+  std::string out = "rats: " + std::to_string(done);
+  if (total > 0) out += "/" + std::to_string(total);
+  out += " " + label;
+  if (total > 0)
+    out += strf(" (%.1f%%)", 100.0 * static_cast<double>(done) /
+                                 static_cast<double>(total));
+  const double rate = elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0;
+  out += strf(" | %.1f/s", rate);
+  if (total > 0 && done > 0 && done < total && rate > 0)
+    out += " | eta " + format_eta(static_cast<double>(total - done) / rate);
+  return out;
+}
+
+}  // namespace rats::obs

@@ -1,0 +1,186 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "trace/trace.hpp"  // json_escape
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
+
+namespace rats::obs {
+
+namespace {
+
+std::atomic<bool> g_profiling{false};
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t os_thread_id() {
+#if defined(__linux__)
+  return static_cast<std::uint64_t>(::syscall(SYS_gettid));
+#else
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+#endif
+}
+
+struct SpanEvent {
+  const char* name;  ///< nullptr on an end event
+  std::int64_t ts_ns;
+};
+
+struct ThreadBuffer {
+  std::uint64_t tid = 0;
+  std::vector<SpanEvent> events;
+};
+
+/// Buffers of every thread that ever recorded a span, in registration
+/// order.  Buffers are never removed: the persistent worker pool's
+/// threads outlive individual runs, and export walks dead threads'
+/// buffers too.
+struct Recorder {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::deque<std::string> interned;  ///< per-run labels (stable storage)
+};
+
+Recorder& recorder() {
+  static Recorder* r = new Recorder;  // leak: threads may outlive exit
+  return *r;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* buf = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->tid = os_thread_id();
+    owned->events.reserve(1024);
+    ThreadBuffer* raw = owned.get();
+    std::lock_guard<std::mutex> lock(recorder().mu);
+    recorder().buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buf;
+}
+
+void append_event(std::string& out, bool begin, const char* name,
+                  std::uint64_t pid, std::uint64_t tid, std::int64_t ts_ns,
+                  bool first) {
+  if (!first) out += ",\n";
+  out += "{\"name\":\"";
+  out += json_escape(name);
+  out += begin ? "\",\"cat\":\"rats\",\"ph\":\"B\",\"pid\":"
+               : "\",\"cat\":\"rats\",\"ph\":\"E\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":" + std::to_string(tid);
+  // Microseconds with nanosecond resolution kept in the fraction.
+  out += ",\"ts\":" + std::to_string(ts_ns / 1000) + "." +
+         [](std::int64_t ns) {
+           std::string frac = std::to_string(ns % 1000);
+           return std::string(3 - frac.size(), '0') + frac;
+         }(ts_ns) +
+         "}";
+  return;
+}
+
+}  // namespace
+
+bool profiling_enabled() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+void set_profiling_enabled(bool on) {
+  g_profiling.store(on, std::memory_order_relaxed);
+}
+
+void span_begin(const char* name) {
+  thread_buffer().events.push_back(SpanEvent{name, now_ns()});
+}
+
+void span_end() {
+  thread_buffer().events.push_back(SpanEvent{nullptr, now_ns()});
+}
+
+const char* intern_name(const std::string& name) {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.interned.push_back(name);
+  return r.interned.back().c_str();
+}
+
+std::string spans_json() {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+#if defined(__unix__) || defined(__APPLE__)
+  const std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+#else
+  const std::uint64_t pid = 1;
+#endif
+  // Rebase timestamps so the trace starts at 0 — viewers show relative
+  // time and the numbers stay readable.
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  for (const auto& buf : r.buffers)
+    if (!buf->events.empty()) base = std::min(base, buf->events.front().ts_ns);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  std::vector<const char*> stack;
+  for (const auto& buf : r.buffers) {
+    stack.clear();
+    std::int64_t last_ts = 0;
+    for (const SpanEvent& ev : buf->events) {
+      const std::int64_t ts = ev.ts_ns - base;
+      last_ts = ts;
+      if (ev.name != nullptr) {
+        append_event(out, true, ev.name, pid, buf->tid, ts, first);
+        stack.push_back(ev.name);
+      } else if (!stack.empty()) {
+        // An end always closes the innermost begin; unmatched ends
+        // (cleared mid-span) are dropped.
+        append_event(out, false, stack.back(), pid, buf->tid, ts, first);
+        stack.pop_back();
+      } else {
+        continue;
+      }
+      first = false;
+    }
+    // Close spans still open on this thread (export mid-run) at the
+    // thread's last timestamp so every B has an E.
+    while (!stack.empty()) {
+      append_event(out, false, stack.back(), pid, buf->tid, last_ts, first);
+      stack.pop_back();
+      first = false;
+    }
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+std::size_t span_count() {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t begins = 0;
+  for (const auto& buf : r.buffers)
+    for (const SpanEvent& ev : buf->events)
+      if (ev.name != nullptr) ++begins;
+  return begins;
+}
+
+void clear_spans() {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& buf : r.buffers) buf->events.clear();
+}
+
+}  // namespace rats::obs

@@ -1,0 +1,77 @@
+// Scoped profiling spans with Chrome trace-event / Perfetto export.
+//
+// `PhaseTimer phase("schedule");` records a begin/end pair on the
+// current thread's buffer — with a real OS thread id, so the worker
+// pool's lanes separate in the viewer — and `spans_json()` renders all
+// buffers as one Chrome trace-event JSON document (`rats run --profile
+// spans.json`), loadable in chrome://tracing or ui.perfetto.dev.
+//
+// Recording is gated on `profiling_enabled()`: when off (the default)
+// every instrumentation point costs one predictable branch and no
+// allocation, so outputs stay byte-identical.  When on, each event is
+// one push_back of {name, timestamp, depth-direction} onto a
+// thread-local vector; per-thread buffers are registered once and
+// reused for the life of the thread (the persistent worker pool keeps
+// its buffers across run matrices).
+//
+// Timestamps come from steady_clock, so they are monotonic per thread
+// by construction; spans on one thread nest like the C++ scopes that
+// record them, which is exactly the `B`/`E` well-formedness the
+// exporter (and chrome://tracing) needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rats::obs {
+
+/// Whether spans record — one relaxed atomic load, the single branch a
+/// disabled instrumentation point pays.
+bool profiling_enabled();
+
+/// Turns span recording on/off (`rats run --profile`, tests).
+void set_profiling_enabled(bool on);
+
+/// Opens a span on the calling thread.  `name` must stay valid until
+/// export: pass a string literal, or intern a dynamic name first.
+void span_begin(const char* name);
+
+/// Closes the innermost open span on the calling thread.
+void span_end();
+
+/// Copies a dynamic name (a per-run label like "run fft-2/CPA") into
+/// a process-lifetime pool and returns the stable pointer.  Intended
+/// for once-per-run labels, not hot loops.
+const char* intern_name(const std::string& name);
+
+/// RAII span covering the enclosing scope.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const char* name)
+      : active_(profiling_enabled()) {
+    if (active_) span_begin(name);
+  }
+  ~PhaseTimer() {
+    if (active_) span_end();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  bool active_;
+};
+
+/// All recorded spans as one Chrome trace-event JSON document: a
+/// `traceEvents` array of `B`/`E` pairs (one event per line), real
+/// pid/tid, microsecond timestamps rebased so the earliest event is 0.
+/// Spans still open on some thread are closed at that thread's last
+/// timestamp, so the output is always well-formed.
+std::string spans_json();
+
+/// Number of span pairs recorded so far (diagnostics/tests).
+std::size_t span_count();
+
+/// Drops every recorded span (tests; buffers stay registered).
+void clear_spans();
+
+}  // namespace rats::obs

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/registry.hpp"
 
 namespace rats {
 
@@ -161,22 +162,29 @@ std::vector<std::vector<Bytes>> Redistribution::matrix() const {
 
 namespace {
 
-/// Process-wide planner statistics, printed at exit when
-/// RATS_REDIST_STATS is set.  Counters are bumped live on every lookup
-/// (relaxed atomics, only when the env var is set) rather than folded
-/// in planner destructors: the persistent worker pool's threads — and
-/// their thread-local simulator planners — outlive the report, so
-/// destructor folding silently dropped every pool worker's lookups.
+/// Process-wide planner statistics, registry-backed (obs::) and
+/// printed at exit when RATS_REDIST_STATS is set.  Counters are bumped
+/// live on every lookup (relaxed atomics, gated on
+/// obs::metrics_enabled()) rather than folded in planner destructors:
+/// the persistent worker pool's threads — and their thread-local
+/// simulator planners — outlive the report, so destructor folding
+/// silently dropped every pool worker's lookups.
+///
+/// The counters are registered Volatile: the per-thread LRU caches
+/// mean a lookup's hit/miss depends on which worker ran the prior
+/// runs, so the split is thread-scheduling-dependent.
 struct PlannerStats {
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> misses{0};
-  std::atomic<std::uint64_t> sim_hits{0};
-  std::atomic<std::uint64_t> sim_misses{0};
-  const bool enabled = std::getenv("RATS_REDIST_STATS") != nullptr;
+  obs::Counter& hits = obs::counter("redist/plan/hits", obs::Stability::Volatile);
+  obs::Counter& misses =
+      obs::counter("redist/plan/misses", obs::Stability::Volatile);
+  obs::Counter& sim_hits =
+      obs::counter("redist/plan/sim_hits", obs::Stability::Volatile);
+  obs::Counter& sim_misses =
+      obs::counter("redist/plan/sim_misses", obs::Stability::Volatile);
   void bump(bool sim_side, bool hit) {
     auto& counter = sim_side ? (hit ? sim_hits : sim_misses)
                              : (hit ? hits : misses);
-    counter.fetch_add(1, std::memory_order_relaxed);
+    counter.inc();
   }
   static void report(const char* label, std::uint64_t h, std::uint64_t m) {
     if (h + m == 0) return;
@@ -188,15 +196,20 @@ struct PlannerStats {
                  100.0 * static_cast<double>(h) / static_cast<double>(h + m));
   }
   ~PlannerStats() {
-    if (!enabled) return;
-    const std::uint64_t sh = sim_hits.load(), sm = sim_misses.load();
-    const std::uint64_t mh = hits.load(), mm = misses.load();
+    if (std::getenv("RATS_REDIST_STATS") == nullptr) return;
+    const std::uint64_t sh = sim_hits.value(), sm = sim_misses.value();
+    const std::uint64_t mh = hits.value(), mm = misses.value();
     report("simulator", sh, sm);
     report("mapper", mh, mm);
     report("total", sh + mh, sm + mm);
   }
 };
-PlannerStats g_planner_stats;
+PlannerStats& planner_stats() {
+  // Function-local static: construction on first use pulls the obs
+  // registry up first, so it is destroyed after this reporter.
+  static PlannerStats stats;
+  return stats;
+}
 
 }  // namespace
 
@@ -265,8 +278,8 @@ const Redistribution& RedistPlanner::plan(Bytes total_bytes,
   probe_.receivers = receivers;
   ++tick_;
   const auto hit = cache_.find(probe_);
-  if (g_planner_stats.enabled)
-    g_planner_stats.bump(sim_side_, hit != cache_.end());
+  if (obs::metrics_enabled())
+    planner_stats().bump(sim_side_, hit != cache_.end());
   if (hit != cache_.end()) {
     ++hits_;
     CacheEntry& entry = hit->second;

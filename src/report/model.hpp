@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <vector>
@@ -79,6 +80,16 @@ struct ScalarModel {
   std::string text;  ///< non-numeric payload (e.g. a parameter tuple)
 };
 
+/// One metric carried alongside the report — a registry counter/gauge
+/// captured after the build (see src/obs/).  `stable` mirrors
+/// obs::Stability: stable values are reproducible across identical
+/// runs, volatile ones depend on thread scheduling.
+struct MetricModel {
+  std::string name;
+  std::int64_t value = 0;
+  bool stable = true;
+};
+
 /// One report item, in presentation order.
 struct Item {
   enum class Kind { Heading, Text, Table, Series, Scalar };
@@ -98,6 +109,12 @@ class ReportModel {
   /// A deque so appends never move existing items: the reference
   /// `table()` returns stays valid while later items are added.
   std::deque<Item> items;
+  /// Registry metrics captured for this run (empty unless the caller
+  /// enabled metrics).  render_text ignores them; render_csv/
+  /// render_json append a metrics section only when non-empty, so a
+  /// metrics-off report renders byte-identically to one without the
+  /// field.
+  std::vector<MetricModel> metrics;
 
   /// Appends an underlined section heading.
   void heading(std::string title);

@@ -103,6 +103,13 @@ std::string render_csv(const ReportModel& model) {
         break;  // headings/notes are presentation-only
     }
   }
+  if (!model.metrics.empty()) {
+    section("# metrics");
+    out += "name,value,stable\n";
+    for (const MetricModel& m : model.metrics)
+      out += m.name + "," + std::to_string(m.value) + "," +
+             (m.stable ? "1" : "0") + "\n";
+  }
   return out;
 }
 
@@ -167,7 +174,23 @@ std::string render_json(const ReportModel& model) {
         break;
     }
   }
-  out += "\n]}\n";
+  out += "\n]";
+  if (!model.metrics.empty()) {
+    // Two flat objects so `jq .metrics` pins the deterministic values
+    // without filtering out the scheduling-dependent ones.
+    bool first_stable = true, first_volatile = true;
+    std::string stable, vol;
+    for (const MetricModel& m : model.metrics) {
+      auto& dst = m.stable ? stable : vol;
+      auto& first = m.stable ? first_stable : first_volatile;
+      dst += std::string(first ? "" : ",") + "\n  \"" + json_escape(m.name) +
+             "\":" + std::to_string(m.value);
+      first = false;
+    }
+    out += ",\"metrics\":{" + stable + (first_stable ? "}" : "\n }");
+    out += ",\"volatile_metrics\":{" + vol + (first_volatile ? "}" : "\n }");
+  }
+  out += "}\n";
   return out;
 }
 

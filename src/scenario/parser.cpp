@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace rats::scenario {
 
@@ -699,6 +700,7 @@ void expand_events(const std::string& filename,
 }  // namespace
 
 ScenarioSpec parse_scenario(std::istream& in, const std::string& filename) {
+  obs::PhaseTimer span("parse");
   const Binder b(filename);
   const std::vector<Section> sections = parse_document(in, filename);
   ScenarioSpec spec;

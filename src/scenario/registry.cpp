@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -12,6 +13,9 @@
 #include "common/table.hpp"
 #include "dag/graph_algorithms.hpp"
 #include "exp/tuning.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "redist/block_redistribution.hpp"
 #include "report/render.hpp"
 #include "scenario/parser.hpp"
@@ -1003,6 +1007,57 @@ class TraceSession final : public RunSession {
   TraceWriter& writer_;
 };
 
+/// RunSession wrapper driving the --progress heartbeat: forwards every
+/// hook to the (possibly absent) inner session and ticks the meter on
+/// each completed run.  The meter finishes (final paint + newline) in
+/// the destructor, so every exit path closes the heartbeat line.
+class ProgressSession final : public RunSession {
+ public:
+  explicit ProgressSession(RunSession* inner) : inner_(inner) {}
+  void begin_matrix(std::size_t runs) override {
+    if (inner_) inner_->begin_matrix(runs);
+    meter_.emplace("runs", runs);
+  }
+  TraceSink* begin_run(std::size_t run, const RunMeta& meta) override {
+    return inner_ ? inner_->begin_run(run, meta) : nullptr;
+  }
+  void end_run(std::size_t run, const RunOutcome& outcome) override {
+    if (inner_) inner_->end_run(run, outcome);
+    if (meter_) meter_->tick();
+  }
+
+ private:
+  RunSession* inner_;
+  std::optional<obs::ProgressMeter> meter_;
+};
+
+/// Fills the model's metrics section with the *stable* registry
+/// counters/gauges accumulated since `before` — deltas, so `--check`
+/// repetitions (which share the process-wide registry) embed identical
+/// values, and so the section reflects this build rather than whatever
+/// ran earlier in the process.  Volatile counters and timers are
+/// excluded by design: they differ across repetitions (warm per-thread
+/// caches, wall time), which would break --check's byte comparison;
+/// they stay visible in the standalone --metrics snapshot.
+void fill_metrics(ReportModel& model, const obs::Snapshot& before) {
+  const obs::Snapshot after = obs::snapshot();
+  const auto delta = [](const std::vector<obs::Snapshot::Value>& b,
+                        const std::string& name) -> std::uint64_t {
+    for (const auto& v : b)
+      if (v.name == name) return v.value;
+    return 0;
+  };
+  model.metrics.clear();
+  for (const auto& v : after.counters)
+    model.metrics.push_back(report::MetricModel{
+        v.name, static_cast<std::int64_t>(v.value - delta(before.counters,
+                                                          v.name)),
+        true});
+  for (const auto& v : after.gauges)
+    model.metrics.push_back(report::MetricModel{
+        v.name, static_cast<std::int64_t>(v.value), true});
+}
+
 /// The canonical scenario text embedded in trace headers: artefact
 /// paths are execution details (like `threads`), so the trace bytes do
 /// not depend on where reports or the trace itself are written.
@@ -1126,20 +1181,49 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
   RATS_REQUIRE(options.check >= 1, "--check needs a repetition count >= 1");
   preflight_output(effective);
 
+  // Observability switches.  --metrics turns the registry on for the
+  // whole invocation; --profile starts span recording from a clean
+  // buffer.  Neither touches stdout or the report/trace bytes.
+  if (!options.metrics_path.empty()) obs::set_metrics_enabled(true);
+  if (!options.profile_path.empty() && !obs::profiling_enabled()) {
+    // Start from a clean buffer — unless the caller (the CLI) already
+    // enabled profiling to cover earlier phases like the spec parse.
+    obs::set_profiling_enabled(true);
+    obs::clear_spans();
+  }
+  // The heartbeat rides the run-session hook chain, which only
+  // traceable kinds invoke; the static table kinds finish in
+  // milliseconds anyway.
+  const bool want_progress = options.progress && entry.traceable;
+
   // ONE simulation pass: the report model accumulates while the trace
   // (when requested) streams through the per-run session hooks.  Under
   // --check the trace is buffered instead so repetitions can compare
   // its bytes.
   const bool compare = options.check > 1;
   const auto build_once = [&](std::string* trace_out) {
-    if (trace_out == nullptr) return build_with(entry, effective, nullptr);
-    std::ostringstream out;
-    TraceWriter writer(out, effective.name, effective.kind,
-                       canonical_spec_text(effective));
-    TraceSession session(writer);
-    ReportModel m = build_with(entry, effective, &session);
-    writer.finish();
-    *trace_out = out.str();
+    const obs::Snapshot before =
+        obs::metrics_enabled() ? obs::snapshot() : obs::Snapshot{};
+    std::optional<ProgressSession> progress;
+    const auto wrap = [&](RunSession* inner) -> RunSession* {
+      if (!want_progress) return inner;
+      progress.emplace(inner);
+      return &*progress;
+    };
+    ReportModel m;
+    if (trace_out == nullptr) {
+      m = build_with(entry, effective, wrap(nullptr));
+    } else {
+      std::ostringstream out;
+      TraceWriter writer(out, effective.name, effective.kind,
+                         canonical_spec_text(effective));
+      TraceSession session(writer);
+      m = build_with(entry, effective, wrap(&session));
+      writer.finish();
+      *trace_out = out.str();
+    }
+    progress.reset();  // close the heartbeat line before any rendering
+    if (obs::metrics_enabled()) fill_metrics(m, before);
     return m;
   };
 
@@ -1147,7 +1231,9 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
   std::string trace_bytes;
   if (trace_path.empty()) {
     model = build_once(nullptr);
-  } else if (compare) {
+  } else if (compare || want_progress) {
+    // Buffered trace: under --check so repetitions can compare bytes;
+    // under --progress so the heartbeat owns stderr while runs finish.
     model = build_once(&trace_bytes);
     write_artifact(trace_path, trace_bytes, "trace");
   } else {
@@ -1156,7 +1242,10 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
     TraceWriter writer(out, effective.name, effective.kind,
                        canonical_spec_text(effective));
     TraceSession session(writer);
+    const obs::Snapshot before =
+        obs::metrics_enabled() ? obs::snapshot() : obs::Snapshot{};
     model = build_with(entry, effective, &session);
+    if (obs::metrics_enabled()) fill_metrics(model, before);
     writer.finish();
     out.close();
     if (!out.good())
@@ -1164,7 +1253,10 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
     std::fprintf(stderr, "wrote trace %s\n", trace_path.c_str());
   }
 
-  const std::string text = report::render_text(model, effective.output.csv);
+  const std::string text = [&] {
+    obs::PhaseTimer span("render");
+    return report::render_text(model, effective.output.csv);
+  }();
   std::fputs(text.c_str(), stdout);
   if (!effective.output.report_csv.empty())
     write_artifact(effective.output.report_csv, report::render_csv(model),
@@ -1196,6 +1288,16 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
   if (compare)
     std::fprintf(stderr, "check: %d repetitions produced identical output\n",
                  options.check);
+
+  // Standalone observability artefacts, written last so they cover the
+  // whole invocation (including --check repetitions).
+  if (!options.metrics_path.empty())
+    write_artifact(options.metrics_path,
+                   obs::snapshot_json(obs::snapshot(), effective.name,
+                                      effective.kind),
+                   "metrics");
+  if (!options.profile_path.empty())
+    write_artifact(options.profile_path, obs::spans_json(), "profile");
 }
 
 ScenarioSpec default_spec(const std::string& kind) {

@@ -46,6 +46,15 @@ struct RunOptions {
   std::string trace_path;
   std::string report_csv_path;
   std::string report_json_path;
+  /// Observability (src/obs/).  `metrics_path` enables the registry and
+  /// writes a standalone machine-readable snapshot (plus a typed
+  /// metrics section in the CSV/JSON reports); `profile_path` records
+  /// pipeline phase spans and writes a Chrome trace-event JSON;
+  /// `progress` prints a live stderr heartbeat.  All three leave
+  /// stdout and every other artefact byte-identical.
+  std::string metrics_path;
+  std::string profile_path;
+  bool progress = false;
 };
 
 /// All registered kinds, in registry order.

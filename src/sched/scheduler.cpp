@@ -1,5 +1,7 @@
 #include "sched/scheduler.hpp"
 
+#include "obs/span.hpp"
+
 namespace rats {
 
 std::string to_string(SchedulerKind kind) {
@@ -46,7 +48,11 @@ Schedule build_schedule(const TaskGraph& graph, const Cluster& cluster,
       break;
   }
 
-  const Allocation allocation = allocate(graph, cluster, alloc_opts);
+  const Allocation allocation = [&] {
+    obs::PhaseTimer span("schedule/allocate");
+    return allocate(graph, cluster, alloc_opts);
+  }();
+  obs::PhaseTimer span("schedule/map");
   return map_tasks(graph, cluster, allocation, map_opts);
 }
 

@@ -7,6 +7,8 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "redist/block_redistribution.hpp"
 #include "redist/estimate.hpp"
 #include "sim/event_queue.hpp"
@@ -31,6 +33,19 @@ struct EdgeEvent {
   EdgeId edge;
   std::uint32_t version;
 };
+
+/// Simulator-level registry counters (registered once per process;
+/// deterministic totals, so CI can pin them).
+struct SimCounters {
+  obs::Counter& tasks_executed = obs::counter("sim/tasks_executed");
+  obs::Counter& redists_opened = obs::counter("sim/redists_opened");
+  obs::Counter& redists_completed = obs::counter("sim/redists_completed");
+};
+
+SimCounters& sim_counters() {
+  static SimCounters counters;
+  return counters;
+}
 
 }  // namespace
 
@@ -197,6 +212,7 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
     const TaskId dst = graph.edge(e).dst;
     auto& pending = pending_inputs[static_cast<std::size_t>(dst)];
     RATS_REQUIRE(pending > 0, "edge completed twice");
+    sim_counters().redists_completed.inc();
     if (trace) trace->record(now, TraceEventKind::RedistDone, e);
     if (--pending == 0) {
       result.timeline[static_cast<std::size_t>(dst)].data_ready = now;
@@ -225,8 +241,11 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
       edge_open[static_cast<std::size_t>(e)] = 1;
       edge_flows[static_cast<std::size_t>(e)].clear();
     }
-    const Redistribution& plan =
-        planner.plan(edge.bytes, procs_of(edge.src), procs_of(edge.dst));
+    sim_counters().redists_opened.inc();
+    const Redistribution& plan = [&]() -> const Redistribution& {
+      obs::PhaseTimer span("redist/plan");
+      return planner.plan(edge.bytes, procs_of(edge.src), procs_of(edge.dst));
+    }();
     result.network_bytes += plan.remote_bytes();
     if (trace)
       trace->record(now, TraceEventKind::RedistStart, e,
@@ -256,6 +275,7 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
     result.timeline[static_cast<std::size_t>(t)].finish = now;
     done[static_cast<std::size_t>(t)] = 1;
     ++finished_count;
+    sim_counters().tasks_executed.inc();
     if (trace) trace->record(now, TraceEventKind::TaskFinish, t);
     for (NodeId p : procs_of(t)) {
       auto& pos = head[static_cast<std::size_t>(p)];

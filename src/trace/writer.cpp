@@ -3,6 +3,8 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace rats {
 
@@ -55,13 +57,16 @@ void TraceWriter::end_run(std::size_t run, double makespan) {
   }
   // Encode the chunk now and drop the sink: what waits for in-order
   // flushing is the compact encoded text, not the raw event buffer.
-  p->encoded = std::move(p->meta_line);
-  TraceLineEncoder encoder;
-  for (const TraceEvent& event : p->sink->events())
-    encoder.append(event, p->encoded);
-  p->encoded += "{\"run_end\":" + std::to_string(run) +
-                ",\"events\":" + std::to_string(p->sink->size()) +
-                ",\"makespan\":" + trace_double(makespan) + "}\n";
+  {
+    obs::PhaseTimer span("trace/encode");
+    p->encoded = std::move(p->meta_line);
+    TraceLineEncoder encoder;
+    for (const TraceEvent& event : p->sink->events())
+      encoder.append(event, p->encoded);
+    p->encoded += "{\"run_end\":" + std::to_string(run) +
+                  ",\"events\":" + std::to_string(p->sink->size()) +
+                  ",\"makespan\":" + trace_double(makespan) + "}\n";
+  }
   const std::size_t events = p->sink->size();
   p->sink.reset();
   total_events_.fetch_add(events, std::memory_order_relaxed);
@@ -71,10 +76,16 @@ void TraceWriter::end_run(std::size_t run, double makespan) {
 }
 
 void TraceWriter::flush_ready_locked() {
+  // Registered once; counts are deterministic (chunk sizes depend only
+  // on the simulated runs, not on flush interleaving).
+  static obs::Counter& chunks = obs::counter("trace/chunks_flushed");
+  static obs::Counter& bytes = obs::counter("trace/bytes");
   while (true) {
     const auto it = pending_.find(next_flush_);
     if (it == pending_.end() || !it->second.done) return;
     out_ << it->second.encoded;
+    chunks.inc();
+    bytes.add(it->second.encoded.size());
     pending_.erase(it);
     ++next_flush_;
   }
