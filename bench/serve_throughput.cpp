@@ -1,0 +1,216 @@
+// serve_throughput — scenarios/second through the `rats serve` daemon
+// at 1/2/4 workers.
+//
+// For each worker count the bench forks a daemon on a private socket,
+// submits a batch of identical jobs (keeping the bounded queue fed so
+// every worker always has a shard), waits for completion, and reads
+// the daemon's own runs_completed counter against the wall clock.  The
+// merged reports are byte-compared against a direct single-process run
+// first — a throughput number for a service that returns different
+// bytes would be meaningless.
+//
+// Results land in bench/results/serve_throughput.json (hand-checked;
+// see --out).  Scaling expectations depend on the machine: worker
+// processes only help when there are cores to run them on, so the
+// entry records the container's core count next to the numbers.
+//
+// Usage: serve_throughput [--jobs N] [--runs-per-job N] [--out FILE]
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "report/render.hpp"
+#include "scenario/parser.hpp"
+#include "scenario/registry.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+
+namespace rats {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One job's spec: `entries` workload entries x 3 algorithms.
+std::string bench_spec(int entries) {
+  return strf(
+      "[scenario]\n"
+      "name = \"serve-bench\"\n"
+      "kind = \"experiment\"\n"
+      "[platform]\n"
+      "name = \"mini\"\n"
+      "nodes = 8\n"
+      "[workload]\n"
+      "source = \"generate\"\n"
+      "generator = \"layered\"\n"
+      "count = %d\n"
+      "tasks = 300\n"
+      "[algorithm]\n"
+      "name = \"HCPA\"\n"
+      "kind = \"hcpa\"\n"
+      "[algorithm]\n"
+      "name = \"delta\"\n"
+      "kind = \"delta\"\n"
+      "[algorithm]\n"
+      "name = \"time-cost\"\n"
+      "kind = \"time-cost\"\n",
+      entries);
+}
+
+pid_t spawn_daemon(const serve::DaemonOptions& options) {
+  std::fflush(stdout);  // don't let the child inherit buffered output
+  const pid_t pid = fork();
+  RATS_REQUIRE(pid >= 0, "fork failed");
+  if (pid == 0) {
+    ::freopen("/dev/null", "w", stdout);
+    ::freopen("/dev/null", "w", stderr);
+    _exit(serve::run_daemon(options));
+  }
+  for (int i = 0; i < 400; ++i) {
+    try {
+      serve::request(options.socket_path, "{\"cmd\":\"ping\"}");
+      return pid;
+    } catch (const Error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  throw Error("daemon never came up on " + options.socket_path);
+}
+
+struct Measurement {
+  int workers = 0;
+  double seconds = 0;
+  double scenarios_per_sec = 0;
+  std::int64_t runs = 0;
+};
+
+Measurement measure(int workers, int jobs, const std::string& spec_text,
+                    const std::string& want_json) {
+  serve::DaemonOptions options;
+  options.socket_path =
+      strf("/tmp/rats_serve_bench_%d_%d.sock", static_cast<int>(getpid()),
+           workers);
+  options.workers = workers;
+  options.queue_capacity = static_cast<std::size_t>(jobs) + 1;
+  const pid_t pid = spawn_daemon(options);
+
+  const Clock::time_point t0 = Clock::now();
+  // Submit the whole batch up front so the queue never starves a
+  // worker, then wait for each job and byte-check its report.
+  std::vector<std::string> job_ids;
+  for (int j = 0; j < jobs; ++j) {
+    const json::Value reply = serve::request_json(
+        options.socket_path,
+        std::string("{\"cmd\":\"submit\",") +
+            serve::field("spec", spec_text) + "}");
+    RATS_REQUIRE(reply.get_int("ok") == 1,
+                 "submit rejected: " + reply.get_string("error", "?"));
+    job_ids.push_back(reply.require_string("job", "submit reply"));
+  }
+  for (const std::string& job : job_ids) {
+    while (true) {
+      const json::Value status = serve::request_json(
+          options.socket_path,
+          std::string("{\"cmd\":\"status\",") + serve::field("job", job) +
+              "}");
+      const std::string state = status.get_string("state");
+      RATS_REQUIRE(state != "failed",
+                   job + " failed: " + status.get_string("error", "?"));
+      if (state == "done") break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const json::Value result = serve::request_json(
+        options.socket_path,
+        std::string("{\"cmd\":\"result\",") + serve::field("job", job) + "}");
+    RATS_REQUIRE(result.require_string("report", "result") == want_json,
+                 "served report is not byte-identical to the direct run");
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const json::Value stats =
+      serve::request_json(options.socket_path, "{\"cmd\":\"stats\"}");
+  Measurement m;
+  m.workers = workers;
+  m.seconds = seconds;
+  m.runs = stats.get_int("runs_completed");
+  m.scenarios_per_sec = static_cast<double>(m.runs) / seconds;
+  RATS_REQUIRE(stats.get_int("jobs_failed") == 0, "bench jobs failed");
+
+  serve::request(options.socket_path, "{\"cmd\":\"shutdown\"}");
+  int status = 0;
+  waitpid(pid, &status, 0);
+  RATS_REQUIRE(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+               "daemon did not shut down cleanly");
+  return m;
+}
+
+}  // namespace
+}  // namespace rats
+
+int main(int argc, char** argv) {
+  using namespace rats;
+  int jobs = 8, entries = 12;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--jobs" && i + 1 < argc) jobs = std::atoi(argv[++i]);
+    else if (a == "--runs-per-job" && i + 1 < argc)
+      entries = std::atoi(argv[++i]);
+    else if (a == "--out" && i + 1 < argc) out_path = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: serve_throughput [--jobs N] [--runs-per-job N] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const std::string spec_text = bench_spec(entries);
+  const std::string want = report::render_json(scenario::build_report(
+      scenario::parse_scenario_string(spec_text, "<bench>")));
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("serve_throughput: %d jobs x %d entries x 3 algorithms, "
+              "%u core(s)\n",
+              jobs, entries, cores);
+
+  std::string json = "{\n  \"benchmark\": \"serve_throughput --jobs " +
+                     std::to_string(jobs) + " --runs-per-job " +
+                     std::to_string(entries) +
+                     "\",\n  \"unit\": \"scenarios per second (daemon "
+                     "runs_completed / wall clock)\",\n  \"cores\": " +
+                     std::to_string(cores) + ",\n  \"workers\": [\n";
+  bool first = true;
+  for (const int workers : {1, 2, 4}) {
+    const Measurement m = measure(workers, jobs, spec_text, want);
+    std::printf("  workers=%d  %6.2f s  %7.2f scenarios/s  (%lld runs)\n",
+                m.workers, m.seconds, m.scenarios_per_sec,
+                static_cast<long long>(m.runs));
+    json += strf("%s    {\"workers\": %d, \"seconds\": %.2f, "
+                 "\"scenarios_per_sec\": %.2f}",
+                 first ? "" : ",\n", m.workers, m.seconds,
+                 m.scenarios_per_sec);
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    out << json;
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  return 0;
+}

@@ -9,6 +9,8 @@
 //   rats kinds
 //   rats fuzz [--quick] [--count N] [--seed S] [--timeout SECS]
 //             [--regress-dir DIR] [--index I] [--emit] [--no-minimize]
+//   rats serve --socket PATH [--workers N] [--queue N] [...]
+//   rats submit <scenario.rats> --socket PATH [--out FILE] [...]
 //   rats sched [legacy options]      (the original one-shot scheduler CLI)
 //
 // `run` executes a declarative scenario file (grammar in
@@ -31,6 +33,7 @@
 #include <iostream>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -48,6 +51,8 @@
 #include "scenario/parser.hpp"
 #include "scenario/registry.hpp"
 #include "sched/scheduler.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 #include "sim/simulator.hpp"
 #include "trace/replay.hpp"
 
@@ -93,6 +98,27 @@ namespace {
       "      --no-minimize       write repros without delta-debugging\n"
       "      --progress          live stderr heartbeat (specs, rate, ETA)\n"
       "      --metrics FILE      write a campaign metrics snapshot\n"
+      "  serve                   scenario service: pre-forked workers run\n"
+      "                          submitted specs in shards; merged reports\n"
+      "                          are byte-identical to `rats run`\n"
+      "      --socket PATH       unix socket to listen on (required)\n"
+      "      --workers N         worker processes (default 2)\n"
+      "      --queue N           max unfinished jobs before submits are\n"
+      "                          rejected with a retry hint (default 8)\n"
+      "      --shard-timeout S   kill + retry a shard past this (default 300)\n"
+      "      --retry-after MS    backpressure hint to clients (default 250)\n"
+      "      --shards N          shards per job (default: worker count)\n"
+      "      --metrics FILE      write an obs snapshot at shutdown\n"
+      "      --progress          stderr line per submit/shard completion\n"
+      "  submit <scenario.rats>  submit a spec to a running daemon, wait,\n"
+      "                          print (or --out) the report JSON\n"
+      "      --socket PATH       daemon socket (required)\n"
+      "      --out FILE          write the report JSON here\n"
+      "      --timeout SECS      overall wait budget (default 600)\n"
+      "      --progress          stderr status while waiting\n"
+      "      --crash-test        fault hook: first shard kills its worker\n"
+      "  submit --stats          print the daemon's stats JSON\n"
+      "  submit --shutdown       stop the daemon\n"
       "  sched [options]         one-shot scheduling (rats sched --help)\n");
   std::exit(code);
 }
@@ -351,6 +377,108 @@ int cmd_fuzz(int argc, char** argv) {
   return result.failed == 0 ? 0 : 1;
 }
 
+int cmd_serve(int argc, char** argv) {
+  serve::DaemonOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    auto next_long = [&](long min) {
+      char* end = nullptr;
+      const long v = std::strtol(next(), &end, 10);
+      if (end == nullptr || *end != '\0' || v < min) usage(2);
+      return v;
+    };
+    if (a == "--socket") options.socket_path = next();
+    else if (a == "--workers")
+      options.workers = static_cast<int>(next_long(1));
+    else if (a == "--queue")
+      options.queue_capacity = static_cast<std::size_t>(next_long(1));
+    else if (a == "--shard-timeout") {
+      char* end = nullptr;
+      options.shard_timeout = std::strtod(next(), &end);
+      if (end == nullptr || *end != '\0' || options.shard_timeout <= 0)
+        usage(2);
+    } else if (a == "--retry-after")
+      options.retry_after_ms = static_cast<int>(next_long(1));
+    else if (a == "--shards")
+      options.shards_per_job = static_cast<std::size_t>(next_long(1));
+    else if (a == "--metrics") options.metrics_path = next();
+    else if (a == "--progress") options.progress = true;
+    else if (a == "--help" || a == "-h") usage(0);
+    else usage(2);
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "rats serve: --socket is required\n");
+    usage(2);
+  }
+  return serve::run_daemon(options);
+}
+
+int cmd_submit(int argc, char** argv) {
+  std::string file, socket_path, out_path;
+  serve::SubmitOptions options;
+  bool stats = false, shutdown = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (a == "--socket") socket_path = next();
+    else if (a == "--out") out_path = next();
+    else if (a == "--timeout") {
+      char* end = nullptr;
+      options.timeout = std::strtod(next(), &end);
+      if (end == nullptr || *end != '\0' || options.timeout <= 0) usage(2);
+    } else if (a == "--progress") options.progress = true;
+    else if (a == "--crash-test") options.crash_test = true;
+    else if (a == "--stats") stats = true;
+    else if (a == "--shutdown") shutdown = true;
+    else if (a == "--help" || a == "-h") usage(0);
+    else if (!a.empty() && a[0] == '-') usage(2);
+    else if (file.empty()) file = a;
+    else usage(2);
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "rats submit: --socket is required\n");
+    usage(2);
+  }
+  if (stats) {
+    std::printf("%s\n",
+                serve::request(socket_path, "{\"cmd\":\"stats\"}").c_str());
+    return 0;
+  }
+  if (shutdown) {
+    std::printf("%s\n",
+                serve::request(socket_path, "{\"cmd\":\"shutdown\"}").c_str());
+    return 0;
+  }
+  if (file.empty()) {
+    std::fprintf(stderr, "rats submit: missing scenario file\n");
+    usage(2);
+  }
+  std::ifstream in(file, std::ios::binary);
+  if (!in) throw Error("cannot read scenario '" + file + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string report =
+      serve::submit_and_wait(socket_path, text.str(), options);
+  if (out_path.empty()) {
+    std::fputs(report.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) throw Error("cannot write report '" + out_path + "'");
+    out << report;
+    out.close();
+    if (!out.good()) throw Error("failed writing report '" + out_path + "'");
+    std::fprintf(stderr, "wrote report %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_sched(int argc, char** argv) {
   std::string dag_file, gen_spec, platform = "grillon", algo = "time-cost";
   std::string dot_file, save_file;
@@ -462,6 +590,8 @@ int main(int argc, char** argv) try {
   if (command == "kinds") return cmd_kinds();
   if (command == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
   if (command == "sched") return cmd_sched(argc - 2, argv + 2);
+  if (command == "serve") return cmd_serve(argc - 2, argv + 2);
+  if (command == "submit") return cmd_submit(argc - 2, argv + 2);
   if (command == "--help" || command == "-h") usage(0);
   // Backwards compatibility: the pre-subcommand CLI started with "--".
   if (command.rfind("--", 0) == 0) return cmd_sched(argc - 1, argv + 1);

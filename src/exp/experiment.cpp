@@ -32,10 +32,10 @@ ExperimentData run_experiment(const std::vector<CorpusEntry>& corpus,
   parallel_for(jobs, [&](std::size_t j) {
     const std::size_t e = j / algos.size();
     const std::size_t a = j % algos.size();
+    const RunMeta meta{corpus[e].name, algos[a].name, cluster.name()};
+    if (session && session->inject(j, meta, data.outcome[e][a])) return;
     SimulatorOptions sim = base_sim ? *base_sim : SimulatorOptions{};
-    if (session)
-      sim.trace = session->begin_run(
-          j, RunMeta{corpus[e].name, algos[a].name, cluster.name()});
+    if (session) sim.trace = session->begin_run(j, meta);
     data.outcome[e][a] =
         run_scenario(corpus[e].graph, cluster, algos[a].options, sim);
     if (session) session->end_run(j, data.outcome[e][a]);

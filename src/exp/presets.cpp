@@ -178,10 +178,10 @@ std::vector<ExperimentData> run_tuned_experiments(
     const std::size_t a = j % num_algos;
     const AlgoSpec& spec =
         specs[c][family_index(corpus[e].family)][a];
+    const RunMeta meta{corpus[e].name, spec.name, clusters[c].name()};
+    if (session && session->inject(j, meta, results[c].outcome[e][a])) return;
     SimulatorOptions sim = base_sim ? *base_sim : SimulatorOptions{};
-    if (session)
-      sim.trace = session->begin_run(
-          j, RunMeta{corpus[e].name, spec.name, clusters[c].name()});
+    if (session) sim.trace = session->begin_run(j, meta);
     results[c].outcome[e][a] =
         run_scenario(corpus[e].graph, clusters[c], spec.options, sim);
     if (session) session->end_run(j, results[c].outcome[e][a]);

@@ -38,6 +38,24 @@ class RunSession {
   /// from the thread launching the matrix).
   virtual void begin_matrix(std::size_t runs) { (void)runs; }
 
+  /// Offers the session a chance to *supply* run `run`'s outcome
+  /// instead of simulating it.  Returning true means `out` holds the
+  /// outcome and the runner must skip the schedule+simulate step for
+  /// that run entirely — begin_run/end_run are not called for it.
+  /// The sharded scenario service (src/serve/) uses this seam three
+  /// ways: a dry pass injecting every run to learn the matrix shape, a
+  /// worker pass injecting everything outside its shard, and a replay
+  /// pass injecting every recorded outcome so the report is assembled
+  /// by the exact single-process code path.  The default never
+  /// injects; implementations must stay thread-safe like the other
+  /// hooks.
+  virtual bool inject(std::size_t run, const RunMeta& meta, RunOutcome& out) {
+    (void)run;
+    (void)meta;
+    (void)out;
+    return false;
+  }
+
   /// Called as run `run` starts; the returned sink (nullptr = do not
   /// trace) receives the run's simulation events and must stay valid
   /// until the matching end_run.

@@ -38,6 +38,41 @@ void gen_platform(Rng& rng, scenario::PlatformSpec& p) {
   }
 }
 
+/// Multi-cluster platform: a random subset (>= 2) of the Grid'5000
+/// presets, in canonical order.  Only the table kinds accept several
+/// clusters, so callers pair this with kind table5/table6.
+void gen_preset_platform(Rng& rng, scenario::PlatformSpec& p) {
+  static const char* kPresets[3] = {"chti", "grillon", "grelon"};
+  // Bitmask over the three presets; 3/5/6/7 are the subsets of size >= 2.
+  static const int kMasks[4] = {3, 5, 6, 7};
+  const int mask = kMasks[rng.uniform_int(0, 3)];
+  for (int i = 0; i < 3; ++i)
+    if (mask & (1 << i)) p.presets.push_back(kPresets[i]);
+}
+
+/// Non-empty [sweep] grids over the base algorithm.  Kept tiny (<= 2
+/// values per axis, <= 2 scheduler axes) so a fuzz battery run stays
+/// within its per-spec budget; `has_events` gates the event-factor
+/// axis, which the sweep kind rejects without an [events] timeline.
+void gen_sweep(Rng& rng, bool has_events, scenario::SweepSpec& sw) {
+  auto grid = [&](double lo, double hi) {
+    std::vector<double> g;
+    const int n = static_cast<int>(rng.uniform_int(1, 2));
+    for (int i = 0; i < n; ++i) g.push_back(round3(rng.uniform(lo, hi)));
+    return g;
+  };
+  if (rng.bernoulli(0.5)) {
+    sw.base = "delta";
+    sw.mindeltas = grid(-0.9, 0.0);
+    if (rng.bernoulli(0.7)) sw.maxdeltas = grid(0.0, 1.0);
+  } else {
+    sw.base = "time-cost";
+    sw.minrhos = grid(0.1, 0.9);
+    if (rng.bernoulli(0.5)) sw.packings = {true, false};
+  }
+  if (has_events && rng.bernoulli(0.4)) sw.event_factors = grid(0.1, 1.2);
+}
+
 void gen_workload(Rng& rng, scenario::WorkloadSpec& w) {
   w.source = scenario::WorkloadSpec::Source::Generate;
   w.count = static_cast<int>(rng.uniform_int(1, 2));
@@ -169,21 +204,47 @@ scenario::ScenarioSpec generate_spec(std::uint64_t seed) {
   Rng rng(seed);
   scenario::ScenarioSpec spec;
   spec.name = "fuzz-s" + std::to_string(seed);
-  spec.kind = rng.bernoulli(0.25) ? "single" : "experiment";
   spec.threads = 1;  // forked oracle runs stay single-threaded
   Rng platform_rng = rng.split(1);
   Rng workload_rng = rng.split(2);
   Rng algos_rng = rng.split(3);
-  gen_platform(platform_rng, spec.platform);
+
+  // Kind mix: the single-cluster kinds dominate, with slices for the
+  // generic sweep and the multi-cluster table kinds so the battery
+  // exercises every matrix shape the scenario engine can run.
+  const int pick = static_cast<int>(rng.uniform_int(0, 19));
+  const bool table_kind = pick >= 16;
+  if (pick < 4) spec.kind = "single";
+  else if (pick < 13) spec.kind = "experiment";
+  else if (pick < 16) spec.kind = "sweep";
+  else spec.kind = pick < 18 ? "table5" : "table6";
+
+  if (table_kind) {
+    // table5/table6 run the tuned preset over every listed cluster;
+    // the generated workload stays tiny to keep the 3x matrix cheap.
+    gen_preset_platform(platform_rng, spec.platform);
+    spec.algorithms.preset = "tuned";
+  } else {
+    gen_platform(platform_rng, spec.platform);
+    gen_algorithms(algos_rng, spec.algorithms);
+  }
   gen_workload(workload_rng, spec.workload);
-  gen_algorithms(algos_rng, spec.algorithms);
+
   if (rng.bernoulli(0.6)) {
-    int nodes = spec.platform.nodes;
-    for (const int c : spec.platform.cabinet_nodes) nodes += c;
+    // Preset clusters: node ids < 20 are valid on all three (chti is
+    // the smallest), and no cabinet events (chti/grillon are flat).
+    int nodes = 20, cabinets = 0;
+    if (spec.platform.is_custom()) {
+      nodes = spec.platform.nodes;
+      for (const int c : spec.platform.cabinet_nodes) nodes += c;
+      cabinets = static_cast<int>(spec.platform.cabinet_nodes.size());
+    }
     Rng ev_rng = rng.split(4);
-    gen_events(ev_rng, nodes,
-               static_cast<int>(spec.platform.cabinet_nodes.size()),
-               spec.events);
+    gen_events(ev_rng, nodes, cabinets, spec.events);
+  }
+  if (spec.kind == "sweep") {
+    Rng sweep_rng = rng.split(5);
+    gen_sweep(sweep_rng, !spec.events.empty(), spec.sweep);
   }
   return spec;
 }

@@ -1,0 +1,121 @@
+// JSON → ReportModel ingestion, the inverse of render_json (see
+// render.hpp for the identity it guarantees).
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "report/render.hpp"
+
+namespace rats::report {
+
+namespace {
+
+Cell parse_cell(const json::Value& v) {
+  if (v.is_number()) {
+    // Numeric cells lose their legacy text rendering in JSON; keep the
+    // raw token so text renderings of a parsed model stay readable.
+    return Cell{v.raw, v.number, true};
+  }
+  RATS_REQUIRE(v.is_string(), "report table cell must be number or string");
+  return Cell{v.text, 0, false};
+}
+
+Item parse_item(const json::Value& v) {
+  RATS_REQUIRE(v.is_object(), "report item must be an object");
+  const std::string& type = v.require_string("type", "report item");
+  Item item;
+  if (type == "heading") {
+    item.kind = Item::Kind::Heading;
+    item.heading = v.require_string("title", "heading item");
+  } else if (type == "text") {
+    item.kind = Item::Kind::Text;
+    item.text = v.require_string("text", "text item");
+  } else if (type == "table") {
+    item.kind = Item::Kind::Table;
+    item.table.id = v.require_string("id", "table item");
+    const json::Value& columns = v.require("columns", "table item");
+    RATS_REQUIRE(columns.is_array(), "table columns must be an array");
+    for (const json::Value& c : columns.items) {
+      RATS_REQUIRE(c.is_object(), "table column must be an object");
+      Column col;
+      col.name = c.require_string("name", "table column");
+      const std::string& ct = c.require_string("type", "table column");
+      RATS_REQUIRE(ct == "number" || ct == "text",
+                   "table column type must be number or text");
+      col.type = ct == "number" ? ColumnType::Number : ColumnType::Text;
+      item.table.columns.push_back(std::move(col));
+    }
+    const json::Value& rows = v.require("rows", "table item");
+    RATS_REQUIRE(rows.is_array(), "table rows must be an array");
+    for (const json::Value& r : rows.items) {
+      RATS_REQUIRE(r.is_array(), "table row must be an array");
+      std::vector<Cell> cells;
+      cells.reserve(r.items.size());
+      for (const json::Value& c : r.items) cells.push_back(parse_cell(c));
+      item.table.rows.push_back(std::move(cells));
+    }
+  } else if (type == "series") {
+    item.kind = Item::Kind::Series;
+    item.series.id = v.require_string("id", "series item");
+    item.series.label = v.require_string("label", "series item");
+    const json::Value& values = v.require("values", "series item");
+    RATS_REQUIRE(values.is_array(), "series values must be an array");
+    for (const json::Value& x : values.items) {
+      RATS_REQUIRE(x.is_number(), "series value must be a number");
+      item.series.values.push_back(x.number);
+    }
+  } else if (type == "scalar") {
+    item.kind = Item::Kind::Scalar;
+    item.scalar.id = v.require_string("id", "scalar item");
+    const json::Value& value = v.require("value", "scalar item");
+    if (value.is_number()) {
+      item.scalar.num = value.number;
+      item.scalar.numeric = true;
+    } else {
+      RATS_REQUIRE(value.is_string(),
+                   "scalar value must be number or string");
+      item.scalar.text = value.text;
+    }
+  } else {
+    RATS_REQUIRE(false, "unknown report item type '" + type + "'");
+  }
+  return item;
+}
+
+void parse_metrics(const json::Value& doc, const char* key, bool stable,
+                   ReportModel& model) {
+  const json::Value* section = doc.get(key);
+  if (section == nullptr) return;
+  RATS_REQUIRE(section->is_object(),
+               std::string(key) + " section must be an object");
+  for (const auto& [name, value] : section->members) {
+    RATS_REQUIRE(value.is_number(), "metric value must be a number");
+    model.metrics.push_back(MetricModel{
+        name, std::strtoll(value.raw.c_str(), nullptr, 10), stable});
+  }
+}
+
+}  // namespace
+
+ReportModel parse_json(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  RATS_REQUIRE(doc.is_object(), "report document must be a JSON object");
+  RATS_REQUIRE(doc.get_int("rats_report", 0) == 1,
+               "not a rats report document (rats_report != 1)");
+  ReportModel model;
+  model.name = doc.require_string("name", "report document");
+  model.kind = doc.require_string("kind", "report document");
+  const json::Value& items = doc.require("items", "report document");
+  RATS_REQUIRE(items.is_array(), "report items must be an array");
+  for (const json::Value& item : items.items)
+    model.items.push_back(parse_item(item));
+  // render_json routes metrics into a stable and a volatile object; the
+  // original interleaving is not recorded, so the parsed model carries
+  // all stable entries first.  Re-rendering routes them back into the
+  // same two objects, preserving the byte identity.
+  parse_metrics(doc, "metrics", true, model);
+  parse_metrics(doc, "volatile_metrics", false, model);
+  return model;
+}
+
+}  // namespace rats::report

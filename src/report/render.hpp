@@ -21,4 +21,14 @@ std::string render_csv(const ReportModel& model);
 /// doubles printed with round-trip precision).
 std::string render_json(const ReportModel& model);
 
+/// Inverse of render_json: rebuilds a ReportModel from its JSON
+/// document.  The JSON form carries typed values but not the legacy
+/// text rendering of numeric cells, so the guaranteed identity is
+/// render_json(parse_json(render_json(m))) == render_json(m) — doubles
+/// survive bitwise through the %.17g round trip and metric values stay
+/// exact int64.  This is the ingestion side of the serve merge path
+/// (src/serve/), where worker shard payloads travel as report JSON.
+/// Throws rats::Error on malformed or non-report input.
+ReportModel parse_json(const std::string& text);
+
 }  // namespace rats::report

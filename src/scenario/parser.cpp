@@ -535,6 +535,8 @@ void bind_output(const Binder& b, const Section& s, OutputSpec& o) {
     } else if (kv.key == "trace") {
       o.trace = b.string(kv);
       o.trace_line = kv.line;
+    } else if (kv.key == "trace-gzip") {
+      o.trace_gzip = b.boolean(kv);
     } else b.unknown_key(s, kv);
   }
 }
@@ -987,6 +989,7 @@ std::string emit_scenario(const ScenarioSpec& spec) {
     out += "report-json = " + quote(spec.output.report_json) + "\n";
   if (!spec.output.trace.empty())
     out += "trace = " + quote(spec.output.trace) + "\n";
+  if (spec.output.trace_gzip) out += "trace-gzip = true\n";
   return out;
 }
 

@@ -36,7 +36,8 @@
 //                link-capacity, cabinet keeps its uplink meaning)
 //   [sweep]      mindelta = [...], maxdelta = [...], minrho = [...],
 //                event-factor = [...], event-at = [...]
-//   [output]     csv, gantt
+//   [output]     csv, gantt, report-csv, report-json, trace,
+//                trace-gzip
 //
 // Every error (syntax, unknown section/key, wrong type, bad value)
 // throws rats::Error prefixed "<filename>:<line>:".

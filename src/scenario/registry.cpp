@@ -20,6 +20,7 @@
 #include "report/render.hpp"
 #include "scenario/parser.hpp"
 #include "sim/simulator.hpp"
+#include "trace/gzip.hpp"
 #include "trace/trace.hpp"
 #include "trace/writer.hpp"
 
@@ -83,6 +84,9 @@ class OffsetSession final : public RunSession {
   OffsetSession(RunSession* inner, std::size_t offset)
       : inner_(inner), offset_(offset) {}
   void begin_matrix(std::size_t) override {}
+  bool inject(std::size_t run, const RunMeta& meta, RunOutcome& out) override {
+    return inner_ && inner_->inject(run + offset_, meta, out);
+  }
   TraceSink* begin_run(std::size_t run, const RunMeta& meta) override {
     return inner_ ? inner_->begin_run(run + offset_, meta) : nullptr;
   }
@@ -1018,6 +1022,11 @@ class ProgressSession final : public RunSession {
     if (inner_) inner_->begin_matrix(runs);
     meter_.emplace("runs", runs);
   }
+  bool inject(std::size_t run, const RunMeta& meta, RunOutcome& out) override {
+    if (!(inner_ && inner_->inject(run, meta, out))) return false;
+    if (meter_) meter_->tick();
+    return true;
+  }
   TraceSink* begin_run(std::size_t run, const RunMeta& meta) override {
     return inner_ ? inner_->begin_run(run, meta) : nullptr;
   }
@@ -1066,6 +1075,9 @@ std::string canonical_spec_text(const ScenarioSpec& spec) {
   canonical.output.report_csv.clear();
   canonical.output.report_json.clear();
   canonical.output.trace.clear();
+  // Compression wraps the finished stream, so a gzipped trace inflates
+  // to the exact bytes of the plain trace — header included.
+  canonical.output.trace_gzip = false;
   return emit_scenario(canonical);
 }
 
@@ -1227,6 +1239,7 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
     return m;
   };
 
+  const bool gzip_trace = !trace_path.empty() && effective.output.trace_gzip;
   ReportModel model;
   std::string trace_bytes;
   if (trace_path.empty()) {
@@ -1234,11 +1247,18 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
   } else if (compare || want_progress) {
     // Buffered trace: under --check so repetitions can compare bytes;
     // under --progress so the heartbeat owns stderr while runs finish.
+    // `trace_bytes` stays uncompressed (the deterministic form the
+    // repetitions compare); compression happens at the write.
     model = build_once(&trace_bytes);
-    write_artifact(trace_path, trace_bytes, "trace");
+    write_artifact(trace_path,
+                   gzip_trace ? gzip_compress(trace_bytes) : trace_bytes,
+                   "trace");
   } else {
-    std::ofstream out(trace_path, std::ios::binary);
-    if (!out) throw Error("cannot write trace '" + trace_path + "'");
+    std::ofstream file(trace_path, std::ios::binary);
+    if (!file) throw Error("cannot write trace '" + trace_path + "'");
+    std::optional<GzipOstream> gz;
+    if (gzip_trace) gz.emplace(file);
+    std::ostream& out = gz ? gz->stream() : static_cast<std::ostream&>(file);
     TraceWriter writer(out, effective.name, effective.kind,
                        canonical_spec_text(effective));
     TraceSession session(writer);
@@ -1247,8 +1267,9 @@ void run(const ScenarioSpec& spec, const RunOptions& options) {
     model = build_with(entry, effective, &session);
     if (obs::metrics_enabled()) fill_metrics(model, before);
     writer.finish();
-    out.close();
-    if (!out.good())
+    if (gz) gz->finish();
+    file.close();
+    if (!file.good())
       throw Error("failed writing trace '" + trace_path + "'");
     std::fprintf(stderr, "wrote trace %s\n", trace_path.c_str());
   }

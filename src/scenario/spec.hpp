@@ -144,6 +144,7 @@ struct OutputSpec {
   std::string report_csv;   ///< write the CSV report rendering here
   std::string report_json;  ///< write the JSON report rendering here
   std::string trace;        ///< stream a simulation trace here (traceable kinds)
+  bool trace_gzip = false;  ///< gzip the trace stream (needs zlib at build)
   /// Source line of each path key (0 = not from a spec file) — lets the
   /// runner report unwritable paths as file:line diagnostics up front.
   int report_csv_line = 0;

@@ -1,0 +1,122 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "serve/protocol.hpp"
+
+namespace rats::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int connect_to(const std::string& socket_path) {
+  RATS_REQUIRE(!socket_path.empty(), "daemon socket path is empty");
+  RATS_REQUIRE(socket_path.size() < sizeof(sockaddr_un{}.sun_path),
+               "daemon socket path too long");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  RATS_REQUIRE(fd >= 0, "cannot create a socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("cannot connect to daemon at '" + socket_path +
+                "': " + std::strerror(err));
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::string request(const std::string& socket_path, const std::string& line) {
+  const int fd = connect_to(socket_path);
+  std::string reply;
+  const bool ok = write_line(fd, line) && LineReader(fd).read_line(reply);
+  ::close(fd);
+  RATS_REQUIRE(ok, "daemon at '" + socket_path + "' hung up mid-request");
+  return reply;
+}
+
+json::Value request_json(const std::string& socket_path,
+                         const std::string& line) {
+  return json::parse(request(socket_path, line));
+}
+
+std::string submit_and_wait(const std::string& socket_path,
+                            const std::string& spec_text,
+                            const SubmitOptions& options) {
+  const Clock::time_point t0 = Clock::now();
+  std::string submit = std::string("{\"cmd\":\"submit\",") +
+                       field("spec", spec_text);
+  if (options.crash_test) submit += ",\"crash_test\":true";
+  if (options.hang_test) submit += ",\"hang_test\":true";
+  submit += "}";
+
+  // Submit, honouring backpressure: a queue-full reject carries
+  // retry_after_ms and is worth retrying; any other error is final.
+  std::string job;
+  while (true) {
+    const json::Value reply = request_json(socket_path, submit);
+    if (reply.get_int("ok") == 1) {
+      job = reply.require_string("job", "submit reply");
+      break;
+    }
+    const std::int64_t retry_ms = reply.get_int("retry_after_ms", 0);
+    const std::string error = reply.get_string("error", "submit failed");
+    RATS_REQUIRE(retry_ms > 0, "daemon rejected the submission: " + error);
+    RATS_REQUIRE(seconds_since(t0) < options.timeout,
+                 "gave up submitting after " +
+                     std::to_string(options.timeout) + "s: " + error);
+    if (options.progress)
+      std::fprintf(stderr, "submit: queue full, retrying in %lldms\n",
+                   static_cast<long long>(retry_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+  }
+
+  const std::string status_line =
+      std::string("{\"cmd\":\"status\",") + field("job", job) + "}";
+  while (true) {
+    const json::Value status = request_json(socket_path, status_line);
+    RATS_REQUIRE(status.get_int("ok") == 1,
+                 "status poll failed: " +
+                     status.get_string("error", "unknown job"));
+    const std::string state = status.get_string("state");
+    if (options.progress)
+      std::fprintf(stderr, "submit: %s %s (%lld/%lld shards)\n", job.c_str(),
+                   state.c_str(),
+                   static_cast<long long>(status.get_int("shards_done")),
+                   static_cast<long long>(status.get_int("shards_total")));
+    if (state == "done") break;
+    RATS_REQUIRE(state != "failed",
+                 job + " failed: " + status.get_string("error", "unknown"));
+    RATS_REQUIRE(seconds_since(t0) < options.timeout,
+                 job + " did not finish within " +
+                     std::to_string(options.timeout) + "s");
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+  }
+
+  const json::Value result = request_json(
+      socket_path, std::string("{\"cmd\":\"result\",") + field("job", job) +
+                       "}");
+  RATS_REQUIRE(result.get_int("ok") == 1,
+               "result fetch failed: " +
+                   result.get_string("error", "unknown"));
+  return result.require_string("report", "result reply");
+}
+
+}  // namespace rats::serve

@@ -1,0 +1,36 @@
+// Client side of the scenario service: one-shot requests plus the
+// submit-and-wait flow `rats submit` builds on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace rats::serve {
+
+/// One request/response round trip over the daemon socket.  Throws
+/// rats::Error when the daemon is unreachable or hangs up mid-reply.
+std::string request(const std::string& socket_path, const std::string& line);
+
+/// `request` with the reply parsed.
+json::Value request_json(const std::string& socket_path,
+                         const std::string& line);
+
+struct SubmitOptions {
+  bool crash_test = false;  ///< arm the worker-crash hook (tests/CI)
+  bool hang_test = false;   ///< arm the worker-hang hook
+  int poll_ms = 50;         ///< status poll interval while waiting
+  double timeout = 600.0;   ///< overall wait budget in seconds
+  bool progress = false;    ///< stderr heartbeat while waiting
+};
+
+/// Submits spec text, honouring backpressure (a queue-full reject with
+/// retry_after_ms is retried until `timeout`), waits for completion
+/// and returns the merged report JSON.  Throws rats::Error on daemon
+/// errors, job failure or timeout.
+std::string submit_and_wait(const std::string& socket_path,
+                            const std::string& spec_text,
+                            const SubmitOptions& options = {});
+
+}  // namespace rats::serve

@@ -1,0 +1,514 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "obs/registry.hpp"
+#include "serve/jobs.hpp"
+#include "serve/protocol.hpp"
+#include "serve/worker.hpp"
+
+namespace rats::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct WorkerSlot {
+  pid_t pid = -1;
+  int fd = -1;
+  bool busy = false;
+  bool timed_out = false;  ///< watchdog killed it; labels the diagnostic
+  std::string job;
+  std::size_t shard = 0;
+  Clock::time_point since{};
+  std::string buf;  ///< partial result line
+};
+
+struct ClientConn {
+  int fd = -1;
+  std::string buf;
+};
+
+/// The daemon process.  Single-threaded; everything is event-driven
+/// off one poll() set (listen fd + clients + worker pipes).
+class Daemon {
+ public:
+  explicit Daemon(const DaemonOptions& options)
+      : options_(options),
+        jobs_(JobConfig{
+            options.queue_capacity,
+            options.shards_per_job
+                ? options.shards_per_job
+                : static_cast<std::size_t>(std::max(options.workers, 1)),
+            options.retry_after_ms}) {}
+
+  int run() {
+    if (options_.socket_path.empty()) {
+      std::fprintf(stderr, "serve: --socket is required\n");
+      return 2;
+    }
+    if (options_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      std::fprintf(stderr, "serve: socket path too long\n");
+      return 2;
+    }
+    // Writes race worker/client deaths; EPIPE must be an error return,
+    // not a process kill.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      std::perror("serve: socket");
+      return 2;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+      std::perror("serve: bind/listen");
+      ::close(listen_fd_);
+      return 2;
+    }
+
+    // Pre-fork the pool before any work arrives; the daemon never
+    // spawns threads, so later respawn forks stay safe too.
+    for (int i = 0; i < std::max(options_.workers, 1); ++i) {
+      WorkerSlot slot;
+      if (!spawn(slot)) {
+        std::fprintf(stderr, "serve: failed to fork worker\n");
+        shutdown_workers();
+        ::close(listen_fd_);
+        ::unlink(options_.socket_path.c_str());
+        return 2;
+      }
+      workers_.push_back(slot);
+    }
+    start_ = Clock::now();
+    std::fprintf(stderr, "serve: listening on %s (%zu workers)\n",
+                 options_.socket_path.c_str(), workers_.size());
+
+    while (!stopping_) poll_once();
+
+    shutdown_workers();
+    for (ClientConn& c : clients_) ::close(c.fd);
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+    if (!options_.metrics_path.empty()) write_metrics();
+    std::fprintf(stderr, "serve: shut down cleanly\n");
+    return 0;
+  }
+
+ private:
+  // ---- worker pool ----------------------------------------------------
+
+  bool spawn(WorkerSlot& slot) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: drop the daemon's fds, run shards until told to exit.
+      ::close(sv[0]);
+      ::close(listen_fd_);
+      for (const WorkerSlot& w : workers_)
+        if (w.fd >= 0) ::close(w.fd);
+      for (const ClientConn& c : clients_) ::close(c.fd);
+      _exit(worker_loop(sv[1]));
+    }
+    ::close(sv[1]);
+    slot.pid = pid;
+    slot.fd = sv[0];
+    slot.busy = false;
+    slot.timed_out = false;
+    slot.buf.clear();
+    return true;
+  }
+
+  void reap(WorkerSlot& slot) {
+    if (slot.fd >= 0) ::close(slot.fd);
+    if (slot.pid > 0) ::waitpid(slot.pid, nullptr, 0);
+    slot.fd = -1;
+    slot.pid = -1;
+  }
+
+  void shutdown_workers() {
+    for (WorkerSlot& w : workers_) {
+      if (w.fd < 0) continue;
+      if (w.busy) {
+        ::kill(w.pid, SIGKILL);  // mid-shard at shutdown: don't wait
+      } else {
+        write_line(w.fd, "{\"do\":\"exit\"}");
+      }
+      reap(w);
+    }
+  }
+
+  /// A worker died (EOF) or was killed by the watchdog: fail/retry its
+  /// shard and put a fresh process in the slot.
+  void worker_crashed(WorkerSlot& slot) {
+    const bool was_busy = slot.busy;
+    const std::string job = slot.job;
+    const std::size_t shard = slot.shard;
+    const std::string why = slot.timed_out
+                                ? "shard timed out after " +
+                                      std::to_string(options_.shard_timeout) +
+                                      "s (worker killed)"
+                                : "worker process died mid-shard";
+    reap(slot);
+    ++worker_restarts_;
+    if (!spawn(slot)) {
+      // Out of processes: the slot stays dead; remaining workers keep
+      // serving.  (fork failure here is an OS-level emergency.)
+      std::fprintf(stderr, "serve: failed to respawn worker\n");
+    }
+    if (was_busy) {
+      const bool retried = jobs_.shard_failed(job, shard, why);
+      if (options_.progress)
+        std::fprintf(stderr, "serve: %s shard %zu %s\n", job.c_str(), shard,
+                     retried ? "failed, retrying" : "failed twice — job failed");
+    }
+    pump();
+  }
+
+  /// Feeds pending shards to idle workers.
+  void pump() {
+    while (true) {
+      WorkerSlot* idle = nullptr;
+      for (WorkerSlot& w : workers_)
+        if (w.fd >= 0 && !w.busy) {
+          idle = &w;
+          break;
+        }
+      if (idle == nullptr) return;
+      JobTable::Dispatch d;
+      if (!jobs_.next_dispatch(d)) return;
+      std::string msg = "{\"do\":\"";
+      msg += d.sharded ? "shard" : "whole";
+      msg += "\",";
+      msg += field("job", d.job_id);
+      msg += ",";
+      msg += field("shard", static_cast<std::int64_t>(d.shard));
+      msg += ",";
+      msg += field("begin", static_cast<std::int64_t>(d.begin));
+      msg += ",";
+      msg += field("end", static_cast<std::int64_t>(d.end));
+      msg += ",";
+      msg += field("total", static_cast<std::int64_t>(d.total));
+      if (d.crash) msg += ",\"crash\":true";
+      if (d.hang) msg += ",\"hang\":true";
+      msg += ",";
+      msg += field("spec", d.spec_text);
+      msg += "}";
+      idle->busy = true;
+      idle->job = d.job_id;
+      idle->shard = d.shard;
+      idle->since = Clock::now();
+      if (!write_line(idle->fd, msg)) {
+        // The worker died between poll rounds; treat as a crash, which
+        // respawns and re-enters pump().
+        worker_crashed(*idle);
+        return;
+      }
+    }
+  }
+
+  void worker_result(WorkerSlot& slot, const std::string& line) {
+    json::Value msg;
+    try {
+      msg = json::parse(line);
+    } catch (const Error&) {
+      return;  // garbage on the pipe; the crash path will catch a dead worker
+    }
+    const std::string job = msg.get_string("job");
+    const std::size_t shard = static_cast<std::size_t>(msg.get_int("shard"));
+    slot.busy = false;
+    if (msg.get_int("ok") == 1) {
+      jobs_.shard_done(job, shard, msg.get_string("payload"));
+      if (options_.progress) {
+        const JobTable::Status s = jobs_.status(job);
+        std::fprintf(stderr, "serve: %s shard %zu done (%zu/%zu)\n",
+                     job.c_str(), shard, s.shards_done, s.shards_total);
+      }
+    } else {
+      // The worker survived but the shard failed (bad spec reached a
+      // worker, or an internal invariant tripped).  Deterministic
+      // errors recur on retry, but one retry is cheap and absorbs
+      // transient ones (ENOMEM, fd exhaustion).
+      jobs_.shard_failed(job, shard, msg.get_string("error", "shard error"));
+    }
+    pump();
+  }
+
+  // ---- client protocol ------------------------------------------------
+
+  std::string handle_command(const std::string& line) {
+    json::Value msg;
+    try {
+      msg = json::parse(line);
+    } catch (const Error& e) {
+      return std::string("{\"ok\":0,") +
+             field("error", std::string("bad request: ") + e.what()) + "}";
+    }
+    const std::string cmd = msg.get_string("cmd");
+    if (cmd == "submit") return cmd_submit(msg);
+    if (cmd == "status") return cmd_status(msg);
+    if (cmd == "result") return cmd_result(msg);
+    if (cmd == "stats") return cmd_stats();
+    if (cmd == "ping") return "{\"ok\":1}";
+    if (cmd == "shutdown") {
+      stopping_ = true;
+      return "{\"ok\":1,\"stopping\":1}";
+    }
+    return std::string("{\"ok\":0,") +
+           field("error", "unknown command '" + cmd + "'") + "}";
+  }
+
+  std::string cmd_submit(const json::Value& msg) {
+    const json::Value* spec = msg.get("spec");
+    if (spec == nullptr || !spec->is_string())
+      return "{\"ok\":0,\"error\":\"submit needs a spec field\"}";
+    const JobTable::SubmitResult r = jobs_.submit(
+        spec->text, msg.get_bool("crash_test"), msg.get_bool("hang_test"));
+    update_gauges();
+    if (!r.accepted) {
+      if (r.retry_after_ms > 0)
+        return strf("{\"ok\":0,\"error\":\"%s\",\"retry_after_ms\":%d}",
+                    json::escape(r.error).c_str(), r.retry_after_ms);
+      return strf("{\"ok\":0,\"error\":\"%s\"}",
+                  json::escape(r.error).c_str());
+    }
+    obs::counter("serve/jobs_submitted").inc();
+    if (options_.progress)
+      std::fprintf(stderr, "serve: %s submitted (%zu shards, %zu runs)\n",
+                   r.job_id.c_str(), r.shards, r.runs);
+    pump();
+    update_gauges();
+    return strf("{\"ok\":1,\"job\":\"%s\",\"shards\":%zu,\"runs\":%zu}",
+                r.job_id.c_str(), r.shards, r.runs);
+  }
+
+  std::string cmd_status(const json::Value& msg) {
+    const JobTable::Status s = jobs_.status(msg.get_string("job"));
+    if (!s.known) return "{\"ok\":0,\"error\":\"unknown job\"}";
+    std::string reply = "{\"ok\":1,";
+    reply += field("state", s.state);
+    reply += ",";
+    reply += field("shards_done", static_cast<std::int64_t>(s.shards_done));
+    reply += ",";
+    reply += field("shards_total", static_cast<std::int64_t>(s.shards_total));
+    reply += ",";
+    reply += field("runs", static_cast<std::int64_t>(s.runs_total));
+    if (!s.error.empty()) {
+      reply += ",";
+      reply += field("error", s.error);
+    }
+    reply += "}";
+    return reply;
+  }
+
+  std::string cmd_result(const json::Value& msg) {
+    const std::string job = msg.get_string("job");
+    const JobTable::Status s = jobs_.status(job);
+    if (!s.known) return "{\"ok\":0,\"error\":\"unknown job\"}";
+    const std::string* report = jobs_.result(job);
+    if (report == nullptr)
+      return std::string("{\"ok\":0,") + field("state", s.state) + "," +
+             field("error", s.state == "failed" ? s.error
+                                                : "job not finished") +
+             "}";
+    return std::string("{\"ok\":1,") + field("report", *report) + "}";
+  }
+
+  std::string cmd_stats() {
+    const ServeStats& s = jobs_.stats();
+    const double elapsed = seconds_since(start_);
+    const double rate =
+        elapsed > 0 ? static_cast<double>(s.runs_completed) / elapsed : 0.0;
+    char rate_text[32];
+    std::snprintf(rate_text, sizeof rate_text, "%.3f", rate);
+    return std::string("{\"ok\":1,") +
+           field("jobs_submitted", s.jobs_submitted) + "," +
+           field("jobs_rejected", s.jobs_rejected) + "," +
+           field("jobs_done", s.jobs_done) + "," +
+           field("jobs_failed", s.jobs_failed) + "," +
+           field("jobs_queued", static_cast<std::int64_t>(jobs_.queued_jobs())) +
+           "," +
+           field("jobs_running",
+                 static_cast<std::int64_t>(jobs_.running_jobs())) +
+           "," + field("shards_dispatched", s.shards_dispatched) + "," +
+           field("shards_retried", s.shards_retried) + "," +
+           field("worker_restarts", worker_restarts_) + "," +
+           field("runs_completed", s.runs_completed) + "," +
+           field("workers", static_cast<std::int64_t>(workers_.size())) +
+           ",\"scenarios_per_sec\":" + rate_text + "}";
+  }
+
+  /// Mirrors the job/shard counters into the obs registry so `stats`
+  /// and a metrics snapshot tell one story.
+  void update_gauges() {
+    if (!obs::metrics_enabled()) return;
+    const ServeStats& s = jobs_.stats();
+    obs::gauge("serve/jobs_queued", obs::Stability::Volatile)
+        .set(static_cast<std::int64_t>(jobs_.queued_jobs()));
+    obs::gauge("serve/jobs_running", obs::Stability::Volatile)
+        .set(static_cast<std::int64_t>(jobs_.running_jobs()));
+    obs::gauge("serve/jobs_done", obs::Stability::Volatile).set(s.jobs_done);
+    obs::gauge("serve/jobs_failed", obs::Stability::Volatile)
+        .set(s.jobs_failed);
+    obs::gauge("serve/jobs_rejected", obs::Stability::Volatile)
+        .set(s.jobs_rejected);
+    obs::gauge("serve/shards_retried", obs::Stability::Volatile)
+        .set(s.shards_retried);
+    obs::gauge("serve/worker_restarts", obs::Stability::Volatile)
+        .set(worker_restarts_);
+    obs::gauge("serve/runs_completed", obs::Stability::Volatile)
+        .set(s.runs_completed);
+  }
+
+  void write_metrics() {
+    obs::set_metrics_enabled(true);
+    update_gauges();
+    std::ofstream out(options_.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "serve: cannot write metrics %s\n",
+                   options_.metrics_path.c_str());
+      return;
+    }
+    out << obs::snapshot_json(obs::snapshot(), "serve", "serve");
+    std::fprintf(stderr, "wrote metrics %s\n", options_.metrics_path.c_str());
+  }
+
+  // ---- event loop -----------------------------------------------------
+
+  void poll_once() {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    const std::size_t client_base = fds.size();
+    for (const ClientConn& c : clients_)
+      fds.push_back(pollfd{c.fd, POLLIN, 0});
+    const std::size_t worker_base = fds.size();
+    for (const WorkerSlot& w : workers_)
+      fds.push_back(pollfd{w.fd, w.fd >= 0 ? short{POLLIN} : short{0}, 0});
+
+    const int rc = ::poll(fds.data(), fds.size(), 200);
+    if (rc < 0 && errno != EINTR) {
+      std::perror("serve: poll");
+      stopping_ = true;
+      return;
+    }
+
+    // Watchdog: a busy worker past the deadline is killed; its pipe
+    // EOF below runs the crash/retry path with a timeout diagnostic.
+    for (WorkerSlot& w : workers_) {
+      if (w.fd >= 0 && w.busy && !w.timed_out &&
+          seconds_since(w.since) > options_.shard_timeout) {
+        w.timed_out = true;
+        ::kill(w.pid, SIGKILL);
+      }
+    }
+
+    if (rc <= 0) return;
+
+    if (fds[0].revents & POLLIN) accept_client();
+
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      const short ev = fds[client_base + i].revents;
+      if (ev & (POLLIN | POLLHUP | POLLERR))
+        if (!client_readable(clients_[i])) {
+          ::close(clients_[i].fd);
+          clients_[i].fd = -1;
+        }
+    }
+    clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                  [](const ClientConn& c) { return c.fd < 0; }),
+                   clients_.end());
+
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const short ev = fds[worker_base + i].revents;
+      if (workers_[i].fd >= 0 && (ev & (POLLIN | POLLHUP | POLLERR)))
+        worker_readable(workers_[i]);
+      if (stopping_) return;  // a client asked for shutdown mid-loop
+    }
+  }
+
+  void accept_client() {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    clients_.push_back(ClientConn{fd, {}});
+  }
+
+  /// Returns false when the connection should close.
+  bool client_readable(ClientConn& client) {
+    char chunk[4096];
+    const ssize_t n = ::read(client.fd, chunk, sizeof chunk);
+    if (n <= 0) return false;
+    client.buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t at;
+    while ((at = client.buf.find('\n')) != std::string::npos) {
+      const std::string line = client.buf.substr(0, at);
+      client.buf.erase(0, at + 1);
+      if (!write_line(client.fd, handle_command(line))) return false;
+      if (stopping_) return false;
+    }
+    return true;
+  }
+
+  void worker_readable(WorkerSlot& slot) {
+    char chunk[65536];
+    const ssize_t n = ::read(slot.fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      worker_crashed(slot);
+      return;
+    }
+    slot.buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t at;
+    while ((at = slot.buf.find('\n')) != std::string::npos) {
+      const std::string line = slot.buf.substr(0, at);
+      slot.buf.erase(0, at + 1);
+      worker_result(slot, line);
+    }
+    update_gauges();
+  }
+
+  DaemonOptions options_;
+  JobTable jobs_;
+  int listen_fd_ = -1;
+  std::vector<WorkerSlot> workers_;
+  std::vector<ClientConn> clients_;
+  std::int64_t worker_restarts_ = 0;
+  bool stopping_ = false;
+  Clock::time_point start_{};
+};
+
+}  // namespace
+
+int run_daemon(const DaemonOptions& options) { return Daemon(options).run(); }
+
+}  // namespace rats::serve

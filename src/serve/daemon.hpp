@@ -1,0 +1,39 @@
+// The `rats serve` daemon: a long-lived scenario service on a
+// Unix-domain socket.
+//
+// Architecture (see shard.hpp for the determinism story):
+//
+//   client ──unix socket──▶ daemon ──socketpair──▶ worker processes
+//
+// The daemon is a single-threaded poll() loop — it never spawns a
+// thread (the plan/replay passes force threads=1), so forking
+// replacement workers stays safe at any point in its life.  Workers
+// are pre-forked at startup; a worker that crashes or trips the shard
+// watchdog is SIGKILLed, reaped and respawned, and its shard is
+// retried once on a fresh worker before the job is failed — the
+// fork+watchdog isolation pattern of src/fuzz/driver.cpp, kept
+// resident.  Submission is bounded: when `queue_capacity` jobs are
+// unfinished, submits are rejected with a retry-after hint instead of
+// queueing without limit.
+#pragma once
+
+#include <string>
+
+namespace rats::serve {
+
+struct DaemonOptions {
+  std::string socket_path;      ///< unix socket to listen on (required)
+  int workers = 2;              ///< pre-forked worker processes
+  std::size_t queue_capacity = 8;  ///< max unfinished jobs
+  double shard_timeout = 300.0;    ///< seconds before a shard is killed
+  int retry_after_ms = 250;        ///< backpressure hint
+  std::size_t shards_per_job = 0;  ///< plan target (0 = worker count)
+  bool progress = false;           ///< stderr line per shard completion
+  std::string metrics_path;  ///< write an obs snapshot here at shutdown
+};
+
+/// Runs the daemon until a `shutdown` command.  Returns 0 on clean
+/// shutdown, non-zero on setup errors (bad socket path, fork failure).
+int run_daemon(const DaemonOptions& options);
+
+}  // namespace rats::serve

@@ -1,0 +1,188 @@
+#include "serve/jobs.hpp"
+
+#include "common/error.hpp"
+#include "report/render.hpp"
+#include "scenario/parser.hpp"
+
+namespace rats::serve {
+
+JobTable::SubmitResult JobTable::submit(const std::string& spec_text,
+                                        bool crash_first, bool hang_first) {
+  SubmitResult result;
+  if (active_jobs() >= config_.queue_capacity) {
+    ++stats_.jobs_rejected;
+    result.error = "queue full (" + std::to_string(config_.queue_capacity) +
+                   " jobs in flight)";
+    result.retry_after_ms = config_.retry_after_ms;
+    return result;
+  }
+  Job job;
+  try {
+    job.spec = scenario::parse_scenario_string(spec_text, "<submit>");
+    job.plan = plan_shards(job.spec, config_.shards_per_job);
+  } catch (const Error& e) {
+    ++stats_.jobs_rejected;
+    result.error = e.what();
+    return result;  // permanent: no retry hint
+  }
+  job.id = "job-" + std::to_string(next_id_++);
+  job.spec_text = spec_text;
+  job.shard_state.assign(job.plan.shards.size(), ShardState::Pending);
+  job.attempts.assign(job.plan.shards.size(), 0);
+  job.payloads.assign(job.plan.shards.size(), std::string());
+  job.crash_first = crash_first;
+  job.hang_first = hang_first;
+  ++stats_.jobs_submitted;
+  result.accepted = true;
+  result.job_id = job.id;
+  result.shards = job.plan.shards.size();
+  result.runs = job.plan.total_runs;
+  order_.push_back(job.id);
+  jobs_.emplace(job.id, std::move(job));
+  return result;
+}
+
+bool JobTable::next_dispatch(Dispatch& out) {
+  for (const std::string& id : order_) {
+    Job& job = jobs_.at(id);
+    if (job.state != JobState::Queued && job.state != JobState::Running)
+      continue;
+    for (std::size_t s = 0; s < job.shard_state.size(); ++s) {
+      if (job.shard_state[s] != ShardState::Pending) continue;
+      job.shard_state[s] = ShardState::InFlight;
+      ++job.attempts[s];
+      job.state = JobState::Running;
+      ++stats_.shards_dispatched;
+      out.job_id = job.id;
+      out.shard = s;
+      out.begin = job.plan.shards[s].begin;
+      out.end = job.plan.shards[s].end;
+      out.total = job.plan.total_runs;
+      out.sharded = job.plan.sharded;
+      out.crash = job.crash_first && job.hook_armed;
+      out.hang = job.hang_first && job.hook_armed;
+      job.hook_armed = false;
+      out.spec_text = job.spec_text;
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobTable::shard_done(const std::string& job_id, std::size_t shard,
+                          const std::string& payload) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  if (job.state != JobState::Running ||
+      shard >= job.shard_state.size() ||
+      job.shard_state[shard] != ShardState::InFlight)
+    return;  // stale result (job already failed, or double delivery)
+  job.shard_state[shard] = ShardState::Done;
+  job.payloads[shard] = payload;
+  ++job.shards_done;
+  if (job.plan.sharded)
+    stats_.runs_completed += static_cast<std::int64_t>(
+        job.plan.shards[shard].end - job.plan.shards[shard].begin);
+  if (job.shards_done == job.shard_state.size()) complete(job);
+}
+
+bool JobTable::shard_failed(const std::string& job_id, std::size_t shard,
+                            const std::string& diagnostic) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  Job& job = it->second;
+  if (job.state != JobState::Running ||
+      shard >= job.shard_state.size() ||
+      job.shard_state[shard] != ShardState::InFlight)
+    return false;
+  if (job.attempts[shard] < 2) {
+    job.shard_state[shard] = ShardState::Pending;
+    ++stats_.shards_retried;
+    return true;
+  }
+  job.state = JobState::Failed;
+  job.error = "shard " + std::to_string(shard) + " failed twice: " +
+              diagnostic;
+  ++stats_.jobs_failed;
+  return false;
+}
+
+void JobTable::complete(Job& job) {
+  try {
+    if (!job.plan.sharded) {
+      // Whole-report job: the payload *is* the report JSON.  Round-trip
+      // it through parse_json so a malformed worker reply fails here,
+      // and so the daemon serves exactly what render_json produces.
+      job.result_json = report::render_json(
+          report::parse_json(job.payloads.front()));
+    } else {
+      // Merge in shard-index order: payloads are parsed 0..N-1 and
+      // every outcome lands at its absolute run index before the
+      // replay pass rebuilds the report.
+      std::vector<RunOutcome> outcomes(job.plan.total_runs);
+      for (std::size_t s = 0; s < job.payloads.size(); ++s) {
+        const ShardOutcomes parsed = parse_shard_payload(job.payloads[s]);
+        RATS_REQUIRE(parsed.begin == job.plan.shards[s].begin &&
+                         parsed.outcomes.size() ==
+                             job.plan.shards[s].end -
+                                 job.plan.shards[s].begin,
+                     "shard payload does not match its planned range");
+        for (std::size_t i = 0; i < parsed.outcomes.size(); ++i)
+          outcomes[parsed.begin + i] = parsed.outcomes[i];
+      }
+      job.result_json = merge_report_json(job.spec, outcomes);
+    }
+    job.state = JobState::Done;
+    ++stats_.jobs_done;
+  } catch (const Error& e) {
+    job.state = JobState::Failed;
+    job.error = std::string("merge failed: ") + e.what();
+    ++stats_.jobs_failed;
+  }
+}
+
+JobTable::Status JobTable::status(const std::string& job_id) const {
+  Status status;
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return status;
+  const Job& job = it->second;
+  status.known = true;
+  switch (job.state) {
+    case JobState::Queued: status.state = "queued"; break;
+    case JobState::Running: status.state = "running"; break;
+    case JobState::Done: status.state = "done"; break;
+    case JobState::Failed: status.state = "failed"; break;
+  }
+  status.error = job.error;
+  status.shards_done = job.shards_done;
+  status.shards_total = job.shard_state.size();
+  status.runs_total = job.plan.total_runs;
+  return status;
+}
+
+const std::string* JobTable::result(const std::string& job_id) const {
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.state != JobState::Done) return nullptr;
+  return &it->second.result_json;
+}
+
+std::size_t JobTable::active_jobs() const {
+  return queued_jobs() + running_jobs();
+}
+
+std::size_t JobTable::queued_jobs() const {
+  std::size_t n = 0;
+  for (const auto& [id, job] : jobs_)
+    if (job.state == JobState::Queued) ++n;
+  return n;
+}
+
+std::size_t JobTable::running_jobs() const {
+  std::size_t n = 0;
+  for (const auto& [id, job] : jobs_)
+    if (job.state == JobState::Running) ++n;
+  return n;
+}
+
+}  // namespace rats::serve

@@ -1,0 +1,138 @@
+// Job and shard bookkeeping for the scenario service — the daemon's
+// state machine, factored away from sockets and processes so the
+// backpressure, retry and merge-ordering behaviour is unit-testable
+// (tests/serve_test.cpp drives it directly).
+//
+// Lifecycle: submit() parses + validates the spec and plans its shards
+// (rejecting with a retry hint when the bounded queue is full);
+// next_dispatch() hands pending shards out in submission/shard-index
+// order; shard_done()/shard_failed() record results.  A failed shard
+// (worker crash or watchdog kill) is retried exactly once on a fresh
+// dispatch; a second failure fails the whole job with the diagnostic.
+// When a job's last shard lands, the payloads are parsed and merged
+// **in shard-index order** — outcomes land at absolute run indices, so
+// arrival order cannot influence the merged bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "scenario/spec.hpp"
+#include "serve/shard.hpp"
+
+namespace rats::serve {
+
+/// Daemon-wide counters; the daemon mirrors these into obs metrics and
+/// the `stats` protocol reply.
+struct ServeStats {
+  std::int64_t jobs_submitted = 0;
+  std::int64_t jobs_rejected = 0;
+  std::int64_t jobs_done = 0;
+  std::int64_t jobs_failed = 0;
+  std::int64_t shards_dispatched = 0;
+  std::int64_t shards_retried = 0;
+  std::int64_t runs_completed = 0;  ///< scenarios simulated by workers
+};
+
+struct JobConfig {
+  std::size_t queue_capacity = 8;  ///< max unfinished jobs before reject
+  std::size_t shards_per_job = 2;  ///< plan target (typically #workers)
+  int retry_after_ms = 250;        ///< backpressure hint to clients
+};
+
+class JobTable {
+ public:
+  explicit JobTable(const JobConfig& config) : config_(config) {}
+
+  struct SubmitResult {
+    bool accepted = false;
+    std::string job_id;    ///< when accepted
+    std::string error;     ///< when rejected (bad spec or queue full)
+    int retry_after_ms = 0;  ///< > 0: transient, try again later
+    std::size_t shards = 0;
+    std::size_t runs = 0;
+  };
+  /// `crash_first` / `hang_first` arm the fault-injection test hooks:
+  /// the job's first shard dispatch instructs the worker to die / hang,
+  /// exercising the retry and watchdog paths end to end.
+  SubmitResult submit(const std::string& spec_text, bool crash_first = false,
+                      bool hang_first = false);
+
+  struct Dispatch {
+    std::string job_id;
+    std::size_t shard = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t total = 0;
+    bool sharded = false;
+    bool crash = false;  ///< test hook: worker exits mid-shard
+    bool hang = false;   ///< test hook: worker hangs (watchdog food)
+    std::string spec_text;
+  };
+  /// Claims the next pending shard (marks it in flight).  False when
+  /// nothing is pending.
+  bool next_dispatch(Dispatch& out);
+
+  /// Records a shard result; merges the job when it was the last one.
+  void shard_done(const std::string& job_id, std::size_t shard,
+                  const std::string& payload);
+
+  /// Records a crashed/killed shard.  Returns true when the shard was
+  /// requeued for its one retry; false when the job is now failed.
+  bool shard_failed(const std::string& job_id, std::size_t shard,
+                    const std::string& diagnostic);
+
+  struct Status {
+    bool known = false;
+    std::string state;  ///< "queued" | "running" | "done" | "failed"
+    std::string error;
+    std::size_t shards_done = 0;
+    std::size_t shards_total = 0;
+    std::size_t runs_total = 0;
+  };
+  Status status(const std::string& job_id) const;
+
+  /// The merged report JSON; nullptr unless the job is done.
+  const std::string* result(const std::string& job_id) const;
+
+  std::size_t active_jobs() const;   ///< queued + running
+  std::size_t queued_jobs() const;
+  std::size_t running_jobs() const;
+
+  ServeStats& stats() { return stats_; }
+  const JobConfig& config() const { return config_; }
+
+ private:
+  enum class ShardState { Pending, InFlight, Done };
+  enum class JobState { Queued, Running, Done, Failed };
+
+  struct Job {
+    std::string id;
+    scenario::ScenarioSpec spec;
+    std::string spec_text;
+    ShardPlan plan;
+    std::vector<ShardState> shard_state;
+    std::vector<int> attempts;
+    std::vector<std::string> payloads;
+    std::size_t shards_done = 0;
+    JobState state = JobState::Queued;
+    std::string error;
+    std::string result_json;
+    bool crash_first = false;
+    bool hang_first = false;
+    bool hook_armed = true;  ///< hooks fire on the first dispatch only
+  };
+
+  void complete(Job& job);
+
+  JobConfig config_;
+  ServeStats stats_;
+  std::vector<std::string> order_;  ///< submission order of job ids
+  std::map<std::string, Job> jobs_;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace rats::serve

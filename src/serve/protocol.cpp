@@ -1,0 +1,53 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <unistd.h>
+
+namespace rats::serve {
+
+bool write_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::read_line(std::string& out) {
+  while (!next_line(out)) {
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-line: the peer died
+    feed(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool LineReader::next_line(std::string& out) {
+  const std::size_t at = buf_.find('\n');
+  if (at == std::string::npos) return false;
+  out = buf_.substr(0, at);
+  buf_.erase(0, at + 1);
+  return true;
+}
+
+std::string field(const char* key, const std::string& value) {
+  return std::string("\"") + key + "\":\"" + json::escape(value) + "\"";
+}
+
+std::string field(const char* key, std::int64_t value) {
+  return std::string("\"") + key + "\":" + std::to_string(value);
+}
+
+}  // namespace rats::serve

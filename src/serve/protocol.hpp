@@ -1,0 +1,46 @@
+// Line-framed JSON protocol plumbing shared by the daemon, the worker
+// processes and the client.
+//
+// Every message — client command, daemon reply, worker dispatch,
+// worker result — is one JSON object on one line, terminated by '\n'.
+// Payloads (spec text, report JSON) travel as escaped string fields,
+// so a message never contains a literal newline.  The grammar itself
+// is documented in README.md ("Serving scenarios").
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+
+namespace rats::serve {
+
+/// Appends '\n' and writes the whole buffer, retrying on EINTR and
+/// short writes.  Returns false on error (EPIPE: peer died).
+bool write_line(int fd, const std::string& line);
+
+/// Incremental line splitter over a raw fd.  `read_line` blocks until
+/// one full line is available (or EOF/error → false); `feed` +
+/// `next_line` support the daemon's poll loop, which must not block.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Blocking: reads until a '\n' arrives.  False on EOF or error.
+  bool read_line(std::string& out);
+
+  /// Non-blocking side: appends `bytes` to the buffer.
+  void feed(const char* bytes, std::size_t n) { buf_.append(bytes, n); }
+  /// Pops the next complete line from the buffer, false when none.
+  bool next_line(std::string& out);
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+/// Renders a string field (`"key":"escaped"`), no trailing comma.
+std::string field(const char* key, const std::string& value);
+/// Renders an integer field (`"key":123`), no trailing comma.
+std::string field(const char* key, std::int64_t value);
+
+}  // namespace rats::serve

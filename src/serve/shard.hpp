@@ -1,0 +1,88 @@
+// Shard decomposition and deterministic merge for the scenario service
+// (`rats serve`).
+//
+// The service must return report JSON byte-identical to a
+// single-process `rats run` of the same spec.  Per-shard report
+// *merging* cannot deliver that — corpus-wide aggregates (mean ratios,
+// 21-point percentile curves, pairwise win counts) need every outcome
+// at once — so the merge works at the outcome level through the
+// RunSession::inject seam (exp/session.hpp), in three passes:
+//
+//   plan    (daemon)  inject a placeholder into every run → the report
+//                     builder walks the matrix without simulating,
+//                     revealing its size; the report is discarded.
+//   shard   (worker)  inject placeholders outside [begin, end); the
+//                     runs inside simulate for real and their outcomes
+//                     ship back as a typed ReportModel JSON payload.
+//   replay  (daemon)  inject every recorded outcome → the report is
+//                     assembled by the exact single-process code path,
+//                     so its rendering is byte-identical by
+//                     construction.
+//
+// Outcomes live at absolute run indices, so merged bytes cannot depend
+// on shard arrival order (the permutation test in tests/serve_test.cpp
+// pins this).  Kinds whose reports need more than the outcome matrix
+// (per-task timelines of "single", the static table1–4) are not
+// shardable; they run as one whole-report shard whose payload is the
+// final report JSON, round-tripped through report::parse_json.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "report/model.hpp"
+#include "scenario/spec.hpp"
+
+namespace rats::serve {
+
+/// True when `kind` drives its whole report through the (entry,
+/// algorithm) outcome matrix and can therefore split across workers.
+bool kind_shardable(const std::string& kind);
+
+/// One contiguous slice of the run matrix.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;  ///< exclusive
+};
+
+struct ShardPlan {
+  bool sharded = false;        ///< false → one whole-report shard
+  std::size_t total_runs = 0;  ///< matrix size (0 for whole jobs)
+  std::vector<ShardRange> shards;  ///< never empty
+};
+
+/// Decomposes the spec's run matrix into at most `max_shards`
+/// contiguous shards via the plan pass.  Non-shardable kinds get a
+/// single whole-report shard.  Throws rats::Error on invalid specs —
+/// the daemon's submission-time validation.
+ShardPlan plan_shards(const scenario::ScenarioSpec& spec,
+                      std::size_t max_shards);
+
+/// Worker side: simulates runs [begin, end) of the spec's matrix and
+/// returns their outcomes as a ReportModel JSON payload.  `total` is
+/// the planner's matrix size; a mismatch (spec drift between daemon
+/// and worker) throws.
+std::string run_shard_payload(const scenario::ScenarioSpec& spec,
+                              std::size_t begin, std::size_t end,
+                              std::size_t total);
+
+/// Worker side of a non-shardable job: the final report JSON itself.
+std::string run_whole_payload(const scenario::ScenarioSpec& spec);
+
+struct ShardOutcomes {
+  std::size_t begin = 0;
+  std::vector<RunOutcome> outcomes;
+};
+
+/// Parses a shard payload back into typed outcomes (exact doubles —
+/// the payload carries %.17g round-trip precision).
+ShardOutcomes parse_shard_payload(const std::string& payload);
+
+/// Daemon side: replays the complete outcome vector through the
+/// report builder and renders the merged JSON document.
+std::string merge_report_json(const scenario::ScenarioSpec& spec,
+                              const std::vector<RunOutcome>& outcomes);
+
+}  // namespace rats::serve

@@ -1,0 +1,63 @@
+#include "serve/worker.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <unistd.h>
+
+#include "common/format.hpp"
+#include "scenario/parser.hpp"
+#include "serve/protocol.hpp"
+#include "serve/shard.hpp"
+
+namespace rats::serve {
+
+int worker_loop(int fd) {
+  LineReader reader(fd);
+  std::string line;
+  while (reader.read_line(line)) {
+    json::Value msg;
+    try {
+      msg = json::parse(line);
+    } catch (const std::exception&) {
+      continue;  // framing noise; the daemon never sends this
+    }
+    const std::string verb = msg.get_string("do");
+    if (verb == "exit") return 0;
+    if (verb != "shard" && verb != "whole") continue;
+
+    const std::string job = msg.get_string("job");
+    const std::int64_t shard = msg.get_int("shard");
+
+    // Fault-injection test hooks (see JobTable::submit): `crash`
+    // simulates a worker dying mid-shard, `hang` a wedged one — the
+    // daemon's respawn/retry and watchdog paths must absorb both.
+    if (msg.get_bool("crash")) _exit(64);
+    if (msg.get_bool("hang"))
+      while (true) ::pause();
+
+    std::string reply;
+    try {
+      const scenario::ScenarioSpec spec = scenario::parse_scenario_string(
+          msg.require_string("spec", "dispatch"), "<dispatch>");
+      const std::string payload =
+          verb == "shard"
+              ? run_shard_payload(
+                    spec, static_cast<std::size_t>(msg.get_int("begin")),
+                    static_cast<std::size_t>(msg.get_int("end")),
+                    static_cast<std::size_t>(msg.get_int("total")))
+              : run_whole_payload(spec);
+      reply = strf("{\"job\":\"%s\",\"shard\":%lld,\"ok\":1,\"payload\":\"%s\"}",
+                   json::escape(job).c_str(), static_cast<long long>(shard),
+                   json::escape(payload).c_str());
+    } catch (const std::exception& e) {
+      reply = strf("{\"job\":\"%s\",\"shard\":%lld,\"ok\":0,\"error\":\"%s\"}",
+                   json::escape(job).c_str(), static_cast<long long>(shard),
+                   json::escape(e.what()).c_str());
+    }
+    if (!write_line(fd, reply)) return 1;  // daemon went away
+  }
+  return 0;
+}
+
+}  // namespace rats::serve

@@ -1,0 +1,14 @@
+// The pre-forked worker side of the scenario service: a blocking loop
+// over one socketpair fd, executing shard dispatches from the daemon.
+#pragma once
+
+namespace rats::serve {
+
+/// Runs dispatches from `fd` until an "exit" message or EOF (daemon
+/// death).  Never throws — a failing shard becomes an error reply, so
+/// the worker survives bad specs and only dies on real crashes (which
+/// the daemon's respawn+retry path absorbs).  Returns the process exit
+/// code.
+int worker_loop(int fd);
+
+}  // namespace rats::serve

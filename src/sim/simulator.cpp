@@ -532,6 +532,30 @@ SimulationResult simulate(const TaskGraph& graph, const Schedule& schedule,
     for (const NodeId n : slowed) retime_running_on(n);
     if (timeline->on_fail == FailPolicy::Reschedule)
       for (const NodeId p : newly_down) remap_off(p);
+    // Restore plan order among pending tasks.  remap_off inserts a
+    // victim after a running head even when the victim plan-orders
+    // first (an execution in progress is never preempted); if that head
+    // is later killed it stays queued at the front as a plain pending
+    // task, and the leftover inversion can disagree with another
+    // queue's order — two tasks each waiting behind the other, a
+    // permanent stall (found by fuzzing).  Re-sorting every pending
+    // suffix by the one total order makes cross-queue cycles
+    // impossible again; on untouched queues this is a no-op.
+    if (!newly_down.empty()) {
+      for (std::size_t p = 0; p < queue.size(); ++p) {
+        auto& q = queue[p];
+        std::size_t begin = head[p];
+        if (begin < q.size()) {
+          const TaskId h = q[begin];
+          if (started[static_cast<std::size_t>(h)] &&
+              !done[static_cast<std::size_t>(h)])
+            ++begin;  // a running execution keeps its slot
+        }
+        if (q.size() > begin + 1)
+          std::sort(q.begin() + static_cast<std::ptrdiff_t>(begin), q.end(),
+                    plan_before);
+      }
+    }
     // Phase 3: commit link capacities (traced with the final value).
     for (const LinkId l : touched) {
       const Rate cap = eff_factor(l) * base_cap[static_cast<std::size_t>(l)];

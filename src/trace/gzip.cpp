@@ -1,0 +1,185 @@
+#include "trace/gzip.hpp"
+
+#include <cstring>
+#include <streambuf>
+
+#include "common/error.hpp"
+
+#if defined(RATS_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace rats {
+
+bool gzip_is_compressed(const std::string& bytes) {
+  return bytes.size() >= 2 && static_cast<unsigned char>(bytes[0]) == 0x1f &&
+         static_cast<unsigned char>(bytes[1]) == 0x8b;
+}
+
+#if defined(RATS_HAVE_ZLIB)
+
+namespace {
+// windowBits 15 + 16 selects the gzip wrapper (RFC 1952) rather than
+// raw deflate or zlib framing.
+constexpr int kGzipWindowBits = 15 + 16;
+constexpr std::size_t kChunk = 64 * 1024;
+}  // namespace
+
+bool gzip_available() { return true; }
+
+std::string gzip_compress(const std::string& bytes) {
+  z_stream zs;
+  std::memset(&zs, 0, sizeof zs);
+  RATS_REQUIRE(deflateInit2(&zs, Z_DEFAULT_COMPRESSION, Z_DEFLATED,
+                            kGzipWindowBits, 8,
+                            Z_DEFAULT_STRATEGY) == Z_OK,
+               "deflateInit2 failed");
+  std::string out;
+  zs.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(bytes.data()));
+  zs.avail_in = static_cast<uInt>(bytes.size());
+  char buf[kChunk];
+  int rc = Z_OK;
+  do {
+    zs.next_out = reinterpret_cast<Bytef*>(buf);
+    zs.avail_out = sizeof buf;
+    rc = deflate(&zs, Z_FINISH);
+    out.append(buf, sizeof buf - zs.avail_out);
+  } while (rc == Z_OK);
+  deflateEnd(&zs);
+  RATS_REQUIRE(rc == Z_STREAM_END, "gzip compression failed");
+  return out;
+}
+
+std::string gzip_decompress(const std::string& bytes) {
+  z_stream zs;
+  std::memset(&zs, 0, sizeof zs);
+  RATS_REQUIRE(inflateInit2(&zs, kGzipWindowBits) == Z_OK,
+               "inflateInit2 failed");
+  std::string out;
+  zs.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(bytes.data()));
+  zs.avail_in = static_cast<uInt>(bytes.size());
+  char buf[kChunk];
+  int rc = Z_OK;
+  do {
+    zs.next_out = reinterpret_cast<Bytef*>(buf);
+    zs.avail_out = sizeof buf;
+    rc = inflate(&zs, Z_NO_FLUSH);
+    if (rc != Z_OK && rc != Z_STREAM_END) break;
+    out.append(buf, sizeof buf - zs.avail_out);
+  } while (rc == Z_OK && (zs.avail_in > 0 || zs.avail_out == 0));
+  inflateEnd(&zs);
+  RATS_REQUIRE(rc == Z_STREAM_END, "corrupt gzip stream");
+  return out;
+}
+
+namespace {
+
+/// streambuf deflating everything it receives into an inner ostream.
+class GzipBuf final : public std::streambuf {
+ public:
+  explicit GzipBuf(std::ostream& inner) : inner_(inner) {
+    std::memset(&zs_, 0, sizeof zs_);
+    RATS_REQUIRE(deflateInit2(&zs_, Z_DEFAULT_COMPRESSION, Z_DEFLATED,
+                              kGzipWindowBits, 8,
+                              Z_DEFAULT_STRATEGY) == Z_OK,
+                 "deflateInit2 failed");
+    setp(in_, in_ + sizeof in_);
+  }
+
+  ~GzipBuf() override {
+    if (!finished_) {
+      try {
+        finish();
+      } catch (...) {
+        // Destructor safety net only; explicit finish() reports errors.
+      }
+    }
+    deflateEnd(&zs_);
+  }
+
+  void finish() {
+    if (finished_) return;
+    drain(Z_FINISH);
+    finished_ = true;
+    inner_.flush();
+    RATS_REQUIRE(inner_.good(), "gzip sink: inner stream write failed");
+  }
+
+ protected:
+  int overflow(int ch) override {
+    drain(Z_NO_FLUSH);
+    if (ch != traits_type::eof()) {
+      *pptr() = static_cast<char>(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override {
+    drain(Z_NO_FLUSH);
+    return inner_.good() ? 0 : -1;
+  }
+
+ private:
+  void drain(int flush) {
+    zs_.next_in = reinterpret_cast<Bytef*>(in_);
+    zs_.avail_in = static_cast<uInt>(pptr() - pbase());
+    int rc = Z_OK;
+    do {
+      zs_.next_out = reinterpret_cast<Bytef*>(out_);
+      zs_.avail_out = sizeof out_;
+      rc = deflate(&zs_, flush);
+      RATS_REQUIRE(rc == Z_OK || rc == Z_STREAM_END || rc == Z_BUF_ERROR,
+                   "gzip sink: deflate failed");
+      inner_.write(out_, static_cast<std::streamsize>(sizeof out_ -
+                                                      zs_.avail_out));
+    } while (zs_.avail_out == 0 || (flush == Z_FINISH && rc == Z_OK));
+    setp(in_, in_ + sizeof in_);
+  }
+
+  std::ostream& inner_;
+  z_stream zs_;
+  char in_[kChunk];
+  char out_[kChunk];
+  bool finished_ = false;
+};
+
+}  // namespace
+
+struct GzipOstream::Impl {
+  explicit Impl(std::ostream& inner) : buf(inner), stream(&buf) {}
+  GzipBuf buf;
+  std::ostream stream;
+};
+
+GzipOstream::GzipOstream(std::ostream& inner)
+    : impl_(std::make_unique<Impl>(inner)) {}
+GzipOstream::~GzipOstream() = default;
+std::ostream& GzipOstream::stream() { return impl_->stream; }
+void GzipOstream::finish() {
+  impl_->stream.flush();
+  impl_->buf.finish();
+}
+
+#else  // !RATS_HAVE_ZLIB
+
+namespace {
+[[noreturn]] void unavailable() {
+  throw Error(
+      "trace-gzip requires zlib, which this build was configured without");
+}
+}  // namespace
+
+bool gzip_available() { return false; }
+std::string gzip_compress(const std::string&) { unavailable(); }
+std::string gzip_decompress(const std::string&) { unavailable(); }
+
+struct GzipOstream::Impl {};
+GzipOstream::GzipOstream(std::ostream&) { unavailable(); }
+GzipOstream::~GzipOstream() = default;
+std::ostream& GzipOstream::stream() { unavailable(); }
+void GzipOstream::finish() { unavailable(); }
+
+#endif
+
+}  // namespace rats

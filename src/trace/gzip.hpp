@@ -1,0 +1,54 @@
+// gzip support for the v2 trace stream (`[output] trace-gzip = true`).
+//
+// The trace format stays byte-identical — gzip wraps the finished
+// stream, so a reader inflates and then sees exactly the bytes the
+// plain sink would have written (the round-trip tests pin this
+// bit-exactly).  trace/replay.cpp auto-detects the two-byte gzip magic
+// and inflates before verification, so `rats replay` works on either
+// form of a trace without a flag.
+//
+// zlib is optional at build time (RATS_HAVE_ZLIB from CMake's
+// find_package(ZLIB)); without it `gzip_available()` is false and the
+// other entry points throw rats::Error, so a spec asking for trace-gzip
+// fails loudly instead of writing a mislabelled artefact.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+namespace rats {
+
+/// True when this build can compress (zlib was found at configure
+/// time).  Decompression has the same availability.
+bool gzip_available();
+
+/// True when `bytes` starts with the gzip magic (1f 8b).
+bool gzip_is_compressed(const std::string& bytes);
+
+/// One-shot gzip round trip.  Both throw rats::Error when zlib is
+/// unavailable or the payload is corrupt.
+std::string gzip_compress(const std::string& bytes);
+std::string gzip_decompress(const std::string& bytes);
+
+/// Streaming gzip sink: everything written to `stream()` is deflated
+/// into the inner ostream.  Call `finish()` exactly once after the last
+/// write to flush the gzip trailer; the destructor finishes as a
+/// safety net but cannot report errors, so explicit callers should
+/// finish themselves.
+class GzipOstream {
+ public:
+  explicit GzipOstream(std::ostream& inner);
+  ~GzipOstream();
+  GzipOstream(const GzipOstream&) = delete;
+  GzipOstream& operator=(const GzipOstream&) = delete;
+
+  std::ostream& stream();
+  void finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rats

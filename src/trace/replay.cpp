@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "scenario/parser.hpp"
 #include "scenario/registry.hpp"
+#include "trace/gzip.hpp"
 
 namespace rats {
 
@@ -77,7 +78,19 @@ ReplayReport verify_trace(const std::string& path, unsigned threads) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return verify_trace_text(buffer.str(), path, threads);
+  std::string bytes = buffer.str();
+  // Traces written with `trace-gzip = true` inflate to the exact bytes
+  // of the plain stream, so verification proceeds unchanged.
+  if (gzip_is_compressed(bytes)) {
+    try {
+      bytes = gzip_decompress(bytes);
+    } catch (const Error& e) {
+      ReplayReport report;
+      report.error = path + ": " + e.what();
+      return report;
+    }
+  }
+  return verify_trace_text(bytes, path, threads);
 }
 
 ReplayReport verify_trace_text(const std::string& actual,

@@ -91,12 +91,13 @@ TEST(FuzzGenerator, SpecsAreValidByConstruction) {
     const scenario::ScenarioSpec reparsed =
         scenario::parse_scenario_string(e1, "<gen>");
     EXPECT_EQ(scenario::emit_scenario(reparsed), e1);
-    // Resolvable platform, timeline valid against it, and every fail
-    // paired with a restart (the no-stall guarantee).
+    // Resolvable platform, timeline valid against every cluster, and
+    // every fail paired with a restart (the no-stall guarantee).
     const std::vector<Cluster> clusters = spec.platform.resolve();
-    ASSERT_EQ(clusters.size(), 1u);
-    if (!spec.events.empty())
-      EXPECT_NO_THROW(spec.events.resolve(clusters.front()));
+    ASSERT_GE(clusters.size(), 1u);
+    for (const Cluster& cluster : clusters)
+      if (!spec.events.empty())
+        EXPECT_NO_THROW(spec.events.resolve(cluster));
     int open_fails = 0;
     for (const PlatformEvent& e : spec.events.timeline.events) {
       if (e.kind == PlatformEventKind::NodeFail) ++open_fails;
@@ -104,6 +105,31 @@ TEST(FuzzGenerator, SpecsAreValidByConstruction) {
     }
     EXPECT_EQ(open_fails, 0);
   }
+}
+
+TEST(FuzzGenerator, CoversMultiClusterAndSweepShapes) {
+  bool multi_cluster = false, sweep = false, single_cluster = false;
+  for (int i = 0; i < 80; ++i) {
+    const scenario::ScenarioSpec spec = generate_spec(spec_seed(11, i));
+    SCOPED_TRACE(spec.name);
+    const std::vector<Cluster> clusters = spec.platform.resolve();
+    if (clusters.size() > 1) {
+      multi_cluster = true;
+      // Multi-cluster platforms pair with the table kinds only.
+      EXPECT_TRUE(spec.kind == "table5" || spec.kind == "table6");
+      EXPECT_TRUE(spec.platform.presets.size() >= 2);
+    } else {
+      single_cluster = true;
+    }
+    if (spec.kind == "sweep") {
+      sweep = true;
+      EXPECT_FALSE(spec.sweep.empty());
+      EXPECT_TRUE(!spec.sweep.sweeps_events() || !spec.events.empty());
+    }
+  }
+  EXPECT_TRUE(multi_cluster) << "no multi-cluster platform in 80 specs";
+  EXPECT_TRUE(sweep) << "no sweep kind in 80 specs";
+  EXPECT_TRUE(single_cluster);
 }
 
 TEST(FuzzOracles, GeneratedSpecsPassTheBattery) {

@@ -111,6 +111,54 @@ TEST(ReportRenderTest, CsvAndJsonCarryEveryTable) {
   EXPECT_NE(json.find("\\n"), std::string::npos);
 }
 
+// ---- JSON round trip (parse_json, the serve payload transport) ---------
+
+TEST(ReportJsonRoundTrip, HandBuiltModelSurvivesByteStable) {
+  report::ReportModel model;
+  model.name = "round \"trip\"\nname";  // escapes in the header fields
+  model.kind = "experiment";
+  model.heading("A heading");
+  model.text("verbatim text\n  with a \"quoted\" tab\there\n");
+  report::TableModel& table =
+      model.table("cells", {{"label", report::ColumnType::Text},
+                            {"value", report::ColumnType::Number}});
+  table.rows.push_back({report::cell("plain"), report::cell(1.5, "1.500")});
+  table.rows.push_back(
+      {report::cell(""), report::cell(-0.0625, "-6.25e-02")});
+  table.preformatted = "exact\tlegacy\nbytes\n";
+  table.csv_echo = false;
+  model.series("curve/one", "one", {0.25, 1.0, 2.0});
+  model.scalar("best/x", 0.1);          // not exactly representable
+  model.scalar("note", "text payload");
+  model.metrics.push_back({"runs", 9, true});
+  model.metrics.push_back({"pool/steals", 3, false});
+
+  const std::string once = report::render_json(model);
+  const report::ReportModel parsed = report::parse_json(once);
+  EXPECT_EQ(report::render_json(parsed), once);
+  // The typed content survives, not just the bytes.
+  EXPECT_EQ(parsed.name, model.name);
+  const report::TableModel* cells = parsed.find_table("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->rows.size(), 2u);
+  EXPECT_TRUE(cells->rows[1][1].numeric);
+  EXPECT_EQ(cells->rows[1][1].num, -0.0625);
+  ASSERT_EQ(parsed.metrics.size(), 2u);
+}
+
+TEST(ReportJsonRoundTrip, ScenarioReportSurvivesByteStable) {
+  const report::ReportModel model = scenario::build_report(tiny_fig2_spec());
+  const std::string once = report::render_json(model);
+  EXPECT_EQ(report::render_json(report::parse_json(once)), once);
+}
+
+TEST(ReportJsonRoundTrip, RejectsForeignDocuments) {
+  EXPECT_THROW(report::parse_json("not json at all"), Error);
+  EXPECT_THROW(report::parse_json("{\"rats_report\":2,\"items\":[]}"), Error);
+  EXPECT_THROW(report::parse_json("{\"name\":\"x\"}"), Error);
+  EXPECT_THROW(report::parse_json(""), Error);
+}
+
 TEST(ReportRenderTest, RenderersAreDeterministic) {
   const auto spec = tiny_fig2_spec();
   const report::ReportModel a = scenario::build_report(spec);
