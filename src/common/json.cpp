@@ -162,9 +162,7 @@ class Parser {
     }
   }
 
-  // The writers in this repo only emit \uXXXX for control bytes, but
-  // accept the full BMP (UTF-8-encoded) so hand-written input works.
-  std::string unicode_escape() {
+  unsigned hex4() {
     if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
     unsigned cp = 0;
     for (int i = 0; i < 4; ++i) {
@@ -175,14 +173,39 @@ class Parser {
       else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
       else fail("bad \\u escape digit");
     }
+    return cp;
+  }
+
+  // The writers in this repo only emit \uXXXX for control bytes, but
+  // accept any scalar value: surrogate pairs combine into one 4-byte
+  // UTF-8 sequence, and lone surrogates are rejected instead of
+  // leaking invalid UTF-8 (encoded surrogate code points) through.
+  std::string unicode_escape() {
+    unsigned cp = hex4();
+    if (cp >= 0xDC00 && cp <= 0xDFFF) fail("unpaired low surrogate");
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u')
+        fail("high surrogate not followed by a \\u low surrogate");
+      pos_ += 2;
+      const unsigned lo = hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF)
+        fail("high surrogate paired with a non-surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    }
     std::string out;
     if (cp < 0x80) {
       out.push_back(static_cast<char>(cp));
     } else if (cp < 0x800) {
       out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
       out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    } else {
+    } else if (cp < 0x10000) {
       out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
     }

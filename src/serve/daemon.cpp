@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -46,8 +47,13 @@ struct WorkerSlot {
 
 struct ClientConn {
   int fd = -1;
-  std::string buf;
+  std::string buf;  ///< partial request line
+  std::string out;  ///< replies not yet written (flushed on POLLOUT)
 };
+
+/// A client that stops reading while this much reply is queued is
+/// dropped rather than allowed to hold daemon memory hostage.
+constexpr std::size_t kClientSendCap = 64u << 20;
 
 /// The daemon process.  Single-threaded; everything is event-driven
 /// off one poll() set (listen fd + clients + worker pipes).
@@ -113,7 +119,17 @@ class Daemon {
     while (!stopping_) poll_once();
 
     shutdown_workers();
-    for (ClientConn& c : clients_) ::close(c.fd);
+    for (ClientConn& c : clients_) {
+      // Best-effort drain so the shutdown acknowledgement (and any
+      // fetched result still queued) reaches the client; a wedged
+      // reader only delays exit by the bounded spin.
+      for (int spin = 0; c.fd >= 0 && !c.out.empty() && spin < 50; ++spin) {
+        pollfd p{c.fd, POLLOUT, 0};
+        if (::poll(&p, 1, 20) <= 0) continue;
+        if (!flush_client(c)) break;
+      }
+      if (c.fd >= 0) ::close(c.fd);
+    }
     ::close(listen_fd_);
     ::unlink(options_.socket_path.c_str());
     if (!options_.metrics_path.empty()) write_metrics();
@@ -411,8 +427,14 @@ class Daemon {
     std::vector<pollfd> fds;
     fds.push_back(pollfd{listen_fd_, POLLIN, 0});
     const std::size_t client_base = fds.size();
+    // Snapshot the client count: accept_client() below may grow
+    // clients_, and those fresh connections have no pollfd this round
+    // (reading them before they signal POLLIN would block on nothing).
+    const std::size_t polled_clients = clients_.size();
     for (const ClientConn& c : clients_)
-      fds.push_back(pollfd{c.fd, POLLIN, 0});
+      fds.push_back(pollfd{
+          c.fd,
+          static_cast<short>(POLLIN | (c.out.empty() ? 0 : POLLOUT)), 0});
     const std::size_t worker_base = fds.size();
     for (const WorkerSlot& w : workers_)
       fds.push_back(pollfd{w.fd, w.fd >= 0 ? short{POLLIN} : short{0}, 0});
@@ -438,13 +460,18 @@ class Daemon {
 
     if (fds[0].revents & POLLIN) accept_client();
 
-    for (std::size_t i = 0; i < clients_.size(); ++i) {
+    for (std::size_t i = 0; i < polled_clients; ++i) {
       const short ev = fds[client_base + i].revents;
-      if (ev & (POLLIN | POLLHUP | POLLERR))
-        if (!client_readable(clients_[i])) {
-          ::close(clients_[i].fd);
-          clients_[i].fd = -1;
-        }
+      ClientConn& c = clients_[i];
+      bool alive = true;
+      if (ev & POLLOUT) alive = flush_client(c);
+      if (alive && (ev & (POLLIN | POLLHUP | POLLERR)))
+        alive = client_readable(c);
+      if (!alive) {
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      if (stopping_) break;  // drain pending replies at shutdown below
     }
     clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
                                   [](const ClientConn& c) { return c.fd < 0; }),
@@ -461,21 +488,46 @@ class Daemon {
   void accept_client() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;
-    clients_.push_back(ClientConn{fd, {}});
+    // Non-blocking: a client that never writes (or reads its replies
+    // slowly) must not stall the poll loop and every other job.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    clients_.push_back(ClientConn{fd, {}, {}});
   }
 
   /// Returns false when the connection should close.
   bool client_readable(ClientConn& client) {
     char chunk[4096];
     const ssize_t n = ::read(client.fd, chunk, sizeof chunk);
-    if (n <= 0) return false;
+    if (n < 0) return errno == EAGAIN || errno == EWOULDBLOCK ||
+                      errno == EINTR;
+    if (n == 0) return false;  // EOF
     client.buf.append(chunk, static_cast<std::size_t>(n));
     std::size_t at;
     while ((at = client.buf.find('\n')) != std::string::npos) {
       const std::string line = client.buf.substr(0, at);
       client.buf.erase(0, at + 1);
-      if (!write_line(client.fd, handle_command(line))) return false;
-      if (stopping_) return false;
+      client.out += handle_command(line);
+      client.out.push_back('\n');
+      if (stopping_) break;
+    }
+    if (client.out.size() > kClientSendCap) return false;  // slow reader
+    return flush_client(client);
+  }
+
+  /// Writes as much queued reply as the socket accepts; leftovers wait
+  /// for POLLOUT.  Returns false when the connection should close.
+  bool flush_client(ClientConn& client) {
+    while (!client.out.empty()) {
+      const ssize_t n =
+          ::write(client.fd, client.out.data(), client.out.size());
+      if (n > 0) {
+        client.out.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EPIPE and friends: peer died
     }
     return true;
   }

@@ -1,5 +1,7 @@
 #include "serve/jobs.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "report/render.hpp"
 #include "scenario/parser.hpp"
@@ -105,6 +107,7 @@ bool JobTable::shard_failed(const std::string& job_id, std::size_t shard,
   job.error = "shard " + std::to_string(shard) + " failed twice: " +
               diagnostic;
   ++stats_.jobs_failed;
+  finish(job);
   return false;
 }
 
@@ -139,6 +142,28 @@ void JobTable::complete(Job& job) {
     job.state = JobState::Failed;
     job.error = std::string("merge failed: ") + e.what();
     ++stats_.jobs_failed;
+  }
+  finish(job);
+}
+
+void JobTable::finish(Job& job) {
+  // Only status()/result() can touch the job from here on: drop the
+  // shard payloads, spec text and parsed spec, then evict the oldest
+  // finished jobs beyond the bounded history.  Late results for an
+  // evicted id fall into the stale-delivery path and are ignored.
+  job.payloads.clear();
+  job.payloads.shrink_to_fit();
+  job.spec_text.clear();
+  job.spec_text.shrink_to_fit();
+  job.spec = scenario::ScenarioSpec{};
+  finished_.push_back(job.id);
+  const std::size_t keep = std::max<std::size_t>(config_.finished_keep, 1);
+  while (finished_.size() > keep) {
+    const std::string victim = finished_.front();
+    finished_.erase(finished_.begin());
+    order_.erase(std::remove(order_.begin(), order_.end(), victim),
+                 order_.end());
+    jobs_.erase(victim);
   }
 }
 

@@ -12,6 +12,11 @@
 // When a job's last shard lands, the payloads are parsed and merged
 // **in shard-index order** — outcomes land at absolute run indices, so
 // arrival order cannot influence the merged bytes.
+//
+// A finished (done or failed) job keeps only what status()/result()
+// serve; its shard payloads, spec text and parsed spec are dropped,
+// and only the `finished_keep` most recently finished jobs are
+// retained at all, so a long-lived daemon's memory stays bounded.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +46,7 @@ struct JobConfig {
   std::size_t queue_capacity = 8;  ///< max unfinished jobs before reject
   std::size_t shards_per_job = 2;  ///< plan target (typically #workers)
   int retry_after_ms = 250;        ///< backpressure hint to clients
+  std::size_t finished_keep = 16;  ///< done/failed jobs retained for fetch
 };
 
 class JobTable {
@@ -127,10 +133,12 @@ class JobTable {
   };
 
   void complete(Job& job);
+  void finish(Job& job);
 
   JobConfig config_;
   ServeStats stats_;
   std::vector<std::string> order_;  ///< submission order of job ids
+  std::vector<std::string> finished_;  ///< completion order of done/failed ids
   std::map<std::string, Job> jobs_;
   std::int64_t next_id_ = 1;
 };

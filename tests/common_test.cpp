@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -227,6 +228,29 @@ TEST(Error, RequireThrowsWithContext) {
 
 TEST(Error, RequirePassesSilently) {
   EXPECT_NO_THROW(RATS_REQUIRE(true, "fine"));
+}
+
+// ------------------------------------------------------- json \u escapes
+
+TEST(Json, UnicodeEscapeDecodesBmpScalars) {
+  EXPECT_EQ(json::parse("\"\\u0041\"").text, "A");
+  EXPECT_EQ(json::parse("\"\\u00e9\"").text, "\xC3\xA9");      // é
+  EXPECT_EQ(json::parse("\"\\u20AC\"").text, "\xE2\x82\xAC");  // €
+}
+
+TEST(Json, SurrogatePairDecodesToFourByteUtf8) {
+  // U+1F600 as \uD83D\uDE00 must come out as one 4-byte sequence, not
+  // two UTF-8-encoded surrogate code points.
+  EXPECT_EQ(json::parse("\"\\uD83D\\uDE00\"").text, "\xF0\x9F\x98\x80");
+  EXPECT_EQ(json::parse("\"x\\uD800\\uDC00y\"").text,
+            "x\xF0\x90\x80\x80y");  // U+10000, the pair-range floor
+}
+
+TEST(Json, LoneSurrogatesAreRejected) {
+  EXPECT_THROW(json::parse("\"\\uD83D\""), Error);        // high, then EOS
+  EXPECT_THROW(json::parse("\"\\uD83D tail\""), Error);   // high, no pair
+  EXPECT_THROW(json::parse("\"\\uD83D\\u0041\""), Error); // high + non-low
+  EXPECT_THROW(json::parse("\"\\uDE00\""), Error);        // unpaired low
 }
 
 }  // namespace

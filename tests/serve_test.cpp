@@ -289,6 +289,74 @@ TEST(ServeJobs, CrashedShardRetriedOnceThenJobFails) {
   EXPECT_EQ(table.result(submitted.job_id), nullptr);
 }
 
+TEST(ServeJobs, FinishedJobsAreEvictedBeyondBoundedHistory) {
+  // finished_keep = 2: a long-lived table must not accumulate every
+  // done job's result/payloads forever.
+  JobTable table(JobConfig{8, 2, 250, 2});
+  const scenario::ScenarioSpec spec =
+      scenario::parse_scenario_string(kTinyExperiment, "<evict>");
+  std::vector<std::string> ids;
+  for (int round = 0; round < 3; ++round) {
+    const auto submitted = table.submit(kTinyExperiment);
+    ASSERT_TRUE(submitted.accepted) << submitted.error;
+    ids.push_back(submitted.job_id);
+    JobTable::Dispatch d;
+    while (table.next_dispatch(d))
+      table.shard_done(d.job_id, d.shard,
+                       run_shard_payload(spec, d.begin, d.end, d.total));
+    ASSERT_EQ(table.status(submitted.job_id).state, "done");
+  }
+  // Oldest finished job fell off the history; the two newest survive
+  // with fetchable results.  Cumulative stats are unaffected.
+  EXPECT_FALSE(table.status(ids[0]).known);
+  EXPECT_EQ(table.result(ids[0]), nullptr);
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_TRUE(table.status(ids[i]).known);
+    EXPECT_NE(table.result(ids[i]), nullptr);
+  }
+  EXPECT_EQ(table.stats().jobs_done, 3);
+  EXPECT_EQ(table.active_jobs(), 0u);
+
+  // A failed job enters the same bounded history (and evicts).
+  const auto failing = table.submit(kTinyExperiment);
+  ASSERT_TRUE(failing.accepted);
+  JobTable::Dispatch d;
+  ASSERT_TRUE(table.next_dispatch(d));
+  table.shard_failed(d.job_id, d.shard, "boom");
+  ASSERT_TRUE(table.next_dispatch(d));
+  table.shard_failed(d.job_id, d.shard, "boom");
+  EXPECT_EQ(table.status(failing.job_id).state, "failed");
+  EXPECT_FALSE(table.status(ids[1]).known);  // pushed out by the new entry
+}
+
+TEST(ServeJobs, LateResultForEvictedJobIsIgnored) {
+  JobTable table(JobConfig{8, 2, 250, 1});
+  const scenario::ScenarioSpec spec =
+      scenario::parse_scenario_string(kTinyExperiment, "<late>");
+  const auto first = table.submit(kTinyExperiment);
+  ASSERT_TRUE(first.accepted);
+  std::vector<JobTable::Dispatch> pending;
+  JobTable::Dispatch d;
+  while (table.next_dispatch(d)) pending.push_back(d);
+  for (const JobTable::Dispatch& p : pending)
+    table.shard_done(p.job_id, p.shard,
+                     run_shard_payload(spec, p.begin, p.end, p.total));
+
+  // Evict `first` by finishing a second job, then deliver a stale
+  // shard result for it: must be a silent no-op, not a crash.
+  const auto second = table.submit(kTinyExperiment);
+  ASSERT_TRUE(second.accepted);
+  while (table.next_dispatch(d))
+    table.shard_done(d.job_id, d.shard,
+                     run_shard_payload(spec, d.begin, d.end, d.total));
+  ASSERT_FALSE(table.status(first.job_id).known);
+  EXPECT_NO_THROW(table.shard_done(pending.front().job_id,
+                                   pending.front().shard, "stale"));
+  EXPECT_NO_THROW(table.shard_failed(pending.front().job_id,
+                                     pending.front().shard, "stale"));
+  EXPECT_EQ(table.status(second.job_id).state, "done");
+}
+
 TEST(ServeJobs, CrashHookArmsFirstDispatchOnly) {
   JobTable table(JobConfig{8, 2, 250});
   const auto submitted = table.submit(kTinyExperiment, /*crash_first=*/true);
